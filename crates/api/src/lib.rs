@@ -1,0 +1,117 @@
+//! Common interface of all secondary indexes in the `psi` workspace.
+//!
+//! The paper's problem (§1.1): given `x = x₁x₂…xₙ ∈ Σⁿ`, answer alphabet
+//! range queries `I[al;ar](x) = { i | xᵢ ∈ [al; ar] }`, returning the set
+//! *in compressed format* using `O(lg C(n, z))` bits. Every index — the
+//! paper's structures in `psi-core` and the baselines in `psi-baselines` —
+//! implements [`SecondaryIndex`] against the simulated I/O model, so the
+//! experiment harnesses can sweep implementations uniformly.
+
+#![warn(missing_docs)]
+
+use psi_bits::GapBitmap;
+use psi_io::{IoSession, IoStats};
+
+mod rid;
+
+pub use rid::RidSet;
+
+/// Symbols are dense character codes in `[0, σ)`; the paper's ordered
+/// alphabet `Σ = {a₁ < a₂ < … < a_σ}` maps to `0 < 1 < … < σ−1`.
+pub type Symbol = u32;
+
+/// A static secondary index over a string `x ∈ Σⁿ`.
+pub trait SecondaryIndex {
+    /// Length `n` of the indexed string.
+    fn len(&self) -> u64;
+
+    /// Whether the indexed string is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Alphabet size `σ`.
+    fn sigma(&self) -> Symbol;
+
+    /// Total space of the data structure in bits (payload plus directory
+    /// metadata, as accounted by each implementation).
+    fn space_bits(&self) -> u64;
+
+    /// Answers the alphabet range query `I[lo; hi]` (inclusive endpoints,
+    /// as in the paper), charging all block accesses to `io`.
+    ///
+    /// The result is compressed: either the positions themselves or, for
+    /// results larger than `n/2` where the structure supports it, the
+    /// complement (§2.1's trick).
+    ///
+    /// # Panics
+    /// Implementations panic if `lo > hi` or `hi ≥ σ`.
+    fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet;
+
+    /// Convenience: runs `query` under a fresh tracking session and
+    /// returns the result with its I/O statistics.
+    fn query_measured(&self, lo: Symbol, hi: Symbol) -> (RidSet, IoStats) {
+        let io = IoSession::new();
+        let result = self.query(lo, hi, &io);
+        let stats = io.stats();
+        (result, stats)
+    }
+}
+
+/// A semi-dynamic index supporting appends (paper §4.1: "OLAP and
+/// scientific data … are typically read and append only").
+pub trait AppendIndex: SecondaryIndex {
+    /// Appends a character at position `n` (the end of the string).
+    fn append(&mut self, symbol: Symbol, io: &IoSession);
+}
+
+/// A fully dynamic index additionally supporting in-place character
+/// changes (paper §4.3). Deletions are expressible as changes to a
+/// reserved `∞` character (§4).
+pub trait DynamicIndex: AppendIndex {
+    /// Changes the character at position `pos` to `symbol`.
+    fn change(&mut self, pos: u64, symbol: Symbol, io: &IoSession);
+}
+
+/// Validates query endpoints against an alphabet size. Shared helper for
+/// implementations.
+pub fn check_range(lo: Symbol, hi: Symbol, sigma: Symbol) {
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    assert!(hi < sigma, "range endpoint {hi} outside alphabet of size {sigma}");
+}
+
+/// Builds the exact answer to a range query by scanning the string —
+/// the reference implementation used in tests and harness validation.
+pub fn naive_query(symbols: &[Symbol], lo: Symbol, hi: Symbol) -> RidSet {
+    let positions = symbols
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| (lo..=hi).contains(&s))
+        .map(|(i, _)| i as u64);
+    RidSet::from_positions(GapBitmap::from_sorted_iter(positions, symbols.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_query_filters_by_range() {
+        let s = vec![3u32, 1, 4, 1, 5, 9, 2, 6];
+        let r = naive_query(&s, 2, 5);
+        assert_eq!(r.to_vec(), vec![0, 2, 4, 6]);
+        assert_eq!(r.cardinality(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_rejected() {
+        check_range(5, 4, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn oversized_range_rejected() {
+        check_range(0, 10, 10);
+    }
+}

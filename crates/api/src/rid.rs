@@ -1,0 +1,176 @@
+//! Compressed query results (RID sets).
+
+use psi_bits::GapBitmap;
+
+/// A compressed set of row ids (positions) returned by a range query.
+///
+/// The paper requires queries to "output the set in compressed format,
+/// using `O(lg C(n, z))` bits" (§1.1). A `RidSet` stores the gap-compressed
+/// positions — or, implementing §2.1's large-result trick, the
+/// gap-compressed *complement* when the answer has more than `n/2`
+/// elements (the complement is then the smaller set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RidSet {
+    stored: GapBitmap,
+    complemented: bool,
+}
+
+impl RidSet {
+    /// Wraps a compressed position set as-is.
+    pub fn from_positions(stored: GapBitmap) -> Self {
+        RidSet { stored, complemented: false }
+    }
+
+    /// Wraps a compressed set whose *complement* (within the stored
+    /// universe) is the logical result.
+    pub fn from_complement(stored: GapBitmap) -> Self {
+        RidSet { stored, complemented: true }
+    }
+
+    /// The universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.stored.universe()
+    }
+
+    /// Number of positions in the logical result (`z` in the paper).
+    pub fn cardinality(&self) -> u64 {
+        if self.complemented {
+            self.stored.universe() - self.stored.count()
+        } else {
+            self.stored.count()
+        }
+    }
+
+    /// Whether the logical result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cardinality() == 0
+    }
+
+    /// Whether the stored representation is the complement of the result.
+    pub fn is_complemented(&self) -> bool {
+        self.complemented
+    }
+
+    /// Size of the compressed representation in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.stored.size_bits()
+    }
+
+    /// The stored compressed bitmap (positions or complement).
+    pub fn stored(&self) -> &GapBitmap {
+        &self.stored
+    }
+
+    /// Membership test (O(stored count) scan; use [`Self::iter`] for bulk
+    /// access).
+    pub fn contains(&self, pos: u64) -> bool {
+        self.stored.contains(pos) != self.complemented
+    }
+
+    /// Iterates the logical positions in increasing order (lazily
+    /// materializes the complement when necessary).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut stored_iter = self.stored.iter().peekable();
+        let complemented = self.complemented;
+        (0..self.stored.universe()).filter(move |&p| {
+            let in_stored = match stored_iter.peek() {
+                Some(&q) if q == p => {
+                    stored_iter.next();
+                    true
+                }
+                _ => false,
+            };
+            in_stored != complemented
+        })
+    }
+
+    /// Materializes the logical positions.
+    pub fn to_vec(&self) -> Vec<u64> {
+        if self.complemented {
+            self.iter().collect()
+        } else {
+            self.stored.to_vec()
+        }
+    }
+
+    /// Normalizes to a non-complemented compressed set (materializing the
+    /// complement if needed).
+    pub fn into_positions(self) -> GapBitmap {
+        if self.complemented {
+            self.stored.complement()
+        } else {
+            self.stored
+        }
+    }
+
+    /// Intersects two results (RID intersection, the paper's §1 motivating
+    /// use). Both must share a universe.
+    pub fn intersect(&self, other: &RidSet) -> RidSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        let mut b = other.iter().peekable();
+        let positions = self.iter().filter(move |&p| {
+            while let Some(&q) = b.peek() {
+                if q < p {
+                    b.next();
+                } else {
+                    return q == p;
+                }
+            }
+            false
+        });
+        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.universe()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gap(positions: &[u64], n: u64) -> GapBitmap {
+        GapBitmap::from_sorted(positions, n)
+    }
+
+    #[test]
+    fn positions_variant_roundtrip() {
+        let r = RidSet::from_positions(gap(&[1, 3, 5], 8));
+        assert_eq!(r.cardinality(), 3);
+        assert_eq!(r.to_vec(), vec![1, 3, 5]);
+        assert!(r.contains(3) && !r.contains(2));
+        assert!(!r.is_complemented());
+    }
+
+    #[test]
+    fn complement_variant_inverts() {
+        let r = RidSet::from_complement(gap(&[1, 3, 5], 8));
+        assert_eq!(r.cardinality(), 5);
+        assert_eq!(r.to_vec(), vec![0, 2, 4, 6, 7]);
+        assert!(!r.contains(3) && r.contains(2));
+        assert_eq!(r.clone().into_positions().to_vec(), vec![0, 2, 4, 6, 7]);
+    }
+
+    #[test]
+    fn empty_results() {
+        let r = RidSet::from_positions(gap(&[], 4));
+        assert!(r.is_empty());
+        let full_complement = RidSet::from_complement(gap(&[0, 1, 2, 3], 4));
+        assert!(full_complement.is_empty());
+    }
+
+    #[test]
+    fn intersection_mixed_representations() {
+        let a = RidSet::from_positions(gap(&[0, 2, 4, 6], 8));
+        let b = RidSet::from_complement(gap(&[0, 1], 8)); // {2..7}
+        let i = a.intersect(&b);
+        assert_eq!(i.to_vec(), vec![2, 4, 6]);
+        // Intersection with itself is identity on positions.
+        assert_eq!(a.intersect(&a).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_matches_to_vec() {
+        let r = RidSet::from_complement(gap(&[2, 3, 9], 12));
+        let v: Vec<u64> = r.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v, r.to_vec());
+    }
+}

@@ -1,0 +1,160 @@
+//! Binned bitmap index (§1.2, citing Sinha & Winslett [16]).
+//!
+//! "Divide Σ into bins of `w` characters and represent a compressed bitmap
+//! for each bin corresponding to all occurrences of its characters" — plus
+//! the per-character bitmaps to resolve partial bins exactly, "so a range
+//! query of size ℓ can be answered by combining less than `⌊ℓ/w⌋ + 2w`
+//! compressed bitmaps". One step of the space/time trade-off that
+//! [`crate::MultiResolutionIndex`] applies recursively.
+
+use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_bits::{merge, GapBitmap};
+use psi_io::{Disk, IoConfig, IoSession};
+
+use crate::catalog::BitmapCatalog;
+
+/// A two-resolution bitmap index: bins of `w` characters plus per-character
+/// bitmaps for the bin edges.
+#[derive(Debug)]
+pub struct BinnedBitmapIndex {
+    disk: Disk,
+    bins: BitmapCatalog,
+    chars: BitmapCatalog,
+    w: u32,
+    n: u64,
+    sigma: Symbol,
+}
+
+impl BinnedBitmapIndex {
+    /// Builds with bin width `w ≥ 1` over `symbols ∈ [0, sigma)ⁿ`.
+    pub fn build(symbols: &[Symbol], sigma: Symbol, w: u32, config: IoConfig) -> Self {
+        assert!(sigma > 0 && w >= 1);
+        let n = symbols.len() as u64;
+        let mut disk = Disk::new(config);
+        let num_bins = sigma.div_ceil(w);
+        // Scanning the string left to right yields sorted positions for
+        // both resolutions.
+        let mut bin_lists = vec![Vec::new(); num_bins as usize];
+        for (i, &c) in symbols.iter().enumerate() {
+            assert!(c < sigma, "symbol {c} outside alphabet of size {sigma}");
+            bin_lists[(c / w) as usize].push(i as u64);
+        }
+        let char_lists = crate::per_char_positions(symbols, sigma);
+        let bins = BitmapCatalog::build(&mut disk, n.max(1), bin_lists);
+        let chars = BitmapCatalog::build(&mut disk, n.max(1), char_lists);
+        BinnedBitmapIndex { disk, bins, chars, w, n, sigma }
+    }
+
+    /// The bin width `w`.
+    pub fn bin_width(&self) -> u32 {
+        self.w
+    }
+
+    /// The simulated disk (for inspection by harnesses).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
+impl SecondaryIndex for BinnedBitmapIndex {
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn sigma(&self) -> Symbol {
+        self.sigma
+    }
+
+    fn space_bits(&self) -> u64 {
+        self.bins.size_bits(&self.disk) + self.chars.size_bits(&self.disk)
+    }
+
+    fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+        check_range(lo, hi, self.sigma);
+        if self.n == 0 {
+            return RidSet::from_positions(GapBitmap::empty(0));
+        }
+        let w = self.w;
+        let mut streams = Vec::new();
+        // A bin b (covering [b·w, b·w + w − 1] clamped to σ) is usable iff
+        // it lies entirely inside [lo, hi].
+        let mut c = lo;
+        while c <= hi {
+            let b = c / w;
+            let bin_lo = b * w;
+            let bin_hi = ((b + 1) * w - 1).min(self.sigma - 1);
+            if bin_lo >= lo && bin_hi <= hi && c == bin_lo {
+                streams.push(self.bins.decoder(&self.disk, b as usize, io));
+                c = bin_hi + 1;
+            } else {
+                streams.push(self.chars.decoder(&self.disk, c as usize, io));
+                c += 1;
+            }
+            if c == 0 {
+                break; // unreachable; guards overflow in release builds
+            }
+        }
+        let positions = merge::merge_disjoint(streams);
+        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_against_naive;
+
+    fn cfg() -> IoConfig {
+        IoConfig::with_block_bits(512)
+    }
+
+    #[test]
+    fn matches_naive_for_various_bin_widths() {
+        let symbols = psi_workloads::uniform(2000, 24, 17);
+        for w in [1, 2, 3, 5, 8, 24, 30] {
+            let idx = BinnedBitmapIndex::build(&symbols, 24, w, cfg());
+            check_against_naive(&idx, &symbols);
+        }
+    }
+
+    #[test]
+    fn aligned_query_reads_only_bins() {
+        let n = 1 << 14;
+        let sigma = 64;
+        let symbols = psi_workloads::uniform(n, sigma, 23);
+        let idx = BinnedBitmapIndex::build(&symbols, sigma, 8, IoConfig::default());
+        // [8, 23] is two full bins.
+        let io = IoSession::new();
+        let r = idx.query(8, 23, &io);
+        let aligned_bits = io.stats().bits_read;
+        // [9, 24] needs 1 bin + 8 edge characters whose bitmaps are sparser
+        // and hence larger in total.
+        let io2 = IoSession::new();
+        let r2 = idx.query(9, 24, &io2);
+        assert_eq!(r.cardinality() as usize + r2.cardinality() as usize > 0, true);
+        assert!(
+            io2.stats().bits_read > aligned_bits,
+            "unaligned query should decode more bits ({} vs {aligned_bits})",
+            io2.stats().bits_read
+        );
+    }
+
+    #[test]
+    fn width_one_bins_equal_char_catalog_duplication() {
+        let symbols = psi_workloads::uniform(500, 8, 29);
+        let idx = BinnedBitmapIndex::build(&symbols, 8, 1, cfg());
+        // Bins == chars, so space is exactly twice the char catalog payload
+        // (plus directories).
+        assert_eq!(
+            idx.bins.payload_bits(&idx.disk),
+            idx.chars.payload_bits(&idx.disk)
+        );
+    }
+
+    #[test]
+    fn empty_string() {
+        let idx = BinnedBitmapIndex::build(&[], 4, 2, cfg());
+        let io = IoSession::new();
+        assert!(idx.query(0, 3, &io).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! The "B-tree" baseline: per-character position lists behind a static
+//! B⁺-tree directory.
+//!
+//! This is the abstract's "obvious solution, storing a dictionary for the
+//! set `⋃ᵢ{xᵢ}` with a position set associated with each character", and
+//! one of the paper's two extremes (§1.3): positions are stored explicitly
+//! with `⌈lg n⌉` bits each, so a query reads `z lg n` bits — a factor
+//! `Ω(lg n)` above the compressed output size when the result is dense —
+//! plus a `O(log_b n)` directory descent.
+
+use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_bits::{merge, GapBitmap};
+use psi_io::{cost, Disk, DiskReader, ExtentId, IoConfig, IoSession};
+
+/// A secondary index storing explicit, fixed-width position lists per
+/// character, with a static B⁺-tree directory mapping characters to data
+/// blocks.
+#[derive(Debug)]
+pub struct PositionListIndex {
+    disk: Disk,
+    data: ExtentId,
+    /// Directory levels, bottom-up; each level holds the first key of every
+    /// block of the level below.
+    dir_levels: Vec<DirLevel>,
+    n: u64,
+    sigma: Symbol,
+    /// Bits per stored position: `⌈lg n⌉`.
+    pos_width: u32,
+    /// Bits per directory key: char plus position.
+    key_width: u32,
+    /// `prefix[c]` = index of the first entry of character `c` in the data
+    /// stream (`prefix[σ]` = `n`).
+    prefix: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct DirLevel {
+    ext: ExtentId,
+    keys: u64,
+}
+
+impl PositionListIndex {
+    /// Builds the index over `symbols ∈ [0, sigma)ⁿ`.
+    pub fn build(symbols: &[Symbol], sigma: Symbol, config: IoConfig) -> Self {
+        assert!(sigma > 0);
+        let n = symbols.len() as u64;
+        let mut disk = Disk::new(config);
+        let session = IoSession::untracked();
+        let pos_width = cost::lg2_ceil(n.max(2)) as u32;
+        let char_width = cost::lg2_ceil(u64::from(sigma).max(2)) as u32;
+        let key_width = pos_width + char_width;
+
+        // Data stream: positions grouped by character, fixed width.
+        let lists = crate::per_char_positions(symbols, sigma);
+        let mut prefix = Vec::with_capacity(sigma as usize + 1);
+        let data = disk.alloc();
+        {
+            let mut w = disk.writer(data, &session);
+            let mut written = 0u64;
+            for list in &lists {
+                prefix.push(written);
+                for &p in list {
+                    w.write_bits(p, pos_width);
+                    written += 1;
+                }
+            }
+            prefix.push(written);
+        }
+
+        // Leaf-level directory keys: (char, pos) of the first entry fully
+        // contained in each data block.
+        let block_bits = config.block_bits;
+        let data_blocks = disk.extent_blocks(data);
+        let mut level_keys: Vec<u64> = Vec::with_capacity(data_blocks as usize);
+        {
+            // char_of_entry via prefix array.
+            let mut c: usize = 0;
+            for blk in 0..data_blocks {
+                let entry = (blk * block_bits).div_ceil(u64::from(pos_width));
+                if entry >= n {
+                    break;
+                }
+                while prefix[c + 1] <= entry {
+                    c += 1;
+                }
+                let pos = lists[c][(entry - prefix[c]) as usize];
+                level_keys.push((c as u64) << pos_width | pos);
+            }
+        }
+
+        // Build directory levels bottom-up until a level fits in one block.
+        let keys_per_block = (block_bits / u64::from(key_width)).max(2);
+        let mut dir_levels = Vec::new();
+        loop {
+            let ext = disk.alloc();
+            {
+                let mut w = disk.writer(ext, &session);
+                for &k in &level_keys {
+                    w.write_bits(k, key_width);
+                }
+            }
+            let keys = level_keys.len() as u64;
+            dir_levels.push(DirLevel { ext, keys });
+            if keys <= keys_per_block {
+                break;
+            }
+            // Parent keys: first key of every block of this level.
+            level_keys = level_keys.iter().step_by(keys_per_block as usize).copied().collect();
+        }
+
+        PositionListIndex { disk, data, dir_levels, n, sigma, pos_width, key_width, prefix }
+    }
+
+    /// The simulated disk (for inspection by harnesses).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Descends the directory for the first entry with character `≥ lo`,
+    /// returning the leaf-level key index found. Charges one block per
+    /// level, exactly the `O(log_b n)` descent of a B-tree search.
+    fn descend(&self, lo: Symbol, io: &IoSession) -> u64 {
+        let target = u64::from(lo) << self.pos_width;
+        let keys_per_block = (self.disk.block_bits() / u64::from(self.key_width)).max(2);
+        // Start at the root (topmost level, a single block).
+        let mut child: u64 = 0;
+        for depth in (0..self.dir_levels.len()).rev() {
+            let level = &self.dir_levels[depth];
+            let start = child * keys_per_block;
+            let end = (start + keys_per_block).min(level.keys);
+            let mut r = self.disk.reader(level.ext, start * u64::from(self.key_width), io);
+            // Last key <= target within this node (or the node's first key).
+            let mut chosen = start;
+            for i in start..end {
+                let key = r.read_bits(self.key_width);
+                if key <= target {
+                    chosen = i;
+                } else {
+                    break;
+                }
+            }
+            child = chosen;
+        }
+        child
+    }
+
+    /// Iterates one character's positions from disk.
+    fn char_positions<'a>(&'a self, c: Symbol, io: &'a IoSession) -> PositionsIter<'a> {
+        let start = self.prefix[c as usize];
+        let count = self.prefix[c as usize + 1] - start;
+        let reader = self.disk.reader(self.data, start * u64::from(self.pos_width), io);
+        PositionsIter { reader, remaining: count, width: self.pos_width }
+    }
+}
+
+struct PositionsIter<'a> {
+    reader: DiskReader<'a>,
+    remaining: u64,
+    width: u32,
+}
+
+impl Iterator for PositionsIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.reader.read_bits(self.width))
+    }
+}
+
+impl SecondaryIndex for PositionListIndex {
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn sigma(&self) -> Symbol {
+        self.sigma
+    }
+
+    fn space_bits(&self) -> u64 {
+        // Data + directory extents + the in-memory prefix array (σ+1
+        // pointers of ⌈lg n⌉ bits).
+        let extents: u64 = self.disk.extent_bits(self.data)
+            + self.dir_levels.iter().map(|l| self.disk.extent_bits(l.ext)).sum::<u64>();
+        extents + (u64::from(self.sigma) + 1) * u64::from(self.pos_width)
+    }
+
+    fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+        check_range(lo, hi, self.sigma);
+        if self.n == 0 {
+            return RidSet::from_positions(GapBitmap::empty(0));
+        }
+        // Directory descent (charged); its answer must be consistent with
+        // the in-memory prefix array.
+        let leaf_key = self.descend(lo, io);
+        debug_assert!(
+            leaf_key * self.disk.block_bits()
+                <= self.prefix[lo as usize] * u64::from(self.pos_width) + self.disk.block_bits(),
+            "directory descent landed after the first matching entry"
+        );
+        // Read and merge the per-character lists (streams share blocks at
+        // their boundaries; the session deduplicates those charges).
+        let streams: Vec<PositionsIter<'_>> =
+            (lo..=hi).map(|c| self.char_positions(c, io)).collect();
+        let positions = merge::merge_disjoint(streams);
+        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_against_naive;
+    use psi_io::IoConfig;
+
+    fn cfg() -> IoConfig {
+        IoConfig::with_block_bits(512)
+    }
+
+    #[test]
+    fn matches_naive_on_random_strings() {
+        let symbols = psi_workloads::uniform(2000, 16, 42);
+        let idx = PositionListIndex::build(&symbols, 16, cfg());
+        check_against_naive(&idx, &symbols);
+    }
+
+    #[test]
+    fn matches_naive_on_skewed_strings() {
+        let symbols = psi_workloads::zipf(3000, 32, 1.2, 7);
+        let idx = PositionListIndex::build(&symbols, 32, cfg());
+        check_against_naive(&idx, &symbols);
+    }
+
+    #[test]
+    fn empty_string_yields_empty_results() {
+        let idx = PositionListIndex::build(&[], 4, cfg());
+        let io = IoSession::new();
+        assert!(idx.query(0, 3, &io).is_empty());
+    }
+
+    #[test]
+    fn missing_characters_are_empty() {
+        let symbols = vec![1u32; 100];
+        let idx = PositionListIndex::build(&symbols, 4, cfg());
+        let io = IoSession::new();
+        assert!(idx.query(2, 3, &io).is_empty());
+        assert_eq!(idx.query(0, 1, &io).cardinality(), 100);
+    }
+
+    #[test]
+    fn space_is_n_lg_n_plus_directory() {
+        let symbols = psi_workloads::uniform(10_000, 64, 1);
+        let idx = PositionListIndex::build(&symbols, 64, cfg());
+        let n = 10_000f64;
+        let lg_n = cost::lg2_ceil(10_000) as f64;
+        let space = idx.space_bits() as f64;
+        assert!(space >= n * lg_n, "data payload alone is n lg n");
+        assert!(space <= 1.2 * n * lg_n, "directory should be a small overhead, got {space}");
+    }
+
+    #[test]
+    fn query_ios_scale_with_z_over_b() {
+        let n = 1 << 16;
+        let symbols = psi_workloads::uniform(n, 256, 3);
+        let idx = PositionListIndex::build(&symbols, 256, IoConfig::default());
+        let (small, s_small) = idx.query_measured(0, 0);
+        let (large, s_large) = idx.query_measured(0, 127);
+        assert!(large.cardinality() > 100 * small.cardinality());
+        assert!(s_large.reads > 10 * s_small.reads, "large result should cost much more I/O");
+        // Reading z positions of lg n bits each: at least z·lg n / B blocks.
+        let z = large.cardinality();
+        let floor = z * 16 / 8192;
+        assert!(s_large.reads >= floor, "reads {} below bit floor {floor}", s_large.reads);
+    }
+
+    #[test]
+    fn directory_descent_is_logarithmic() {
+        let n = 1 << 16;
+        let symbols = psi_workloads::uniform(n, 512, 9);
+        // Small blocks force a multi-level directory.
+        let idx = PositionListIndex::build(&symbols, 512, IoConfig::with_block_bits(512));
+        assert!(idx.dir_levels.len() >= 2, "expected a multi-level directory");
+        let (_r, stats) = idx.query_measured(5, 5);
+        // Descent reads one block per level plus the data blocks for one
+        // character (~n/512 positions of 16 bits in 512-bit blocks).
+        let char_blocks = (n as u64 / 512) * 16 / 512 + 2;
+        assert!(
+            stats.reads <= idx.dir_levels.len() as u64 + char_blocks + 2,
+            "reads {} exceed descent+data bound",
+            stats.reads
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Range-encoded bitmap index (§1.2, citing O'Neil & Quass [14]).
+//!
+//! Bitmap `RE_c` marks all positions whose character is `≤ c`. A range
+//! query `[lo, hi]` is `RE_hi AND NOT RE_{lo−1}` — **two** bitmap reads
+//! regardless of the range width. The price is space: the bitmaps are
+//! dense (position `p` is set in `σ − x_p` of them), so compression cannot
+//! help and the index occupies `n·σ` bits — the paper's `nσ^{1−o(1)}`
+//! class of precomputation schemes.
+
+use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_bits::GapBitmap;
+use psi_io::{Disk, IoConfig, IoSession};
+
+use crate::dense::DenseCatalog;
+
+/// A range-encoded (cumulative) bitmap index.
+#[derive(Debug)]
+pub struct RangeEncodedIndex {
+    disk: Disk,
+    cat: DenseCatalog,
+    n: u64,
+    sigma: Symbol,
+}
+
+impl RangeEncodedIndex {
+    /// Builds the index over `symbols ∈ [0, sigma)ⁿ`.
+    pub fn build(symbols: &[Symbol], sigma: Symbol, config: IoConfig) -> Self {
+        assert!(sigma > 0);
+        let n = symbols.len() as u64;
+        let mut disk = Disk::new(config);
+        let lists = crate::per_char_positions(symbols, sigma);
+        // RE_c = RE_{c−1} ∪ positions(c): fill cumulatively.
+        let cat = DenseCatalog::build_with(&mut disk, n.max(1), sigma as usize, |c, words| {
+            for &p in &lists[c] {
+                words[(p / 64) as usize] |= 1u64 << (p % 64);
+            }
+        });
+        RangeEncodedIndex { disk, cat, n, sigma }
+    }
+
+    /// The simulated disk (for inspection by harnesses).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
+impl SecondaryIndex for RangeEncodedIndex {
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn sigma(&self) -> Symbol {
+        self.sigma
+    }
+
+    fn space_bits(&self) -> u64 {
+        self.cat.size_bits(&self.disk)
+    }
+
+    fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+        check_range(lo, hi, self.sigma);
+        if self.n == 0 {
+            return RidSet::from_positions(GapBitmap::empty(0));
+        }
+        let mut acc = self.cat.new_acc();
+        self.cat.or_into(&self.disk, hi as usize, &mut acc, io);
+        if lo > 0 {
+            self.cat.and_not_into(&self.disk, lo as usize - 1, &mut acc, io);
+        }
+        let positions = self.cat.acc_positions(&acc);
+        RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_against_naive;
+
+    fn cfg() -> IoConfig {
+        IoConfig::with_block_bits(512)
+    }
+
+    #[test]
+    fn matches_naive() {
+        let symbols = psi_workloads::uniform(1500, 16, 41);
+        let idx = RangeEncodedIndex::build(&symbols, 16, cfg());
+        check_against_naive(&idx, &symbols);
+    }
+
+    #[test]
+    fn matches_naive_skewed() {
+        let symbols = psi_workloads::zipf(1000, 8, 1.5, 43);
+        let idx = RangeEncodedIndex::build(&symbols, 8, cfg());
+        check_against_naive(&idx, &symbols);
+    }
+
+    #[test]
+    fn query_reads_at_most_two_bitmaps() {
+        let n = 1 << 15;
+        let symbols = psi_workloads::uniform(n, 64, 47);
+        let idx = RangeEncodedIndex::build(&symbols, 64, IoConfig::default());
+        let bitmap_blocks = (n as u64).div_ceil(8192);
+        for (lo, hi) in [(0u32, 63u32), (0, 0), (5, 60), (63, 63)] {
+            let (_, stats) = idx.query_measured(lo, hi);
+            let expected = if lo == 0 { bitmap_blocks } else { 2 * bitmap_blocks };
+            assert!(
+                stats.reads <= expected + 2,
+                "[{lo}, {hi}] read {} blocks, expected about {expected}",
+                stats.reads
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_n_times_sigma() {
+        let symbols = psi_workloads::uniform(1 << 12, 32, 51);
+        let idx = RangeEncodedIndex::build(&symbols, 32, cfg());
+        assert_eq!(idx.space_bits(), 32 * (1 << 12));
+    }
+}

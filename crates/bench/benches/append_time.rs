@@ -1,0 +1,50 @@
+//! Wall-clock append/update benchmarks for the dynamic variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psi_api::{AppendIndex, DynamicIndex, SecondaryIndex};
+use psi_io::{IoConfig, IoSession};
+
+fn bench_appends(c: &mut Criterion) {
+    let sigma = 64u32;
+    let stream = psi_workloads::uniform(1 << 14, sigma, 3);
+    let mut g = c.benchmark_group("append");
+    g.bench_function("semi_dynamic_16k", |b| {
+        b.iter(|| {
+            let mut idx = psi_core::SemiDynamicIndex::new(sigma, IoConfig::default());
+            let io = IoSession::untracked();
+            for &s in &stream {
+                idx.append(s, &io);
+            }
+            idx.len()
+        })
+    });
+    g.bench_function("buffered_16k", |b| {
+        b.iter(|| {
+            let mut idx = psi_core::BufferedIndex::new(sigma, IoConfig::default());
+            let io = IoSession::untracked();
+            for &s in &stream {
+                idx.append(s, &io);
+            }
+            idx.len()
+        })
+    });
+    g.bench_function("fully_dynamic_changes_4k", |b| {
+        let base = psi_workloads::uniform(1 << 14, sigma, 4);
+        b.iter(|| {
+            let mut idx = psi_core::FullyDynamicIndex::build(&base, sigma, IoConfig::default());
+            let io = IoSession::untracked();
+            for i in 0..(1u64 << 12) {
+                idx.change(i % (1 << 14), (i % u64::from(sigma)) as u32, &io);
+            }
+            idx.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_appends
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Wall-clock microbenchmarks of the bit-level substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psi_bits::{codes, merge, BitBuf, GapBitmap};
+
+fn bench_primitives(c: &mut Criterion) {
+    let positions: Vec<u64> = (0..100_000u64).map(|i| i * 13).collect();
+    let mut g = c.benchmark_group("bitmap_primitives");
+    g.bench_function("gamma_encode_100k", |b| {
+        b.iter(|| {
+            let mut buf = BitBuf::new();
+            for &p in &positions {
+                codes::put_gamma(&mut buf, p + 1);
+            }
+            buf.len()
+        })
+    });
+    let gap = GapBitmap::from_sorted(&positions, 13 * 100_000 + 1);
+    g.bench_function("gap_decode_100k", |b| b.iter(|| gap.iter().sum::<u64>()));
+    g.bench_function("kway_merge_8x12k", |b| {
+        let streams: Vec<Vec<u64>> =
+            (0..8u64).map(|k| (0..12_500u64).map(|i| i * 8 + k).collect()).collect();
+        b.iter(|| {
+            merge::merge_disjoint(
+                streams.iter().map(|s| s.iter().copied()).collect::<Vec<_>>(),
+            )
+            .count()
+        })
+    });
+    let plain = psi_bits::PlainBitmap::from_positions(positions.iter().copied(), 13 * 100_000 + 1);
+    g.bench_function("plain_rank_sweep", |b| {
+        b.iter(|| (0..100u64).map(|i| plain.rank1(i * 13_000)).sum::<u64>())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_primitives
+}
+criterion_main!(benches);

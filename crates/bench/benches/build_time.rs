@@ -1,0 +1,33 @@
+//! Wall-clock construction benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi_api::SecondaryIndex;
+use psi_io::IoConfig;
+
+fn bench_builds(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let sigma = 256u32;
+    let s = psi_workloads::zipf(n, sigma, 1.0, 2);
+    let cfg = IoConfig::default();
+    let mut g = c.benchmark_group("build");
+    g.bench_with_input(BenchmarkId::new("optimal", n), &n, |b, _| {
+        b.iter(|| psi_core::OptimalIndex::build(&s, sigma, cfg).space_bits())
+    });
+    g.bench_with_input(BenchmarkId::new("uniform_tree", n), &n, |b, _| {
+        b.iter(|| psi_core::UniformTreeIndex::build(&s, sigma, cfg).space_bits())
+    });
+    g.bench_with_input(BenchmarkId::new("compressed_scan", n), &n, |b, _| {
+        b.iter(|| psi_baselines::CompressedScanIndex::build(&s, sigma, cfg).space_bits())
+    });
+    g.bench_with_input(BenchmarkId::new("buffered_bitmap", n), &n, |b, _| {
+        b.iter(|| psi_core::BufferedBitmapIndex::build(&s, sigma, cfg).space_bits())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_builds
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Wall-clock range-query benchmarks across the index spectrum
+//! (secondary metric; the primary metric is simulated I/Os, see the
+//! experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi_api::SecondaryIndex;
+use psi_io::{IoConfig, IoSession};
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 1usize << 17;
+    let sigma = 256u32;
+    let s = psi_workloads::uniform(n, sigma, 1);
+    let cfg = IoConfig::default();
+    let opt = psi_core::OptimalIndex::build(&s, sigma, cfg);
+    let scan = psi_baselines::CompressedScanIndex::build(&s, sigma, cfg);
+    let pl = psi_baselines::PositionListIndex::build(&s, sigma, cfg);
+    let mr = psi_baselines::MultiResolutionIndex::build(&s, sigma, 4, cfg);
+
+    let mut g = c.benchmark_group("range_query");
+    for width in [1u32, 16, 128] {
+        let (lo, hi) = (32, 32 + width - 1);
+        g.bench_with_input(BenchmarkId::new("optimal", width), &width, |b, _| {
+            b.iter(|| {
+                let io = IoSession::untracked();
+                opt.query(lo, hi, &io).cardinality()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("compressed_scan", width), &width, |b, _| {
+            b.iter(|| {
+                let io = IoSession::untracked();
+                scan.query(lo, hi, &io).cardinality()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("position_list", width), &width, |b, _| {
+            b.iter(|| {
+                let io = IoSession::untracked();
+                pl.query(lo, hi, &io).cardinality()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multires4", width), &width, |b, _| {
+            b.iter(|| {
+                let io = IoSession::untracked();
+                mr.query(lo, hi, &io).cardinality()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,490 @@
+//! Experiment harnesses reproducing every quantitative claim of Pagh &
+//! Rao (PODS 2009).
+//!
+//! The paper is pure theory, so the "tables and figures" to regenerate are
+//! its seven theorems and the comparative claims of §1.2–1.3. Each `eNN`
+//! function prints one experiment's table (measured I/Os / bits / space
+//! against the theory curve); `EXPERIMENTS.md` records the paper-vs-
+//! measured outcome. Binaries: `cargo run -p psi-bench --release --bin
+//! e01_uniform_tree` … or `--bin all_experiments`.
+
+use psi_api::{AppendIndex, DynamicIndex, SecondaryIndex};
+use psi_baselines::*;
+use psi_core::*;
+use psi_io::{cost, IoConfig, IoSession, DEFAULT_BLOCK_BITS};
+use psi_workloads as wl;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const B: u64 = DEFAULT_BLOCK_BITS;
+
+fn head(id: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{id}: {claim}");
+    println!("================================================================");
+}
+
+fn row(cells: &[String]) {
+    println!("{}", cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" "));
+}
+
+fn hdr(cols: &[&str]) {
+    row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(15 * cols.len()));
+}
+
+fn f(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// E1 — Theorem 1: `UniformTreeIndex` uses `O(n lg² σ)` bits and answers
+/// in `O(T/B + lg σ)` I/Os.
+pub fn e01() {
+    head("E1", "Thm 1: uniform tree — space O(n lg^2 sigma), query O(T/B + lg sigma)");
+    hdr(&["n", "sigma", "bits/n", "n lg^2s/n", "range", "z", "I/Os", "T/B+lgs"]);
+    for &(n, sigma) in &[(1usize << 16, 64u32), (1 << 18, 256), (1 << 20, 1024)] {
+        let s = wl::uniform(n, sigma, 1);
+        let idx = UniformTreeIndex::build(&s, sigma, IoConfig::default());
+        let lg_s = cost::lg2_ceil(u64::from(sigma)) as f64;
+        for width in [1u32, sigma / 8, sigma / 2] {
+            let lo = sigma / 4;
+            let hi = (lo + width - 1).min(sigma - 1);
+            let (r, io) = idx.query_measured(lo, hi);
+            let bound = r.size_bits() as f64 / B as f64 + lg_s;
+            row(&[
+                n.to_string(),
+                sigma.to_string(),
+                f(idx.space_bits() as f64 / n as f64),
+                f(lg_s * lg_s),
+                format!("[{lo},{hi}]"),
+                r.cardinality().to_string(),
+                io.reads.to_string(),
+                f(bound),
+            ]);
+        }
+    }
+}
+
+/// E2 — Theorem 2: `OptimalIndex` space `O(nH₀+n+σlg²n)`, query
+/// `O(z lg(n/z)/B + log_b n + lg lg n)` across selectivities and
+/// distributions.
+pub fn e02() {
+    head("E2", "Thm 2: optimal index — entropy space, output-sensitive queries");
+    let n = 1usize << 20;
+    let sigma = 1024u32;
+    hdr(&["dist", "H0(bits)", "bits/n", "sel", "z", "I/Os", "thm2", "ratio"]);
+    for (name, s) in [
+        ("uniform", wl::uniform(n, sigma, 2)),
+        ("zipf1.0", wl::zipf(n, sigma, 1.0, 2)),
+        ("runs32", wl::runs(n, sigma, 32.0, 2)),
+    ] {
+        let idx = OptimalIndex::build(&s, sigma, IoConfig::default());
+        let h0 = psi_bits::entropy::h0(&s, sigma);
+        let counts = psi_bits::entropy::char_counts(&s, sigma);
+        let b = IoConfig::default().words_per_block(n as u64);
+        for sel in [1e-4, 1e-3, 1e-2, 1e-1, 0.4] {
+            let q = wl::ranges_with_selectivity(&counts, sel, 1, 7)[0];
+            let (r, io) = idx.query_measured(q.lo, q.hi);
+            let z = r.cardinality();
+            let bound = cost::thm2_query_ios(n as u64, z, B, b);
+            row(&[
+                name.into(),
+                f(h0),
+                f(idx.space_bits() as f64 / n as f64),
+                format!("{sel:.0e}"),
+                z.to_string(),
+                io.reads.to_string(),
+                f(bound),
+                f(io.reads as f64 / bound.max(1.0)),
+            ]);
+        }
+    }
+}
+
+/// E3 — §1.2's gap: the compressed-bitmap scan reads a factor
+/// `Ω(lg σ / lg(σ/ℓ))` more bits than the optimal output as the range
+/// width `ℓ` grows; the optimal index does not.
+pub fn e03() {
+    head("E3", "sec 1.2: scan reads lg(sigma)/lg(sigma/l) x output; optimal stays flat");
+    let n = 1usize << 20;
+    let sigma = 1024u32;
+    let s = wl::uniform(n, sigma, 3);
+    let scan = CompressedScanIndex::build(&s, sigma, IoConfig::default());
+    let opt = OptimalIndex::build(&s, sigma, IoConfig::default());
+    hdr(&["l", "z", "out bits", "scan bits", "scan/out", "opt bits", "opt/out"]);
+    for l in [1u32, 4, 16, 64, 256, 512] {
+        let (lo, hi) = (0, l - 1);
+        let io_s = IoSession::new();
+        let r = scan.query(lo, hi, &io_s);
+        let out_bits = r.size_bits().max(1);
+        let io_o = IoSession::new();
+        let ro = opt.query(lo, hi, &io_o);
+        let out_o = ro.size_bits().max(1);
+        row(&[
+            l.to_string(),
+            r.cardinality().to_string(),
+            out_bits.to_string(),
+            io_s.stats().bits_read.to_string(),
+            f(io_s.stats().bits_read as f64 / out_bits as f64),
+            io_o.stats().bits_read.to_string(),
+            f(io_o.stats().bits_read as f64 / out_o as f64),
+        ]);
+    }
+}
+
+/// E4 — §1.2's trade-off: binning/multi-resolution trade space against
+/// query blow-up with `w`; the optimal index sits at the best of both.
+pub fn e04() {
+    head("E4", "sec 1.2: multi-resolution space/time trade-off vs the no-trade-off point");
+    let n = 1usize << 18;
+    let sigma = 1024u32;
+    let s = wl::uniform(n, sigma, 4);
+    hdr(&["index", "w", "bits/n", "I/Os", "bits read/out"]);
+    let (lo, hi) = (100u32, 355u32);
+    for w in [2u32, 4, 8, 16, 32] {
+        let idx = MultiResolutionIndex::build(&s, sigma, w, IoConfig::default());
+        let io = IoSession::new();
+        let r = idx.query(lo, hi, &io);
+        row(&[
+            "multires".into(),
+            w.to_string(),
+            f(idx.space_bits() as f64 / n as f64),
+            io.stats().reads.to_string(),
+            f(io.stats().bits_read as f64 / r.size_bits().max(1) as f64),
+        ]);
+    }
+    let opt = OptimalIndex::build(&s, sigma, IoConfig::default());
+    let io = IoSession::new();
+    let r = opt.query(lo, hi, &io);
+    row(&[
+        "optimal".into(),
+        "-".into(),
+        f(opt.space_bits() as f64 / n as f64),
+        io.stats().reads.to_string(),
+        f(io.stats().bits_read as f64 / r.size_bits().max(1) as f64),
+    ]);
+}
+
+/// E5 — Theorem 3: approximate queries read `O(z lg(1/ε))` bits with
+/// measured false-positive rate ≤ ε.
+pub fn e05() {
+    head("E5", "Thm 3: approximate queries — bits ~ z lg(1/eps), FP rate <= eps");
+    let n = 1usize << 20;
+    let sigma = 1024u32;
+    let s = wl::uniform(n, sigma, 5);
+    let idx = ApproximateIndex::build(&s, sigma, IoConfig::default(), 99);
+    let exact_truth: std::collections::HashSet<u64> =
+        psi_api::naive_query(&s, 77, 77).iter().collect();
+    hdr(&["eps", "path", "bits read", "z lg(1/e)", "exact bits", "FP rate"]);
+    for eps in [0.5, 0.1, 0.05, 0.01, 1e-3, 1e-6] {
+        let io = IoSession::new();
+        let r = idx.query_approx(77, 77, eps, &io);
+        let z = r.exact_cardinality();
+        let mut fp = 0u64;
+        let sample = 200_000u64;
+        for i in 0..sample {
+            if !exact_truth.contains(&i) && r.contains(i) {
+                fp += 1;
+            }
+        }
+        let io_e = IoSession::new();
+        let _ = idx.query(77, 77, &io_e);
+        row(&[
+            format!("{eps:.0e}"),
+            if r.is_exact() { "exact".into() } else { "hashed".to_string() },
+            io.stats().bits_read.to_string(),
+            f(z as f64 * (1.0 / eps).log2()),
+            io_e.stats().bits_read.to_string(),
+            format!("{:.5}", fp as f64 / sample as f64),
+        ]);
+    }
+}
+
+/// E6 — Theorem 4: amortized append cost of the semi-dynamic index vs
+/// `lg lg n`.
+pub fn e06() {
+    head("E6", "Thm 4: semi-dynamic appends — amortized O(lg lg n) I/Os");
+    hdr(&["n appended", "I/Os/append", "lglg n", "rebuilds", "space bits/n"]);
+    let sigma = 256u32;
+    let stream = wl::zipf(1 << 18, sigma, 0.9, 6);
+    let mut idx = SemiDynamicIndex::new(sigma, IoConfig::default());
+    let mut total = 0u64;
+    let mut next_report = 1usize << 14;
+    for (i, &c) in stream.iter().enumerate() {
+        let io = IoSession::new();
+        idx.append(c, &io);
+        total += io.stats().total();
+        if i + 1 == next_report {
+            row(&[
+                (i + 1).to_string(),
+                f(total as f64 / (i + 1) as f64),
+                f(cost::lg_lg((i + 1) as u64)),
+                (idx.stats().subtree_rebuilds + idx.stats().global_rebuilds).to_string(),
+                f(idx.space_bits() as f64 / (i + 1) as f64),
+            ]);
+            next_report *= 4;
+        }
+    }
+}
+
+/// E7 — Theorem 5: buffered appends cost `O(lg n / b)` ≪ 1 I/O; queries
+/// pay an additive `O(lg n)`.
+pub fn e07() {
+    head("E7", "Thm 5: buffered appends — amortized O(lg n / b) << 1 I/O");
+    hdr(&["B bits", "b", "I/Os/append", "lg n / b", "query I/Os", "query+log"]);
+    let sigma = 256u32;
+    let n = 1usize << 17;
+    let stream = wl::uniform(n, sigma, 7);
+    for block_bits in [2048u64, 8192, 32768] {
+        let cfg = IoConfig::with_block_bits(block_bits);
+        let mut idx = BufferedIndex::new(sigma, cfg);
+        let mut total = 0u64;
+        for &c in &stream {
+            let io = IoSession::new();
+            idx.append(c, &io);
+            total += io.stats().total();
+        }
+        let b = cfg.words_per_block(n as u64);
+        let io_q = IoSession::new();
+        let _ = idx.query(10, 20, &io_q);
+        row(&[
+            block_bits.to_string(),
+            b.to_string(),
+            format!("{:.4}", total as f64 / n as f64),
+            format!("{:.4}", cost::lg2(n as f64) / b as f64),
+            io_q.stats().reads.to_string(),
+            format!("(pending {})", idx.pending()),
+        ]);
+    }
+}
+
+/// E8 — Theorem 6: buffered bitmap index — point queries `O(T/B + lg n)`,
+/// updates `O(lg n / b)`.
+pub fn e08() {
+    head("E8", "Thm 6: buffered bitmap index — point O(T/B + lg n), update O(lg n / b)");
+    let sigma = 256u32;
+    let n = 1usize << 18;
+    let s = wl::uniform(n, sigma, 8);
+    let mut idx = BufferedBitmapIndex::build(&s, sigma, IoConfig::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let updates = 50_000u64;
+    let mut total = 0u64;
+    for step in 0..updates {
+        let io = IoSession::new();
+        let ch = rng.gen_range(0..sigma);
+        idx.insert(ch, n as u64 + step, &io);
+        total += io.stats().total();
+    }
+    println!(
+        "updates: {:.4} I/Os amortized (lg n / b = {:.4})",
+        total as f64 / updates as f64,
+        cost::lg2(n as f64) / IoConfig::default().words_per_block(n as u64) as f64
+    );
+    hdr(&["char", "T (result)", "I/Os", "T/B + lg n"]);
+    for ch in [0u32, 63, 200] {
+        let io = IoSession::new();
+        let r = idx.point_query(ch, &io);
+        let t_bits = cost::output_bits(n as u64 + updates, r.len() as u64);
+        row(&[
+            ch.to_string(),
+            r.len().to_string(),
+            io.stats().reads.to_string(),
+            f(t_bits / B as f64 + cost::lg2(n as f64)),
+        ]);
+    }
+}
+
+/// E9 — Theorem 7: fully dynamic index — changes `O(lg n lg lg n / b)`,
+/// queries `O(z lg(n/z)/B + lg n lg lg n)`.
+pub fn e09() {
+    head("E9", "Thm 7: fully dynamic — buffered changes, near-optimal queries");
+    let sigma = 128u32;
+    let n = 1usize << 17;
+    let mut current = wl::uniform(n, sigma, 10);
+    let mut idx = FullyDynamicIndex::build(&current, sigma, IoConfig::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let updates = 20_000;
+    let mut total = 0u64;
+    for _ in 0..updates {
+        let pos = rng.gen_range(0..n as u64);
+        let io = IoSession::new();
+        if rng.gen_bool(0.1) {
+            idx.delete(pos, &io);
+            current[pos as usize] = sigma;
+        } else {
+            let v = rng.gen_range(0..sigma);
+            idx.change(pos, v, &io);
+            current[pos as usize] = v;
+        }
+        total += io.stats().total();
+    }
+    let b = IoConfig::default().words_per_block(n as u64);
+    println!(
+        "changes: {:.3} I/Os amortized (lg n lg lg n / b = {:.3}); {} epoch rebuilds",
+        total as f64 / f64::from(updates),
+        cost::lg2(n as f64) * cost::lg_lg(n as u64) / b as f64,
+        idx.global_rebuilds
+    );
+    hdr(&["range", "z", "I/Os", "z lg(n/z)/B + lgn lglgn"]);
+    for (lo, hi) in [(5u32, 5u32), (10, 30), (0, 100)] {
+        let io = IoSession::new();
+        let r = idx.query(lo, hi, &io);
+        let z = r.cardinality();
+        let bound = cost::output_bits(n as u64, z) / B as f64
+            + cost::lg2(n as f64) * cost::lg_lg(n as u64);
+        row(&[format!("[{lo},{hi}]"), z.to_string(), io.stats().reads.to_string(), f(bound)]);
+    }
+}
+
+/// E10 — §1.3: the whole spectrum ("B-trees and uncompressed bitmap
+/// indexes at the extremes") swept across selectivity.
+pub fn e10() {
+    head("E10", "sec 1.3: the spectrum — who wins at which selectivity");
+    let n = 1usize << 18;
+    let sigma = 512u32;
+    let s = wl::uniform(n, sigma, 12);
+    let cfg = IoConfig::default();
+    let opt = OptimalIndex::build(&s, sigma, cfg);
+    let pl = PositionListIndex::build(&s, sigma, cfg);
+    let un = UncompressedBitmapIndex::build(&s, sigma, cfg);
+    let cs = CompressedScanIndex::build(&s, sigma, cfg);
+    let bi = BinnedBitmapIndex::build(&s, sigma, 16, cfg);
+    let mr = MultiResolutionIndex::build(&s, sigma, 4, cfg);
+    let re = RangeEncodedIndex::build(&s, sigma, cfg);
+    let ie = IntervalEncodedIndex::build(&s, sigma, cfg);
+    println!("space (bits/value):");
+    hdr(&["optimal", "poslist", "uncomp", "compscan", "binned16", "multires4", "rangeenc", "intvenc"]);
+    row(&[
+        f(opt.space_bits() as f64 / n as f64),
+        f(pl.space_bits() as f64 / n as f64),
+        f(un.space_bits() as f64 / n as f64),
+        f(cs.space_bits() as f64 / n as f64),
+        f(bi.space_bits() as f64 / n as f64),
+        f(mr.space_bits() as f64 / n as f64),
+        f(re.space_bits() as f64 / n as f64),
+        f(ie.space_bits() as f64 / n as f64),
+    ]);
+    println!("\nquery I/Os by range width:");
+    hdr(&["l", "z", "optimal", "poslist", "uncomp", "compscan", "binned", "multires", "rangeenc"]);
+    for l in [1u32, 8, 64, 256, 448] {
+        let (lo, hi) = (16, 16 + l - 1);
+        let z = psi_api::naive_query(&s, lo, hi).cardinality();
+        let ios = |idx: &dyn SecondaryIndex| {
+            let io = IoSession::new();
+            let _ = idx.query(lo, hi, &io);
+            io.stats().reads.to_string()
+        };
+        row(&[
+            l.to_string(),
+            z.to_string(),
+            ios(&opt),
+            ios(&pl),
+            ios(&un),
+            ios(&cs),
+            ios(&bi),
+            ios(&mr),
+            ios(&re),
+        ]);
+    }
+}
+
+/// E11 — §2.2: space tracks the 0th-order entropy as skew varies.
+pub fn e11() {
+    head("E11", "sec 2.2: space adapts to entropy (Zipf skew sweep)");
+    let n = 1usize << 18;
+    let sigma = 256u32;
+    hdr(&["zipf s", "H0 (bits)", "payload/n", "space/n", "payload/nH0"]);
+    for s_param in [0.0, 0.5, 1.0, 1.5, 2.0] {
+        let s = wl::zipf(n, sigma, s_param, 13);
+        let h0 = psi_bits::entropy::h0(&s, sigma).max(1e-9);
+        let idx = OptimalIndex::build(&s, sigma, IoConfig::default());
+        row(&[
+            f(s_param),
+            f(h0),
+            f(idx.payload_bits() as f64 / n as f64),
+            f(idx.space_bits() as f64 / n as f64),
+            f(idx.payload_bits() as f64 / (n as f64 * h0)),
+        ]);
+    }
+    let s = wl::runs(n, sigma, 64.0, 13);
+    let idx = OptimalIndex::build(&s, sigma, IoConfig::default());
+    row(&[
+        "runs64".into(),
+        f(psi_bits::entropy::h0(&s, sigma)),
+        f(idx.payload_bits() as f64 / n as f64),
+        f(idx.space_bits() as f64 / n as f64),
+        "(clustered)".into(),
+    ]);
+}
+
+/// E12 — §1/§3: d-dimensional RID intersection, exact vs approximate with
+/// `ε^{d−k}` survivor decay.
+pub fn e12() {
+    head("E12", "sec 1/3: RID intersection — married men aged 33, exact vs approximate");
+    let n = 1usize << 18;
+    let table = wl::people_table(n, 14);
+    let cols: Vec<_> = table.columns.iter().collect();
+    let conds = [(0usize, 1u32, 1u32), (1, 0, 0), (2, 30, 35)];
+    let truth: Vec<u64> = table.naive_conjunctive_query(&[
+        ("marital_status", 1, 1),
+        ("sex", 0, 0),
+        ("age", 30, 35),
+    ]);
+    let cfg = IoConfig::default();
+    // Exact.
+    let io = IoSession::new();
+    let exact: Vec<psi_api::RidSet> = conds
+        .iter()
+        .map(|&(c, lo, hi)| {
+            OptimalIndex::build(&cols[c].data, cols[c].sigma, cfg).query(lo, hi, &io)
+        })
+        .collect();
+    let result = exact[0].intersect(&exact[1]).intersect(&exact[2]);
+    println!(
+        "exact: dims z = ({}, {}, {}) -> {} rows (truth {}), {} reads",
+        exact[0].cardinality(),
+        exact[1].cardinality(),
+        exact[2].cardinality(),
+        result.cardinality(),
+        truth.len(),
+        io.stats().reads
+    );
+    hdr(&["eps", "survivors", "false pos", "bits read", "exact bits"]);
+    for eps in [0.1, 0.01, 0.001] {
+        let io_a = IoSession::new();
+        let approx: Vec<ApproxResult> = conds
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, lo, hi))| {
+                ApproximateIndex::build(&cols[c].data, cols[c].sigma, cfg, i as u64)
+                    .query_approx(lo, hi, eps, &io_a)
+            })
+            .collect();
+        let refs: Vec<&ApproxResult> = approx.iter().collect();
+        let survivors = ApproxResult::intersect_all(&refs);
+        let fp = survivors.iter().filter(|p| !truth.contains(p)).count();
+        row(&[
+            format!("{eps:.0e}"),
+            survivors.len().to_string(),
+            fp.to_string(),
+            io_a.stats().bits_read.to_string(),
+            io.stats().bits_read.to_string(),
+        ]);
+    }
+}
+
+/// Runs every experiment in order.
+pub fn all() {
+    e01();
+    e02();
+    e03();
+    e04();
+    e05();
+    e06();
+    e07();
+    e08();
+    e09();
+    e10();
+    e11();
+    e12();
+}

@@ -1,0 +1,243 @@
+//! In-memory bit buffer.
+
+use crate::{BitSink, BitSource};
+
+/// A growable in-memory bit buffer, MSB-first within 64-bit words.
+///
+/// `BitBuf` mirrors the on-disk bit layout of [`psi_io::Disk`] extents so
+/// that structures can be staged in memory and flushed verbatim.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitBuf {
+    words: Vec<u64>,
+    bit_len: u64,
+}
+
+impl BitBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with room for `bits` bits.
+    pub fn with_capacity(bits: u64) -> Self {
+        BitBuf { words: Vec::with_capacity((bits as usize).div_ceil(64)), bit_len: 0 }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Whether the buffer contains no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+
+    /// The underlying words (last word zero-padded).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Appends the low `k ≤ 64` bits of `value`.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, k: u32) {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return;
+        }
+        debug_assert!(k == 64 || value < (1u64 << k), "value wider than k bits");
+        let pos = self.bit_len;
+        let end_word = ((pos + u64::from(k) - 1) / 64) as usize;
+        if end_word >= self.words.len() {
+            self.words.resize(end_word + 1, 0);
+        }
+        let w = (pos / 64) as usize;
+        let off = (pos % 64) as u32;
+        let avail = 64 - off;
+        if k <= avail {
+            self.words[w] |= value << (avail - k);
+        } else {
+            self.words[w] |= value >> (k - avail);
+            self.words[w + 1] |= value << (64 - (k - avail));
+        }
+        self.bit_len += u64::from(k);
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        self.push_bits(u64::from(bit), 1);
+    }
+
+    /// Reads `k ≤ 64` bits starting at `pos` without a cursor.
+    #[inline]
+    pub fn get_bits_at(&self, pos: u64, k: u32) -> u64 {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return 0;
+        }
+        assert!(pos + u64::from(k) <= self.bit_len, "read past end of BitBuf");
+        let w = (pos / 64) as usize;
+        let off = (pos % 64) as u32;
+        let avail = 64 - off;
+        if k <= avail {
+            (self.words[w] << off) >> (64 - k)
+        } else {
+            let hi = self.words[w] << off >> (64 - k);
+            let lo = self.words[w + 1] >> (64 - (k - avail));
+            hi | lo
+        }
+    }
+
+    /// Reads bit `pos`.
+    #[inline]
+    pub fn get_bit(&self, pos: u64) -> bool {
+        assert!(pos < self.bit_len, "read past end of BitBuf");
+        (self.words[(pos / 64) as usize] >> (63 - (pos % 64))) & 1 == 1
+    }
+
+    /// Appends the entire contents of `other`.
+    pub fn extend_from(&mut self, other: &BitBuf) {
+        let mut remaining = other.bit_len;
+        let mut pos = 0;
+        while remaining > 0 {
+            let k = remaining.min(64) as u32;
+            self.push_bits(other.get_bits_at(pos, k), k);
+            pos += u64::from(k);
+            remaining -= u64::from(k);
+        }
+    }
+
+    /// Clears the buffer, retaining capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.bit_len = 0;
+    }
+
+    /// A reading cursor from the start.
+    pub fn reader(&self) -> BitBufReader<'_> {
+        BitBufReader { buf: self, pos: 0 }
+    }
+
+    /// A reading cursor from bit `pos`.
+    pub fn reader_at(&self, pos: u64) -> BitBufReader<'_> {
+        assert!(pos <= self.bit_len);
+        BitBufReader { buf: self, pos }
+    }
+}
+
+impl BitSink for BitBuf {
+    fn put_bits(&mut self, value: u64, k: u32) {
+        self.push_bits(value, k);
+    }
+
+    fn bit_pos(&self) -> u64 {
+        self.bit_len
+    }
+}
+
+/// A reading cursor over a [`BitBuf`].
+#[derive(Debug, Clone)]
+pub struct BitBufReader<'a> {
+    buf: &'a BitBuf,
+    pos: u64,
+}
+
+impl<'a> BitBufReader<'a> {
+    /// Bits remaining.
+    pub fn remaining(&self) -> u64 {
+        self.buf.bit_len - self.pos
+    }
+}
+
+impl BitSource for BitBufReader<'_> {
+    fn get_bits(&mut self, k: u32) -> u64 {
+        let v = self.buf.get_bits_at(self.pos, k);
+        self.pos += u64::from(k);
+        v
+    }
+
+    fn get_unary(&mut self) -> u32 {
+        // Word-at-a-time scan, mirroring DiskReader::read_unary.
+        let mut zeros = 0u32;
+        loop {
+            assert!(self.pos < self.buf.bit_len, "unary code ran past end of BitBuf");
+            let w = (self.pos / 64) as usize;
+            let off = (self.pos % 64) as u32;
+            let chunk = self.buf.words[w] << off;
+            let avail = (64 - off).min((self.buf.bit_len - self.pos) as u32);
+            let lz = chunk.leading_zeros().min(avail);
+            if lz < avail {
+                self.pos += u64::from(lz) + 1;
+                return zeros + lz;
+            }
+            zeros += avail;
+            self.pos += u64::from(avail);
+        }
+    }
+
+    fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b101, 3);
+        b.push_bits(0xFFFF, 16);
+        b.push_bit(false);
+        b.push_bits(u64::MAX, 64);
+        assert_eq!(b.len(), 84);
+        assert_eq!(b.get_bits_at(0, 3), 0b101);
+        assert_eq!(b.get_bits_at(3, 16), 0xFFFF);
+        assert!(!b.get_bit(19));
+        assert_eq!(b.get_bits_at(20, 64), u64::MAX);
+    }
+
+    #[test]
+    fn reader_traverses_sequentially() {
+        let mut b = BitBuf::new();
+        for i in 0..100u64 {
+            b.push_bits(i % 16, 4);
+        }
+        let mut r = b.reader();
+        for i in 0..100u64 {
+            assert_eq!(r.get_bits(4), i % 16);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn unary_in_buffer() {
+        let mut b = BitBuf::new();
+        b.push_bits(0, 64);
+        b.push_bits(0, 6);
+        b.push_bit(true);
+        let mut r = b.reader();
+        assert_eq!(r.get_unary(), 70);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = BitBuf::new();
+        a.push_bits(0b11, 2);
+        let mut b = BitBuf::new();
+        b.push_bits(0b001, 3);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.get_bits_at(0, 5), 0b11001);
+    }
+
+    #[test]
+    fn zero_width_operations_are_noops() {
+        let mut b = BitBuf::new();
+        b.push_bits(0, 0);
+        assert!(b.is_empty());
+        assert_eq!(b.get_bits_at(0, 0), 0);
+    }
+}

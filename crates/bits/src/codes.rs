@@ -1,0 +1,171 @@
+//! Elias universal codes (gamma and delta), per Elias (ref 12 of the paper) as used in the
+//! paper's run-length encoding (§1.2).
+//!
+//! The gamma code of `x ≥ 1` is `⌊lg x⌋` zeros followed by the
+//! `⌊lg x⌋ + 1`-bit binary representation of `x` (whose leading bit is the
+//! terminating 1), for a total of `2⌊lg x⌋ + 1` bits — matching the paper's
+//! `2⌊lg(x+1)⌋ + 2`-bit budget for encoding a run of length `x ≥ 0` as
+//! `gamma(x + 1)`.
+//!
+//! The delta code encodes `⌊lg x⌋ + 1` in gamma followed by the low
+//! `⌊lg x⌋` bits of `x`; it is asymptotically shorter
+//! (`lg x + 2 lg lg x + O(1)` bits) and is used where the encoded values
+//! can be large (e.g. absolute block headers).
+
+use crate::{BitSink, BitSource};
+
+/// Length of the gamma code of `x` in bits.
+///
+/// # Panics
+/// Panics if `x == 0` (gamma codes start at 1).
+pub fn gamma_len(x: u64) -> u64 {
+    assert!(x > 0, "gamma code of zero");
+    2 * u64::from(63 - x.leading_zeros()) + 1
+}
+
+/// Length of the delta code of `x` in bits.
+///
+/// # Panics
+/// Panics if `x == 0`.
+pub fn delta_len(x: u64) -> u64 {
+    assert!(x > 0, "delta code of zero");
+    let n = u64::from(63 - x.leading_zeros()); // ⌊lg x⌋
+    gamma_len(n + 1) + n
+}
+
+/// Writes the gamma code of `x ≥ 1`.
+pub fn put_gamma<S: BitSink>(sink: &mut S, x: u64) {
+    assert!(x > 0, "gamma code of zero");
+    let n = 63 - x.leading_zeros(); // ⌊lg x⌋
+    sink.put_bits(0, n);
+    sink.put_bits(x, n + 1);
+}
+
+/// Reads a gamma code.
+pub fn get_gamma<S: BitSource>(src: &mut S) -> u64 {
+    let n = src.get_unary(); // consumed the leading 1 of x
+    (1u64 << n) | src.get_bits(n)
+}
+
+/// Writes the delta code of `x ≥ 1`.
+pub fn put_delta<S: BitSink>(sink: &mut S, x: u64) {
+    assert!(x > 0, "delta code of zero");
+    let n = 63 - x.leading_zeros();
+    put_gamma(sink, u64::from(n) + 1);
+    sink.put_bits(x & !(1u64 << n), n);
+}
+
+/// Reads a delta code.
+pub fn get_delta<S: BitSource>(src: &mut S) -> u64 {
+    let n = (get_gamma(src) - 1) as u32;
+    (1u64 << n) | src.get_bits(n)
+}
+
+/// Writes `x ≥ 0` as `gamma(x + 1)` — the paper's convention for run
+/// lengths, which may be zero.
+pub fn put_gamma0<S: BitSink>(sink: &mut S, x: u64) {
+    put_gamma(sink, x + 1);
+}
+
+/// Reads a `gamma(x + 1)`-coded value, returning `x`.
+pub fn get_gamma0<S: BitSource>(src: &mut S) -> u64 {
+    get_gamma(src) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitBuf;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gamma_known_codewords() {
+        // gamma(1) = "1", gamma(2) = "010", gamma(3) = "011",
+        // gamma(4) = "00100".
+        let mut b = BitBuf::new();
+        put_gamma(&mut b, 1);
+        put_gamma(&mut b, 2);
+        put_gamma(&mut b, 3);
+        put_gamma(&mut b, 4);
+        assert_eq!(b.len(), 1 + 3 + 3 + 5);
+        assert_eq!(b.get_bits_at(0, 12), 0b1_010_011_00100);
+    }
+
+    #[test]
+    fn gamma_lengths_match_formula() {
+        for x in [1u64, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX >> 1] {
+            let mut b = BitBuf::new();
+            put_gamma(&mut b, x);
+            assert_eq!(b.len(), gamma_len(x), "gamma({x})");
+        }
+    }
+
+    #[test]
+    fn delta_lengths_match_formula() {
+        for x in [1u64, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX >> 1] {
+            let mut b = BitBuf::new();
+            put_delta(&mut b, x);
+            assert_eq!(b.len(), delta_len(x), "delta({x})");
+        }
+    }
+
+    #[test]
+    fn delta_shorter_than_gamma_for_large_values() {
+        assert!(delta_len(1 << 30) < gamma_len(1 << 30));
+    }
+
+    #[test]
+    fn gamma0_handles_zero_runs() {
+        let mut b = BitBuf::new();
+        put_gamma0(&mut b, 0);
+        put_gamma0(&mut b, 5);
+        let mut r = b.reader();
+        assert_eq!(get_gamma0(&mut r), 0);
+        assert_eq!(get_gamma0(&mut r), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn gamma_roundtrip(xs in proptest::collection::vec(1u64..u64::MAX / 2, 1..200)) {
+            let mut b = BitBuf::new();
+            for &x in &xs {
+                put_gamma(&mut b, x);
+            }
+            let mut r = b.reader();
+            for &x in &xs {
+                prop_assert_eq!(get_gamma(&mut r), x);
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+
+        #[test]
+        fn delta_roundtrip(xs in proptest::collection::vec(1u64..u64::MAX / 2, 1..200)) {
+            let mut b = BitBuf::new();
+            for &x in &xs {
+                put_delta(&mut b, x);
+            }
+            let mut r = b.reader();
+            for &x in &xs {
+                prop_assert_eq!(get_delta(&mut r), x);
+            }
+        }
+
+        #[test]
+        fn mixed_streams_roundtrip(xs in proptest::collection::vec((1u64..1_000_000, any::<bool>()), 1..100)) {
+            // Interleave gamma and delta codes in one stream.
+            let mut b = BitBuf::new();
+            for &(x, use_delta) in &xs {
+                if use_delta {
+                    put_delta(&mut b, x);
+                } else {
+                    put_gamma(&mut b, x);
+                }
+            }
+            let mut r = b.reader();
+            for &(x, use_delta) in &xs {
+                let got = if use_delta { get_delta(&mut r) } else { get_gamma(&mut r) };
+                prop_assert_eq!(got, x);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Empirical 0th-order entropy of symbol strings.
+//!
+//! The paper's optimal structure uses space `O(nH₀ + n + σ lg² n)` bits
+//! where `H₀ = Σₐ (zₐ/n) lg(n/zₐ)` is the 0th-order entropy of the indexed
+//! string (§2.2). These helpers compute `H₀` and the per-character counts
+//! used throughout the tree constructions.
+
+/// Per-character occurrence counts of `symbols` over alphabet `[0, sigma)`.
+///
+/// # Panics
+/// Panics if any symbol is `≥ sigma`.
+pub fn char_counts(symbols: &[u32], sigma: u32) -> Vec<u64> {
+    let mut counts = vec![0u64; sigma as usize];
+    for &s in symbols {
+        assert!(s < sigma, "symbol {s} outside alphabet of size {sigma}");
+        counts[s as usize] += 1;
+    }
+    counts
+}
+
+/// 0th-order entropy in bits per symbol.
+pub fn h0(symbols: &[u32], sigma: u32) -> f64 {
+    psi_io::cost::h0_from_counts(&char_counts(symbols, sigma))
+}
+
+/// Total entropy `n · H₀` in bits — the leading term of Theorem 2's space
+/// bound.
+pub fn nh0_bits(symbols: &[u32], sigma: u32) -> f64 {
+    symbols.len() as f64 * h0(symbols, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        let s = [0u32, 1, 1, 2, 2, 2];
+        assert_eq!(char_counts(&s, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn uniform_string_has_lg_sigma_entropy() {
+        let s: Vec<u32> = (0..256u32).map(|i| i % 16).collect();
+        assert!((h0(&s, 16) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_string_has_zero_entropy() {
+        let s = vec![7u32; 100];
+        assert_eq!(h0(&s, 8), 0.0);
+        assert_eq!(nh0_bits(&s, 8), 0.0);
+    }
+
+    #[test]
+    fn skew_reduces_entropy() {
+        let uniform: Vec<u32> = (0..1000u32).map(|i| i % 10).collect();
+        let skewed: Vec<u32> = (0..1000u32).map(|i| if i % 100 == 0 { i % 10 } else { 0 }).collect();
+        assert!(h0(&skewed, 10) < h0(&uniform, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn out_of_alphabet_symbol_rejected() {
+        let _ = char_counts(&[5], 5);
+    }
+}

@@ -1,0 +1,354 @@
+//! Gap-compressed bitmaps.
+//!
+//! A set `S ⊆ [0, universe)` is stored as the strictly increasing sequence
+//! of its elements, encoded as Elias-gamma codes of the *gaps*: the first
+//! element `p₀` as `gamma(p₀ + 1)`, each subsequent element as
+//! `gamma(pᵢ − pᵢ₋₁)`. This is the paper's run-length encoding (§1.2): a
+//! run of `x` zeros costs `2⌊lg(x+1)⌋ + O(1)` bits, so a bitmap with `m`
+//! ones over `[n]` costs `O(m lg(n/m) + m)` bits — within a constant factor
+//! of the information-theoretic minimum `lg C(n, m)` (by concavity of `lg`).
+
+use crate::{codes, BitBuf, BitBufReader, BitSink, BitSource};
+
+/// A compressed bitmap: gamma-coded gaps between consecutive 1-positions.
+///
+/// The element count and universe size are carried as plain metadata (the
+/// paper stores these as node weights in the tree structures); only the gap
+/// codes occupy the compressed payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GapBitmap {
+    universe: u64,
+    count: u64,
+    bits: BitBuf,
+}
+
+impl GapBitmap {
+    /// An empty bitmap over `[0, universe)`.
+    pub fn empty(universe: u64) -> Self {
+        GapBitmap { universe, count: 0, bits: BitBuf::new() }
+    }
+
+    /// Builds from a strictly increasing slice of positions `< universe`.
+    ///
+    /// # Panics
+    /// Panics if positions are not strictly increasing or exceed the
+    /// universe.
+    pub fn from_sorted(positions: &[u64], universe: u64) -> Self {
+        Self::from_sorted_iter(positions.iter().copied(), universe)
+    }
+
+    /// Builds from a strictly increasing iterator of positions.
+    pub fn from_sorted_iter<I: IntoIterator<Item = u64>>(positions: I, universe: u64) -> Self {
+        let mut bits = BitBuf::new();
+        let mut enc = GapEncoder::new(&mut bits);
+        for p in positions {
+            assert!(p < universe, "position {p} outside universe {universe}");
+            enc.push(p);
+        }
+        let count = enc.finish();
+        GapBitmap { universe, count, bits }
+    }
+
+    /// Number of 1s (the paper's *cardinality* of a bitmap, §1.4).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the compressed payload in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.bits.len()
+    }
+
+    /// The raw code stream.
+    pub fn code_bits(&self) -> &BitBuf {
+        &self.bits
+    }
+
+    /// Iterates the 1-positions in increasing order.
+    pub fn iter(&self) -> GapDecoder<BitBufReader<'_>> {
+        GapDecoder::new(self.bits.reader(), self.count)
+    }
+
+    /// Decodes all positions into a vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Membership test by scanning (O(count); intended for tests and small
+    /// sets — the index structures never need random membership).
+    pub fn contains(&self, pos: u64) -> bool {
+        self.iter().take_while(|&p| p <= pos).any(|p| p == pos)
+    }
+
+    /// Appends this bitmap's raw code stream to a sink (used when
+    /// concatenating per-node bitmaps into a level stream on disk).
+    pub fn write_codes_to<S: BitSink>(&self, sink: &mut S) {
+        let mut pos = 0;
+        let mut remaining = self.bits.len();
+        while remaining > 0 {
+            let k = remaining.min(64) as u32;
+            sink.put_bits(self.bits.get_bits_at(pos, k), k);
+            pos += u64::from(k);
+            remaining -= u64::from(k);
+        }
+    }
+
+    /// The complement set over the same universe (used by Theorem 1's
+    /// `z > n/2` trick when a materialized complement is required).
+    pub fn complement(&self) -> GapBitmap {
+        let mut inside = self.iter().peekable();
+        let universe = self.universe;
+        let iter = (0..universe).filter(move |&p| {
+            while let Some(&q) = inside.peek() {
+                if q < p {
+                    inside.next();
+                } else {
+                    return q != p;
+                }
+            }
+            true
+        });
+        GapBitmap::from_sorted_iter(iter, universe)
+    }
+}
+
+impl<'a> IntoIterator for &'a GapBitmap {
+    type Item = u64;
+    type IntoIter = GapDecoder<BitBufReader<'a>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Streaming gap encoder over any bit sink.
+///
+/// Feeds strictly increasing positions; encodes the first as
+/// `gamma(p + 1)` and the rest as `gamma(gap)`.
+#[derive(Debug)]
+pub struct GapEncoder<'a, S: BitSink> {
+    sink: &'a mut S,
+    prev: Option<u64>,
+    count: u64,
+}
+
+impl<'a, S: BitSink> GapEncoder<'a, S> {
+    /// Starts encoding into `sink`.
+    pub fn new(sink: &'a mut S) -> Self {
+        GapEncoder { sink, prev: None, count: 0 }
+    }
+
+    /// Appends the next position (must exceed the previous one).
+    pub fn push(&mut self, pos: u64) {
+        match self.prev {
+            None => codes::put_gamma(self.sink, pos + 1),
+            Some(prev) => {
+                assert!(pos > prev, "positions must be strictly increasing ({prev} then {pos})");
+                codes::put_gamma(self.sink, pos - prev);
+            }
+        }
+        self.prev = Some(pos);
+        self.count += 1;
+    }
+
+    /// Number of positions encoded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Last position encoded, if any.
+    pub fn last(&self) -> Option<u64> {
+        self.prev
+    }
+
+    /// Finishes, returning the number of positions encoded.
+    pub fn finish(self) -> u64 {
+        self.count
+    }
+}
+
+/// Streaming gap decoder over any bit source.
+///
+/// The element count is external metadata (stored as node weights by the
+/// index structures), so the decoder is told how many codes to consume.
+#[derive(Debug)]
+pub struct GapDecoder<S: BitSource> {
+    src: S,
+    remaining: u64,
+    prev: Option<u64>,
+}
+
+impl<S: BitSource> GapDecoder<S> {
+    /// Decodes `count` positions from `src`.
+    pub fn new(src: S, count: u64) -> Self {
+        GapDecoder { src, remaining: count, prev: None }
+    }
+
+    /// Positions not yet decoded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Consumes the decoder, returning the underlying source positioned
+    /// just past the last consumed code.
+    pub fn into_source(self) -> S {
+        self.src
+    }
+}
+
+impl<S: BitSource> Iterator for GapDecoder<S> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let code = codes::get_gamma(&mut self.src);
+        let pos = match self.prev {
+            None => code - 1,
+            Some(prev) => prev + code,
+        };
+        self.prev = Some(pos);
+        Some(pos)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining as usize;
+        (r, Some(r))
+    }
+}
+
+impl<S: BitSource> ExactSizeIterator for GapDecoder<S> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_bitmap_has_no_bits() {
+        let b = GapBitmap::empty(100);
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.size_bits(), 0);
+        assert_eq!(b.to_vec(), Vec::<u64>::new());
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let pos = vec![0u64, 1, 5, 100, 101, 8191];
+        let b = GapBitmap::from_sorted(&pos, 8192);
+        assert_eq!(b.count(), 6);
+        assert_eq!(b.to_vec(), pos);
+        assert!(b.contains(100));
+        assert!(!b.contains(99));
+    }
+
+    #[test]
+    fn first_position_zero_is_representable() {
+        let b = GapBitmap::from_sorted(&[0], 1);
+        assert_eq!(b.to_vec(), vec![0]);
+        assert_eq!(b.size_bits(), 1); // gamma(1) = "1"
+    }
+
+    #[test]
+    fn size_tracks_information_bound() {
+        // m evenly spaced ones over [n]: size should be O(m lg(n/m) + m).
+        let n = 1u64 << 16;
+        let m = 1u64 << 8;
+        let step = n / m;
+        let b = GapBitmap::from_sorted_iter((0..m).map(|i| i * step), n);
+        let bound = psi_io::cost::output_bits(n, m); // m lg(n/m)
+        assert!(b.size_bits() as f64 <= 2.0 * bound + 2.0 * m as f64,
+            "size {} exceeds 2*bound {} + 2m", b.size_bits(), bound);
+    }
+
+    #[test]
+    fn dense_bitmap_is_linear_not_loglinear() {
+        // All n positions set: every gap is 1, one bit each.
+        let n = 1000u64;
+        let b = GapBitmap::from_sorted_iter(0..n, n);
+        assert_eq!(b.size_bits(), n); // gamma(1) = 1 bit per element
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let b = GapBitmap::from_sorted(&[1, 3, 5], 7);
+        assert_eq!(b.complement().to_vec(), vec![0, 2, 4, 6]);
+        assert_eq!(b.complement().complement().to_vec(), b.to_vec());
+        let full = GapBitmap::from_sorted_iter(0..5, 5);
+        assert!(full.complement().is_empty());
+    }
+
+    #[test]
+    fn write_codes_to_concatenates_verbatim() {
+        let a = GapBitmap::from_sorted(&[2, 9], 16);
+        let b = GapBitmap::from_sorted(&[0, 15], 16);
+        let mut stream = BitBuf::new();
+        a.write_codes_to(&mut stream);
+        let a_end = stream.len();
+        b.write_codes_to(&mut stream);
+        // Decode both back out of the concatenated stream.
+        let mut dec = GapDecoder::new(stream.reader(), 2);
+        assert_eq!(dec.by_ref().collect::<Vec<_>>(), vec![2, 9]);
+        let src = dec.into_source();
+        assert_eq!(src.bit_pos(), a_end);
+        let dec2 = GapDecoder::new(src, 2);
+        assert_eq!(dec2.collect::<Vec<_>>(), vec![0, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_positions_rejected() {
+        let _ = GapBitmap::from_sorted(&[5, 5], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn position_outside_universe_rejected() {
+        let _ = GapBitmap::from_sorted(&[10], 10);
+    }
+
+    fn sorted_unique(max: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::btree_set(0..max, 0..len)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_sets(pos in sorted_unique(1 << 20, 300)) {
+            let b = GapBitmap::from_sorted(&pos, 1 << 20);
+            prop_assert_eq!(b.to_vec(), pos.clone());
+            prop_assert_eq!(b.count() as usize, pos.len());
+        }
+
+        #[test]
+        fn size_within_constant_of_entropy(pos in sorted_unique(1 << 16, 200)) {
+            prop_assume!(!pos.is_empty());
+            let n = 1u64 << 16;
+            let b = GapBitmap::from_sorted(&pos, n);
+            let m = pos.len() as u64;
+            // lg C(n, m) lower bound; gamma-gap coding is within ~2x + O(m).
+            let bound = psi_io::cost::lg_binomial(n, m);
+            prop_assert!((b.size_bits() as f64) <= 2.0 * bound + 3.0 * m as f64 + 64.0);
+        }
+
+        #[test]
+        fn complement_is_involution(pos in sorted_unique(512, 100)) {
+            let b = GapBitmap::from_sorted(&pos, 512);
+            prop_assert_eq!(b.complement().complement(), b.clone());
+            prop_assert_eq!(b.complement().count(), 512 - b.count());
+        }
+    }
+}

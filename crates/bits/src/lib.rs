@@ -1,0 +1,131 @@
+//! Bit-level substrate for the `psi` workspace.
+//!
+//! Pagh & Rao's structures are built almost entirely out of one primitive:
+//! sparse sets of positions stored as **run-length/gap codes with Elias
+//! gamma encoding** (paper §1.2, citing Elias, ref 12). This crate provides:
+//!
+//! * [`BitBuf`] — an in-memory, MSB-first bit buffer with a matching
+//!   [`BitBufReader`];
+//! * [`BitSink`] / [`BitSource`] — traits abstracting over in-memory buffers
+//!   and [`psi_io`] disk cursors, so the same codecs drive both;
+//! * [`codes`] — Elias gamma and delta codes;
+//! * [`GapBitmap`] — a compressed bitmap: the positions of its 1s encoded
+//!   as gamma-coded gaps, within a constant factor of the
+//!   information-theoretic minimum `lg C(n, z)` bits (§1.2);
+//! * streaming [`GapEncoder`]/[`GapDecoder`] for encoding to and decoding
+//!   from disk without materializing;
+//! * [`PlainBitmap`] — an uncompressed bitmap with broadword rank/select
+//!   (the baseline bitmap-index representation);
+//! * [`merge`] — k-way merges over position streams (the paper's
+//!   "compute the compressed bitmap of their union by merging", §2.1);
+//! * [`entropy`] — empirical 0th-order entropy of symbol strings.
+
+#![warn(missing_docs)]
+
+mod buf;
+pub mod codes;
+pub mod entropy;
+mod gap;
+pub mod merge;
+mod plain;
+
+pub use buf::{BitBuf, BitBufReader};
+pub use gap::{GapBitmap, GapDecoder, GapEncoder};
+pub use plain::{PlainBitmap, RankDirectory};
+
+/// A destination for bits (in-memory buffer or disk writer).
+pub trait BitSink {
+    /// Appends the low `k ≤ 64` bits of `value`, MSB of the field first.
+    fn put_bits(&mut self, value: u64, k: u32);
+
+    /// Appends one bit.
+    fn put_bit(&mut self, bit: bool) {
+        self.put_bits(u64::from(bit), 1);
+    }
+
+    /// Current length of the destination in bits.
+    fn bit_pos(&self) -> u64;
+}
+
+/// A source of bits (in-memory reader or disk reader).
+pub trait BitSource {
+    /// Reads `k ≤ 64` bits as the low bits of a `u64`.
+    fn get_bits(&mut self, k: u32) -> u64;
+
+    /// Reads one bit.
+    fn get_bit(&mut self) -> bool {
+        self.get_bits(1) == 1
+    }
+
+    /// Reads a unary code: the number of 0s before the next 1, consuming
+    /// the terminating 1.
+    fn get_unary(&mut self) -> u32 {
+        let mut zeros = 0;
+        while !self.get_bit() {
+            zeros += 1;
+        }
+        zeros
+    }
+
+    /// Current position in bits.
+    fn bit_pos(&self) -> u64;
+}
+
+impl BitSink for psi_io::DiskWriter<'_> {
+    fn put_bits(&mut self, value: u64, k: u32) {
+        self.write_bits(value, k);
+    }
+
+    fn bit_pos(&self) -> u64 {
+        self.pos()
+    }
+}
+
+impl BitSink for psi_io::DiskWriterAt<'_> {
+    fn put_bits(&mut self, value: u64, k: u32) {
+        self.write_bits(value, k);
+    }
+
+    fn bit_pos(&self) -> u64 {
+        self.pos()
+    }
+}
+
+impl BitSource for psi_io::DiskReader<'_> {
+    fn get_bits(&mut self, k: u32) -> u64 {
+        self.read_bits(k)
+    }
+
+    fn get_bit(&mut self) -> bool {
+        self.read_bit()
+    }
+
+    fn get_unary(&mut self) -> u32 {
+        self.read_unary()
+    }
+
+    fn bit_pos(&self) -> u64 {
+        self.pos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_io::{Disk, IoConfig, IoSession};
+
+    #[test]
+    fn disk_cursors_implement_bit_traits() {
+        let mut disk = Disk::new(IoConfig::with_block_bits(128));
+        let ext = disk.alloc();
+        let session = IoSession::untracked();
+        {
+            let mut w = disk.writer(ext, &session);
+            codes::put_gamma(&mut w, 42);
+            codes::put_delta(&mut w, 1_000_000);
+        }
+        let mut r = disk.reader(ext, 0, &session);
+        assert_eq!(codes::get_gamma(&mut r), 42);
+        assert_eq!(codes::get_delta(&mut r), 1_000_000);
+    }
+}

@@ -1,0 +1,161 @@
+//! K-way merges over sorted position streams.
+//!
+//! Range queries in every structure of the paper end by "merging the
+//! bitmaps" of the canonical subtrees (§2.1, §2.2). The inputs are sorted
+//! position streams decoded from disjoint sets (each position carries
+//! exactly one character), so the common case is a disjoint merge; hashed
+//! sets in the approximate index (§3) may collide, so a deduplicating
+//! union is also provided.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::GapBitmap;
+
+/// K-way merge of sorted streams into one sorted stream, assuming global
+/// distinctness (disjoint inputs). Duplicates are passed through unchanged;
+/// use [`union_dedup`] when inputs may overlap.
+pub fn merge_disjoint<I>(inputs: Vec<I>) -> KWayMerge<I>
+where
+    I: Iterator<Item = u64>,
+{
+    KWayMerge::new(inputs)
+}
+
+/// K-way union of sorted streams with duplicate removal.
+pub fn union_dedup<I>(inputs: Vec<I>) -> impl Iterator<Item = u64>
+where
+    I: Iterator<Item = u64>,
+{
+    let mut last: Option<u64> = None;
+    KWayMerge::new(inputs).filter(move |&p| {
+        if last == Some(p) {
+            false
+        } else {
+            last = Some(p);
+            true
+        }
+    })
+}
+
+/// Merges sorted streams directly into a [`GapBitmap`] over `universe`.
+pub fn merge_into_gap<I>(inputs: Vec<I>, universe: u64) -> GapBitmap
+where
+    I: Iterator<Item = u64>,
+{
+    GapBitmap::from_sorted_iter(merge_disjoint(inputs), universe)
+}
+
+/// A heap-based k-way merge iterator.
+#[derive(Debug)]
+pub struct KWayMerge<I: Iterator<Item = u64>> {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    inputs: Vec<I>,
+}
+
+impl<I: Iterator<Item = u64>> KWayMerge<I> {
+    fn new(mut inputs: Vec<I>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(inputs.len());
+        for (idx, it) in inputs.iter_mut().enumerate() {
+            if let Some(first) = it.next() {
+                heap.push(Reverse((first, idx)));
+            }
+        }
+        KWayMerge { heap, inputs }
+    }
+}
+
+impl<I: Iterator<Item = u64>> Iterator for KWayMerge<I> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let Reverse((pos, idx)) = self.heap.pop()?;
+        if let Some(next) = self.inputs[idx].next() {
+            debug_assert!(next > pos, "input stream {idx} not strictly increasing");
+            self.heap.push(Reverse((next, idx)));
+        }
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_of_disjoint_streams() {
+        let a = vec![1u64, 4, 7];
+        let b = vec![2u64, 5];
+        let c = vec![0u64, 3, 6, 8];
+        let merged: Vec<u64> =
+            merge_disjoint(vec![a.into_iter(), b.into_iter(), c.into_iter()]).collect();
+        assert_eq!(merged, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_of_empty_inputs() {
+        let empty: Vec<std::vec::IntoIter<u64>> = vec![];
+        assert_eq!(merge_disjoint(empty).count(), 0);
+        let some_empty = vec![vec![].into_iter(), vec![5u64].into_iter(), vec![].into_iter()];
+        assert_eq!(merge_disjoint(some_empty).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn union_removes_duplicates() {
+        let a = vec![1u64, 3, 5];
+        let b = vec![1u64, 2, 5, 6];
+        let u: Vec<u64> = union_dedup(vec![a.into_iter(), b.into_iter()]).collect();
+        assert_eq!(u, vec![1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn merge_into_gap_builds_bitmap() {
+        let a = vec![10u64, 30];
+        let b = vec![20u64];
+        let g = merge_into_gap(vec![a.into_iter(), b.into_iter()], 100);
+        assert_eq!(g.to_vec(), vec![10, 20, 30]);
+        assert_eq!(g.universe(), 100);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sorted_concat(
+            parts in proptest::collection::vec(
+                proptest::collection::btree_set(0u64..10_000, 0..50), 1..8)
+        ) {
+            // Make the parts disjoint by tagging with the part index modulo
+            // a stride, then check merge == sorted union.
+            let streams: Vec<Vec<u64>> = parts
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.iter().map(|&x| x * parts.len() as u64 + i as u64).collect())
+                .collect();
+            let mut expected: Vec<u64> = streams.iter().flatten().copied().collect();
+            expected.sort_unstable();
+            let merged: Vec<u64> =
+                merge_disjoint(streams.into_iter().map(|v| v.into_iter()).collect()).collect();
+            prop_assert_eq!(merged, expected);
+        }
+
+        #[test]
+        fn union_equals_set_union(
+            parts in proptest::collection::vec(
+                proptest::collection::btree_set(0u64..1000, 0..100), 1..6)
+        ) {
+            let mut expected: Vec<u64> = parts
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            expected.sort_unstable();
+            let streams: Vec<_> = parts
+                .into_iter()
+                .map(|s| s.into_iter().collect::<Vec<_>>().into_iter())
+                .collect();
+            let got: Vec<u64> = union_dedup(streams).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The buffered semi-dynamic index (Theorem 5, §4.1.1): trading space for
+//! faster appends.
+//!
+//! The paper attaches a `B`-bit buffer to every internal node of `W` and
+//! lets appends trickle down in batches, for amortized `O(lg n / b)`
+//! appends and `O(z lg(n/z)/B + lg n)` queries (the extra term reads the
+//! `O(lg n)` buffers on the query paths). We implement the same
+//! buffering *cost structure* with a consolidated **root log** (documented
+//! substitution, `DESIGN.md`): appended symbols accumulate in an on-disk
+//! log whose tail block is memory-resident ("the buffer of the root …
+//! always kept in the internal memory"); when the log reaches `Θ(b lg n)`
+//! records it is drained into the underlying [`Engine`] in one batched
+//! session, whose block-residency model makes consecutive appends to the
+//! same bitmap tails cost `O(1)` blocks per touched slot — the same
+//! amortized `O(lg n / b)` per append as the per-node cascade. Queries
+//! read the engine plus the log blocks: `O(b lg n · lg n / B) = O(lg n)`
+//! extra I/Os, matching the theorem's additive term.
+
+use psi_api::{check_range, AppendIndex, RidSet, SecondaryIndex, Symbol};
+use psi_bits::GapBitmap;
+use psi_io::{cost, Disk, ExtentId, IoConfig, IoSession};
+
+use crate::cutstream::Slack;
+use crate::engine::{Engine, EngineStats, DEFAULT_C};
+
+/// Theorem 5's buffered append-only index.
+///
+/// ```
+/// use psi_core::BufferedIndex;
+/// use psi_api::{AppendIndex, SecondaryIndex};
+/// use psi_io::{IoConfig, IoSession};
+///
+/// let mut idx = BufferedIndex::new(4, IoConfig::default());
+/// let io = IoSession::new();
+/// for &c in &[0u32, 2, 1, 2, 3] {
+///     idx.append(c, &io);
+/// }
+/// assert_eq!(idx.query(1, 2, &io).to_vec(), vec![1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct BufferedIndex {
+    engine: Engine,
+    /// Pending appended symbols, oldest first (position = engine.n() + i).
+    log: Vec<Symbol>,
+    /// On-disk image of the log (tail block memory-resident).
+    log_ext: ExtentId,
+    log_disk: Disk,
+    /// Flush threshold in records: `Θ(b · lg n)`.
+    capacity: usize,
+    /// Bits per log record.
+    rec_bits: u32,
+}
+
+impl BufferedIndex {
+    /// An empty index over `[0, sigma)`.
+    pub fn new(sigma: Symbol, config: IoConfig) -> Self {
+        Self::build(&[], sigma, config)
+    }
+
+    /// Bulk-builds from an initial string.
+    pub fn build(symbols: &[Symbol], sigma: Symbol, config: IoConfig) -> Self {
+        let engine = Engine::build(symbols, sigma, config, DEFAULT_C, Slack::Proportional);
+        let mut log_disk = Disk::new(config);
+        let log_ext = log_disk.alloc();
+        let lg_n = 48u32; // generous fixed position width for the log
+        let rec_bits = 32 + lg_n;
+        let b = config.words_per_block(symbols.len().max(1024) as u64);
+        let capacity = (b * cost::lg2_ceil(symbols.len().max(1024) as u64)).max(64) as usize;
+        BufferedIndex { engine, log: Vec::new(), log_ext, log_disk, capacity, rec_bits }
+    }
+
+    /// Drains the log into the engine in one batched session (block
+    /// residency makes consecutive same-slot appends nearly free, which is
+    /// exactly the buffer-tree amortization).
+    fn drain(&mut self, io: &IoSession) {
+        for &ch in &std::mem::take(&mut self.log) {
+            self.engine.append(ch, io);
+        }
+        self.log_disk.free(self.log_ext);
+    }
+
+    /// Forces all pending appends into the engine (used before space
+    /// audits and by tests).
+    pub fn flush(&mut self, io: &IoSession) {
+        self.drain(io);
+    }
+
+    /// Pending appends not yet applied.
+    pub fn pending(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Engine rebuild counters.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats
+    }
+}
+
+impl SecondaryIndex for BufferedIndex {
+    fn len(&self) -> u64 {
+        self.engine.n() + self.log.len() as u64
+    }
+
+    fn sigma(&self) -> Symbol {
+        self.engine.sigma()
+    }
+
+    fn space_bits(&self) -> u64 {
+        // Engine plus the log's reserved capacity — the analogue of the
+        // paper's O(σ B lg n)-bit buffer overhead.
+        self.engine.space_bits() + self.capacity as u64 * u64::from(self.rec_bits)
+    }
+
+    fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+        check_range(lo, hi, self.sigma());
+        let n_engine = self.engine.n();
+        let n_total = self.len();
+        let base = self.engine.query(lo, hi, io);
+        // Read the log blocks (the paper's "read each of the buffers …
+        // that could potentially contain updates", O(lg n) of them).
+        let log_blocks = (self.log.len() as u64 * u64::from(self.rec_bits))
+            .div_ceil(self.log_disk.block_bits());
+        for blk in 0..log_blocks {
+            io.charge_read(self.log_ext, blk);
+        }
+        io.add_bits_read(self.log.len() as u64 * u64::from(self.rec_bits));
+        let tail = self
+            .log
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| (lo..=hi).contains(&s))
+            .map(|(i, _)| n_engine + i as u64);
+        if base.is_complemented() {
+            // Complement representation lists non-members; extend it with
+            // the log's non-members over the grown universe.
+            let non_members: Vec<u64> = base
+                .stored()
+                .iter()
+                .chain(
+                    self.log
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &s)| !(lo..=hi).contains(&s))
+                        .map(|(i, _)| n_engine + i as u64),
+                )
+                .collect();
+            RidSet::from_complement(GapBitmap::from_sorted(&non_members, n_total))
+        } else {
+            let positions: Vec<u64> = base.stored().iter().chain(tail).collect();
+            RidSet::from_positions(GapBitmap::from_sorted(&positions, n_total))
+        }
+    }
+}
+
+impl AppendIndex for BufferedIndex {
+    fn append(&mut self, symbol: Symbol, io: &IoSession) {
+        assert!(symbol < self.sigma(), "symbol {symbol} outside alphabet");
+        // Write the record; only crossing a block boundary touches disk
+        // (the tail block is memory-resident).
+        let bit_pos = self.log.len() as u64 * u64::from(self.rec_bits);
+        let block_before = bit_pos / self.log_disk.block_bits();
+        let block_after = (bit_pos + u64::from(self.rec_bits)) / self.log_disk.block_bits();
+        {
+            let untracked = IoSession::untracked();
+            let mut w = self.log_disk.writer(self.log_ext, &untracked);
+            w.write_bits(u64::from(symbol), 32);
+            w.write_bits(self.engine.n() + self.log.len() as u64, self.rec_bits - 32);
+        }
+        if block_after != block_before {
+            io.charge_write(self.log_ext, block_before);
+        }
+        self.log.push(symbol);
+        if self.log.len() >= self.capacity {
+            self.drain(io);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_api::naive_query;
+
+    fn cfg() -> IoConfig {
+        IoConfig::with_block_bits(512)
+    }
+
+    #[test]
+    fn appends_visible_before_and_after_drain() {
+        let mut idx = BufferedIndex::new(8, cfg());
+        let io = IoSession::untracked();
+        let symbols = psi_workloads::uniform(3000, 8, 101);
+        for (i, &c) in symbols.iter().enumerate() {
+            idx.append(c, &io);
+            if i % 977 == 0 {
+                // Queries interleaved with pending appends.
+                let io2 = IoSession::new();
+                let got = idx.query(2, 5, &io2);
+                let want = naive_query(&symbols[..=i], 2, 5);
+                assert_eq!(got.to_vec(), want.to_vec(), "after {} appends", i + 1);
+            }
+        }
+        for lo in 0..8u32 {
+            for hi in lo..8u32 {
+                let io2 = IoSession::new();
+                assert_eq!(
+                    idx.query(lo, hi, &io2).to_vec(),
+                    naive_query(&symbols, lo, hi).to_vec(),
+                    "range [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_results_with_pending_appends() {
+        let mut idx = BufferedIndex::build(&vec![1u32; 2000], 4, cfg());
+        let io = IoSession::untracked();
+        for &c in &psi_workloads::uniform(100, 4, 103) {
+            idx.append(c, &io);
+        }
+        let io2 = IoSession::new();
+        let r = idx.query(0, 2, &io2); // nearly everything
+        assert!(r.is_complemented());
+        let mut want: Vec<u64> = (0..2000u64).collect();
+        let appended = psi_workloads::uniform(100, 4, 103);
+        want.extend(
+            appended
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s <= 2)
+                .map(|(i, _)| 2000 + i as u64),
+        );
+        assert_eq!(r.to_vec(), want);
+    }
+
+    #[test]
+    fn amortized_append_cost_beats_semi_dynamic() {
+        // One session per operation: the I/O model counts distinct blocks
+        // per operation, so sharing a session would deduplicate across
+        // appends and undercount both structures.
+        let n = 30_000;
+        let appends = psi_workloads::uniform(n, 32, 105);
+        let mut buffered = BufferedIndex::new(32, IoConfig::default());
+        let mut total_buf = 0u64;
+        for &c in &appends {
+            let io = IoSession::new();
+            buffered.append(c, &io);
+            total_buf += io.stats().total();
+        }
+        let mut semi = crate::SemiDynamicIndex::new(32, IoConfig::default());
+        let mut total_semi = 0u64;
+        for &c in &appends {
+            let io = IoSession::new();
+            psi_api::AppendIndex::append(&mut semi, c, &io);
+            total_semi += io.stats().total();
+        }
+        let per_buf = total_buf as f64 / n as f64;
+        let per_semi = total_semi as f64 / n as f64;
+        assert!(
+            per_buf < per_semi / 2.0,
+            "buffered {per_buf:.3} I/Os should be well below semi-dynamic {per_semi:.3}"
+        );
+        assert!(per_buf < 1.0, "buffered appends are sub-one-I/O ({per_buf:.3})");
+    }
+
+    #[test]
+    fn query_pays_additive_log_cost_only() {
+        let mut idx = BufferedIndex::build(&psi_workloads::uniform(20_000, 64, 107), 64, IoConfig::default());
+        let io = IoSession::untracked();
+        for &c in &psi_workloads::uniform(500, 64, 109) {
+            idx.append(c, &io);
+        }
+        assert!(idx.pending() > 0);
+        let io2 = IoSession::new();
+        let _ = idx.query(5, 5, &io2);
+        // Log blocks: 500 * 80 bits / 8192 ≈ 5 extra reads.
+        assert!(io2.stats().reads < 60, "{} reads", io2.stats().reads);
+    }
+
+    #[test]
+    fn flush_empties_pending() {
+        let mut idx = BufferedIndex::new(4, cfg());
+        let io = IoSession::untracked();
+        for &c in &[0u32, 1, 2, 3, 0] {
+            idx.append(c, &io);
+        }
+        assert_eq!(idx.pending(), 5);
+        idx.flush(&io);
+        assert_eq!(idx.pending(), 0);
+        assert_eq!(idx.len(), 5);
+        let io2 = IoSession::new();
+        assert_eq!(idx.query(0, 0, &io2).to_vec(), vec![0, 4]);
+    }
+}

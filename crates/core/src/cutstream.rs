@@ -1,0 +1,266 @@
+//! Slotted storage for one materialized cut.
+//!
+//! A materialized cut stores "the bitmaps of all the internal nodes at each
+//! materialized level by concatenating them in their left-to-right order"
+//! (§2.2). Statically that is a plain concatenation; the dynamic variants
+//! (§4.1) additionally need to *append* gamma codes to bitmaps in the
+//! middle of the stream, so each bitmap occupies a **slot** with optional
+//! tail slack. Slots for rebuilt subtrees are re-allocated at the end of
+//! the extent and the old ones tombstoned; when dead bits outweigh live
+//! bits the owner compacts the stream (the engine folds this into its
+//! rebuild machinery). All reads and writes are charged to the caller's
+//! [`IoSession`].
+
+use psi_bits::{codes, GapDecoder};
+use psi_io::{Disk, DiskReader, ExtentId, IoSession};
+
+/// Allocation policy for slot slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slack {
+    /// No slack: slots are exactly their payload (static structures).
+    None,
+    /// Tail slack proportional to the payload plus a constant, so a slot
+    /// absorbs appends until weight-balance rebuilds reach it.
+    Proportional,
+}
+
+impl Slack {
+    fn cap_for(self, len: u64) -> u64 {
+        match self {
+            Slack::None => len,
+            Slack::Proportional => 2 * len + 256,
+        }
+    }
+}
+
+/// One bitmap slot within the cut stream.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Bit offset of the code stream.
+    pub off: u64,
+    /// Occupied payload bits.
+    pub len: u64,
+    /// Reserved bits (`≥ len`).
+    pub cap: u64,
+    /// Number of encoded positions.
+    pub count: u64,
+    /// Last encoded position (needed to append the next gap code).
+    pub last_pos: Option<u64>,
+    /// Tombstone flag.
+    pub dead: bool,
+}
+
+/// A cut's slotted bitmap stream.
+#[derive(Debug)]
+pub struct CutStream {
+    /// Tree depth this cut materializes.
+    pub level: u32,
+    ext: ExtentId,
+    slots: Vec<Slot>,
+    dead_bits: u64,
+    slack: Slack,
+}
+
+impl CutStream {
+    /// Creates an empty cut stream at tree depth `level`.
+    pub fn new(disk: &mut Disk, level: u32, slack: Slack) -> Self {
+        CutStream { level, ext: disk.alloc(), slots: Vec::new(), dead_bits: 0, slack }
+    }
+
+    /// Number of slots ever allocated (including dead ones).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slot metadata.
+    pub fn slot(&self, idx: usize) -> &Slot {
+        &self.slots[idx]
+    }
+
+    /// Appends a new bitmap slot holding `positions` (strictly increasing)
+    /// at the end of the stream, reserving slack per policy. Returns the
+    /// slot index. Writes are charged to `io`.
+    pub fn push_bitmap<I: IntoIterator<Item = u64>>(
+        &mut self,
+        disk: &mut Disk,
+        positions: I,
+        io: &IoSession,
+    ) -> usize {
+        let off = disk.extent_bits(self.ext);
+        let mut w = disk.writer(self.ext, io);
+        let mut count = 0u64;
+        let mut last_pos = None;
+        for p in positions {
+            match last_pos {
+                None => codes::put_gamma(&mut w, p + 1),
+                Some(prev) => {
+                    assert!(p > prev, "positions must be strictly increasing");
+                    codes::put_gamma(&mut w, p - prev);
+                }
+            }
+            last_pos = Some(p);
+            count += 1;
+        }
+        let len = w.pos() - off;
+        let cap = self.slack.cap_for(len);
+        if cap > len {
+            w.write_zeros(cap - len);
+        }
+        self.slots.push(Slot { off, len, cap, count, last_pos, dead: false });
+        self.slots.len() - 1
+    }
+
+    /// Appends one position to slot `idx` in place. Returns `false`
+    /// (without writing) when the slot's slack cannot hold the gap code —
+    /// the signal for the engine to rebuild the owning subtree.
+    pub fn append_position(&mut self, disk: &mut Disk, idx: usize, pos: u64, io: &IoSession) -> bool {
+        let slot = &self.slots[idx];
+        assert!(!slot.dead, "append to dead slot");
+        let code = match slot.last_pos {
+            None => pos + 1,
+            Some(prev) => {
+                assert!(pos > prev, "appended position {pos} not past slot tail {prev}");
+                pos - prev
+            }
+        };
+        let need = codes::gamma_len(code);
+        if slot.len + need > slot.cap {
+            return false;
+        }
+        let at = slot.off + slot.len;
+        let mut w = disk.writer_at(self.ext, at, io);
+        codes::put_gamma(&mut w, code);
+        let slot = &mut self.slots[idx];
+        slot.len += need;
+        slot.count += 1;
+        slot.last_pos = Some(pos);
+        true
+    }
+
+    /// Streaming decoder over slot `idx`, charging `io`.
+    pub fn decoder<'a>(&self, disk: &'a Disk, idx: usize, io: &'a IoSession) -> GapDecoder<DiskReader<'a>> {
+        let slot = &self.slots[idx];
+        assert!(!slot.dead, "decode of dead slot");
+        GapDecoder::new(disk.reader(self.ext, slot.off, io), slot.count)
+    }
+
+    /// Tombstones slot `idx` (its bits become dead space until compaction).
+    pub fn kill(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        if !slot.dead {
+            slot.dead = true;
+            self.dead_bits += slot.cap;
+        }
+    }
+
+    /// Fraction of the extent that is tombstoned.
+    pub fn dead_fraction(&self, disk: &Disk) -> f64 {
+        let total = disk.extent_bits(self.ext);
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_bits as f64 / total as f64
+        }
+    }
+
+    /// Live payload bits (excluding slack and tombstones).
+    pub fn live_bits(&self) -> u64 {
+        self.slots.iter().filter(|s| !s.dead).map(|s| s.len).sum()
+    }
+
+    /// Total extent bits (live + slack + dead).
+    pub fn extent_bits(&self, disk: &Disk) -> u64 {
+        disk.extent_bits(self.ext)
+    }
+
+    /// Drops all slots and storage (used by engine-level rebuilds, which
+    /// recreate cuts from scratch).
+    pub fn clear(&mut self, disk: &mut Disk) {
+        disk.free(self.ext);
+        self.slots.clear();
+        self.dead_bits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_io::IoConfig;
+
+    fn setup() -> (Disk, IoSession) {
+        (Disk::new(IoConfig::with_block_bits(256)), IoSession::untracked())
+    }
+
+    #[test]
+    fn push_and_decode_roundtrip() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let a = cut.push_bitmap(&mut disk, vec![0u64, 3, 10], &io);
+        let b = cut.push_bitmap(&mut disk, vec![5u64], &io);
+        assert_eq!(cut.decoder(&disk, a, &io).collect::<Vec<_>>(), vec![0, 3, 10]);
+        assert_eq!(cut.decoder(&disk, b, &io).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn slack_none_packs_tightly() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let a = cut.push_bitmap(&mut disk, vec![0u64, 1, 2], &io);
+        let slot = cut.slot(a);
+        assert_eq!(slot.cap, slot.len);
+        // gamma(1) + gamma(1) + gamma(1) = 3 bits.
+        assert_eq!(slot.len, 3);
+    }
+
+    #[test]
+    fn append_within_slack_succeeds() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::Proportional);
+        let a = cut.push_bitmap(&mut disk, vec![10u64], &io);
+        assert!(cut.append_position(&mut disk, a, 20, &io));
+        assert!(cut.append_position(&mut disk, a, 21, &io));
+        assert_eq!(cut.decoder(&disk, a, &io).collect::<Vec<_>>(), vec![10, 20, 21]);
+        assert_eq!(cut.slot(a).count, 3);
+    }
+
+    #[test]
+    fn append_to_empty_slot_starts_stream() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 2, Slack::Proportional);
+        let a = cut.push_bitmap(&mut disk, Vec::<u64>::new(), &io);
+        assert!(cut.append_position(&mut disk, a, 7, &io));
+        assert_eq!(cut.decoder(&disk, a, &io).collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn append_overflow_reports_false() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let a = cut.push_bitmap(&mut disk, vec![1u64], &io);
+        assert!(!cut.append_position(&mut disk, a, 1000, &io));
+        // Slot unchanged.
+        assert_eq!(cut.decoder(&disk, a, &io).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn kill_accumulates_dead_bits() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let a = cut.push_bitmap(&mut disk, (0..64u64).map(|i| i * 3), &io);
+        let _b = cut.push_bitmap(&mut disk, vec![0u64], &io);
+        assert_eq!(cut.dead_fraction(&disk), 0.0);
+        cut.kill(a);
+        assert!(cut.dead_fraction(&disk) > 0.9);
+        cut.kill(a); // idempotent
+        assert!(cut.dead_fraction(&disk) <= 1.0);
+    }
+
+    #[test]
+    fn writes_are_charged() {
+        let mut disk = Disk::new(IoConfig::with_block_bits(128));
+        let io = IoSession::new();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        cut.push_bitmap(&mut disk, (0..100u64).map(|i| i * 50), &io);
+        assert!(io.stats().writes > 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Deleted-position translation map (paper §4, introduction).
+//!
+//! "Maintain a B-tree over the deleted positions with subtree sizes
+//! maintained in all nodes — this allows translating positions back and
+//! forth between the two systems using O(log_b n) I/Os, and space O(n)
+//! bits (positions in leaf nodes should be efficiently encoded, e.g.,
+//! using gamma-coded differences). If the number of deleted characters
+//! exceeds a constant fraction of all characters, global rebuilding is
+//! performed to reduce the space."
+//!
+//! The two "systems" are *original* positions (stable, as stored by the
+//! index, where deletion replaces a character with `∞`) and *current*
+//! positions (relative to the string with deletions compacted away).
+
+use psi_io::{cost, Disk, ExtentId, IoConfig, IoSession};
+use psi_bits::codes;
+
+#[derive(Debug)]
+struct DLeaf {
+    ext: ExtentId,
+    /// First deleted position stored here.
+    first: u64,
+    count: u64,
+}
+
+/// A dynamic map over deleted positions with rank/select translation.
+#[derive(Debug)]
+pub struct DeletedPositionMap {
+    disk: Disk,
+    /// Gamma-delta-coded leaves, sorted by `first`; the leaf directory
+    /// (`first`, cumulative counts) is memory-resident (`O(n/b · lg n)`
+    /// bits, accounted in [`Self::space_bits`]).
+    leaves: Vec<DLeaf>,
+    /// `prefix[i]` = deleted positions in leaves `< i`.
+    prefix: Vec<u64>,
+    total: u64,
+    /// Leaf capacity in entries (`Θ(b)`).
+    cap: usize,
+}
+
+impl DeletedPositionMap {
+    /// An empty map.
+    pub fn new(config: IoConfig) -> Self {
+        let cap = (config.block_bits / 16).max(4) as usize;
+        DeletedPositionMap { disk: Disk::new(config), leaves: Vec::new(), prefix: vec![0], total: 0, cap }
+    }
+
+    /// Number of deleted positions.
+    pub fn total_deleted(&self) -> u64 {
+        self.total
+    }
+
+    fn rebuild_prefix(&mut self) {
+        self.prefix.clear();
+        let mut acc = 0;
+        for l in &self.leaves {
+            self.prefix.push(acc);
+            acc += l.count;
+        }
+        self.prefix.push(acc);
+        self.total = acc;
+    }
+
+    fn read_leaf(&self, idx: usize, io: &IoSession) -> Vec<u64> {
+        let l = &self.leaves[idx];
+        let mut r = self.disk.reader(l.ext, 0, io);
+        let mut out = Vec::with_capacity(l.count as usize);
+        let mut prev = None;
+        for _ in 0..l.count {
+            let code = codes::get_gamma(&mut r);
+            let p = match prev {
+                None => code - 1,
+                Some(q) => q + code,
+            };
+            out.push(p);
+            prev = Some(p);
+        }
+        out
+    }
+
+    fn write_leaf_at(&mut self, idx: usize, positions: &[u64], io: &IoSession) {
+        debug_assert!(!positions.is_empty());
+        let ext = self.disk.alloc();
+        let mut w = self.disk.writer(ext, io);
+        let mut prev = None;
+        for &p in positions {
+            match prev {
+                None => codes::put_gamma(&mut w, p + 1),
+                Some(q) => codes::put_gamma(&mut w, p - q),
+            }
+            prev = Some(p);
+        }
+        self.leaves.insert(idx, DLeaf { ext, first: positions[0], count: positions.len() as u64 });
+    }
+
+    /// Records position `pos` as deleted. Amortized `O(1)` leaf rewrites;
+    /// charged to `io`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is already deleted.
+    pub fn insert(&mut self, pos: u64, io: &IoSession) {
+        // Locate the leaf by the memory directory.
+        let idx = match self.leaves.partition_point(|l| l.first <= pos) {
+            0 => 0,
+            i => i - 1,
+        };
+        if self.leaves.is_empty() {
+            self.write_leaf_at(0, &[pos], io);
+            self.rebuild_prefix();
+            return;
+        }
+        let mut positions = self.read_leaf(idx, io);
+        let at = positions.binary_search(&pos).expect_err("position deleted twice");
+        positions.insert(at, pos);
+        self.disk.free(self.leaves[idx].ext);
+        self.leaves.remove(idx);
+        if positions.len() > self.cap {
+            let mid = positions.len() / 2;
+            self.write_leaf_at(idx, &positions[mid..], io);
+            self.write_leaf_at(idx, &positions[..mid], io);
+        } else {
+            self.write_leaf_at(idx, &positions, io);
+        }
+        self.rebuild_prefix();
+    }
+
+    /// Number of deleted positions `≤ pos` (rank). One leaf read.
+    pub fn rank(&self, pos: u64, io: &IoSession) -> u64 {
+        let idx = match self.leaves.partition_point(|l| l.first <= pos) {
+            0 => return 0,
+            i => i - 1,
+        };
+        let in_leaf = self.read_leaf(idx, io).partition_point(|&d| d <= pos) as u64;
+        self.prefix[idx] + in_leaf
+    }
+
+    /// Whether `pos` is deleted. One leaf read.
+    pub fn is_deleted(&self, pos: u64, io: &IoSession) -> bool {
+        let idx = match self.leaves.partition_point(|l| l.first <= pos) {
+            0 => return false,
+            i => i - 1,
+        };
+        self.read_leaf(idx, io).binary_search(&pos).is_ok()
+    }
+
+    /// Translates an original position to the current (compacted) system;
+    /// `None` if the position is deleted.
+    pub fn original_to_current(&self, pos: u64, io: &IoSession) -> Option<u64> {
+        if self.is_deleted(pos, io) {
+            return None;
+        }
+        Some(pos - self.rank(pos, io))
+    }
+
+    /// Translates a current (compacted) position back to the original
+    /// system: the unique non-deleted original `x` with
+    /// `x − rank(x) = cur`, i.e. `x = cur + k` for the smallest `k` with
+    /// `d_{k+1} > cur + k` (where `d_1 < d_2 < …` are the deleted
+    /// positions). `d_{k+1} − k` is strictly increasing, so the flip leaf
+    /// is located in the memory directory and the scan touches O(1)
+    /// leaves except for runs of consecutive deletions.
+    pub fn current_to_original(&self, cur: u64, io: &IoSession) -> u64 {
+        // Last leaf whose first element is still "small" at its own k.
+        let mut li = None;
+        for (i, l) in self.leaves.iter().enumerate() {
+            if l.first <= cur + self.prefix[i] {
+                li = Some(i);
+            } else {
+                break;
+            }
+        }
+        let Some(mut i) = li else {
+            return cur; // k = 0: no deletion precedes the answer
+        };
+        let mut k = self.prefix[i];
+        loop {
+            for &d in &self.read_leaf(i, io) {
+                if d <= cur + k {
+                    k += 1;
+                } else {
+                    return cur + k;
+                }
+            }
+            i += 1;
+            if i >= self.leaves.len() || self.leaves[i].first > cur + k {
+                return cur + k;
+            }
+        }
+    }
+
+    /// Space in bits: leaf payloads plus the memory directory.
+    pub fn space_bits(&self) -> u64 {
+        let field = cost::lg2_ceil(self.leaves.last().map(|l| l.first + 1).unwrap_or(2).max(2));
+        self.disk.used_bits() + self.leaves.len() as u64 * 2 * field
+    }
+
+    /// Rebuilds into tightly packed leaves (the paper's global rebuild
+    /// when deletions exceed a constant fraction; exposed so the owning
+    /// index can fold it into its own epoch rebuilds).
+    pub fn compact(&mut self, io: &IoSession) {
+        let all: Vec<u64> = (0..self.leaves.len()).flat_map(|i| self.read_leaf(i, io)).collect();
+        for l in &self.leaves {
+            // Free old storage.
+            let _ = l;
+        }
+        let mut disk = Disk::new(*self.disk.config());
+        std::mem::swap(&mut self.disk, &mut disk);
+        self.leaves.clear();
+        for chunk in all.chunks(self.cap.max(1)) {
+            let at = self.leaves.len();
+            self.write_leaf_at(at, chunk, io);
+        }
+        self.rebuild_prefix();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn cfg() -> IoConfig {
+        IoConfig::with_block_bits(512)
+    }
+
+    #[test]
+    fn rank_and_membership() {
+        let mut m = DeletedPositionMap::new(cfg());
+        let io = IoSession::untracked();
+        for p in [10u64, 20, 30, 5] {
+            m.insert(p, &io);
+        }
+        assert_eq!(m.total_deleted(), 4);
+        assert_eq!(m.rank(4, &io), 0);
+        assert_eq!(m.rank(5, &io), 1);
+        assert_eq!(m.rank(25, &io), 3);
+        assert_eq!(m.rank(1000, &io), 4);
+        assert!(m.is_deleted(20, &io));
+        assert!(!m.is_deleted(21, &io));
+    }
+
+    #[test]
+    fn translation_roundtrip_small() {
+        let mut m = DeletedPositionMap::new(cfg());
+        let io = IoSession::untracked();
+        // Delete 2, 3, 7 out of 0..10: current = [0,1,4,5,6,8,9].
+        for p in [2u64, 3, 7] {
+            m.insert(p, &io);
+        }
+        let expected = [0u64, 1, 4, 5, 6, 8, 9];
+        for (cur, &orig) in expected.iter().enumerate() {
+            assert_eq!(m.original_to_current(orig, &io), Some(cur as u64), "orig {orig}");
+            assert_eq!(m.current_to_original(cur as u64, &io), orig, "cur {cur}");
+        }
+        for p in [2u64, 3, 7] {
+            assert_eq!(m.original_to_current(p, &io), None);
+        }
+    }
+
+    #[test]
+    fn translation_roundtrip_random() {
+        let n = 5000u64;
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut deleted: Vec<u64> = (0..n).filter(|_| rng.gen_bool(0.3)).collect();
+        deleted.shuffle(&mut rng);
+        let mut m = DeletedPositionMap::new(cfg());
+        let io = IoSession::untracked();
+        for &p in &deleted {
+            m.insert(p, &io);
+        }
+        let dset: std::collections::BTreeSet<u64> = deleted.iter().copied().collect();
+        let alive: Vec<u64> = (0..n).filter(|p| !dset.contains(p)).collect();
+        for (cur, &orig) in alive.iter().enumerate().step_by(97) {
+            assert_eq!(m.original_to_current(orig, &io), Some(cur as u64));
+            assert_eq!(m.current_to_original(cur as u64, &io), orig);
+        }
+    }
+
+    #[test]
+    fn consecutive_deletions_translate() {
+        let mut m = DeletedPositionMap::new(cfg());
+        let io = IoSession::untracked();
+        for p in 0..100u64 {
+            m.insert(p, &io);
+        }
+        // Current position 0 is original 100.
+        assert_eq!(m.current_to_original(0, &io), 100);
+        assert_eq!(m.current_to_original(5, &io), 105);
+        assert_eq!(m.original_to_current(100, &io), Some(0));
+    }
+
+    #[test]
+    fn translation_costs_few_ios() {
+        let mut m = DeletedPositionMap::new(IoConfig::default());
+        let io = IoSession::untracked();
+        let mut rng = StdRng::seed_from_u64(73);
+        for _ in 0..20_000 {
+            let p = rng.gen_range(0..1_000_000u64);
+            if !m.is_deleted(p, &io) {
+                m.insert(p, &io);
+            }
+        }
+        let io = IoSession::new();
+        m.original_to_current(500_000, &io);
+        assert!(io.stats().reads <= 4, "{} reads for a translation", io.stats().reads);
+    }
+
+    #[test]
+    fn compact_preserves_content() {
+        let mut m = DeletedPositionMap::new(cfg());
+        let io = IoSession::untracked();
+        for p in (0..1000u64).step_by(3) {
+            m.insert(p, &io);
+        }
+        let before = m.space_bits();
+        m.compact(&io);
+        assert!(m.space_bits() <= before);
+        assert_eq!(m.rank(999, &io), 334);
+        assert!(m.is_deleted(999, &io));
+        assert!(!m.is_deleted(998, &io));
+    }
+
+    #[test]
+    fn space_is_linear_not_loglinear() {
+        // Dense deletions: gamma gaps of 1 bit each -> O(n) bits total.
+        let mut m = DeletedPositionMap::new(cfg());
+        let io = IoSession::untracked();
+        let n = 10_000u64;
+        for p in 0..n {
+            m.insert(p, &io);
+        }
+        assert!(m.space_bits() < 16 * n, "space {} not O(n)", m.space_bits());
+    }
+}

@@ -1,0 +1,574 @@
+//! The fully dynamic secondary index (Theorem 7, §4.3).
+//!
+//! "All the bitmaps stored at any particular materialized level … can be
+//! thought of as representing a bitmap index over an alphabet containing
+//! one character corresponding to each node in that level. Thus we can
+//! obtain a fully dynamic secondary bitmap index by representing each of
+//! the materialized levels as a buffered bitmap index."
+//!
+//! Structure: a *snapshot* of the weight-balanced tree shape (frozen
+//! between epoch rebuilds) whose materialized cuts are each stored as a
+//! [`BufferedBitmapIndex`] over that cut's node-alphabet. A
+//! `change(i, α)` issues one delete and one insert per materialized cut
+//! (`O(lg lg n)` buffered updates of amortized `O(lg n / b)` I/Os each —
+//! Theorem 7's `O(lg n lg lg n / b)`); a range query decomposes over the
+//! frozen tree and reads each canonical node's frontier as a *range* of
+//! consecutive node-characters from the cut's buffered index.
+//!
+//! Deletions follow §4: "extend the alphabet with a new character ∞ that
+//! is never matched by a range query"; a [`crate::DeletedPositionMap`]
+//! can translate to compacted position semantics on top.
+//!
+//! Engineering choices documented in `DESIGN.md`: the tree shape is
+//! frozen per epoch (the paper is silent on rebalancing under `change`,
+//! which moves weight between characters); a global rebuild runs every
+//! `n/4` changes, or immediately when a change introduces a character
+//! that the snapshot has no node for.
+
+use psi_api::{check_range, AppendIndex, DynamicIndex, RidSet, SecondaryIndex, Symbol};
+use psi_bits::{merge, GapBitmap};
+use psi_io::{IoConfig, IoSession};
+
+use crate::buffered_bitmap::BufferedBitmapIndex;
+use crate::wbb::{NodeId, WbbTree};
+
+/// One frozen materialized cut: its node-alphabet is backed by a buffered
+/// bitmap index.
+#[derive(Debug)]
+struct CutIndex {
+    /// Tree depth this cut materializes (diagnostics).
+    #[allow(dead_code)]
+    level: u32,
+    bbi: BufferedBitmapIndex,
+}
+
+/// Routing entry: the first build-time position of a character piece
+/// inside a cut node.
+type RouteEntry = (u64, u32);
+
+#[derive(Debug)]
+struct Snapshot {
+    tree: WbbTree,
+    cuts: Vec<CutIndex>,
+    /// `node_slot[v] = (cut, node-character within the cut)`.
+    node_slot: Vec<Option<(u32, u32)>>,
+    /// `route[cut][char]` — sorted `(first_pos, node-character)` pieces.
+    route: Vec<Vec<Vec<RouteEntry>>>,
+    /// `leaf_route[char]` — sorted `(first_pos, leaf depth)` pieces. A
+    /// position is *present* in cut `i` iff its leaf is deeper than the
+    /// previous cut's level (`leaf_depth > level[i-1]`); deeper cuts never
+    /// see it, so updates must skip them.
+    leaf_route: Vec<Vec<(u64, u32)>>,
+    /// Cut levels (depths), ascending.
+    levels: Vec<u32>,
+    /// Build-time length (positions `≥ n0` are pending appends).
+    n0: u64,
+}
+
+/// Theorem 7's fully dynamic index.
+///
+/// ```
+/// use psi_core::FullyDynamicIndex;
+/// use psi_api::{DynamicIndex, SecondaryIndex};
+/// use psi_io::{IoConfig, IoSession};
+///
+/// let mut idx = FullyDynamicIndex::build(&[0, 1, 2, 1, 0], 3, IoConfig::default());
+/// let io = IoSession::new();
+/// idx.change(0, 2, &io); // string becomes 2 1 2 1 0
+/// assert_eq!(idx.query(2, 2, &io).to_vec(), vec![0, 2]);
+/// idx.delete(3, &io); // position 3 stops matching any range
+/// assert_eq!(idx.query(1, 1, &io).to_vec(), vec![1]);
+/// ```
+#[derive(Debug)]
+pub struct FullyDynamicIndex {
+    config: IoConfig,
+    sigma: Symbol,
+    /// The current string, including `∞` markers (this mirrors the
+    /// *indexed table*, not the index; it is not counted in space).
+    string: Vec<Symbol>,
+    /// The `∞` character (= `sigma`): "never matched by a range query".
+    inf: Symbol,
+    snap: Option<Snapshot>,
+    /// Symbols appended since the snapshot (folded in at rebuild).
+    pending_appends: usize,
+    changes_since_rebuild: u64,
+    /// Epoch rebuild counter.
+    pub global_rebuilds: u64,
+    c: u32,
+}
+
+impl FullyDynamicIndex {
+    /// Builds over `symbols ∈ [0, sigma)ⁿ`.
+    pub fn build(symbols: &[Symbol], sigma: Symbol, config: IoConfig) -> Self {
+        assert!(sigma > 0);
+        let mut idx = FullyDynamicIndex {
+            config,
+            sigma,
+            string: symbols.to_vec(),
+            inf: sigma,
+            snap: None,
+            pending_appends: 0,
+            changes_since_rebuild: 0,
+            global_rebuilds: 0,
+            c: crate::engine::DEFAULT_C,
+        };
+        for (i, &s) in symbols.iter().enumerate() {
+            assert!(s < sigma, "symbol {s} at {i} outside alphabet of size {sigma}");
+        }
+        idx.rebuild();
+        idx
+    }
+
+    /// Rebuilds the frozen snapshot from the current string.
+    fn rebuild(&mut self) {
+        self.global_rebuilds += 1;
+        self.changes_since_rebuild = 0;
+        self.pending_appends = 0;
+        let n = self.string.len() as u64;
+        if n == 0 {
+            self.snap = None;
+            return;
+        }
+        let sigma_all = self.inf + 1;
+        let mut counts = vec![0u64; sigma_all as usize];
+        let mut lists: Vec<Vec<u64>> = vec![Vec::new(); sigma_all as usize];
+        for (i, &s) in self.string.iter().enumerate() {
+            counts[s as usize] += 1;
+            lists[s as usize].push(i as u64);
+        }
+        let tree = WbbTree::build(&counts, self.c);
+        let h = tree.max_depth();
+        // Materialized levels: {1,2,4,…} ∪ {h} (or {0} for one leaf).
+        let mut levels = Vec::new();
+        if h == 0 {
+            levels.push(0);
+        } else {
+            let mut l = 1;
+            while l < h {
+                levels.push(l);
+                l *= 2;
+            }
+            levels.push(h);
+        }
+        let mut prefix = Vec::with_capacity(lists.len() + 1);
+        let mut acc = 0u64;
+        for l in &lists {
+            prefix.push(acc);
+            acc += l.len() as u64;
+        }
+        prefix.push(acc);
+        // Gather per-cut node lists (in multiset order) with their
+        // position sets and per-character routing pieces.
+        let mut node_slot = vec![None; tree.arena_len()];
+        let mut per_cut_sets: Vec<Vec<Vec<u64>>> = vec![Vec::new(); levels.len()];
+        let mut route: Vec<Vec<Vec<RouteEntry>>> =
+            vec![vec![Vec::new(); sigma_all as usize]; levels.len()];
+        let mut leaf_route: Vec<Vec<(u64, u32)>> = vec![Vec::new(); sigma_all as usize];
+        collect_cut_nodes(
+            &tree,
+            tree.root(),
+            0,
+            &levels,
+            &lists,
+            &prefix,
+            &mut node_slot,
+            &mut per_cut_sets,
+            &mut route,
+            &mut leaf_route,
+        );
+        let cuts = levels
+            .iter()
+            .zip(per_cut_sets)
+            .map(|(&level, sets)| CutIndex {
+                level,
+                bbi: BufferedBitmapIndex::build_from_lists(
+                    if sets.is_empty() { vec![Vec::new()] } else { sets },
+                    self.config,
+                ),
+            })
+            .collect();
+        self.snap = Some(Snapshot { tree, cuts, node_slot, route, leaf_route, levels, n0: n });
+    }
+
+    /// Looks up the cut node-character owning `(ch, pos)` in a cut.
+    fn route_slot(snap: &Snapshot, cut: usize, ch: Symbol, pos: u64) -> Option<u32> {
+        let pieces = &snap.route[cut][ch as usize];
+        if pieces.is_empty() {
+            return None;
+        }
+        let i = match pieces.partition_point(|&(fp, _)| fp <= pos) {
+            0 => 0, // position precedes the first piece: it still belongs there
+            i => i - 1,
+        };
+        Some(pieces[i].1)
+    }
+
+    /// Build-time leaf depth of the piece of `ch` that owns `pos` — the
+    /// presence bound: the position exists in cut `i` iff
+    /// `levels[i-1] < leaf_depth` (always in cut 0).
+    fn leaf_depth(snap: &Snapshot, ch: Symbol, pos: u64) -> u32 {
+        let pieces = &snap.leaf_route[ch as usize];
+        debug_assert!(!pieces.is_empty(), "char {ch} has no leaves in snapshot");
+        let i = match pieces.partition_point(|&(fp, _)| fp <= pos) {
+            0 => 0,
+            i => i - 1,
+        };
+        pieces[i].1
+    }
+
+    /// Whether positions of leaf depth `d` appear in cut `i`.
+    fn present_in_cut(snap: &Snapshot, cut: usize, d: u32) -> bool {
+        cut == 0 || snap.levels[cut - 1] < d
+    }
+
+    /// Changes position `pos` to `symbol` (Theorem 7's `change(x, i, a)`).
+    /// `symbol` may be the `∞` character via [`Self::delete`].
+    fn change_internal(&mut self, pos: u64, symbol: Symbol, io: &IoSession) {
+        assert!((pos as usize) < self.string.len(), "position {pos} out of range");
+        let old = self.string[pos as usize];
+        if old == symbol {
+            return;
+        }
+        self.string[pos as usize] = symbol;
+        self.changes_since_rebuild += 1;
+        let needs_rebuild = match &self.snap {
+            None => true,
+            Some(snap) => {
+                pos >= snap.n0
+                    || self.changes_since_rebuild * 4 > snap.n0
+                    || snap.route.iter().any(|r| r[symbol as usize].is_empty())
+            }
+        };
+        if needs_rebuild {
+            // Pending-append edits and characters unknown to the snapshot
+            // are resolved by re-snapshotting (amortized against the epoch).
+            self.rebuild();
+            return;
+        }
+        let snap = self.snap.as_mut().expect("snapshot exists");
+        let d_old = Self::leaf_depth(snap, old, pos);
+        let d_new = Self::leaf_depth(snap, symbol, pos);
+        for cut in 0..snap.cuts.len() {
+            if Self::present_in_cut(snap, cut, d_old) {
+                let from = Self::route_slot(snap, cut, old, pos).expect("old char routed");
+                snap.cuts[cut].bbi.remove(from, pos, io);
+            }
+            if Self::present_in_cut(snap, cut, d_new) {
+                let to = Self::route_slot(snap, cut, symbol, pos).expect("new char routed");
+                snap.cuts[cut].bbi.insert(to, pos, io);
+            }
+        }
+    }
+
+    /// Deletes position `pos` (changes it to `∞`, which no range matches).
+    pub fn delete(&mut self, pos: u64, io: &IoSession) {
+        let inf = self.inf;
+        self.change_internal(pos, inf, io);
+    }
+
+    /// Canonical decomposition of the character range over the frozen
+    /// tree, collecting per-cut consecutive node-character ranges.
+    fn canonical_ranges(
+        snap: &Snapshot,
+        v: NodeId,
+        lo: Symbol,
+        hi: Symbol,
+        out: &mut Vec<(u32, u32, u32)>,
+    ) {
+        let node = snap.tree.node(v);
+        if node.char_lo > hi || node.char_hi < lo {
+            return;
+        }
+        if node.char_lo >= lo && node.char_hi <= hi {
+            Self::frontier_ranges(snap, v, out);
+            return;
+        }
+        if node.is_leaf() {
+            return; // leaf of a boundary char outside the range
+        }
+        for &child in &node.children {
+            Self::canonical_ranges(snap, child, lo, hi, out);
+        }
+    }
+
+    /// Collects `(cut, first-slot, last-slot)` ranges reconstructing `v`.
+    fn frontier_ranges(snap: &Snapshot, v: NodeId, out: &mut Vec<(u32, u32, u32)>) {
+        if let Some((cut, slot)) = snap.node_slot[v as usize] {
+            match out.last_mut() {
+                Some((c, _, last)) if *c == cut && *last + 1 == slot => *last = slot,
+                _ => out.push((cut, slot, slot)),
+            }
+            return;
+        }
+        for &child in &snap.tree.node(v).children {
+            Self::frontier_ranges(snap, child, out);
+        }
+    }
+
+    /// Result cardinality (scan of the in-memory counts is avoided by
+    /// keeping the string mirror; `O(1)` per maintained count would be a
+    /// trivial extension — the harness uses query results directly).
+    pub fn cardinality(&self, lo: Symbol, hi: Symbol) -> u64 {
+        check_range(lo, hi, self.sigma);
+        self.string.iter().filter(|&&s| (lo..=hi).contains(&s)).count() as u64
+    }
+}
+
+/// Recursive walk mirroring the engine's cut assignment, additionally
+/// building the per-character routing tables.
+#[allow(clippy::too_many_arguments)]
+fn collect_cut_nodes(
+    tree: &WbbTree,
+    v: NodeId,
+    start: u64,
+    levels: &[u32],
+    lists: &[Vec<u64>],
+    prefix: &[u64],
+    node_slot: &mut [Option<(u32, u32)>],
+    per_cut_sets: &mut [Vec<Vec<u64>>],
+    route: &mut [Vec<Vec<RouteEntry>>],
+    leaf_route: &mut [Vec<(u64, u32)>],
+) {
+    let node = tree.node(v);
+    let end = start + node.weight;
+    let cut = if node.is_leaf() {
+        Some(match levels.iter().position(|&l| l >= node.depth) {
+            Some(i) => i as u32,
+            None => (levels.len() - 1) as u32,
+        })
+    } else {
+        levels.iter().position(|&l| l == node.depth).map(|i| i as u32)
+    };
+    if let Some(cut_idx) = cut {
+        // Positions and routing pieces for the multiset range [start, end).
+        let mut c = match prefix.binary_search(&start) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        while c + 1 < prefix.len() && prefix[c + 1] <= start {
+            c += 1;
+        }
+        let slot = per_cut_sets[cut_idx as usize].len() as u32;
+        let mut streams = Vec::new();
+        while c < lists.len() && prefix[c] < end {
+            let s = start.max(prefix[c]) - prefix[c];
+            let e = end.min(prefix[c + 1]) - prefix[c];
+            if s < e {
+                route[cut_idx as usize][c].push((lists[c][s as usize], slot));
+                streams.push(lists[c][s as usize..e as usize].iter().copied());
+            }
+            c += 1;
+        }
+        let positions: Vec<u64> = merge::merge_disjoint(streams).collect();
+        per_cut_sets[cut_idx as usize].push(positions);
+        node_slot[v as usize] = Some((cut_idx, slot));
+    }
+    if node.is_leaf() {
+        let c = node.leaf_char() as usize;
+        let s = start - prefix[c];
+        leaf_route[c].push((lists[c][s as usize], node.depth));
+    }
+    let mut off = start;
+    for &child in &tree.node(v).children {
+        collect_cut_nodes(
+            tree, child, off, levels, lists, prefix, node_slot, per_cut_sets, route, leaf_route,
+        );
+        off += tree.node(child).weight;
+    }
+}
+
+impl SecondaryIndex for FullyDynamicIndex {
+    fn len(&self) -> u64 {
+        self.string.len() as u64
+    }
+
+    fn sigma(&self) -> Symbol {
+        self.sigma
+    }
+
+    fn space_bits(&self) -> u64 {
+        let snap_bits: u64 = self
+            .snap
+            .as_ref()
+            .map(|s| {
+                s.cuts.iter().map(|c| c.bbi.space_bits()).sum::<u64>()
+                    + s.tree.live_nodes() as u64 * 128
+            })
+            .unwrap_or(0);
+        snap_bits
+    }
+
+    fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+        check_range(lo, hi, self.sigma);
+        let n = self.string.len() as u64;
+        if n == 0 {
+            return RidSet::from_positions(GapBitmap::empty(0));
+        }
+        let Some(snap) = &self.snap else {
+            return RidSet::from_positions(GapBitmap::empty(n));
+        };
+        let mut ranges = Vec::new();
+        Self::canonical_ranges(snap, snap.tree.root(), lo, hi, &mut ranges);
+        let mut per_range: Vec<Vec<u64>> = Vec::with_capacity(ranges.len());
+        for (cut, first, last) in ranges {
+            per_range.push(snap.cuts[cut as usize].bbi.range_positions(first, last, io));
+        }
+        let streams: Vec<std::vec::IntoIter<u64>> =
+            per_range.into_iter().map(|v| v.into_iter()).collect();
+        let positions = merge::merge_disjoint(streams);
+        // Appends since the snapshot live in the in-memory tail (bounded
+        // to a quarter of n by the rebuild policy); their positions all
+        // exceed the snapshot's.
+        let tail = self.string[snap.n0 as usize..]
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| (lo..=hi).contains(&s))
+            .map(|(i, _)| snap.n0 + i as u64);
+        RidSet::from_positions(GapBitmap::from_sorted_iter(positions.chain(tail), n))
+    }
+}
+
+impl AppendIndex for FullyDynamicIndex {
+    fn append(&mut self, symbol: Symbol, io: &IoSession) {
+        assert!(symbol < self.sigma);
+        let _ = io;
+        self.string.push(symbol);
+        self.pending_appends += 1;
+        // Appends are folded in by re-snapshotting once they accumulate to
+        // a constant fraction (the paper's fully dynamic structure fixes
+        // n; appends here are a convenience built on global rebuilding).
+        let n0 = self.snap.as_ref().map(|s| s.n0).unwrap_or(0);
+        if self.pending_appends as u64 * 4 > n0.max(4) {
+            self.rebuild();
+        }
+    }
+}
+
+impl DynamicIndex for FullyDynamicIndex {
+    fn change(&mut self, pos: u64, symbol: Symbol, io: &IoSession) {
+        assert!(symbol < self.sigma, "use delete() for the ∞ character");
+        self.change_internal(pos, symbol, io);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_api::naive_query;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn cfg() -> IoConfig {
+        IoConfig::with_block_bits(512)
+    }
+
+    fn check_all(idx: &FullyDynamicIndex, current: &[Symbol], sigma: Symbol) {
+        for lo in 0..sigma {
+            for hi in lo..sigma {
+                let io = IoSession::new();
+                // Positions holding ∞ (encoded as sigma in `current`) never
+                // match because naive_query filters on [lo, hi] ⊆ [0, σ).
+                assert_eq!(
+                    idx.query(lo, hi, &io).to_vec(),
+                    naive_query(current, lo, hi).to_vec(),
+                    "range [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn changes_match_naive_model() {
+        let sigma = 8u32;
+        let mut current = psi_workloads::uniform(1200, sigma, 81);
+        let mut idx = FullyDynamicIndex::build(&current, sigma, cfg());
+        let io = IoSession::untracked();
+        let mut rng = StdRng::seed_from_u64(83);
+        for _ in 0..300 {
+            let pos = rng.gen_range(0..current.len() as u64);
+            let sym = rng.gen_range(0..sigma);
+            idx.change(pos, sym, &io);
+            current[pos as usize] = sym;
+        }
+        check_all(&idx, &current, sigma);
+    }
+
+    #[test]
+    fn deletions_stop_matching() {
+        let sigma = 6u32;
+        let mut current = psi_workloads::uniform(800, sigma, 85);
+        let mut idx = FullyDynamicIndex::build(&current, sigma, cfg());
+        let io = IoSession::untracked();
+        let mut rng = StdRng::seed_from_u64(87);
+        for _ in 0..150 {
+            let pos = rng.gen_range(0..current.len() as u64);
+            idx.delete(pos, &io);
+            current[pos as usize] = sigma; // ∞ marker in the naive model
+        }
+        check_all(&idx, &current, sigma);
+        // Deleted positions can be resurrected by a later change.
+        idx.change(0, 2, &io);
+        current[0] = 2;
+        check_all(&idx, &current, sigma);
+    }
+
+    #[test]
+    fn epoch_rebuilds_trigger_and_preserve() {
+        let sigma = 4u32;
+        let mut current = psi_workloads::uniform(400, sigma, 89);
+        let mut idx = FullyDynamicIndex::build(&current, sigma, cfg());
+        let io = IoSession::untracked();
+        let before = idx.global_rebuilds;
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..400 {
+            let pos = rng.gen_range(0..current.len() as u64);
+            let sym = rng.gen_range(0..sigma);
+            idx.change(pos, sym, &io);
+            current[pos as usize] = sym;
+        }
+        assert!(idx.global_rebuilds > before, "epoch rebuild expected after n changes");
+        check_all(&idx, &current, sigma);
+    }
+
+    #[test]
+    fn update_cost_is_buffered() {
+        let sigma = 32u32;
+        let n = 30_000usize;
+        let current = psi_workloads::uniform(n, sigma, 93);
+        let mut idx = FullyDynamicIndex::build(&current, sigma, IoConfig::default());
+        let io = IoSession::new();
+        let mut rng = StdRng::seed_from_u64(95);
+        let updates = 2000;
+        for _ in 0..updates {
+            let pos = rng.gen_range(0..n as u64);
+            let sym = rng.gen_range(0..sigma);
+            idx.change(pos, sym, &io);
+        }
+        let per_change = io.stats().total() as f64 / f64::from(updates);
+        // Theorem 7: amortized O(lg n lg lg n / b) << 1; allow generous
+        // implementation constants (leaf rewrites dominate).
+        assert!(per_change < 20.0, "amortized {per_change:.2} I/Os per change");
+    }
+
+    #[test]
+    fn appends_fold_in_via_rebuild() {
+        let sigma = 5u32;
+        let mut current = psi_workloads::uniform(200, sigma, 97);
+        let mut idx = FullyDynamicIndex::build(&current, sigma, cfg());
+        let io = IoSession::untracked();
+        for &s in &psi_workloads::uniform(300, sigma, 99) {
+            idx.append(s, &io);
+            current.push(s);
+        }
+        check_all(&idx, &current, sigma);
+    }
+
+    #[test]
+    fn single_character_string() {
+        let mut idx = FullyDynamicIndex::build(&[0], 2, cfg());
+        let io = IoSession::new();
+        idx.change(0, 1, &io);
+        assert_eq!(idx.query(1, 1, &io).to_vec(), vec![0]);
+        assert!(idx.query(0, 0, &io).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Universal hashing with computable preimages (paper §3).
+//!
+//! The approximate index stores, for each position set `S`, hashed sets
+//! `h_j(S)` where `h_j : [n] → [2^{2ʲ}]`. The paper describes "a well-known
+//! and particularly attractive universal family": split `i` into
+//! `(i₁, i₂)` where `i₂` is the `2ʲ` least significant bits, pick `g_j`
+//! from a universal family, and let
+//!
+//! ```text
+//! h_j(i₁, i₂) = g_j(i₁) ⊕ i₂
+//! ```
+//!
+//! (The paper says `g_j` maps to `[2ʲ]`; consistency with the output
+//! universe `[2^{2ʲ}]` requires `g_j` to produce `2ʲ` *bits* — we implement
+//! that reading, see `DESIGN.md`.) The XOR structure makes preimages
+//! enumerable without inversion: `h_j⁻¹(s) = {(i₁, s ⊕ g_j(i₁))}` over all
+//! high parts `i₁`, which is what lets queries *generate* the approximate
+//! result "without using any further I/Os".
+//!
+//! `g_j` is a multiply-add-shift hash (Dietzfelbinger et al.), strongly
+//! universal for outputs up to 64 bits.
+
+use rand_like::SplitMix;
+
+/// One member `h_j` of the split-XOR family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitXorHash {
+    /// The level `j ≥ 1`; output is `2ʲ` bits.
+    pub j: u32,
+    /// Output width in bits (`2ʲ`, capped at 64).
+    pub out_bits: u32,
+    a: u128,
+    b: u128,
+}
+
+impl SplitXorHash {
+    /// Deterministically derives the level-`j` function from a seed.
+    pub fn new(j: u32, seed: u64) -> Self {
+        assert!(j >= 1, "levels start at 1");
+        let out_bits = (1u32 << j).min(64);
+        let mut sm = SplitMix::new(seed ^ (u64::from(j) << 56));
+        // Odd 128-bit multiplier for the multiply-add-shift family.
+        let a = (u128::from(sm.next()) << 64 | u128::from(sm.next())) | 1;
+        let b = u128::from(sm.next()) << 64 | u128::from(sm.next());
+        SplitXorHash { j, out_bits, a, b }
+    }
+
+    /// The output universe size `2^{2ʲ}` (saturating at `u64::MAX` for
+    /// 64-bit outputs).
+    pub fn universe(&self) -> u64 {
+        if self.out_bits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << self.out_bits
+        }
+    }
+
+    /// `g_j(i₁)`: strongly universal hash of the high part to `2ʲ` bits.
+    fn g(&self, i1: u64) -> u64 {
+        (self.a.wrapping_mul(u128::from(i1)).wrapping_add(self.b) >> (128 - self.out_bits)) as u64
+    }
+
+    /// Splits `i` into `(i₁, i₂)`.
+    fn split(&self, i: u64) -> (u64, u64) {
+        if self.out_bits >= 64 {
+            (0, i)
+        } else {
+            (i >> self.out_bits, i & (self.universe() - 1))
+        }
+    }
+
+    /// `h_j(i) = g_j(i₁) ⊕ i₂`.
+    pub fn hash(&self, i: u64) -> u64 {
+        let (i1, i2) = self.split(i);
+        self.g(i1) ^ i2
+    }
+
+    /// Number of distinct high parts for inputs in `[0, n)`.
+    pub fn high_parts(&self, n: u64) -> u64 {
+        if self.out_bits >= 64 {
+            1
+        } else {
+            n.div_ceil(1u64 << self.out_bits).max(1)
+        }
+    }
+
+    /// Enumerates `h_j⁻¹(s) ∩ [0, n)` — the paper's
+    /// `{(i₁, s ⊕ g_j(i₁)) | i₁ = 0, 1, 2, …}`.
+    pub fn preimage(&self, s: u64, n: u64) -> impl Iterator<Item = u64> + '_ {
+        let copy = *self;
+        (0..self.high_parts(n)).filter_map(move |i1| {
+            let i2 = s ^ copy.g(i1);
+            let i = if copy.out_bits >= 64 { i2 } else { (i1 << copy.out_bits) | i2 };
+            (i < n).then_some(i)
+        })
+    }
+}
+
+/// The family `{h_1, …, h_k}` with `k = ⌊lg lg n⌋`, sharing one seed —
+/// "the same k functions are used in each node" (§3).
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    fns: Vec<SplitXorHash>,
+}
+
+impl HashFamily {
+    /// Builds the family for strings of length up to `n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        let k = k_for(n);
+        HashFamily { fns: (1..=k).map(|j| SplitXorHash::new(j, seed)).collect() }
+    }
+
+    /// `k = ⌊lg lg n⌋` — the number of levels.
+    pub fn k(&self) -> u32 {
+        self.fns.len() as u32
+    }
+
+    /// The level-`j` function (`1 ≤ j ≤ k`).
+    pub fn level(&self, j: u32) -> &SplitXorHash {
+        &self.fns[(j - 1) as usize]
+    }
+
+    /// Smallest `j ≤ k` with `2^{2ʲ} > z/ε`, or `None` when even level `k`
+    /// is too coarse ("if j > k we cannot save anything … so we answer the
+    /// query exactly", §3).
+    pub fn level_for(&self, z: u64, epsilon: f64) -> Option<u32> {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        let need = z as f64 / epsilon;
+        (1..=self.k()).find(|&j| {
+            let f = self.level(j);
+            f.out_bits >= 64 || (f.universe() as f64) > need
+        })
+    }
+}
+
+/// `⌊lg lg n⌋`, clamped to at least 1 (so tiny inputs still have a level).
+pub fn k_for(n: u64) -> u32 {
+    let lg = 64 - n.max(4).leading_zeros() as u32 - 1; // ⌊lg n⌋
+    let lglg = 32 - lg.leading_zeros() - 1; // ⌊lg lg n⌋
+    lglg.max(1)
+}
+
+/// Minimal SplitMix64 so the hash family needs no external RNG dependency.
+mod rand_like {
+    #[derive(Debug)]
+    pub struct SplitMix {
+        state: u64,
+    }
+
+    impl SplitMix {
+        pub fn new(seed: u64) -> Self {
+            SplitMix { state: seed }
+        }
+
+        pub fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_for_matches_lg_lg() {
+        assert_eq!(k_for(16), 2); // lg lg 16 = 2
+        assert_eq!(k_for(1 << 16), 4);
+        assert_eq!(k_for(1 << 20), 4); // lg 2^20 = 20, lg 20 = 4
+        assert_eq!(k_for((1 << 32) + 1), 5);
+        assert_eq!(k_for(2), 1); // clamped
+    }
+
+    #[test]
+    fn output_stays_in_universe() {
+        for j in 1..=6u32 {
+            let h = SplitXorHash::new(j, 42);
+            for i in (0..10_000u64).step_by(37) {
+                if h.out_bits < 64 {
+                    assert!(h.hash(i) < h.universe(), "j={j} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preimage_contains_original() {
+        let n = 100_000u64;
+        for j in 1..=5u32 {
+            let h = SplitXorHash::new(j, 7);
+            for i in [0u64, 1, 999, 50_000, n - 1] {
+                let s = h.hash(i);
+                assert!(
+                    h.preimage(s, n).any(|x| x == i),
+                    "j={j}: {i} missing from preimage of its own hash"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preimage_elements_all_hash_to_s() {
+        let n = 10_000u64;
+        let h = SplitXorHash::new(3, 11);
+        let s = 200 % h.universe();
+        let pre: Vec<u64> = h.preimage(s, n).collect();
+        assert!(!pre.is_empty());
+        for &i in &pre {
+            assert!(i < n);
+            assert_eq!(h.hash(i), s);
+        }
+        // Preimage size ≈ n / 2^{2^j} = 10000/256 ≈ 39.
+        assert!(pre.len() as u64 <= n / h.universe() + 1);
+    }
+
+    #[test]
+    fn collision_rate_matches_universality() {
+        // For random pairs, Pr[h(x) = h(y)] should be close to 1/2^{2^j}.
+        let h = SplitXorHash::new(3, 13); // 8-bit output, universe 256
+        let mut collisions = 0u32;
+        let trials = 20_000u64;
+        for t in 0..trials {
+            let x = t.wrapping_mul(0x9E37_79B9).wrapping_add(17) % 1_000_000;
+            let y = t.wrapping_mul(0x85EB_CA6B).wrapping_add(91) % 1_000_000;
+            if x != y && h.hash(x) == h.hash(y) {
+                collisions += 1;
+            }
+        }
+        let rate = f64::from(collisions) / trials as f64;
+        assert!(rate < 3.0 / 256.0, "collision rate {rate} far above 1/256");
+    }
+
+    #[test]
+    fn family_levels_are_consistent() {
+        let fam = HashFamily::new(1 << 20, 99);
+        assert_eq!(fam.k(), 4);
+        for j in 1..=fam.k() {
+            assert_eq!(fam.level(j).j, j);
+            assert_eq!(fam.level(j).out_bits, (1 << j).min(64));
+        }
+    }
+
+    #[test]
+    fn level_for_picks_smallest_sufficient() {
+        let fam = HashFamily::new(1 << 20, 1);
+        // z = 10, eps = 0.1 -> need > 100 -> 2^{2^j} > 100 -> j = 3 (256).
+        assert_eq!(fam.level_for(10, 0.1), Some(3));
+        // z = 3, eps = 0.5 -> need > 6 -> j = 2 (16).
+        assert_eq!(fam.level_for(3, 0.5), Some(2));
+        // Huge z/eps exceeds level k = 4 (universe 65536).
+        assert_eq!(fam.level_for(1 << 19, 0.01), None);
+        // z = 0 -> the first level suffices.
+        assert_eq!(fam.level_for(0, 0.01), Some(1));
+    }
+
+    #[test]
+    fn same_seed_same_functions() {
+        let a = HashFamily::new(1 << 16, 5);
+        let b = HashFamily::new(1 << 16, 5);
+        for j in 1..=a.k() {
+            for i in 0..100 {
+                assert_eq!(a.level(j).hash(i), b.level(j).hash(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # psi-core — the Pagh–Rao secondary index (PODS 2009)
+//!
+//! Implementation of every structure from *"Secondary Indexing in One
+//! Dimension: Beyond B-trees and Bitmap Indexes"* (Pagh & Rao,
+//! arXiv:0811.2904), over the simulated I/O model of [`psi_io`]:
+//!
+//! | Structure | Theorem | Space (bits) | Query (I/Os) | Update (amortized I/Os) |
+//! |---|---|---|---|---|
+//! | [`UniformTreeIndex`] | 1 | `O(n lg² σ)` | `O(T/B + lg σ)` | — |
+//! | [`OptimalIndex`] | 2 | `O(nH₀ + n + σ lg² n)` | `O(z lg(n/z)/B + log_b n + lg lg n)` | — |
+//! | [`ApproximateIndex`] | 3 | as Thm 2 | `O(z lg(1/ε)/B + log_b n + lg lg n)` | — |
+//! | [`SemiDynamicIndex`] | 4 | as Thm 2 | as Thm 2 | append `O(lg lg n)` |
+//! | [`BufferedIndex`] | 5 | `+ O(σ lg n (B + lg n))` | `O(z lg(n/z)/B + lg n)` | append `O(lg n / b)` |
+//! | [`BufferedBitmapIndex`] | 6 | `O(nH₀)` | point `O(T/B + lg n)` | `O(lg n / b)` |
+//! | [`FullyDynamicIndex`] | 7 | as Thm 2 | `O(z lg(n/z)/B + lg n lg lg n)` | change `O(lg n lg lg n / b)` |
+//!
+//! plus the substrates they require: the pruned weight-balanced B-tree
+//! ([`wbb`]), slotted cut streams ([`cutstream`]), the heavy-character
+//! alphabet split ([`remap`]), the split-XOR universal hash family with
+//! computable preimages ([`hashing`]), and the deleted-position
+//! translation B-tree ([`DeletedPositionMap`], paper §4).
+//!
+//! All structures implement the shared [`psi_api::SecondaryIndex`] trait;
+//! dynamic ones add [`psi_api::AppendIndex`] / [`psi_api::DynamicIndex`].
+
+#![warn(missing_docs)]
+
+mod approx;
+mod buffered;
+mod buffered_bitmap;
+pub mod cutstream;
+mod delmap;
+mod engine;
+mod fully_dynamic;
+pub mod hashing;
+mod optimal;
+pub mod remap;
+mod semi_dynamic;
+mod uniform_tree;
+pub mod wbb;
+
+pub use approx::{ApproxResult, ApproximateIndex};
+pub use buffered::BufferedIndex;
+pub use buffered_bitmap::BufferedBitmapIndex;
+pub use delmap::DeletedPositionMap;
+pub use engine::{Engine, EngineStats, DEFAULT_C};
+pub use fully_dynamic::FullyDynamicIndex;
+pub use optimal::OptimalIndex;
+pub use semi_dynamic::SemiDynamicIndex;
+pub use uniform_tree::UniformTreeIndex;

@@ -1,0 +1,181 @@
+//! Alphabet remapping for the heavy-character split (§2.2).
+//!
+//! "For simplicity we assume that no character has more than n/2
+//! occurrences. If this is not the case we may expand the alphabet and
+//! substitute half of the occurrences of the most common character with a
+//! new character, increasing the 0th order entropy by O(n) bits."
+//!
+//! A [`Remap`] carries the mapping between the *original* alphabet
+//! `[0, σ)` and the *internal* alphabet `[0, σ')` where each original
+//! character owns a contiguous range of internal characters (usually one;
+//! two or more after splits). Splits assign the first half of a
+//! character's occurrences (by position) to the lower internal character,
+//! so internal per-character position lists remain sorted and appends land
+//! on the last internal character of the range.
+
+use psi_api::Symbol;
+
+/// Original-to-internal alphabet mapping.
+#[derive(Debug, Clone)]
+pub struct Remap {
+    /// `range[c] = (lo, hi)`: internal characters of original `c`.
+    range: Vec<(Symbol, Symbol)>,
+    /// Internal alphabet size.
+    sigma_internal: Symbol,
+}
+
+impl Remap {
+    /// Builds the mapping and rewrites `symbols` to internal characters in
+    /// place, splitting any character with more than `n/2` occurrences.
+    pub fn build(symbols: &mut Vec<Symbol>, sigma: Symbol) -> Remap {
+        assert!(sigma > 0);
+        let n = symbols.len() as u64;
+        let mut counts = vec![0u64; sigma as usize];
+        for &s in symbols.iter() {
+            assert!(s < sigma, "symbol {s} outside alphabet of size {sigma}");
+            counts[s as usize] += 1;
+        }
+        // Decide how many internal characters each original one needs: a
+        // character with z > n/2 occurrences splits into pieces of at most
+        // ⌈n/2⌉ (at most one character can exceed n/2, and two pieces
+        // always suffice; the loop form also covers the n ≤ 3 edge cases).
+        let half = n.div_ceil(2).max(1);
+        let mut pieces = vec![1u32; sigma as usize];
+        for (c, &z) in counts.iter().enumerate() {
+            if z > half && z >= 2 {
+                pieces[c] = z.div_ceil(half) as u32;
+            }
+        }
+        let mut range = Vec::with_capacity(sigma as usize);
+        let mut next = 0 as Symbol;
+        for &p in &pieces {
+            range.push((next, next + p - 1));
+            next += p;
+        }
+        let sigma_internal = next;
+        // Rewrite symbols: the k-th occurrence of original c maps to piece
+        // k / ceil(z/pieces).
+        let mut seen = vec![0u64; sigma as usize];
+        for s in symbols.iter_mut() {
+            let c = *s as usize;
+            let p = u64::from(pieces[c]);
+            let piece_size = counts[c].div_ceil(p);
+            let piece = (seen[c] / piece_size.max(1)).min(p - 1) as Symbol;
+            seen[c] += 1;
+            *s = range[c].0 + piece;
+        }
+        Remap { range, sigma_internal }
+    }
+
+    /// Identity mapping (no split needed): used by structures that manage
+    /// their own counts.
+    pub fn identity(sigma: Symbol) -> Remap {
+        Remap { range: (0..sigma).map(|c| (c, c)).collect(), sigma_internal: sigma }
+    }
+
+    /// Internal alphabet size `σ'`.
+    pub fn sigma_internal(&self) -> Symbol {
+        self.sigma_internal
+    }
+
+    /// Original alphabet size `σ`.
+    pub fn sigma(&self) -> Symbol {
+        self.range.len() as Symbol
+    }
+
+    /// Maps an original query range to the internal range.
+    pub fn map_range(&self, lo: Symbol, hi: Symbol) -> (Symbol, Symbol) {
+        (self.range[lo as usize].0, self.range[hi as usize].1)
+    }
+
+    /// Internal character that receives an *append* of original `c`: the
+    /// last of its range (appends extend the tail of the character's
+    /// occurrences).
+    pub fn map_append(&self, c: Symbol) -> Symbol {
+        self.range[c as usize].1
+    }
+
+    /// Whether the mapping is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.sigma_internal == self.range.len() as Symbol
+    }
+
+    /// Directory size in bits: two `⌈lg σ'⌉` fields per original character.
+    pub fn size_bits(&self) -> u64 {
+        2 * psi_io::cost::lg2_ceil(u64::from(self.sigma_internal).max(2))
+            * self.range.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_string_is_identity() {
+        let mut s = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let m = Remap::build(&mut s, 4);
+        assert!(m.is_identity());
+        assert_eq!(m.sigma_internal(), 4);
+        assert_eq!(s, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(m.map_range(1, 2), (1, 2));
+    }
+
+    #[test]
+    fn heavy_character_splits_in_half_by_position() {
+        // Character 1 has 6 of 8 occurrences.
+        let mut s = vec![1u32, 1, 0, 1, 1, 2, 1, 1];
+        let m = Remap::build(&mut s, 3);
+        assert!(!m.is_identity());
+        assert_eq!(m.sigma_internal(), 4);
+        // First 3 occurrences of 1 -> internal 1, last 3 -> internal 2.
+        assert_eq!(s, vec![1, 1, 0, 1, 2, 3, 2, 2]);
+        // Query [1,1] covers both internal pieces.
+        assert_eq!(m.map_range(1, 1), (1, 2));
+        assert_eq!(m.map_range(0, 1), (0, 2));
+        assert_eq!(m.map_range(2, 2), (3, 3));
+        // Appends of 1 go to the tail piece.
+        assert_eq!(m.map_append(1), 2);
+        assert_eq!(m.map_append(0), 0);
+    }
+
+    #[test]
+    fn split_pieces_have_at_most_half_the_string() {
+        let mut s = vec![5u32; 100];
+        s.extend(vec![2u32; 10]);
+        let m = Remap::build(&mut s, 8);
+        let mut counts = vec![0u64; m.sigma_internal() as usize];
+        for &c in &s {
+            counts[c as usize] += 1;
+        }
+        let n = s.len() as u64;
+        for (c, &z) in counts.iter().enumerate() {
+            assert!(2 * z <= n + 1, "internal char {c} still has {z} > n/2 occurrences");
+        }
+    }
+
+    #[test]
+    fn all_same_character_still_works() {
+        let mut s = vec![0u32; 7];
+        let m = Remap::build(&mut s, 1);
+        assert_eq!(m.sigma_internal(), 2);
+        assert_eq!(m.map_range(0, 0), (0, 1));
+        // 7 occurrences split ceil(7/2)=4 and 3.
+        assert_eq!(s, vec![0, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn singleton_string_does_not_split() {
+        let mut s = vec![0u32];
+        let m = Remap::build(&mut s, 2);
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    fn empty_string_identity() {
+        let mut s: Vec<u32> = vec![];
+        let m = Remap::build(&mut s, 3);
+        assert!(m.is_identity());
+        assert_eq!(m.sigma_internal(), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Closed-form cost expressions from Pagh & Rao (PODS 2009).
+//!
+//! The experiment harnesses overlay these theory curves on measured I/O
+//! counts. All logarithms are base 2 (`lg`, as in the paper).
+
+/// `⌈lg x⌉` for `x ≥ 1` (and 0 for `x ∈ {0, 1}`).
+pub fn lg2_ceil(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros() as u64
+    }
+}
+
+/// `⌊lg x⌋` for `x ≥ 1`.
+///
+/// # Panics
+/// Panics if `x == 0`.
+pub fn lg2_floor(x: u64) -> u64 {
+    assert!(x > 0, "lg of zero");
+    63 - x.leading_zeros() as u64
+}
+
+/// `lg x` as a float, with `lg 0 := 0` for convenience in sums.
+pub fn lg2(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+/// The information-theoretic size of a `z`-subset of `[n]` in bits:
+/// `lg C(n, z) ≈ z lg(n/z) + Θ(z)` (paper §1.2). Computed exactly via
+/// `ln Γ` to avoid overflow.
+pub fn lg_binomial(n: u64, z: u64) -> f64 {
+    if z == 0 || z >= n {
+        return 0.0;
+    }
+    let n = n as f64;
+    let z = z as f64;
+    (ln_gamma(n + 1.0) - ln_gamma(z + 1.0) - ln_gamma(n - z + 1.0)) / std::f64::consts::LN_2
+}
+
+/// The paper's shorthand output bound `z lg(n/z)` (0 when `z == 0`).
+pub fn output_bits(n: u64, z: u64) -> f64 {
+    if z == 0 {
+        0.0
+    } else {
+        z as f64 * lg2(n as f64 / z as f64)
+    }
+}
+
+/// `log_b n` — the additive B-tree-descent term, where `b = Θ(B / lg n)` is
+/// the block size in words (paper §1.4).
+pub fn log_b(n: u64, b: u64) -> f64 {
+    let b = b.max(2) as f64;
+    lg2(n as f64) / lg2(b)
+}
+
+/// `lg lg n` — the additive term of Theorem 2 (0 for `n < 4`).
+pub fn lg_lg(n: u64) -> f64 {
+    if n < 4 {
+        0.0
+    } else {
+        lg2(lg2(n as f64))
+    }
+}
+
+/// 0th-order empirical entropy `H₀` in bits per symbol, given character
+/// counts: `H₀ = Σ (zₐ/n) lg(n/zₐ)`.
+pub fn h0_from_counts(counts: &[u64]) -> f64 {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| (c as f64 / nf) * lg2(nf / c as f64))
+        .sum()
+}
+
+/// Theorem 2's query bound in I/Os, with unit constants:
+/// `z lg(n/z)/B + log_b n + lg lg n`.
+pub fn thm2_query_ios(n: u64, z: u64, block_bits: u64, b: u64) -> f64 {
+    output_bits(n, z) / block_bits as f64 + log_b(n, b) + lg_lg(n)
+}
+
+/// Theorem 3's approximate-query bound in I/Os, with unit constants:
+/// `z lg(1/ε)/B + log_b n + lg lg n`.
+pub fn thm3_query_ios(n: u64, z: u64, epsilon: f64, block_bits: u64, b: u64) -> f64 {
+    z as f64 * lg2(1.0 / epsilon) / block_bits as f64 + log_b(n, b) + lg_lg(n)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (few ulp accuracy, ample
+/// for cost curves).
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg2_ceil_and_floor_agree_on_powers_of_two() {
+        for k in 0..63 {
+            let x = 1u64 << k;
+            assert_eq!(lg2_ceil(x), k.max(0));
+            assert_eq!(lg2_floor(x), k);
+        }
+        assert_eq!(lg2_ceil(5), 3);
+        assert_eq!(lg2_floor(5), 2);
+    }
+
+    #[test]
+    fn lg_binomial_matches_small_cases() {
+        // C(10, 3) = 120, lg 120 ≈ 6.9069.
+        assert!((lg_binomial(10, 3) - 120f64.log2()).abs() < 1e-9);
+        // C(52, 5) = 2_598_960.
+        assert!((lg_binomial(52, 5) - 2_598_960f64.log2()).abs() < 1e-9);
+        assert_eq!(lg_binomial(10, 0), 0.0);
+        assert_eq!(lg_binomial(10, 10), 0.0);
+    }
+
+    #[test]
+    fn lg_binomial_close_to_output_bits_for_sparse_sets() {
+        // lg C(n,z) = z lg(n/z) + Θ(z); check the ratio for a sparse set.
+        let (n, z) = (1u64 << 20, 1u64 << 8);
+        let exact = lg_binomial(n, z);
+        let approx = output_bits(n, z);
+        assert!(exact >= approx, "lg C(n,z) >= z lg(n/z)");
+        assert!(exact <= approx + 2.0 * z as f64, "within Θ(z) slack");
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution_is_lg_sigma() {
+        let counts = vec![8u64; 32]; // 32 chars, uniform
+        assert!((h0_from_counts(&counts) - 5.0).abs() < 1e-9);
+        // Degenerate distribution has zero entropy.
+        assert_eq!(h0_from_counts(&[100]), 0.0);
+        assert_eq!(h0_from_counts(&[]), 0.0);
+    }
+
+    #[test]
+    fn theory_bounds_are_monotone_in_z() {
+        let n = 1 << 20;
+        let b = 400;
+        let big = thm2_query_ios(n, 100_000, 8192, b);
+        let small = thm2_query_ios(n, 100, 8192, b);
+        assert!(big > small);
+        // Approximation pays off exactly when lg(1/ε) < lg(n/z): here
+        // lg(n/z) ≈ 13.4 while lg(1/0.01) ≈ 6.6.
+        let z = 10_000;
+        let approx = thm3_query_ios(n, z, 0.01, 8192, b);
+        let exact = thm2_query_ios(n, z, 8192, b);
+        assert!(approx < exact, "approximate queries read less when lg(1/eps) < lg(n/z)");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (x, f) in [(1u64, 1f64), (2, 1.0), (5, 24.0), (10, 362_880.0)] {
+            assert!((ln_gamma(x as f64) - f.ln()).abs() < 1e-9, "Γ({x})");
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! The simulated block device.
+
+use crate::session::IoSession;
+use crate::IoConfig;
+
+/// Handle to an extent on a [`Disk`].
+///
+/// An extent is a growable bit stream that occupies its own whole blocks;
+/// distinct extents never share a block (the paper's structures concatenate
+/// many bitmaps *within* one stream precisely so that they share blocks —
+/// such a concatenation is one extent here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExtentId(pub u32);
+
+#[derive(Debug, Default)]
+struct Extent {
+    /// Bit storage, MSB-first within each word.
+    words: Vec<u64>,
+    /// Number of valid bits.
+    bit_len: u64,
+    /// Freed extents keep their id but release their storage.
+    freed: bool,
+}
+
+/// An in-RAM simulated block device with bit-granular extents.
+///
+/// All persistent data of every index structure lives on a `Disk`; all
+/// access goes through [`DiskReader`]/[`DiskWriter`] cursors which charge an
+/// [`IoSession`] for each distinct block touched. The number of blocks an
+/// extent occupies is `ceil(bit_len / B)`, so partially-filled tail blocks
+/// are visible both in space accounting and in I/O accounting, exactly as in
+/// the paper's model ("the minimum amount of data read is 1 block", §1.2).
+#[derive(Debug)]
+pub struct Disk {
+    config: IoConfig,
+    extents: Vec<Extent>,
+}
+
+impl Disk {
+    /// Creates an empty disk with the given model configuration.
+    pub fn new(config: IoConfig) -> Self {
+        Disk { config, extents: Vec::new() }
+    }
+
+    /// The model configuration (block size, memory bound).
+    pub fn config(&self) -> &IoConfig {
+        &self.config
+    }
+
+    /// Block size `B` in bits.
+    pub fn block_bits(&self) -> u64 {
+        self.config.block_bits
+    }
+
+    /// Allocates a new, empty extent.
+    pub fn alloc(&mut self) -> ExtentId {
+        let id = ExtentId(u32::try_from(self.extents.len()).expect("extent ids exhausted"));
+        self.extents.push(Extent::default());
+        id
+    }
+
+    /// Releases an extent's storage. The id remains valid but empty.
+    pub fn free(&mut self, ext: ExtentId) {
+        let e = &mut self.extents[ext.0 as usize];
+        e.words = Vec::new();
+        e.bit_len = 0;
+        e.freed = true;
+    }
+
+    /// Length of an extent in bits.
+    pub fn extent_bits(&self, ext: ExtentId) -> u64 {
+        self.extents[ext.0 as usize].bit_len
+    }
+
+    /// Number of blocks an extent occupies (`ceil(bits / B)`).
+    pub fn extent_blocks(&self, ext: ExtentId) -> u64 {
+        self.config.blocks_for_bits(self.extent_bits(ext))
+    }
+
+    /// Total bits stored across all live extents (space accounting).
+    pub fn used_bits(&self) -> u64 {
+        self.extents.iter().filter(|e| !e.freed).map(|e| e.bit_len).sum()
+    }
+
+    /// Total blocks occupied across all live extents, i.e. space in the
+    /// block-granular sense (includes tail-block fragmentation).
+    pub fn used_blocks(&self) -> u64 {
+        self.extents
+            .iter()
+            .filter(|e| !e.freed)
+            .map(|e| self.config.blocks_for_bits(e.bit_len))
+            .sum()
+    }
+
+    /// Truncates an extent to `bit_len` bits (must not exceed current).
+    pub fn truncate(&mut self, ext: ExtentId, bit_len: u64) {
+        let e = &mut self.extents[ext.0 as usize];
+        assert!(bit_len <= e.bit_len, "truncate beyond extent length");
+        e.bit_len = bit_len;
+        let words = (bit_len as usize).div_ceil(64);
+        e.words.truncate(words);
+        // Clear any stale bits after the new end so appends find zeroes.
+        if bit_len % 64 != 0 {
+            if let Some(last) = e.words.last_mut() {
+                let keep = bit_len % 64;
+                *last &= !0u64 << (64 - keep);
+            }
+        }
+    }
+
+    /// A reading cursor positioned at `bit_off` within `ext`, charging
+    /// `session` for each distinct block it touches. Multiple readers over
+    /// the same disk and session may coexist (k-way merges).
+    ///
+    /// # Panics
+    /// Panics if `bit_off` exceeds the extent length.
+    pub fn reader<'a>(&'a self, ext: ExtentId, bit_off: u64, session: &'a IoSession) -> DiskReader<'a> {
+        let e = &self.extents[ext.0 as usize];
+        assert!(bit_off <= e.bit_len, "reader offset {bit_off} beyond extent length {}", e.bit_len);
+        DiskReader {
+            words: &e.words,
+            bit_len: e.bit_len,
+            ext,
+            pos: bit_off,
+            session,
+            block_bits: self.config.block_bits,
+            last_block: u64::MAX,
+        }
+    }
+
+    /// An appending cursor positioned at the end of `ext`.
+    pub fn writer<'a>(&'a mut self, ext: ExtentId, session: &'a IoSession) -> DiskWriter<'a> {
+        let block_bits = self.config.block_bits;
+        let e = &mut self.extents[ext.0 as usize];
+        e.freed = false;
+        DiskWriter { extent: e, ext, session, block_bits, last_block: u64::MAX }
+    }
+
+    /// A positioned cursor that writes (ORs) bits starting at `bit_off`,
+    /// extending the extent if it writes past the current end. The target
+    /// region must hold zero bits (freshly reserved slack); this is how
+    /// dynamic structures fill pre-allocated slots in place.
+    pub fn writer_at<'a>(
+        &'a mut self,
+        ext: ExtentId,
+        bit_off: u64,
+        session: &'a IoSession,
+    ) -> DiskWriterAt<'a> {
+        let block_bits = self.config.block_bits;
+        let e = &mut self.extents[ext.0 as usize];
+        assert!(bit_off <= e.bit_len, "writer_at offset {bit_off} beyond extent length {}", e.bit_len);
+        e.freed = false;
+        DiskWriterAt { extent: e, ext, session, block_bits, last_block: u64::MAX, pos: bit_off }
+    }
+}
+
+/// A bit-granular reading cursor over one extent.
+///
+/// Bits are MSB-first within 64-bit words. Each word access charges the
+/// block containing it to the session (deduplicated against the previously
+/// charged block, and again inside the session's residency set).
+#[derive(Debug)]
+pub struct DiskReader<'a> {
+    words: &'a [u64],
+    bit_len: u64,
+    ext: ExtentId,
+    pos: u64,
+    session: &'a IoSession,
+    block_bits: u64,
+    last_block: u64,
+}
+
+impl<'a> DiskReader<'a> {
+    #[inline]
+    fn charge_word(&mut self, word_idx: u64) {
+        // block_bits is a multiple of 64, so a word lies in exactly one block.
+        let block = word_idx * 64 / self.block_bits;
+        if block != self.last_block {
+            self.session.charge_read(self.ext, block);
+            self.last_block = block;
+        }
+    }
+
+    /// Current bit position.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining until the end of the extent.
+    pub fn remaining(&self) -> u64 {
+        self.bit_len - self.pos
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Panics
+    /// Panics when reading past the end of the extent.
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        assert!(self.pos < self.bit_len, "read past end of extent");
+        let w = self.pos / 64;
+        self.charge_word(w);
+        let bit = (self.words[w as usize] >> (63 - (self.pos % 64))) & 1;
+        self.pos += 1;
+        self.session.add_bits_read(1);
+        bit == 1
+    }
+
+    /// Reads `k ≤ 64` bits as the low bits of a `u64` (MSB of the field
+    /// first).
+    #[inline]
+    pub fn read_bits(&mut self, k: u32) -> u64 {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return 0;
+        }
+        assert!(self.pos + u64::from(k) <= self.bit_len, "read past end of extent");
+        let w = (self.pos / 64) as usize;
+        let off = (self.pos % 64) as u32;
+        self.charge_word(w as u64);
+        let avail = 64 - off;
+        let value = if k <= avail {
+            // Entirely within one word.
+            (self.words[w] << off) >> (64 - k)
+        } else {
+            self.charge_word(w as u64 + 1);
+            let hi = self.words[w] << off >> (64 - k); // top `avail` bits in place
+            let lo = self.words[w + 1] >> (64 - (k - avail));
+            hi | lo
+        };
+        self.pos += u64::from(k);
+        self.session.add_bits_read(u64::from(k));
+        value
+    }
+
+    /// Advances the cursor without reading (the skipped blocks are *not*
+    /// charged; used to jump between concatenated bitmaps).
+    pub fn skip_to(&mut self, bit_pos: u64) {
+        assert!(bit_pos <= self.bit_len, "skip past end of extent");
+        self.pos = bit_pos;
+        // Force re-charging at the new position even if it is in the same
+        // block: the residency set still deduplicates, this only resets the
+        // cheap local cache.
+        self.last_block = u64::MAX;
+    }
+
+    /// Number of unary zeros before the next 1 bit, consuming the 1 too.
+    /// This is the first half of gamma decoding; provided here so decoding
+    /// can run word-at-a-time against the disk.
+    #[inline]
+    pub fn read_unary(&mut self) -> u32 {
+        let mut zeros = 0u32;
+        loop {
+            assert!(self.pos < self.bit_len, "unary code ran past end of extent");
+            let w = (self.pos / 64) as usize;
+            let off = (self.pos % 64) as u32;
+            self.charge_word(w as u64);
+            let chunk = self.words[w] << off;
+            let avail = (64 - off).min((self.bit_len - self.pos) as u32);
+            let lz = chunk.leading_zeros().min(avail);
+            if lz < avail {
+                // Found the terminating 1 within this word.
+                self.pos += u64::from(lz) + 1;
+                self.session.add_bits_read(u64::from(lz) + 1);
+                return zeros + lz;
+            }
+            zeros += avail;
+            self.pos += u64::from(avail);
+            self.session.add_bits_read(u64::from(avail));
+        }
+    }
+}
+
+/// An appending bit cursor over one extent.
+#[derive(Debug)]
+pub struct DiskWriter<'a> {
+    extent: &'a mut Extent,
+    ext: ExtentId,
+    session: &'a IoSession,
+    block_bits: u64,
+    last_block: u64,
+}
+
+impl<'a> DiskWriter<'a> {
+    #[inline]
+    fn charge_word(&mut self, word_idx: u64) {
+        let block = word_idx * 64 / self.block_bits;
+        if block != self.last_block {
+            self.session.charge_write(self.ext, block);
+            self.last_block = block;
+        }
+    }
+
+    /// Current length of the extent in bits (== append position).
+    pub fn pos(&self) -> u64 {
+        self.extent.bit_len
+    }
+
+    /// Appends the low `k ≤ 64` bits of `value`, MSB of the field first.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, k: u32) {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return;
+        }
+        debug_assert!(k == 64 || value < (1u64 << k), "value wider than k bits");
+        let pos = self.extent.bit_len;
+        let end_word = ((pos + u64::from(k) - 1) / 64) as usize;
+        if end_word >= self.extent.words.len() {
+            self.extent.words.resize(end_word + 1, 0);
+        }
+        let w = (pos / 64) as usize;
+        let off = (pos % 64) as u32;
+        self.charge_word(w as u64);
+        let avail = 64 - off;
+        if k <= avail {
+            self.extent.words[w] |= value << (avail - k);
+        } else {
+            self.charge_word(w as u64 + 1);
+            self.extent.words[w] |= value >> (k - avail);
+            self.extent.words[w + 1] |= value << (64 - (k - avail));
+        }
+        self.extent.bit_len += u64::from(k);
+        self.session.add_bits_written(u64::from(k));
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Appends `count` zero bits (used for padding/alignment).
+    pub fn write_zeros(&mut self, mut count: u64) {
+        while count > 0 {
+            let k = count.min(64) as u32;
+            self.write_bits(0, k);
+            count -= u64::from(k);
+        }
+    }
+}
+
+/// A positioned overwriting cursor (see [`Disk::writer_at`]).
+#[derive(Debug)]
+pub struct DiskWriterAt<'a> {
+    extent: &'a mut Extent,
+    ext: ExtentId,
+    session: &'a IoSession,
+    block_bits: u64,
+    last_block: u64,
+    pos: u64,
+}
+
+impl<'a> DiskWriterAt<'a> {
+    #[inline]
+    fn charge_word(&mut self, word_idx: u64) {
+        let block = word_idx * 64 / self.block_bits;
+        if block != self.last_block {
+            self.session.charge_write(self.ext, block);
+            self.last_block = block;
+        }
+    }
+
+    /// Current bit position.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// ORs the low `k ≤ 64` bits of `value` into the stream at the cursor.
+    /// The target bits must currently be zero.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, k: u32) {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return;
+        }
+        debug_assert!(k == 64 || value < (1u64 << k), "value wider than k bits");
+        let pos = self.pos;
+        let end_word = ((pos + u64::from(k) - 1) / 64) as usize;
+        if end_word >= self.extent.words.len() {
+            self.extent.words.resize(end_word + 1, 0);
+        }
+        let w = (pos / 64) as usize;
+        let off = (pos % 64) as u32;
+        self.charge_word(w as u64);
+        let avail = 64 - off;
+        if k <= avail {
+            debug_assert_eq!(
+                self.extent.words[w] & (value << (avail - k)),
+                0,
+                "overwriting non-zero bits"
+            );
+            self.extent.words[w] |= value << (avail - k);
+        } else {
+            self.charge_word(w as u64 + 1);
+            self.extent.words[w] |= value >> (k - avail);
+            self.extent.words[w + 1] |= value << (64 - (k - avail));
+        }
+        self.pos += u64::from(k);
+        if self.pos > self.extent.bit_len {
+            self.extent.bit_len = self.pos;
+        }
+        self.session.add_bits_written(u64::from(k));
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_disk() -> Disk {
+        Disk::new(IoConfig::with_block_bits(128))
+    }
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        {
+            let mut w = disk.writer(ext, &s);
+            w.write_bits(0b1011, 4);
+            w.write_bits(0xDEADBEEF, 32);
+            w.write_bit(true);
+            w.write_bits(u64::MAX, 64);
+        }
+        assert_eq!(disk.extent_bits(ext), 4 + 32 + 1 + 64);
+        let s2 = IoSession::new();
+        let mut r = disk.reader(ext, 0, &s2);
+        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(32), 0xDEADBEEF);
+        assert!(r.read_bit());
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_charge_distinct_blocks() {
+        let mut disk = small_disk(); // 128-bit blocks = 2 words
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        {
+            let mut w = disk.writer(ext, &s);
+            for i in 0..8u64 {
+                w.write_bits(i, 64); // 512 bits = 4 blocks
+            }
+        }
+        assert_eq!(disk.extent_blocks(ext), 4);
+        let s = IoSession::new();
+        let mut r = disk.reader(ext, 0, &s);
+        for _ in 0..8 {
+            r.read_bits(64);
+        }
+        assert_eq!(s.stats().reads, 4);
+        assert_eq!(s.stats().bits_read, 512);
+    }
+
+    #[test]
+    fn partial_read_charges_only_touched_blocks() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_zeros(512); // 4 blocks
+        let s = IoSession::new();
+        let mut r = disk.reader(ext, 0, &s);
+        r.read_bits(10); // only block 0
+        assert_eq!(s.stats().reads, 1);
+    }
+
+    #[test]
+    fn skip_to_does_not_charge_skipped_blocks() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_zeros(512);
+        let s = IoSession::new();
+        let mut r = disk.reader(ext, 0, &s);
+        r.read_bit(); // block 0
+        r.skip_to(300); // into block 2
+        r.read_bit(); // block 2
+        assert_eq!(s.stats().reads, 2);
+    }
+
+    #[test]
+    fn straddling_read_charges_both_blocks() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_zeros(256);
+        let s = IoSession::new();
+        let mut r = disk.reader(ext, 120, &s);
+        r.read_bits(16); // bits 120..136 straddle the 128-bit boundary
+        assert_eq!(s.stats().reads, 2);
+    }
+
+    #[test]
+    fn unary_decoding_across_words() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        {
+            let mut w = disk.writer(ext, &s);
+            w.write_zeros(100);
+            w.write_bit(true);
+            w.write_bit(true);
+            w.write_zeros(3);
+            w.write_bit(true);
+        }
+        let s = IoSession::new();
+        let mut r = disk.reader(ext, 0, &s);
+        assert_eq!(r.read_unary(), 100);
+        assert_eq!(r.read_unary(), 0);
+        assert_eq!(r.read_unary(), 3);
+        assert_eq!(r.pos(), 106);
+    }
+
+    #[test]
+    fn writer_charges_written_blocks() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::new();
+        disk.writer(ext, &s).write_zeros(200); // blocks 0 and 1
+        assert_eq!(s.stats().writes, 2);
+        assert_eq!(s.stats().bits_written, 200);
+    }
+
+    #[test]
+    fn append_after_reopen_continues_at_end() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_bits(0b101, 3);
+        disk.writer(ext, &s).write_bits(0b01, 2);
+        let s2 = IoSession::untracked();
+        let mut r = disk.reader(ext, 0, &s2);
+        assert_eq!(r.read_bits(5), 0b10101);
+    }
+
+    #[test]
+    fn free_releases_space() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_zeros(1000);
+        assert!(disk.used_bits() >= 1000);
+        disk.free(ext);
+        assert_eq!(disk.used_bits(), 0);
+        assert_eq!(disk.used_blocks(), 0);
+    }
+
+    #[test]
+    fn truncate_clears_tail_bits() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_bits(u64::MAX, 64);
+        disk.truncate(ext, 3);
+        assert_eq!(disk.extent_bits(ext), 3);
+        // Appending after truncation must not see stale one-bits.
+        disk.writer(ext, &s).write_bits(0, 5);
+        let mut r = disk.reader(ext, 0, &s);
+        assert_eq!(r.read_bits(8), 0b1110_0000);
+    }
+
+    #[test]
+    fn used_blocks_counts_tail_fragmentation() {
+        let mut disk = small_disk();
+        let a = disk.alloc();
+        let b = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(a, &s).write_bits(1, 1);
+        disk.writer(b, &s).write_bits(1, 1);
+        // Two one-bit extents still occupy one block each.
+        assert_eq!(disk.used_blocks(), 2);
+        assert_eq!(disk.used_bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn reading_past_end_panics() {
+        let mut disk = small_disk();
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        disk.writer(ext, &s).write_bits(0, 8);
+        let mut r = disk.reader(ext, 0, &s);
+        r.read_bits(9);
+    }
+}

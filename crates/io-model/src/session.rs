@@ -1,0 +1,263 @@
+//! I/O accounting sessions.
+
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+
+use crate::disk::ExtentId;
+
+/// Aggregate I/O counters produced by an [`IoSession`].
+///
+/// `reads`/`writes` count **block** I/Os (the paper's cost measure);
+/// `bits_read`/`bits_written` record the useful payload, which the
+/// experiment harnesses use to compare against output-size lower bounds
+/// such as `z lg(n/z)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Distinct blocks read during the session.
+    pub reads: u64,
+    /// Distinct blocks written during the session.
+    pub writes: u64,
+    /// Total bits consumed by readers.
+    pub bits_read: u64,
+    /// Total bits produced by writers.
+    pub bits_written: u64,
+}
+
+impl IoStats {
+    /// Total block I/Os (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise sum of two stat records.
+    pub fn merged(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            bits_read: self.bits_read + other.bits_read,
+            bits_written: self.bits_written + other.bits_written,
+        }
+    }
+}
+
+/// A globally unique block address: extent plus block index within it.
+type BlockAddr = (ExtentId, u64);
+
+#[derive(Debug, Default)]
+struct SessionInner {
+    stats: IoStats,
+    /// Blocks currently "in memory": charged once, not re-charged.
+    resident: HashSet<BlockAddr>,
+    /// FIFO eviction order when `mem_blocks` is bounded.
+    fifo: VecDeque<BlockAddr>,
+    mem_blocks: Option<usize>,
+    tracking: bool,
+}
+
+/// An I/O accounting scope for one logical operation.
+///
+/// A session counts *distinct* blocks read and written, modelling the
+/// paper's internal memory `M`: once a block has been fetched it stays
+/// resident for the remainder of the operation (unless a bounded memory is
+/// configured, in which case blocks are evicted FIFO and re-fetching them
+/// is charged again).
+///
+/// Sessions use interior mutability so that several [`DiskReader`]s can
+/// charge the same session concurrently during k-way merges.
+///
+/// [`DiskReader`]: crate::DiskReader
+#[derive(Debug)]
+pub struct IoSession {
+    inner: RefCell<SessionInner>,
+}
+
+impl Default for IoSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoSession {
+    /// A tracking session with unbounded internal memory.
+    pub fn new() -> Self {
+        IoSession {
+            inner: RefCell::new(SessionInner { tracking: true, ..Default::default() }),
+        }
+    }
+
+    /// A tracking session whose internal memory holds at most `mem_blocks`
+    /// blocks (FIFO eviction). Use for memory-pressure ablations.
+    pub fn with_memory_blocks(mem_blocks: usize) -> Self {
+        assert!(mem_blocks > 0, "memory must hold at least one block");
+        IoSession {
+            inner: RefCell::new(SessionInner {
+                tracking: true,
+                mem_blocks: Some(mem_blocks),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// A session that performs no accounting. Used for bulk builds, whose
+    /// cost the experiments report separately (or not at all, for static
+    /// structures).
+    pub fn untracked() -> Self {
+        IoSession {
+            inner: RefCell::new(SessionInner { tracking: false, ..Default::default() }),
+        }
+    }
+
+    fn touch(&self, addr: BlockAddr, write: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.tracking {
+            return;
+        }
+        if inner.resident.contains(&addr) {
+            return;
+        }
+        if write {
+            inner.stats.writes += 1;
+        } else {
+            inner.stats.reads += 1;
+        }
+        inner.resident.insert(addr);
+        if let Some(cap) = inner.mem_blocks {
+            inner.fifo.push_back(addr);
+            if inner.fifo.len() > cap {
+                let evicted = inner.fifo.pop_front().expect("fifo non-empty");
+                inner.resident.remove(&evicted);
+            }
+        }
+    }
+
+    /// Charges a block read. Idempotent while the block remains resident.
+    pub fn charge_read(&self, extent: ExtentId, block: u64) {
+        self.touch((extent, block), false);
+    }
+
+    /// Charges a block write. Idempotent while the block remains resident.
+    pub fn charge_write(&self, extent: ExtentId, block: u64) {
+        self.touch((extent, block), true);
+    }
+
+    /// Records `bits` of useful payload consumed by a reader.
+    pub fn add_bits_read(&self, bits: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.tracking {
+            inner.stats.bits_read += bits;
+        }
+    }
+
+    /// Records `bits` of useful payload produced by a writer.
+    pub fn add_bits_written(&self, bits: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.tracking {
+            inner.stats.bits_written += bits;
+        }
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn stats(&self) -> IoStats {
+        self.inner.borrow().stats
+    }
+
+    /// Resets counters **and** residency, starting a fresh operation scope.
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats = IoStats::default();
+        inner.resident.clear();
+        inner.fifo.clear();
+    }
+
+    /// Returns the counters and resets the session (convenience for
+    /// per-operation measurement loops).
+    pub fn take_stats(&self) -> IoStats {
+        let stats = self.stats();
+        self.reset();
+        stats
+    }
+
+    /// Whether this session is recording I/Os.
+    pub fn is_tracking(&self) -> bool {
+        self.inner.borrow().tracking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXT: ExtentId = ExtentId(7);
+    const EXT2: ExtentId = ExtentId(9);
+
+    #[test]
+    fn distinct_blocks_counted_once() {
+        let s = IoSession::new();
+        s.charge_read(EXT, 0);
+        s.charge_read(EXT, 0);
+        s.charge_read(EXT, 1);
+        s.charge_read(EXT2, 0); // same index, different extent
+        assert_eq!(s.stats().reads, 3);
+    }
+
+    #[test]
+    fn reads_and_writes_tracked_separately() {
+        let s = IoSession::new();
+        s.charge_read(EXT, 0);
+        s.charge_write(EXT, 1);
+        let st = s.stats();
+        assert_eq!((st.reads, st.writes), (1, 1));
+        assert_eq!(st.total(), 2);
+    }
+
+    #[test]
+    fn block_written_then_read_counts_once() {
+        // A block that is written stays resident, so reading it back within
+        // the same operation is free (it is in internal memory).
+        let s = IoSession::new();
+        s.charge_write(EXT, 0);
+        s.charge_read(EXT, 0);
+        let st = s.stats();
+        assert_eq!((st.reads, st.writes), (0, 1));
+    }
+
+    #[test]
+    fn bounded_memory_evicts_fifo() {
+        let s = IoSession::with_memory_blocks(2);
+        s.charge_read(EXT, 0);
+        s.charge_read(EXT, 1);
+        s.charge_read(EXT, 2); // evicts block 0
+        s.charge_read(EXT, 0); // re-charged
+        assert_eq!(s.stats().reads, 4);
+        // Block 2 is still resident.
+        s.charge_read(EXT, 2);
+        assert_eq!(s.stats().reads, 4);
+    }
+
+    #[test]
+    fn untracked_session_counts_nothing() {
+        let s = IoSession::untracked();
+        s.charge_read(EXT, 0);
+        s.charge_write(EXT, 1);
+        s.add_bits_read(100);
+        assert_eq!(s.stats(), IoStats::default());
+        assert!(!s.is_tracking());
+    }
+
+    #[test]
+    fn reset_clears_residency() {
+        let s = IoSession::new();
+        s.charge_read(EXT, 0);
+        assert_eq!(s.take_stats().reads, 1);
+        s.charge_read(EXT, 0); // no longer resident after reset
+        assert_eq!(s.stats().reads, 1);
+    }
+
+    #[test]
+    fn merged_stats_add_componentwise() {
+        let a = IoStats { reads: 1, writes: 2, bits_read: 3, bits_written: 4 };
+        let b = IoStats { reads: 10, writes: 20, bits_read: 30, bits_written: 40 };
+        let m = a.merged(&b);
+        assert_eq!(m, IoStats { reads: 11, writes: 22, bits_read: 33, bits_written: 44 });
+    }
+}

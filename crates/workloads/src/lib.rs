@@ -1,0 +1,198 @@
+//! Deterministic workload generators for the `psi` experiments.
+//!
+//! The paper motivates secondary indexing with OLAP / scientific-data
+//! workloads (§1): large append-mostly strings over moderate alphabets,
+//! queried by alphabet ranges, often several indexes combined by RID
+//! intersection. These generators produce the synthetic equivalents used by
+//! the experiment harnesses (`DESIGN.md` per-experiment index):
+//!
+//! * [`uniform`] — every character equally likely (the worst case for
+//!   compressed bitmaps, and the regime of the paper's §1.2 gap example);
+//! * [`zipf`] — skewed frequencies with parameter `s` (entropy-adaptivity
+//!   experiments, E11);
+//! * [`runs`] — clustered values with geometric run lengths (low
+//!   per-character gap entropy: sorted/clustered fact tables);
+//! * [`sorted`] — fully sorted data (extreme clustering);
+//! * [`Table`] — multi-attribute rows for the RID-intersection scenario
+//!   (the paper's "married men of age 33" example, §1).
+//!
+//! All generators are deterministic in their seed.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+mod ranges;
+mod table;
+
+pub use ranges::{range_of_length, ranges_with_selectivity, RangeQuery};
+pub use table::{people_table, Column, ColumnSpec, Table};
+
+/// Symbols are dense character codes in `[0, σ)`.
+pub type Symbol = u32;
+
+/// A distribution over characters, used by the generic generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Uniform over `[0, σ)`.
+    Uniform,
+    /// Zipf with exponent `s` (s = 0 degenerates to uniform).
+    Zipf(f64),
+    /// Uniform character choice, geometric run lengths with the given mean.
+    Runs(f64),
+    /// Non-decreasing characters (sorted string).
+    Sorted,
+}
+
+/// Generates `n` symbols according to `dist` over alphabet `[0, sigma)`.
+pub fn generate(dist: Dist, n: usize, sigma: u32, seed: u64) -> Vec<Symbol> {
+    match dist {
+        Dist::Uniform => uniform(n, sigma, seed),
+        Dist::Zipf(s) => zipf(n, sigma, s, seed),
+        Dist::Runs(mean) => runs(n, sigma, mean, seed),
+        Dist::Sorted => sorted(n, sigma),
+    }
+}
+
+/// `n` i.i.d. uniform symbols over `[0, sigma)`.
+pub fn uniform(n: usize, sigma: u32, seed: u64) -> Vec<Symbol> {
+    assert!(sigma > 0, "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..sigma)).collect()
+}
+
+/// `n` i.i.d. Zipf(`s`) symbols: character `c` (0-indexed) has probability
+/// proportional to `1/(c+1)^s`.
+///
+/// `s = 0` is uniform; larger `s` is more skewed. Sampling is by binary
+/// search over the precomputed CDF, so generation is `O(n lg σ)`.
+pub fn zipf(n: usize, sigma: u32, s: f64, seed: u64) -> Vec<Symbol> {
+    assert!(sigma > 0, "alphabet must be non-empty");
+    assert!(s >= 0.0, "zipf exponent must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cdf = Vec::with_capacity(sigma as usize);
+    let mut acc = 0.0f64;
+    for c in 0..sigma {
+        acc += 1.0 / ((c + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u = rng.gen::<f64>() * total;
+            cdf.partition_point(|&p| p < u).min(sigma as usize - 1) as u32
+        })
+        .collect()
+}
+
+/// `n` symbols in runs: each run picks a uniform character and a
+/// geometric length with mean `mean_run_len`.
+///
+/// Clustered data compresses far below the i.i.d. entropy because each
+/// character's positions concentrate in few dense regions — the regime
+/// where bitmap indexes shine in practice (paper refs 16 and 18).
+pub fn runs(n: usize, sigma: u32, mean_run_len: f64, seed: u64) -> Vec<Symbol> {
+    assert!(sigma > 0, "alphabet must be non-empty");
+    assert!(mean_run_len >= 1.0, "mean run length must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = 1.0 / mean_run_len;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let c = rng.gen_range(0..sigma);
+        // Geometric(p) with support {1, 2, ...}.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let len = (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).floor() as usize + 1;
+        for _ in 0..len.min(n - out.len()) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A fully sorted string: character `c` occupies the `c`-th equal slice of
+/// positions.
+pub fn sorted(n: usize, sigma: u32) -> Vec<Symbol> {
+    assert!(sigma > 0, "alphabet must be non-empty");
+    (0..n).map(|i| ((i as u64 * u64::from(sigma)) / n as u64) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        assert_eq!(uniform(1000, 16, 42), uniform(1000, 16, 42));
+        assert_ne!(uniform(1000, 16, 42), uniform(1000, 16, 43));
+        assert_eq!(zipf(1000, 16, 1.0, 7), zipf(1000, 16, 1.0, 7));
+        assert_eq!(runs(1000, 16, 8.0, 7), runs(1000, 16, 8.0, 7));
+    }
+
+    #[test]
+    fn symbols_stay_in_alphabet() {
+        for dist in [Dist::Uniform, Dist::Zipf(1.5), Dist::Runs(16.0), Dist::Sorted] {
+            let s = generate(dist, 5000, 37, 1);
+            assert_eq!(s.len(), 5000);
+            assert!(s.iter().all(|&c| c < 37), "{dist:?} escaped alphabet");
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_balanced() {
+        let s = uniform(100_000, 10, 3);
+        let counts = psi_counts(&s, 10);
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c} far from expectation");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_orders_counts() {
+        let s = zipf(100_000, 10, 1.5, 3);
+        let counts = psi_counts(&s, 10);
+        // Character 0 dominates and counts decay (allow noise at the tail).
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        assert!(counts[0] as f64 > 0.5 * 100_000.0 / 2.0);
+    }
+
+    #[test]
+    fn zipf_zero_is_uniformish() {
+        let s = zipf(100_000, 4, 0.0, 9);
+        let counts = psi_counts(&s, 4);
+        for &c in &counts {
+            assert!((c as f64 - 25_000.0).abs() < 2_000.0);
+        }
+    }
+
+    #[test]
+    fn runs_have_expected_mean_length() {
+        let s = runs(200_000, 64, 10.0, 11);
+        let mut run_count = 1usize;
+        for w in s.windows(2) {
+            if w[0] != w[1] {
+                run_count += 1;
+            }
+        }
+        let mean = s.len() as f64 / run_count as f64;
+        // Runs of the same character may merge, so the observed mean can
+        // exceed 10 slightly; it must be far from 1 (i.i.d.).
+        assert!(mean > 7.0 && mean < 14.0, "observed mean run length {mean}");
+    }
+
+    #[test]
+    fn sorted_is_monotone_and_balanced() {
+        let s = sorted(1000, 10);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let counts = psi_counts(&s, 10);
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    fn psi_counts(s: &[u32], sigma: u32) -> Vec<u64> {
+        let mut counts = vec![0u64; sigma as usize];
+        for &c in s {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}

@@ -1,0 +1,141 @@
+//! Range-query workload generation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::Symbol;
+
+/// An alphabet range query `[al, ar]` (inclusive, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Left endpoint `al`.
+    pub lo: Symbol,
+    /// Right endpoint `ar ≥ al`.
+    pub hi: Symbol,
+}
+
+impl RangeQuery {
+    /// Number of characters in the range (`ℓ` in the paper's §1.2).
+    pub fn width(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether a symbol falls in the range.
+    pub fn contains(&self, s: Symbol) -> bool {
+        (self.lo..=self.hi).contains(&s)
+    }
+
+    /// The exact answer on a string, by brute-force scan (ground truth for
+    /// tests and false-positive measurement).
+    pub fn naive_answer(&self, symbols: &[Symbol]) -> Vec<u64> {
+        symbols
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| self.contains(s))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// The answer cardinality `z` from per-character counts.
+    pub fn cardinality(&self, counts: &[u64]) -> u64 {
+        counts[self.lo as usize..=self.hi as usize].iter().sum()
+    }
+}
+
+/// A random range of exactly `width` characters over `[0, sigma)`.
+pub fn range_of_length(sigma: u32, width: u32, rng: &mut StdRng) -> RangeQuery {
+    assert!(width >= 1 && width <= sigma);
+    let lo = rng.gen_range(0..=sigma - width);
+    RangeQuery { lo, hi: lo + width - 1 }
+}
+
+/// `count` random ranges whose answer cardinality is as close as possible
+/// to `selectivity · n`, grown greedily from random starting characters.
+///
+/// Used by the selectivity-sweep experiments (E2, E10): given the
+/// per-character counts of the indexed string, each query's `z` lands
+/// within one character's count of the target.
+pub fn ranges_with_selectivity(
+    counts: &[u64],
+    selectivity: f64,
+    count: usize,
+    seed: u64,
+) -> Vec<RangeQuery> {
+    assert!((0.0..=1.0).contains(&selectivity));
+    let sigma = counts.len() as u32;
+    assert!(sigma > 0);
+    let n: u64 = counts.iter().sum();
+    let target = (selectivity * n as f64) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let lo = rng.gen_range(0..sigma);
+            let mut hi = lo;
+            let mut z = counts[lo as usize];
+            while z < target && (hi + 1 < sigma || lo > 0) {
+                // Grow to whichever side exists, preferring the right.
+                if hi + 1 < sigma {
+                    hi += 1;
+                    z += counts[hi as usize];
+                } else {
+                    break;
+                }
+            }
+            RangeQuery { lo, hi }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_and_contains() {
+        let q = RangeQuery { lo: 3, hi: 7 };
+        assert_eq!(q.width(), 5);
+        assert!(q.contains(3) && q.contains(7) && q.contains(5));
+        assert!(!q.contains(2) && !q.contains(8));
+    }
+
+    #[test]
+    fn naive_answer_matches_manual() {
+        let s = vec![0u32, 5, 3, 9, 5, 1];
+        let q = RangeQuery { lo: 1, hi: 5 };
+        assert_eq!(q.naive_answer(&s), vec![1, 2, 4, 5]);
+        assert_eq!(q.cardinality(&[1, 1, 0, 1, 0, 2, 0, 0, 0, 1]), 4);
+    }
+
+    #[test]
+    fn range_of_length_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let q = range_of_length(32, 5, &mut rng);
+            assert_eq!(q.width(), 5);
+            assert!(q.hi < 32);
+        }
+        let full = range_of_length(8, 8, &mut rng);
+        assert_eq!((full.lo, full.hi), (0, 7));
+    }
+
+    #[test]
+    fn selectivity_targets_are_approximately_met() {
+        let counts = vec![100u64; 64]; // n = 6400, uniform
+        let queries = ranges_with_selectivity(&counts, 0.25, 50, 42);
+        for q in queries {
+            let z = q.cardinality(&counts);
+            // Target 1600; greedy growth may stop short at the boundary.
+            assert!(z >= 100, "range should contain at least one character");
+            assert!(z <= 1700, "overshoot bounded by one character, got {z}");
+        }
+    }
+
+    #[test]
+    fn selectivity_generation_is_deterministic() {
+        let counts = vec![10u64; 100];
+        assert_eq!(
+            ranges_with_selectivity(&counts, 0.1, 20, 5),
+            ranges_with_selectivity(&counts, 0.1, 20, 5)
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Multi-attribute tables for RID-intersection workloads.
+//!
+//! The paper's introductory example (§1): "in a database of people we may
+//! want to find all married men of age 33", combining secondary indexes on
+//! marital status, sex, and age. [`people_table`] generates exactly that
+//! table; [`Table::generate`] builds arbitrary schemas.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::{generate, Dist, Symbol};
+
+/// Schema entry for one generated column.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Attribute name (used in harness output).
+    pub name: String,
+    /// Alphabet size of the dictionary-encoded attribute.
+    pub sigma: u32,
+    /// Value distribution.
+    pub dist: Dist,
+}
+
+/// A dictionary-encoded column: `n` symbols over `[0, sigma)`.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Attribute name.
+    pub name: String,
+    /// Alphabet size.
+    pub sigma: u32,
+    /// Row values.
+    pub data: Vec<Symbol>,
+}
+
+/// A table of aligned columns (row `i` is `columns[*].data[i]`).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's columns, all of equal length.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Generates a table of `n` rows from `specs`, deterministically in
+    /// `seed` (each column gets an independent derived seed).
+    pub fn generate(n: usize, specs: &[ColumnSpec], seed: u64) -> Table {
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let columns = specs
+            .iter()
+            .map(|spec| Column {
+                name: spec.name.clone(),
+                sigma: spec.sigma,
+                data: generate(spec.dist, n, spec.sigma, seeder.gen()),
+            })
+            .collect();
+        Table { columns }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.data.len())
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Row ids matching conjunctive range conditions `(column, lo, hi)`,
+    /// by brute-force scan — the ground truth for RID-intersection
+    /// experiments.
+    pub fn naive_conjunctive_query(&self, conditions: &[(&str, Symbol, Symbol)]) -> Vec<u64> {
+        let cols: Vec<(&Column, Symbol, Symbol)> = conditions
+            .iter()
+            .map(|&(name, lo, hi)| {
+                (self.column(name).unwrap_or_else(|| panic!("no column {name}")), lo, hi)
+            })
+            .collect();
+        (0..self.rows())
+            .filter(|&i| cols.iter().all(|&(c, lo, hi)| (lo..=hi).contains(&c.data[i])))
+            .map(|i| i as u64)
+            .collect()
+    }
+}
+
+/// The paper's motivating "people" table: marital status (4 values,
+/// skewed), sex (2 values, uniform), age (128 values, roughly bell-shaped
+/// via averaging two uniforms).
+pub fn people_table(n: usize, seed: u64) -> Table {
+    let mut table = Table::generate(
+        n,
+        &[
+            ColumnSpec { name: "marital_status".into(), sigma: 4, dist: Dist::Zipf(0.8) },
+            ColumnSpec { name: "sex".into(), sigma: 2, dist: Dist::Uniform },
+            ColumnSpec { name: "age".into(), sigma: 128, dist: Dist::Uniform },
+        ],
+        seed,
+    );
+    // Reshape age into a triangular distribution (sum of two uniforms over
+    // [0, 64)), which is closer to a demographic pyramid than uniform.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA9E);
+    if let Some(age) = table.columns.iter_mut().find(|c| c.name == "age") {
+        for v in &mut age.data {
+            let a = rng.gen_range(0..64u32);
+            let b = rng.gen_range(0..64u32);
+            *v = a + b;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_table_shape() {
+        let t = people_table(1000, 1);
+        assert_eq!(t.rows(), 1000);
+        assert_eq!(t.columns.len(), 3);
+        assert!(t.column("age").is_some());
+        assert!(t.column("salary").is_none());
+        for c in &t.columns {
+            assert!(c.data.iter().all(|&v| v < c.sigma), "column {} escaped alphabet", c.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = people_table(500, 9);
+        let b = people_table(500, 9);
+        for (ca, cb) in a.columns.iter().zip(&b.columns) {
+            assert_eq!(ca.data, cb.data);
+        }
+    }
+
+    #[test]
+    fn naive_conjunctive_query_intersects() {
+        let t = Table {
+            columns: vec![
+                Column { name: "x".into(), sigma: 4, data: vec![0, 1, 2, 3, 1] },
+                Column { name: "y".into(), sigma: 4, data: vec![3, 2, 1, 0, 2] },
+            ],
+        };
+        let hits = t.naive_conjunctive_query(&[("x", 1, 2), ("y", 2, 3)]);
+        assert_eq!(hits, vec![1, 4]);
+        // Empty condition list matches everything.
+        assert_eq!(t.naive_conjunctive_query(&[]).len(), 5);
+    }
+
+    #[test]
+    fn age_distribution_is_centered() {
+        let t = people_table(50_000, 3);
+        let age = t.column("age").unwrap();
+        let mean: f64 = age.data.iter().map(|&v| v as f64).sum::<f64>() / age.data.len() as f64;
+        assert!((mean - 63.0).abs() < 3.0, "triangular mean ≈ 63, got {mean}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the optimal secondary index over a dictionary-encoded
+//! column, run range queries, and inspect space and I/O against the
+//! paper's bounds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use psi::io::cost;
+use psi::{IoConfig, OptimalIndex, SecondaryIndex};
+
+fn main() {
+    // A column of 1M values over a 512-value dictionary, Zipf-skewed the
+    // way real categorical data tends to be.
+    let n = 1 << 20;
+    let sigma = 512;
+    let column = psi::workloads::zipf(n, sigma, 1.0, 42);
+
+    println!("building OptimalIndex over n = {n}, sigma = {sigma} ...");
+    let index = OptimalIndex::build(&column, sigma, IoConfig::default());
+
+    // Space: Theorem 2 promises O(nH0 + n + sigma lg^2 n) bits.
+    let nh0 = psi::bits::entropy::nh0_bits(&column, sigma);
+    println!(
+        "space: {:.2} MiB ({:.2} bits/value; nH0 = {:.2} bits/value; {} materialized cuts)",
+        index.space_bits() as f64 / 8.0 / 1024.0 / 1024.0,
+        index.space_bits() as f64 / n as f64,
+        nh0 / n as f64,
+        index.num_cuts(),
+    );
+
+    // Range queries at several selectivities.
+    println!("\n{:>14} {:>10} {:>12} {:>12} {:>12}", "range", "z", "I/Os", "thm2 bound", "result bits");
+    for (lo, hi) in [(7u32, 7u32), (10, 13), (0, 31), (100, 355), (0, 511)] {
+        let (result, io) = index.query_measured(lo, hi);
+        let z = result.cardinality();
+        let b = IoConfig::default().words_per_block(n as u64);
+        let bound = cost::thm2_query_ios(n as u64, z, psi::io::DEFAULT_BLOCK_BITS, b);
+        println!(
+            "{:>14} {:>10} {:>12} {:>12.1} {:>12}",
+            format!("[{lo}, {hi}]"),
+            z,
+            io.reads,
+            bound,
+            result.size_bits(),
+        );
+    }
+
+    // The answer is exact and compressed; positions decode on demand.
+    let (result, _) = index.query_measured(3, 5);
+    let first: Vec<u64> = result.iter().take(5).collect();
+    println!("\nfirst rows matching [3, 5]: {first:?}");
+}

@@ -1,0 +1,57 @@
+//! Scientific-data indexing (the paper's §1/[16] motivation): clustered
+//! sensor-style values where bitmap indexes shine, comparing the paper's
+//! structure against the whole baseline spectrum under one I/O model.
+//!
+//! Run with: `cargo run --release --example scientific_data`
+
+use psi::baselines::{
+    BinnedBitmapIndex, CompressedScanIndex, IntervalEncodedIndex, MultiResolutionIndex,
+    PositionListIndex, RangeEncodedIndex, UncompressedBitmapIndex,
+};
+use psi::{IoConfig, OptimalIndex, SecondaryIndex};
+
+fn main() {
+    // Clustered measurements: 256 quantized levels, long runs (a slowly
+    // varying physical signal).
+    let n = 1 << 18;
+    let sigma = 256;
+    let data = psi::workloads::runs(n, sigma, 32.0, 11);
+    let cfg = IoConfig::default();
+
+    println!("n = {n}, sigma = {sigma}, clustered (mean run 32)");
+    println!("index                          space(bits/value)   I/Os narrow   I/Os wide");
+
+    let narrow = (100u32, 103u32); // selective band
+    let wide = (32u32, 223u32); // broad band
+
+    let report = |name: &str, space: u64, narrow_io: u64, wide_io: u64| {
+        println!(
+            "{name:<30} {:>17.2} {:>13} {:>11}",
+            space as f64 / n as f64,
+            narrow_io,
+            wide_io
+        );
+    };
+
+    macro_rules! bench {
+        ($name:expr, $idx:expr) => {{
+            let idx = $idx;
+            let (_, io_n) = idx.query_measured(narrow.0, narrow.1);
+            let (_, io_w) = idx.query_measured(wide.0, wide.1);
+            report($name, idx.space_bits(), io_n.reads, io_w.reads);
+        }};
+    }
+
+    bench!("OptimalIndex (paper, Thm 2)", OptimalIndex::build(&data, sigma, cfg));
+    bench!("PositionListIndex (B-tree)", PositionListIndex::build(&data, sigma, cfg));
+    bench!("UncompressedBitmapIndex", UncompressedBitmapIndex::build(&data, sigma, cfg));
+    bench!("CompressedScanIndex", CompressedScanIndex::build(&data, sigma, cfg));
+    bench!("BinnedBitmapIndex (w=16)", BinnedBitmapIndex::build(&data, sigma, 16, cfg));
+    bench!("MultiResolutionIndex (w=4)", MultiResolutionIndex::build(&data, sigma, 4, cfg));
+    bench!("RangeEncodedIndex", RangeEncodedIndex::build(&data, sigma, cfg));
+    bench!("IntervalEncodedIndex", IntervalEncodedIndex::build(&data, sigma, cfg));
+
+    println!("\nNote how the paper's structure matches the best query cost at");
+    println!("every selectivity while staying near the compressed-size floor —");
+    println!("the \"no trade-off\" claim of §1.3 (see EXPERIMENTS.md, E4/E10).");
+}

@@ -1,0 +1,82 @@
+//! # psi — Secondary Indexing in One Dimension
+//!
+//! A complete implementation of **Pagh & Rao, "Secondary Indexing in One
+//! Dimension: Beyond B-trees and Bitmap Indexes" (PODS 2009,
+//! arXiv:0811.2904)**: the first secondary index with simultaneously
+//! worst-case optimal space *and* query time, plus its approximate and
+//! dynamic variants, every baseline the paper compares against, and the
+//! simulated I/O model the paper's bounds are stated in.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use psi::{OptimalIndex, SecondaryIndex, IoConfig};
+//!
+//! // A string over an ordered alphabet (dictionary-encoded column).
+//! let column = psi::workloads::zipf(100_000, 256, 1.0, 42);
+//! let index = OptimalIndex::build(&column, 256, IoConfig::default());
+//!
+//! // Alphabet range query: all rows whose value lies in [10, 20],
+//! // returned compressed, with the I/O cost measured in blocks.
+//! let (rows, io) = index.query_measured(10, 20);
+//! println!("{} rows in {} block reads", rows.cardinality(), io.reads);
+//! # assert!(rows.cardinality() > 0);
+//! ```
+//!
+//! ## What's inside
+//!
+//! * [`OptimalIndex`] — Theorem 2: `O(nH₀ + n + σ lg² n)` bits,
+//!   `O(z lg(n/z)/B + log_b n + lg lg n)` I/Os per query.
+//! * [`UniformTreeIndex`] — Theorem 1's warm-up structure.
+//! * [`ApproximateIndex`] — Theorem 3: Bloom-filter-style queries reading
+//!   `O(z lg(1/ε))` bits, with lazily enumerable preimages.
+//! * [`SemiDynamicIndex`] / [`BufferedIndex`] — Theorems 4–5: appends in
+//!   amortized `O(lg lg n)` / `O(lg n / b)` I/Os.
+//! * [`BufferedBitmapIndex`] — Theorem 6: a dynamized compressed bitmap
+//!   index of independent interest.
+//! * [`FullyDynamicIndex`] — Theorem 7: in-place character changes and
+//!   deletions (via the `∞` character and [`DeletedPositionMap`]).
+//! * [`baselines`] — position lists ("B-trees"), uncompressed/compressed/
+//!   binned/multi-resolution/range-encoded/interval-encoded bitmap
+//!   indexes: the paper's entire related-work spectrum, measured under
+//!   the same I/O model.
+//! * [`io`] — the simulated Aggarwal–Vitter block device and I/O
+//!   accounting sessions.
+//! * [`workloads`] — deterministic generators for every experiment.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of all twelve experiments (E1–E12).
+
+pub use psi_api::{
+    check_range, naive_query, AppendIndex, DynamicIndex, RidSet, SecondaryIndex, Symbol,
+};
+pub use psi_core::{
+    ApproxResult, ApproximateIndex, BufferedBitmapIndex, BufferedIndex, DeletedPositionMap,
+    Engine, EngineStats, FullyDynamicIndex, OptimalIndex, SemiDynamicIndex, UniformTreeIndex,
+};
+pub use psi_io::{IoConfig, IoSession, IoStats};
+
+/// The simulated I/O model (block device, sessions, cost formulas).
+pub mod io {
+    pub use psi_io::*;
+}
+
+/// Bit-level substrate (gap-compressed bitmaps, Elias codes, rank/select).
+pub mod bits {
+    pub use psi_bits::*;
+}
+
+/// Baseline secondary indexes from the paper's related work.
+pub mod baselines {
+    pub use psi_baselines::*;
+}
+
+/// Deterministic workload generators.
+pub mod workloads {
+    pub use psi_workloads::*;
+}
+
+/// Core structures and substrates (hash families, weight-balanced trees).
+pub mod core {
+    pub use psi_core::*;
+}

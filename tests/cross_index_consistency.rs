@@ -1,0 +1,81 @@
+//! Integration: every index family answers identically on shared
+//! workloads — the paper's structures, all baselines, and the naive scan.
+
+use psi::baselines::*;
+use psi::{naive_query, IoConfig, IoSession, OptimalIndex, SecondaryIndex, UniformTreeIndex};
+
+fn all_indexes(symbols: &[u32], sigma: u32) -> Vec<(&'static str, Box<dyn SecondaryIndex>)> {
+    let cfg = IoConfig::with_block_bits(1024);
+    vec![
+        ("optimal", Box::new(OptimalIndex::build(symbols, sigma, cfg))),
+        ("uniform_tree", Box::new(UniformTreeIndex::build(symbols, sigma, cfg))),
+        ("position_list", Box::new(PositionListIndex::build(symbols, sigma, cfg))),
+        ("uncompressed", Box::new(UncompressedBitmapIndex::build(symbols, sigma, cfg))),
+        ("compressed_scan", Box::new(CompressedScanIndex::build(symbols, sigma, cfg))),
+        ("binned_w4", Box::new(BinnedBitmapIndex::build(symbols, sigma, 4, cfg))),
+        ("multires_w4", Box::new(MultiResolutionIndex::build(symbols, sigma, 4, cfg))),
+        ("range_encoded", Box::new(RangeEncodedIndex::build(symbols, sigma, cfg))),
+        ("interval_encoded", Box::new(IntervalEncodedIndex::build(symbols, sigma, cfg))),
+        (
+            "buffered_bitmap",
+            Box::new(psi::BufferedBitmapIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "fully_dynamic",
+            Box::new(psi::FullyDynamicIndex::build(symbols, sigma, cfg)),
+        ),
+    ]
+}
+
+fn check_workload(symbols: Vec<u32>, sigma: u32) {
+    let indexes = all_indexes(&symbols, sigma);
+    for (name, idx) in &indexes {
+        assert_eq!(idx.len(), symbols.len() as u64, "{name} length");
+        assert_eq!(idx.sigma(), sigma, "{name} sigma");
+    }
+    for lo in (0..sigma).step_by((sigma as usize / 5).max(1)) {
+        for hi in [lo, (lo + 2).min(sigma - 1), sigma - 1] {
+            if hi < lo {
+                continue;
+            }
+            let want = naive_query(&symbols, lo, hi).to_vec();
+            for (name, idx) in &indexes {
+                let io = IoSession::new();
+                let got = idx.query(lo, hi, &io).to_vec();
+                assert_eq!(got, want, "{name} disagrees on [{lo}, {hi}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_workload() {
+    check_workload(psi::workloads::uniform(3000, 16, 1), 16);
+}
+
+#[test]
+fn zipf_workload() {
+    check_workload(psi::workloads::zipf(3000, 32, 1.3, 2), 32);
+}
+
+#[test]
+fn clustered_workload() {
+    check_workload(psi::workloads::runs(3000, 24, 20.0, 3), 24);
+}
+
+#[test]
+fn sorted_workload() {
+    check_workload(psi::workloads::sorted(2000, 16), 16);
+}
+
+#[test]
+fn degenerate_single_char() {
+    check_workload(vec![2u32; 500], 5);
+}
+
+#[test]
+fn tiny_alphabets() {
+    for sigma in 1..=4u32 {
+        check_workload(psi::workloads::uniform(800, sigma, 7), sigma);
+    }
+}

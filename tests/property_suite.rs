@@ -1,0 +1,98 @@
+//! Workspace-level property tests: random strings, random ranges, random
+//! dynamic histories — every structure must agree with the naive model.
+
+use proptest::prelude::*;
+use psi::{
+    naive_query, AppendIndex, DynamicIndex, IoConfig, IoSession, OptimalIndex, SecondaryIndex,
+};
+
+fn cfg() -> IoConfig {
+    IoConfig::with_block_bits(512)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimal_matches_naive(
+        symbols in proptest::collection::vec(0u32..24, 1..400),
+        lo in 0u32..24,
+        width in 0u32..24,
+    ) {
+        let hi = (lo + width).min(23);
+        let idx = OptimalIndex::build(&symbols, 24, cfg());
+        let io = IoSession::new();
+        prop_assert_eq!(idx.query(lo, hi, &io).to_vec(), naive_query(&symbols, lo, hi).to_vec());
+    }
+
+    #[test]
+    fn semi_dynamic_replays_any_history(
+        initial in proptest::collection::vec(0u32..12, 0..150),
+        appends in proptest::collection::vec(0u32..12, 0..150),
+        lo in 0u32..12,
+        width in 0u32..12,
+    ) {
+        let hi = (lo + width).min(11);
+        let mut idx = psi::SemiDynamicIndex::build(&initial, 12, cfg());
+        let io = IoSession::untracked();
+        let mut all = initial.clone();
+        for &c in &appends {
+            idx.append(c, &io);
+            all.push(c);
+        }
+        let io = IoSession::new();
+        prop_assert_eq!(idx.query(lo, hi, &io).to_vec(), naive_query(&all, lo, hi).to_vec());
+    }
+
+    #[test]
+    fn fully_dynamic_replays_changes(
+        initial in proptest::collection::vec(0u32..8, 1..120),
+        edits in proptest::collection::vec((any::<proptest::sample::Index>(), 0u32..8), 0..60),
+        lo in 0u32..8,
+        width in 0u32..8,
+    ) {
+        let hi = (lo + width).min(7);
+        let mut current = initial.clone();
+        let mut idx = psi::FullyDynamicIndex::build(&initial, 8, cfg());
+        let io = IoSession::untracked();
+        for (pos, sym) in edits {
+            let p = pos.index(current.len()) as u64;
+            idx.change(p, sym, &io);
+            current[p as usize] = sym;
+        }
+        let io = IoSession::new();
+        prop_assert_eq!(idx.query(lo, hi, &io).to_vec(), naive_query(&current, lo, hi).to_vec());
+    }
+
+    #[test]
+    fn approximate_is_always_a_superset(
+        symbols in proptest::collection::vec(0u32..16, 50..300),
+        lo in 0u32..16,
+        width in 0u32..16,
+        eps_exp in 1u32..8,
+    ) {
+        let hi = (lo + width).min(15);
+        let eps = 0.5f64.powi(eps_exp as i32);
+        let idx = psi::ApproximateIndex::build(&symbols, 16, cfg(), 11);
+        let io = IoSession::untracked();
+        let r = idx.query_approx(lo, hi, eps, &io);
+        for p in naive_query(&symbols, lo, hi).iter() {
+            prop_assert!(r.contains(p), "lost member {}", p);
+        }
+        // Preimage enumeration agrees with membership.
+        let members: Vec<u64> = r.iter().collect();
+        prop_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rid_set_intersection_is_set_intersection(
+        a in proptest::collection::btree_set(0u64..300, 0..80),
+        b in proptest::collection::btree_set(0u64..300, 0..80),
+    ) {
+        use psi::bits::GapBitmap;
+        let ra = psi::RidSet::from_positions(GapBitmap::from_sorted_iter(a.iter().copied(), 300));
+        let rb = psi::RidSet::from_positions(GapBitmap::from_sorted_iter(b.iter().copied(), 300));
+        let want: Vec<u64> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(ra.intersect(&rb).to_vec(), want);
+    }
+}
