@@ -77,7 +77,10 @@ pub trait DynamicIndex: AppendIndex {
 /// implementations.
 pub fn check_range(lo: Symbol, hi: Symbol, sigma: Symbol) {
     assert!(lo <= hi, "empty range [{lo}, {hi}]");
-    assert!(hi < sigma, "range endpoint {hi} outside alphabet of size {sigma}");
+    assert!(
+        hi < sigma,
+        "range endpoint {hi} outside alphabet of size {sigma}"
+    );
 }
 
 /// Builds the exact answer to a range query by scanning the string —

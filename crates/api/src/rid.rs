@@ -18,13 +18,19 @@ pub struct RidSet {
 impl RidSet {
     /// Wraps a compressed position set as-is.
     pub fn from_positions(stored: GapBitmap) -> Self {
-        RidSet { stored, complemented: false }
+        RidSet {
+            stored,
+            complemented: false,
+        }
     }
 
     /// Wraps a compressed set whose *complement* (within the stored
     /// universe) is the logical result.
     pub fn from_complement(stored: GapBitmap) -> Self {
-        RidSet { stored, complemented: true }
+        RidSet {
+            stored,
+            complemented: true,
+        }
     }
 
     /// The universe size `n`.

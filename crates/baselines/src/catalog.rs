@@ -6,7 +6,7 @@
 //! `(offset, length, cardinality)` triples — the paper's "for each node, we
 //! also store the position and length of its compressed bitmap" (§2.1).
 
-use psi_bits::{GapDecoder, GapEncoder};
+use psi_bits::{BitBuf, GapBitmap, GapDecoder, GapEncoder};
 use psi_io::{cost, Disk, DiskReader, ExtentId, IoSession};
 
 /// Directory entry for one bitmap in a [`BitmapCatalog`].
@@ -47,9 +47,17 @@ impl BitmapCatalog {
                 enc.push(p);
             }
             let count = enc.finish();
-            entries.push(CatalogEntry { bit_off, bit_len: writer.pos() - bit_off, count });
+            entries.push(CatalogEntry {
+                bit_off,
+                bit_len: writer.pos() - bit_off,
+                count,
+            });
         }
-        BitmapCatalog { ext, universe, entries }
+        BitmapCatalog {
+            ext,
+            universe,
+            entries,
+        }
     }
 
     /// Number of bitmaps.
@@ -83,6 +91,17 @@ impl BitmapCatalog {
         GapDecoder::new(disk.reader(self.ext, e.bit_off, io), e.count)
     }
 
+    /// Lifts bitmap `idx` verbatim into a [`GapBitmap`], charging `io`.
+    /// Queries covered by a single stored bitmap return this word copy
+    /// instead of decoding and re-encoding the positions.
+    pub fn copy_bitmap(&self, disk: &Disk, idx: usize, io: &IoSession) -> GapBitmap {
+        let e = &self.entries[idx];
+        let mut r = disk.reader(self.ext, e.bit_off, io);
+        let mut bits = BitBuf::with_capacity(e.bit_len);
+        bits.extend_from_source(&mut r, e.bit_len);
+        GapBitmap::from_code_bits(bits, e.count, self.universe)
+    }
+
     /// Compressed payload size in bits.
     pub fn payload_bits(&self, disk: &Disk) -> u64 {
         disk.extent_bits(self.ext)
@@ -92,7 +111,8 @@ impl BitmapCatalog {
     /// entry (offset, length, cardinality) — the paper's `O(σ lg n)`
     /// pointer accounting.
     pub fn directory_bits(&self, disk: &Disk) -> u64 {
-        let field = cost::lg2_ceil(self.universe.max(2)).max(cost::lg2_ceil(disk.extent_bits(self.ext).max(2)));
+        let field = cost::lg2_ceil(self.universe.max(2))
+            .max(cost::lg2_ceil(disk.extent_bits(self.ext).max(2)));
         3 * field * self.entries.len() as u64
     }
 
@@ -127,6 +147,25 @@ mod tests {
         let cat = BitmapCatalog::build(&mut disk, 10, vec![Vec::<u64>::new(), vec![]]);
         assert_eq!(cat.payload_bits(&disk), 0);
         assert!(cat.directory_bits(&disk) > 0);
+    }
+
+    #[test]
+    fn copy_bitmap_is_verbatim_and_charged_like_decode() {
+        let mut disk = Disk::new(IoConfig::with_block_bits(256));
+        let groups = vec![vec![0u64, 5, 9], vec![2, 3, 4, 99]];
+        let cat = BitmapCatalog::build(&mut disk, 100, groups.clone());
+        for (i, g) in groups.iter().enumerate() {
+            let decode_io = IoSession::new();
+            let decoded: Vec<u64> = cat.decoder(&disk, i, &decode_io).collect();
+            let copy_io = IoSession::new();
+            let copied = cat.copy_bitmap(&disk, i, &copy_io);
+            assert_eq!(&decoded, g);
+            assert_eq!(copied.to_vec(), decoded);
+            assert_eq!(copied.universe(), 100);
+            assert_eq!(copied.size_bits(), cat.entry(i).bit_len);
+            assert_eq!(copy_io.stats().reads, decode_io.stats().reads);
+            assert_eq!(copy_io.stats().bits_read, decode_io.stats().bits_read);
+        }
     }
 
     #[test]

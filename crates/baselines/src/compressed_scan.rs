@@ -31,7 +31,12 @@ impl CompressedScanIndex {
         let mut disk = Disk::new(config);
         let lists = crate::per_char_positions(symbols, sigma);
         let cat = BitmapCatalog::build(&mut disk, n.max(1), lists);
-        CompressedScanIndex { disk, cat, n, sigma }
+        CompressedScanIndex {
+            disk,
+            cat,
+            n,
+            sigma,
+        }
     }
 
     /// The simulated disk (for inspection by harnesses).
@@ -64,7 +69,14 @@ impl SecondaryIndex for CompressedScanIndex {
         if self.n == 0 {
             return RidSet::from_positions(GapBitmap::empty(0));
         }
-        let decoders: Vec<_> = (lo..=hi).map(|c| self.cat.decoder(&self.disk, c as usize, io)).collect();
+        // Point queries return the stored per-character bitmap as a
+        // verbatim word copy.
+        if lo == hi {
+            return RidSet::from_positions(self.cat.copy_bitmap(&self.disk, lo as usize, io));
+        }
+        let decoders: Vec<_> = (lo..=hi)
+            .map(|c| self.cat.decoder(&self.disk, c as usize, io))
+            .collect();
         let positions = merge::merge_disjoint(decoders);
         RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
     }
@@ -103,7 +115,10 @@ mod tests {
         let space = idx.payload_bits() as f64;
         // Gamma-gap coding is within a small constant of nH₀ here, and far
         // below the uncompressed n·σ bits.
-        assert!(space < 3.0 * nh0, "space {space} should be O(nH0) = O({nh0})");
+        assert!(
+            space < 3.0 * nh0,
+            "space {space} should be O(nH0) = O({nh0})"
+        );
         assert!(space < (n as u64 * u64::from(sigma)) as f64 / 10.0);
     }
 

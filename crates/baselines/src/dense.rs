@@ -26,7 +26,10 @@ impl DenseCatalog {
         I: IntoIterator<Item = J>,
         J: IntoIterator<Item = u64>,
     {
-        let groups: Vec<Vec<u64>> = groups.into_iter().map(|g| g.into_iter().collect()).collect();
+        let groups: Vec<Vec<u64>> = groups
+            .into_iter()
+            .map(|g| g.into_iter().collect())
+            .collect();
         let slots = groups.len();
         Self::build_with(disk, universe, slots, |idx, words| {
             words.iter_mut().for_each(|w| *w = 0);
@@ -60,7 +63,12 @@ impl DenseCatalog {
                 writer.write_bits(w, 64);
             }
         }
-        DenseCatalog { ext, universe, words_per_slot, slots }
+        DenseCatalog {
+            ext,
+            universe,
+            words_per_slot,
+            slots,
+        }
     }
 
     /// Number of bitmaps.

@@ -45,8 +45,8 @@ impl IntervalEncodedIndex {
         // build at O(slots·n/64 + n) instead of O(slots·n).
         let cat = DenseCatalog::build_with(&mut disk, n.max(1), slots, |k, words| {
             if k == 0 {
-                for c in 0..m as usize {
-                    for &p in &lists[c] {
+                for l in lists.iter().take(m as usize) {
+                    for &p in l {
                         words[(p / 64) as usize] |= 1u64 << (p % 64);
                     }
                 }
@@ -59,7 +59,13 @@ impl IntervalEncodedIndex {
                 }
             }
         });
-        IntervalEncodedIndex { disk, cat, n, sigma, m }
+        IntervalEncodedIndex {
+            disk,
+            cat,
+            n,
+            sigma,
+            m,
+        }
     }
 
     /// The interval width `m = ⌈σ/2⌉`.
@@ -104,15 +110,19 @@ impl SecondaryIndex for IntervalEncodedIndex {
         } else if hi < m - 1 {
             // Near the bottom: I_lo minus everything above hi.
             self.cat.or_into(&self.disk, lo as usize, &mut acc, io);
-            self.cat.and_not_into(&self.disk, (hi + 1) as usize, &mut acc, io);
+            self.cat
+                .and_not_into(&self.disk, (hi + 1) as usize, &mut acc, io);
         } else if lo > self.sigma - m {
             // Near the top: I_{hi−m+1} minus everything below lo.
-            self.cat.or_into(&self.disk, (hi + 1 - m) as usize, &mut acc, io);
-            self.cat.and_not_into(&self.disk, (lo - m) as usize, &mut acc, io);
+            self.cat
+                .or_into(&self.disk, (hi + 1 - m) as usize, &mut acc, io);
+            self.cat
+                .and_not_into(&self.disk, (lo - m) as usize, &mut acc, io);
         } else {
             // Generic: intersection of the two extreme intervals.
             self.cat.or_into(&self.disk, lo as usize, &mut acc, io);
-            self.cat.and_into(&self.disk, (hi + 1 - m) as usize, &mut acc, io);
+            self.cat
+                .and_into(&self.disk, (hi + 1 - m) as usize, &mut acc, io);
         }
         let positions = self.cat.acc_positions(&acc);
         RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n))

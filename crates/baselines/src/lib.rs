@@ -77,7 +77,10 @@ pub(crate) mod testutil {
                     "query [{lo}, {hi}] mismatch on n={} sigma={sigma}",
                     symbols.len()
                 );
-                assert!(io.stats().reads > 0 || symbols.is_empty(), "query charged no I/O");
+                assert!(
+                    io.stats().reads > 0 || symbols.is_empty(),
+                    "query charged no I/O"
+                );
             }
         }
     }

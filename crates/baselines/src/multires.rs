@@ -50,7 +50,13 @@ impl MultiResolutionIndex {
             }
             bin_width *= u64::from(w);
         }
-        MultiResolutionIndex { disk, levels, w, n, sigma }
+        MultiResolutionIndex {
+            disk,
+            levels,
+            w,
+            n,
+            sigma,
+        }
     }
 
     /// The fanout `w`.
@@ -131,6 +137,11 @@ impl SecondaryIndex for MultiResolutionIndex {
             return RidSet::from_positions(GapBitmap::empty(0));
         }
         let cover = self.canonical_cover(lo, hi);
+        // A one-bin cover (aligned ranges, single characters) is already
+        // stored in the output encoding: return the word copy directly.
+        if let [(j, b)] = cover[..] {
+            return RidSet::from_positions(self.levels[j].copy_bitmap(&self.disk, b as usize, io));
+        }
         let streams: Vec<_> = cover
             .iter()
             .map(|&(j, b)| self.levels[j].decoder(&self.disk, b as usize, io))
@@ -195,7 +206,10 @@ mod tests {
             let cover = idx.canonical_cover(lo, hi);
             for j in 0..idx.num_levels() {
                 let at_level = cover.iter().filter(|&&(l, _)| l == j).count();
-                assert!(at_level <= 2 * 3 + 1, "level {j} has {at_level} bins for [{lo}, {hi}]");
+                assert!(
+                    at_level <= 2 * 3 + 1,
+                    "level {j} has {at_level} bins for [{lo}, {hi}]"
+                );
             }
         }
     }
@@ -206,7 +220,10 @@ mod tests {
         let symbols = psi_workloads::uniform(1 << 14, 256, 7);
         let s2 = MultiResolutionIndex::build(&symbols, 256, 2, IoConfig::default()).space_bits();
         let s16 = MultiResolutionIndex::build(&symbols, 256, 16, IoConfig::default()).space_bits();
-        assert!(s16 < s2, "fanout 16 ({s16}) should use less space than fanout 2 ({s2})");
+        assert!(
+            s16 < s2,
+            "fanout 16 ({s16}) should use less space than fanout 2 ({s2})"
+        );
     }
 
     #[test]

@@ -105,10 +105,23 @@ impl PositionListIndex {
                 break;
             }
             // Parent keys: first key of every block of this level.
-            level_keys = level_keys.iter().step_by(keys_per_block as usize).copied().collect();
+            level_keys = level_keys
+                .iter()
+                .step_by(keys_per_block as usize)
+                .copied()
+                .collect();
         }
 
-        PositionListIndex { disk, data, dir_levels, n, sigma, pos_width, key_width, prefix }
+        PositionListIndex {
+            disk,
+            data,
+            dir_levels,
+            n,
+            sigma,
+            pos_width,
+            key_width,
+            prefix,
+        }
     }
 
     /// The simulated disk (for inspection by harnesses).
@@ -128,7 +141,9 @@ impl PositionListIndex {
             let level = &self.dir_levels[depth];
             let start = child * keys_per_block;
             let end = (start + keys_per_block).min(level.keys);
-            let mut r = self.disk.reader(level.ext, start * u64::from(self.key_width), io);
+            let mut r = self
+                .disk
+                .reader(level.ext, start * u64::from(self.key_width), io);
             // Last key <= target within this node (or the node's first key).
             let mut chosen = start;
             for i in start..end {
@@ -148,8 +163,14 @@ impl PositionListIndex {
     fn char_positions<'a>(&'a self, c: Symbol, io: &'a IoSession) -> PositionsIter<'a> {
         let start = self.prefix[c as usize];
         let count = self.prefix[c as usize + 1] - start;
-        let reader = self.disk.reader(self.data, start * u64::from(self.pos_width), io);
-        PositionsIter { reader, remaining: count, width: self.pos_width }
+        let reader = self
+            .disk
+            .reader(self.data, start * u64::from(self.pos_width), io);
+        PositionsIter {
+            reader,
+            remaining: count,
+            width: self.pos_width,
+        }
     }
 }
 
@@ -184,7 +205,11 @@ impl SecondaryIndex for PositionListIndex {
         // Data + directory extents + the in-memory prefix array (σ+1
         // pointers of ⌈lg n⌉ bits).
         let extents: u64 = self.disk.extent_bits(self.data)
-            + self.dir_levels.iter().map(|l| self.disk.extent_bits(l.ext)).sum::<u64>();
+            + self
+                .dir_levels
+                .iter()
+                .map(|l| self.disk.extent_bits(l.ext))
+                .sum::<u64>();
         extents + (u64::from(self.sigma) + 1) * u64::from(self.pos_width)
     }
 
@@ -201,6 +226,17 @@ impl SecondaryIndex for PositionListIndex {
                 <= self.prefix[lo as usize] * u64::from(self.pos_width) + self.disk.block_bits(),
             "directory descent landed after the first matching entry"
         );
+        // Single-character queries read their run of fixed-width positions
+        // with a straight-line batch loop — no merge machinery, no
+        // per-element iterator dispatch.
+        if lo == hi {
+            let mut stream = self.char_positions(lo, io);
+            let mut positions = vec![0u64; stream.remaining as usize];
+            for slot in positions.iter_mut() {
+                *slot = stream.reader.read_bits(stream.width);
+            }
+            return RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n));
+        }
         // Read and merge the per-character lists (streams share blocks at
         // their boundaries; the session deduplicates those charges).
         let streams: Vec<PositionsIter<'_>> =
@@ -258,7 +294,10 @@ mod tests {
         let lg_n = cost::lg2_ceil(10_000) as f64;
         let space = idx.space_bits() as f64;
         assert!(space >= n * lg_n, "data payload alone is n lg n");
-        assert!(space <= 1.2 * n * lg_n, "directory should be a small overhead, got {space}");
+        assert!(
+            space <= 1.2 * n * lg_n,
+            "directory should be a small overhead, got {space}"
+        );
     }
 
     #[test]
@@ -269,11 +308,18 @@ mod tests {
         let (small, s_small) = idx.query_measured(0, 0);
         let (large, s_large) = idx.query_measured(0, 127);
         assert!(large.cardinality() > 100 * small.cardinality());
-        assert!(s_large.reads > 10 * s_small.reads, "large result should cost much more I/O");
+        assert!(
+            s_large.reads > 10 * s_small.reads,
+            "large result should cost much more I/O"
+        );
         // Reading z positions of lg n bits each: at least z·lg n / B blocks.
         let z = large.cardinality();
         let floor = z * 16 / 8192;
-        assert!(s_large.reads >= floor, "reads {} below bit floor {floor}", s_large.reads);
+        assert!(
+            s_large.reads >= floor,
+            "reads {} below bit floor {floor}",
+            s_large.reads
+        );
     }
 
     #[test]
@@ -282,7 +328,10 @@ mod tests {
         let symbols = psi_workloads::uniform(n, 512, 9);
         // Small blocks force a multi-level directory.
         let idx = PositionListIndex::build(&symbols, 512, IoConfig::with_block_bits(512));
-        assert!(idx.dir_levels.len() >= 2, "expected a multi-level directory");
+        assert!(
+            idx.dir_levels.len() >= 2,
+            "expected a multi-level directory"
+        );
         let (_r, stats) = idx.query_measured(5, 5);
         // Descent reads one block per level plus the data blocks for one
         // character (~n/512 positions of 16 bits in 512-bit blocks).

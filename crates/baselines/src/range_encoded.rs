@@ -35,7 +35,12 @@ impl RangeEncodedIndex {
                 words[(p / 64) as usize] |= 1u64 << (p % 64);
             }
         });
-        RangeEncodedIndex { disk, cat, n, sigma }
+        RangeEncodedIndex {
+            disk,
+            cat,
+            n,
+            sigma,
+        }
     }
 
     /// The simulated disk (for inspection by harnesses).
@@ -65,7 +70,8 @@ impl SecondaryIndex for RangeEncodedIndex {
         let mut acc = self.cat.new_acc();
         self.cat.or_into(&self.disk, hi as usize, &mut acc, io);
         if lo > 0 {
-            self.cat.and_not_into(&self.disk, lo as usize - 1, &mut acc, io);
+            self.cat
+                .and_not_into(&self.disk, lo as usize - 1, &mut acc, io);
         }
         let positions = self.cat.acc_positions(&acc);
         RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n))
@@ -103,7 +109,11 @@ mod tests {
         let bitmap_blocks = (n as u64).div_ceil(8192);
         for (lo, hi) in [(0u32, 63u32), (0, 0), (5, 60), (63, 63)] {
             let (_, stats) = idx.query_measured(lo, hi);
-            let expected = if lo == 0 { bitmap_blocks } else { 2 * bitmap_blocks };
+            let expected = if lo == 0 {
+                bitmap_blocks
+            } else {
+                2 * bitmap_blocks
+            };
             assert!(
                 stats.reads <= expected + 2,
                 "[{lo}, {hi}] read {} blocks, expected about {expected}",

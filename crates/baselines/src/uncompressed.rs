@@ -28,7 +28,12 @@ impl UncompressedBitmapIndex {
         let mut disk = Disk::new(config);
         let lists = crate::per_char_positions(symbols, sigma);
         let cat = DenseCatalog::build(&mut disk, n.max(1), lists);
-        UncompressedBitmapIndex { disk, cat, n, sigma }
+        UncompressedBitmapIndex {
+            disk,
+            cat,
+            n,
+            sigma,
+        }
     }
 
     /// The simulated disk (for inspection by harnesses).
@@ -92,14 +97,23 @@ mod tests {
     fn query_cost_scales_with_range_width_not_result() {
         let n = 1 << 16;
         // Character 0 never occurs: results are empty but reads persist.
-        let symbols: Vec<u32> = psi_workloads::uniform(n, 15, 2).iter().map(|&c| c + 1).collect();
+        let symbols: Vec<u32> = psi_workloads::uniform(n, 15, 2)
+            .iter()
+            .map(|&c| c + 1)
+            .collect();
         let idx = UncompressedBitmapIndex::build(&symbols, 16, IoConfig::default());
         let (r1, s1) = idx.query_measured(0, 0);
         assert!(r1.is_empty());
         let blocks_per_bitmap = (n as u64).div_ceil(8192);
-        assert!(s1.reads >= blocks_per_bitmap, "even an empty result reads a full bitmap");
+        assert!(
+            s1.reads >= blocks_per_bitmap,
+            "even an empty result reads a full bitmap"
+        );
         let (_, s8) = idx.query_measured(0, 7);
-        assert!(s8.reads >= 8 * blocks_per_bitmap - 8, "width-8 range reads 8 bitmaps");
+        assert!(
+            s8.reads >= 8 * blocks_per_bitmap - 8,
+            "width-8 range reads 8 bitmaps"
+        );
     }
 
     #[test]

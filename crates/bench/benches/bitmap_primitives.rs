@@ -1,4 +1,6 @@
-//! Wall-clock microbenchmarks of the bit-level substrate.
+//! Wall-clock microbenchmarks of the bit-level substrate: the gamma
+//! encode/decode and merge primitives that sit on every query's hot path,
+//! plus the word-level batch endpoints added on top of them.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psi_bits::{codes, merge, BitBuf, GapBitmap};
@@ -17,14 +19,90 @@ fn bench_primitives(c: &mut Criterion) {
     });
     let gap = GapBitmap::from_sorted(&positions, 13 * 100_000 + 1);
     g.bench_function("gap_decode_100k", |b| b.iter(|| gap.iter().sum::<u64>()));
+    g.bench_function("gap_to_vec_100k", |b| {
+        b.iter(|| gap.to_vec().last().copied())
+    });
+    g.bench_function("gap_decode_all_100k", |b| {
+        let mut out = Vec::with_capacity(positions.len());
+        b.iter(|| {
+            gap.decode_all(&mut out);
+            out.last().copied()
+        })
+    });
+    // Density spectrum: mixed gaps (zipf-ish query results) and dense runs
+    // (clustered data, the complement trick's output).
+    let mixed: Vec<u64> = {
+        let mut v = Vec::new();
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x += 1 + (i.wrapping_mul(2_654_435_761)) % 200;
+            v.push(x);
+        }
+        v
+    };
+    let gap_mixed = GapBitmap::from_sorted(&mixed, mixed.last().unwrap() + 1);
+    g.bench_function("gap_decode_all_mixed_100k", |b| {
+        let mut out = Vec::with_capacity(mixed.len());
+        b.iter(|| {
+            gap_mixed.decode_all(&mut out);
+            out.len()
+        })
+    });
+    let gap_dense = GapBitmap::from_sorted_iter(0..100_000u64, 100_000);
+    g.bench_function("gap_decode_all_dense_100k", |b| {
+        let mut out = Vec::with_capacity(100_000);
+        b.iter(|| {
+            gap_dense.decode_all(&mut out);
+            out.len()
+        })
+    });
+    // The bit-by-bit reference decoder: the floor the word-level paths are
+    // measured against (and differentially tested against in psi-bits).
+    g.bench_function("gap_decode_reference_100k", |b| {
+        b.iter(|| {
+            let mut r = gap.code_bits().reader();
+            let mut sum = 0u64;
+            let mut prev = 0u64;
+            for i in 0..gap.count() {
+                let code = codes::get_gamma_reference(&mut r);
+                prev = if i == 0 { code - 1 } else { prev + code };
+                sum += prev;
+            }
+            sum
+        })
+    });
     g.bench_function("kway_merge_8x12k", |b| {
-        let streams: Vec<Vec<u64>> =
-            (0..8u64).map(|k| (0..12_500u64).map(|i| i * 8 + k).collect()).collect();
+        let streams: Vec<Vec<u64>> = (0..8u64)
+            .map(|k| (0..12_500u64).map(|i| i * 8 + k).collect())
+            .collect();
         b.iter(|| {
             merge::merge_disjoint(
-                streams.iter().map(|s| s.iter().copied()).collect::<Vec<_>>(),
+                streams
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
             )
             .count()
+        })
+    });
+    g.bench_function("two_way_merge_2x50k", |b| {
+        let a: Vec<u64> = (0..50_000u64).map(|i| i * 2).collect();
+        let z: Vec<u64> = (0..50_000u64).map(|i| i * 2 + 1).collect();
+        b.iter(|| merge::merge_disjoint(vec![a.iter().copied(), z.iter().copied()]).count())
+    });
+    g.bench_function("complement_sparse_in_1m", |b| {
+        let sparse = GapBitmap::from_sorted_iter((0..10_000u64).map(|i| i * 100), 1_000_000);
+        b.iter(|| sparse.complement().count())
+    });
+    g.bench_function("extend_from_aligned_64kw", |b| {
+        let mut src = BitBuf::new();
+        for i in 0..65_536u64 {
+            src.push_bits(i, 64);
+        }
+        b.iter(|| {
+            let mut dst = BitBuf::with_capacity(src.len());
+            dst.extend_from(&src);
+            dst.len()
         })
     });
     let plain = psi_bits::PlainBitmap::from_positions(positions.iter().copied(), 13 * 100_000 + 1);

@@ -25,12 +25,16 @@ fn bench_queries(c: &mut Criterion) {
                 opt.query(lo, hi, &io).cardinality()
             })
         });
-        g.bench_with_input(BenchmarkId::new("compressed_scan", width), &width, |b, _| {
-            b.iter(|| {
-                let io = IoSession::untracked();
-                scan.query(lo, hi, &io).cardinality()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compressed_scan", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let io = IoSession::untracked();
+                    scan.query(lo, hi, &io).cardinality()
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("position_list", width), &width, |b, _| {
             b.iter(|| {
                 let io = IoSession::untracked();

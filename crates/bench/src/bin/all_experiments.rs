@@ -1,3 +1,11 @@
 fn main() {
-    psi_bench::all();
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--json") => psi_bench::jsonout::emit_json(args.next()),
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: all_experiments [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => psi_bench::all(),
+    }
 }

@@ -1,0 +1,285 @@
+//! Machine-readable microbenchmark output (`all_experiments --json`).
+//!
+//! Emits a `BENCH_NNNN.json` snapshot of the hot-path primitives — gamma
+//! decode/encode, k-way merge, end-to-end range queries — so successive
+//! PRs can diff ns/op numbers instead of prose claims. The snapshot
+//! format is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "psi-bench/1",
+//!   "results": [
+//!     {"bench": "decode/sparse_batch_100k", "ns_per_iter": 332876.9, "per_element_ns": 3.33},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! Timing uses the same calibrate-then-sample discipline as the criterion
+//! benches (median of `SAMPLES` samples, each at least `TARGET_MS` long),
+//! without depending on the bench harness so the binary stays a plain
+//! `cargo run` target.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use psi_api::SecondaryIndex;
+use psi_io::{IoConfig, IoSession};
+
+const SAMPLES: usize = 9;
+const TARGET_MS: u64 = 5;
+
+/// One measured entry.
+pub struct JsonResult {
+    /// Hierarchical bench name (`group/name`).
+    pub bench: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Elements processed per iteration (0 when not meaningful).
+    pub elements: u64,
+}
+
+fn measure<O, F: FnMut() -> O>(mut f: F) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(TARGET_MS) || iters >= 1 << 28 {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            16.0
+        } else {
+            (Duration::from_millis(TARGET_MS).as_secs_f64() / elapsed.as_secs_f64())
+                .clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64) * grow).ceil() as u64;
+    }
+    let mut ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    ns[ns.len() / 2]
+}
+
+/// Runs the decode / merge / query microbenchmarks and returns the rows.
+pub fn run_microbenches() -> Vec<JsonResult> {
+    let mut results = Vec::new();
+    let mut push = |bench: &str, ns: f64, elements: u64| {
+        println!("{bench:<40} {ns:>14.1} ns/iter");
+        results.push(JsonResult {
+            bench: bench.to_string(),
+            ns_per_iter: ns,
+            elements,
+        });
+    };
+
+    // --- decode ---
+    use psi_bits::{codes, merge, BitBuf, GapBitmap};
+    let sparse: Vec<u64> = (0..100_000u64).map(|i| i * 13).collect();
+    let gap_sparse = GapBitmap::from_sorted(&sparse, 13 * 100_000 + 1);
+    let mixed: Vec<u64> = {
+        let mut v = Vec::new();
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x += 1 + (i.wrapping_mul(2_654_435_761)) % 200;
+            v.push(x);
+        }
+        v
+    };
+    let gap_mixed = GapBitmap::from_sorted(&mixed, mixed.last().unwrap() + 1);
+    let gap_dense = GapBitmap::from_sorted_iter(0..100_000u64, 100_000);
+    let mut out = Vec::with_capacity(100_000);
+    push(
+        "decode/sparse_iter_100k",
+        measure(|| gap_sparse.iter().sum::<u64>()),
+        100_000,
+    );
+    push(
+        "decode/sparse_batch_100k",
+        measure(|| {
+            gap_sparse.decode_all(&mut out);
+            out.len()
+        }),
+        100_000,
+    );
+    push(
+        "decode/mixed_batch_100k",
+        measure(|| {
+            gap_mixed.decode_all(&mut out);
+            out.len()
+        }),
+        100_000,
+    );
+    push(
+        "decode/dense_batch_100k",
+        measure(|| {
+            gap_dense.decode_all(&mut out);
+            out.len()
+        }),
+        100_000,
+    );
+    push(
+        "decode/sparse_bitwise_reference_100k",
+        measure(|| {
+            let mut r = gap_sparse.code_bits().reader();
+            let mut prev = u64::MAX;
+            for _ in 0..gap_sparse.count() {
+                prev = prev.wrapping_add(codes::get_gamma_reference(&mut r));
+            }
+            prev
+        }),
+        100_000,
+    );
+    push(
+        "encode/gamma_100k",
+        measure(|| {
+            let mut buf = BitBuf::new();
+            for &p in &sparse {
+                codes::put_gamma(&mut buf, p + 1);
+            }
+            buf.len()
+        }),
+        100_000,
+    );
+
+    // --- merge ---
+    let streams: Vec<Vec<u64>> = (0..8u64)
+        .map(|k| (0..12_500u64).map(|i| i * 8 + k).collect())
+        .collect();
+    push(
+        "merge/kway_8x12k",
+        measure(|| {
+            merge::merge_disjoint(
+                streams
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
+            )
+            .count()
+        }),
+        100_000,
+    );
+    let (evens, odds): (Vec<u64>, Vec<u64>) = (
+        (0..50_000u64).map(|i| i * 2).collect(),
+        (0..50_000u64).map(|i| i * 2 + 1).collect(),
+    );
+    push(
+        "merge/two_way_2x50k",
+        measure(|| {
+            merge::merge_disjoint(vec![evens.iter().copied(), odds.iter().copied()]).count()
+        }),
+        100_000,
+    );
+
+    // --- query (end to end, wall clock; I/O-model costs are the
+    // experiment binaries' domain) ---
+    let n = 1usize << 17;
+    let sigma = 256u32;
+    let s = psi_workloads::uniform(n, sigma, 1);
+    let cfg = IoConfig::default();
+    let opt = psi_core::OptimalIndex::build(&s, sigma, cfg);
+    let scan = psi_baselines::CompressedScanIndex::build(&s, sigma, cfg);
+    let pl = psi_baselines::PositionListIndex::build(&s, sigma, cfg);
+    let mr = psi_baselines::MultiResolutionIndex::build(&s, sigma, 4, cfg);
+    for width in [1u32, 16, 128] {
+        let (lo, hi) = (32, 32 + width - 1);
+        let mut q = |name: &str, idx: &dyn SecondaryIndex| {
+            let ns = measure(|| {
+                let io = IoSession::untracked();
+                idx.query(lo, hi, &io).cardinality()
+            });
+            push(&format!("query/{name}_w{width}"), ns, 0);
+        };
+        q("optimal", &opt);
+        q("compressed_scan", &scan);
+        q("position_list", &pl);
+        q("multires4", &mr);
+    }
+    results
+}
+
+/// Serializes rows to the `psi-bench/1` JSON schema.
+pub fn to_json(results: &[JsonResult]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"psi-bench/1\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let per_element = if r.elements > 0 {
+            format!(
+                ", \"per_element_ns\": {:.2}",
+                r.ns_per_iter / r.elements as f64
+            )
+        } else {
+            String::new()
+        };
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}{}}}{}\n",
+            r.bench,
+            r.ns_per_iter,
+            per_element,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// First unused `BENCH_NNNN.json` name in the current directory.
+pub fn next_bench_path() -> String {
+    for i in 1..10_000 {
+        let candidate = format!("BENCH_{i:04}.json");
+        if !std::path::Path::new(&candidate).exists() {
+            return candidate;
+        }
+    }
+    "BENCH_overflow.json".to_string()
+}
+
+/// Entry point for `all_experiments --json [PATH]`.
+pub fn emit_json(path: Option<String>) {
+    let results = run_microbenches();
+    let path = path.unwrap_or_else(next_bench_path);
+    let json = to_json(&results);
+    let mut f = std::fs::File::create(&path).expect("create bench json");
+    f.write_all(json.as_bytes()).expect("write bench json");
+    println!("\nwrote {} results to {path}", results.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let rows = vec![
+            JsonResult {
+                bench: "decode/x".into(),
+                ns_per_iter: 123.45,
+                elements: 100,
+            },
+            JsonResult {
+                bench: "query/y".into(),
+                ns_per_iter: 6.0,
+                elements: 0,
+            },
+        ];
+        let s = to_json(&rows);
+        assert!(s.contains("\"schema\": \"psi-bench/1\""));
+        assert!(
+            s.contains("\"bench\": \"decode/x\", \"ns_per_iter\": 123.5, \"per_element_ns\": 1.23")
+        );
+        assert!(s.contains("\"bench\": \"query/y\", \"ns_per_iter\": 6.0}"));
+        // Balanced braces/brackets; trailing comma rules respected.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert!(!s.contains("},\n  ]"));
+    }
+}

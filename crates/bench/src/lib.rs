@@ -7,6 +7,13 @@
 //! against the theory curve); `EXPERIMENTS.md` records the paper-vs-
 //! measured outcome. Binaries: `cargo run -p psi-bench --release --bin
 //! e01_uniform_tree` … or `--bin all_experiments`.
+//!
+//! `all_experiments --json [PATH]` skips the tables and instead emits a
+//! machine-readable `BENCH_NNNN.json` of hot-path ns/op numbers (decode,
+//! merge, query) via [`jsonout`], the perf trajectory baseline diffed by
+//! successive PRs.
+
+pub mod jsonout;
 
 use psi_api::{AppendIndex, DynamicIndex, SecondaryIndex};
 use psi_baselines::*;
@@ -25,7 +32,14 @@ fn head(id: &str, claim: &str) {
 }
 
 fn row(cells: &[String]) {
-    println!("{}", cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "{}",
+        cells
+            .iter()
+            .map(|c| format!("{c:>14}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 }
 
 fn hdr(cols: &[&str]) {
@@ -40,8 +54,20 @@ fn f(x: f64) -> String {
 /// E1 — Theorem 1: `UniformTreeIndex` uses `O(n lg² σ)` bits and answers
 /// in `O(T/B + lg σ)` I/Os.
 pub fn e01() {
-    head("E1", "Thm 1: uniform tree — space O(n lg^2 sigma), query O(T/B + lg sigma)");
-    hdr(&["n", "sigma", "bits/n", "n lg^2s/n", "range", "z", "I/Os", "T/B+lgs"]);
+    head(
+        "E1",
+        "Thm 1: uniform tree — space O(n lg^2 sigma), query O(T/B + lg sigma)",
+    );
+    hdr(&[
+        "n",
+        "sigma",
+        "bits/n",
+        "n lg^2s/n",
+        "range",
+        "z",
+        "I/Os",
+        "T/B+lgs",
+    ]);
     for &(n, sigma) in &[(1usize << 16, 64u32), (1 << 18, 256), (1 << 20, 1024)] {
         let s = wl::uniform(n, sigma, 1);
         let idx = UniformTreeIndex::build(&s, sigma, IoConfig::default());
@@ -69,10 +95,15 @@ pub fn e01() {
 /// `O(z lg(n/z)/B + log_b n + lg lg n)` across selectivities and
 /// distributions.
 pub fn e02() {
-    head("E2", "Thm 2: optimal index — entropy space, output-sensitive queries");
+    head(
+        "E2",
+        "Thm 2: optimal index — entropy space, output-sensitive queries",
+    );
     let n = 1usize << 20;
     let sigma = 1024u32;
-    hdr(&["dist", "H0(bits)", "bits/n", "sel", "z", "I/Os", "thm2", "ratio"]);
+    hdr(&[
+        "dist", "H0(bits)", "bits/n", "sel", "z", "I/Os", "thm2", "ratio",
+    ]);
     for (name, s) in [
         ("uniform", wl::uniform(n, sigma, 2)),
         ("zipf1.0", wl::zipf(n, sigma, 1.0, 2)),
@@ -105,13 +136,24 @@ pub fn e02() {
 /// `Ω(lg σ / lg(σ/ℓ))` more bits than the optimal output as the range
 /// width `ℓ` grows; the optimal index does not.
 pub fn e03() {
-    head("E3", "sec 1.2: scan reads lg(sigma)/lg(sigma/l) x output; optimal stays flat");
+    head(
+        "E3",
+        "sec 1.2: scan reads lg(sigma)/lg(sigma/l) x output; optimal stays flat",
+    );
     let n = 1usize << 20;
     let sigma = 1024u32;
     let s = wl::uniform(n, sigma, 3);
     let scan = CompressedScanIndex::build(&s, sigma, IoConfig::default());
     let opt = OptimalIndex::build(&s, sigma, IoConfig::default());
-    hdr(&["l", "z", "out bits", "scan bits", "scan/out", "opt bits", "opt/out"]);
+    hdr(&[
+        "l",
+        "z",
+        "out bits",
+        "scan bits",
+        "scan/out",
+        "opt bits",
+        "opt/out",
+    ]);
     for l in [1u32, 4, 16, 64, 256, 512] {
         let (lo, hi) = (0, l - 1);
         let io_s = IoSession::new();
@@ -135,7 +177,10 @@ pub fn e03() {
 /// E4 — §1.2's trade-off: binning/multi-resolution trade space against
 /// query blow-up with `w`; the optimal index sits at the best of both.
 pub fn e04() {
-    head("E4", "sec 1.2: multi-resolution space/time trade-off vs the no-trade-off point");
+    head(
+        "E4",
+        "sec 1.2: multi-resolution space/time trade-off vs the no-trade-off point",
+    );
     let n = 1usize << 18;
     let sigma = 1024u32;
     let s = wl::uniform(n, sigma, 4);
@@ -168,14 +213,24 @@ pub fn e04() {
 /// E5 — Theorem 3: approximate queries read `O(z lg(1/ε))` bits with
 /// measured false-positive rate ≤ ε.
 pub fn e05() {
-    head("E5", "Thm 3: approximate queries — bits ~ z lg(1/eps), FP rate <= eps");
+    head(
+        "E5",
+        "Thm 3: approximate queries — bits ~ z lg(1/eps), FP rate <= eps",
+    );
     let n = 1usize << 20;
     let sigma = 1024u32;
     let s = wl::uniform(n, sigma, 5);
     let idx = ApproximateIndex::build(&s, sigma, IoConfig::default(), 99);
     let exact_truth: std::collections::HashSet<u64> =
         psi_api::naive_query(&s, 77, 77).iter().collect();
-    hdr(&["eps", "path", "bits read", "z lg(1/e)", "exact bits", "FP rate"]);
+    hdr(&[
+        "eps",
+        "path",
+        "bits read",
+        "z lg(1/e)",
+        "exact bits",
+        "FP rate",
+    ]);
     for eps in [0.5, 0.1, 0.05, 0.01, 1e-3, 1e-6] {
         let io = IoSession::new();
         let r = idx.query_approx(77, 77, eps, &io);
@@ -191,7 +246,11 @@ pub fn e05() {
         let _ = idx.query(77, 77, &io_e);
         row(&[
             format!("{eps:.0e}"),
-            if r.is_exact() { "exact".into() } else { "hashed".to_string() },
+            if r.is_exact() {
+                "exact".into()
+            } else {
+                "hashed".to_string()
+            },
             io.stats().bits_read.to_string(),
             f(z as f64 * (1.0 / eps).log2()),
             io_e.stats().bits_read.to_string(),
@@ -203,8 +262,17 @@ pub fn e05() {
 /// E6 — Theorem 4: amortized append cost of the semi-dynamic index vs
 /// `lg lg n`.
 pub fn e06() {
-    head("E6", "Thm 4: semi-dynamic appends — amortized O(lg lg n) I/Os");
-    hdr(&["n appended", "I/Os/append", "lglg n", "rebuilds", "space bits/n"]);
+    head(
+        "E6",
+        "Thm 4: semi-dynamic appends — amortized O(lg lg n) I/Os",
+    );
+    hdr(&[
+        "n appended",
+        "I/Os/append",
+        "lglg n",
+        "rebuilds",
+        "space bits/n",
+    ]);
     let sigma = 256u32;
     let stream = wl::zipf(1 << 18, sigma, 0.9, 6);
     let mut idx = SemiDynamicIndex::new(sigma, IoConfig::default());
@@ -230,8 +298,18 @@ pub fn e06() {
 /// E7 — Theorem 5: buffered appends cost `O(lg n / b)` ≪ 1 I/O; queries
 /// pay an additive `O(lg n)`.
 pub fn e07() {
-    head("E7", "Thm 5: buffered appends — amortized O(lg n / b) << 1 I/O");
-    hdr(&["B bits", "b", "I/Os/append", "lg n / b", "query I/Os", "query+log"]);
+    head(
+        "E7",
+        "Thm 5: buffered appends — amortized O(lg n / b) << 1 I/O",
+    );
+    hdr(&[
+        "B bits",
+        "b",
+        "I/Os/append",
+        "lg n / b",
+        "query I/Os",
+        "query+log",
+    ]);
     let sigma = 256u32;
     let n = 1usize << 17;
     let stream = wl::uniform(n, sigma, 7);
@@ -261,7 +339,10 @@ pub fn e07() {
 /// E8 — Theorem 6: buffered bitmap index — point queries `O(T/B + lg n)`,
 /// updates `O(lg n / b)`.
 pub fn e08() {
-    head("E8", "Thm 6: buffered bitmap index — point O(T/B + lg n), update O(lg n / b)");
+    head(
+        "E8",
+        "Thm 6: buffered bitmap index — point O(T/B + lg n), update O(lg n / b)",
+    );
     let sigma = 256u32;
     let n = 1usize << 18;
     let s = wl::uniform(n, sigma, 8);
@@ -297,7 +378,10 @@ pub fn e08() {
 /// E9 — Theorem 7: fully dynamic index — changes `O(lg n lg lg n / b)`,
 /// queries `O(z lg(n/z)/B + lg n lg lg n)`.
 pub fn e09() {
-    head("E9", "Thm 7: fully dynamic — buffered changes, near-optimal queries");
+    head(
+        "E9",
+        "Thm 7: fully dynamic — buffered changes, near-optimal queries",
+    );
     let sigma = 128u32;
     let n = 1usize << 17;
     let mut current = wl::uniform(n, sigma, 10);
@@ -330,16 +414,24 @@ pub fn e09() {
         let io = IoSession::new();
         let r = idx.query(lo, hi, &io);
         let z = r.cardinality();
-        let bound = cost::output_bits(n as u64, z) / B as f64
-            + cost::lg2(n as f64) * cost::lg_lg(n as u64);
-        row(&[format!("[{lo},{hi}]"), z.to_string(), io.stats().reads.to_string(), f(bound)]);
+        let bound =
+            cost::output_bits(n as u64, z) / B as f64 + cost::lg2(n as f64) * cost::lg_lg(n as u64);
+        row(&[
+            format!("[{lo},{hi}]"),
+            z.to_string(),
+            io.stats().reads.to_string(),
+            f(bound),
+        ]);
     }
 }
 
 /// E10 — §1.3: the whole spectrum ("B-trees and uncompressed bitmap
 /// indexes at the extremes") swept across selectivity.
 pub fn e10() {
-    head("E10", "sec 1.3: the spectrum — who wins at which selectivity");
+    head(
+        "E10",
+        "sec 1.3: the spectrum — who wins at which selectivity",
+    );
     let n = 1usize << 18;
     let sigma = 512u32;
     let s = wl::uniform(n, sigma, 12);
@@ -353,7 +445,16 @@ pub fn e10() {
     let re = RangeEncodedIndex::build(&s, sigma, cfg);
     let ie = IntervalEncodedIndex::build(&s, sigma, cfg);
     println!("space (bits/value):");
-    hdr(&["optimal", "poslist", "uncomp", "compscan", "binned16", "multires4", "rangeenc", "intvenc"]);
+    hdr(&[
+        "optimal",
+        "poslist",
+        "uncomp",
+        "compscan",
+        "binned16",
+        "multires4",
+        "rangeenc",
+        "intvenc",
+    ]);
     row(&[
         f(opt.space_bits() as f64 / n as f64),
         f(pl.space_bits() as f64 / n as f64),
@@ -365,7 +466,9 @@ pub fn e10() {
         f(ie.space_bits() as f64 / n as f64),
     ]);
     println!("\nquery I/Os by range width:");
-    hdr(&["l", "z", "optimal", "poslist", "uncomp", "compscan", "binned", "multires", "rangeenc"]);
+    hdr(&[
+        "l", "z", "optimal", "poslist", "uncomp", "compscan", "binned", "multires", "rangeenc",
+    ]);
     for l in [1u32, 8, 64, 256, 448] {
         let (lo, hi) = (16, 16 + l - 1);
         let z = psi_api::naive_query(&s, lo, hi).cardinality();
@@ -420,16 +523,16 @@ pub fn e11() {
 /// E12 — §1/§3: d-dimensional RID intersection, exact vs approximate with
 /// `ε^{d−k}` survivor decay.
 pub fn e12() {
-    head("E12", "sec 1/3: RID intersection — married men aged 33, exact vs approximate");
+    head(
+        "E12",
+        "sec 1/3: RID intersection — married men aged 33, exact vs approximate",
+    );
     let n = 1usize << 18;
     let table = wl::people_table(n, 14);
     let cols: Vec<_> = table.columns.iter().collect();
     let conds = [(0usize, 1u32, 1u32), (1, 0, 0), (2, 30, 35)];
-    let truth: Vec<u64> = table.naive_conjunctive_query(&[
-        ("marital_status", 1, 1),
-        ("sex", 0, 0),
-        ("age", 30, 35),
-    ]);
+    let truth: Vec<u64> =
+        table.naive_conjunctive_query(&[("marital_status", 1, 1), ("sex", 0, 0), ("age", 30, 35)]);
     let cfg = IoConfig::default();
     // Exact.
     let io = IoSession::new();

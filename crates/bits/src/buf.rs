@@ -20,7 +20,10 @@ impl BitBuf {
 
     /// An empty buffer with room for `bits` bits.
     pub fn with_capacity(bits: u64) -> Self {
-        BitBuf { words: Vec::with_capacity((bits as usize).div_ceil(64)), bit_len: 0 }
+        BitBuf {
+            words: Vec::with_capacity((bits as usize).div_ceil(64)),
+            bit_len: 0,
+        }
     }
 
     /// Length in bits.
@@ -76,7 +79,10 @@ impl BitBuf {
         if k == 0 {
             return 0;
         }
-        assert!(pos + u64::from(k) <= self.bit_len, "read past end of BitBuf");
+        assert!(
+            pos + u64::from(k) <= self.bit_len,
+            "read past end of BitBuf"
+        );
         let w = (pos / 64) as usize;
         let off = (pos % 64) as u32;
         let avail = 64 - off;
@@ -97,13 +103,39 @@ impl BitBuf {
     }
 
     /// Appends the entire contents of `other`.
+    ///
+    /// When this buffer's length is 64-bit aligned the append is a plain
+    /// word copy; otherwise the source words are re-shifted one word at a
+    /// time (still far cheaper than per-chunk cursor reads).
     pub fn extend_from(&mut self, other: &BitBuf) {
-        let mut remaining = other.bit_len;
-        let mut pos = 0;
+        self.extend_from_words(&other.words, other.bit_len);
+    }
+
+    /// Appends `bit_len` bits stored MSB-first in `words` (bits of the
+    /// final word beyond `bit_len` must be zero).
+    pub fn extend_from_words(&mut self, words: &[u64], bit_len: u64) {
+        if bit_len == 0 {
+            return;
+        }
+        let nwords = (bit_len as usize).div_ceil(64);
+        debug_assert!(nwords <= words.len(), "word slice shorter than bit_len");
+        if self.bit_len.is_multiple_of(64) {
+            // Aligned destination: whole-word copy, no shifting.
+            debug_assert_eq!(self.words.len() as u64, self.bit_len / 64);
+            self.words.extend_from_slice(&words[..nwords]);
+            self.bit_len += bit_len;
+        } else {
+            crate::copy_words_chunked(self, words, bit_len);
+        }
+    }
+
+    /// Appends `bits` bits drained from `src` (used to lift disk-resident
+    /// code streams into memory; the source is charged as it is read).
+    pub fn extend_from_source<S: BitSource>(&mut self, src: &mut S, bits: u64) {
+        let mut remaining = bits;
         while remaining > 0 {
             let k = remaining.min(64) as u32;
-            self.push_bits(other.get_bits_at(pos, k), k);
-            pos += u64::from(k);
+            self.push_bits(src.get_bits(k), k);
             remaining -= u64::from(k);
         }
     }
@@ -129,6 +161,10 @@ impl BitBuf {
 impl BitSink for BitBuf {
     fn put_bits(&mut self, value: u64, k: u32) {
         self.push_bits(value, k);
+    }
+
+    fn put_bits_bulk(&mut self, words: &[u64], bit_len: u64) {
+        self.extend_from_words(words, bit_len);
     }
 
     fn bit_pos(&self) -> u64 {
@@ -161,7 +197,10 @@ impl BitSource for BitBufReader<'_> {
         // Word-at-a-time scan, mirroring DiskReader::read_unary.
         let mut zeros = 0u32;
         loop {
-            assert!(self.pos < self.buf.bit_len, "unary code ran past end of BitBuf");
+            assert!(
+                self.pos < self.buf.bit_len,
+                "unary code ran past end of BitBuf"
+            );
             let w = (self.pos / 64) as usize;
             let off = (self.pos % 64) as u32;
             let chunk = self.buf.words[w] << off;
@@ -174,6 +213,27 @@ impl BitSource for BitBufReader<'_> {
             zeros += avail;
             self.pos += u64::from(avail);
         }
+    }
+
+    #[inline]
+    fn peek_word(&self) -> (u64, u32) {
+        let remaining = self.buf.bit_len - self.pos;
+        if remaining == 0 {
+            return (0, 0);
+        }
+        // One load: only the current word's tail. Codes that straddle into
+        // the next word take the decoder's fallback path — rarer than the
+        // second load is expensive. Bits past `bit_len` are zero by
+        // construction (push only ORs into zeroed words), so no masking.
+        let off = (self.pos % 64) as u32;
+        let word = self.buf.words[(self.pos / 64) as usize] << off;
+        (word, remaining.min(u64::from(64 - off)) as u32)
+    }
+
+    #[inline]
+    fn skip_bits(&mut self, k: u32) {
+        debug_assert!(self.pos + u64::from(k) <= self.buf.bit_len);
+        self.pos += u64::from(k);
     }
 
     fn bit_pos(&self) -> u64 {
@@ -231,6 +291,42 @@ mod tests {
         a.extend_from(&b);
         assert_eq!(a.len(), 5);
         assert_eq!(a.get_bits_at(0, 5), 0b11001);
+    }
+
+    #[test]
+    fn extend_from_word_aligned_is_verbatim() {
+        let mut a = BitBuf::new();
+        a.push_bits(u64::MAX, 64);
+        a.push_bits(0, 64); // aligned destination
+        let mut b = BitBuf::new();
+        b.push_bits(0xDEAD_BEEF, 33);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 161);
+        assert_eq!(a.get_bits_at(128, 33), 0xDEAD_BEEF);
+        // And further appends continue where the copy ended.
+        a.push_bit(true);
+        assert!(a.get_bit(161));
+    }
+
+    #[test]
+    fn peek_word_exposes_upcoming_bits_without_consuming() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b1011, 4);
+        b.push_bits(u64::MAX, 64);
+        let mut r = b.reader();
+        let (word, valid) = r.peek_word();
+        assert_eq!(valid, 64);
+        assert_eq!(word >> 60, 0b1011);
+        assert_eq!(r.bit_pos(), 0, "peek must not consume");
+        r.skip_bits(4);
+        let (word, valid) = r.peek_word();
+        assert_eq!(word, u64::MAX << 4);
+        assert_eq!(valid, 60, "one-word lookahead ends at the word boundary");
+        r.skip_bits(60);
+        let (word, valid) = r.peek_word();
+        assert_eq!((word >> 60, valid), (0xF, 4));
+        r.skip_bits(4);
+        assert_eq!(r.peek_word(), (0, 0), "exhausted reader peeks empty");
     }
 
     #[test]

@@ -34,16 +34,53 @@ pub fn delta_len(x: u64) -> u64 {
 }
 
 /// Writes the gamma code of `x ≥ 1`.
+#[inline]
 pub fn put_gamma<S: BitSink>(sink: &mut S, x: u64) {
     assert!(x > 0, "gamma code of zero");
     let n = 63 - x.leading_zeros(); // ⌊lg x⌋
-    sink.put_bits(0, n);
-    sink.put_bits(x, n + 1);
+                                    // The codeword is n zeros then the (n+1)-bit binary of x — which is
+                                    // exactly x in a (2n+1)-bit field, one sink call when it fits a word.
+    if 2 * n < 64 {
+        sink.put_bits(x, 2 * n + 1);
+    } else {
+        sink.put_bits(0, n);
+        sink.put_bits(x, n + 1);
+    }
 }
 
 /// Reads a gamma code.
+///
+/// Fast path: one [`BitSource::peek_word`] exposes the next 64 bits, so
+/// `leading_zeros` locates the terminating 1 and a single shift extracts
+/// the whole codeword — the common case for gap codes, whose values are
+/// below `2³²` whenever the universe fits in 32 bits. Codes longer than
+/// the available lookahead (large values, buffer ends, sources without
+/// lookahead) fall back to the unary-then-binary cursor path.
+#[inline]
 pub fn get_gamma<S: BitSource>(src: &mut S) -> u64 {
+    let (word, valid) = src.peek_word();
+    let lz = word.leading_zeros();
+    // Total codeword length is 2·lz + 1 bits; `lz ≤ 31` whenever this
+    // fits in the valid lookahead, so the shifts below cannot overflow.
+    if 2 * lz < valid {
+        let value = (word << lz) >> (63 - lz);
+        src.skip_bits(2 * lz + 1);
+        return value;
+    }
     let n = src.get_unary(); // consumed the leading 1 of x
+    (1u64 << n) | src.get_bits(n)
+}
+
+/// Reads a gamma code one bit at a time.
+///
+/// This is the executable specification the word-level fast path is
+/// differentially tested against (`tests/differential.rs`); it touches
+/// nothing but [`BitSource::get_bit`]/[`BitSource::get_bits`].
+pub fn get_gamma_reference<S: BitSource>(src: &mut S) -> u64 {
+    let mut n = 0u32;
+    while !src.get_bit() {
+        n += 1;
+    }
     (1u64 << n) | src.get_bits(n)
 }
 
@@ -55,10 +92,33 @@ pub fn put_delta<S: BitSink>(sink: &mut S, x: u64) {
     sink.put_bits(x & !(1u64 << n), n);
 }
 
-/// Reads a delta code.
+/// Reads a delta code (the length header shares gamma's word-level fast
+/// path).
+#[inline]
 pub fn get_delta<S: BitSource>(src: &mut S) -> u64 {
     let n = (get_gamma(src) - 1) as u32;
     (1u64 << n) | src.get_bits(n)
+}
+
+/// Reads a delta code one bit at a time (differential-testing reference,
+/// see [`get_gamma_reference`]).
+pub fn get_delta_reference<S: BitSource>(src: &mut S) -> u64 {
+    let n = (get_gamma_reference(src) - 1) as u32;
+    let mut value = 1u64;
+    for _ in 0..n {
+        value = value << 1 | u64::from(src.get_bit());
+    }
+    value
+}
+
+/// Reads a unary code one bit at a time (differential-testing reference
+/// for the word-level [`BitSource::get_unary`] overrides).
+pub fn get_unary_reference<S: BitSource>(src: &mut S) -> u32 {
+    let mut zeros = 0u32;
+    while !src.get_bit() {
+        zeros += 1;
+    }
+    zeros
 }
 
 /// Writes `x ≥ 0` as `gamma(x + 1)` — the paper's convention for run
@@ -88,7 +148,9 @@ mod tests {
         put_gamma(&mut b, 3);
         put_gamma(&mut b, 4);
         assert_eq!(b.len(), 1 + 3 + 3 + 5);
-        assert_eq!(b.get_bits_at(0, 12), 0b1_010_011_00100);
+        #[allow(clippy::unusual_byte_groupings)] // grouped by codeword, not nibble
+        let expected = 0b1_010_011_00100;
+        assert_eq!(b.get_bits_at(0, 12), expected);
     }
 
     #[test]

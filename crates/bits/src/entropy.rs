@@ -55,7 +55,9 @@ mod tests {
     #[test]
     fn skew_reduces_entropy() {
         let uniform: Vec<u32> = (0..1000u32).map(|i| i % 10).collect();
-        let skewed: Vec<u32> = (0..1000u32).map(|i| if i % 100 == 0 { i % 10 } else { 0 }).collect();
+        let skewed: Vec<u32> = (0..1000u32)
+            .map(|i| if i % 100 == 0 { i % 10 } else { 0 })
+            .collect();
         assert!(h0(&skewed, 10) < h0(&uniform, 10));
     }
 

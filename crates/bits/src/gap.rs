@@ -25,7 +25,11 @@ pub struct GapBitmap {
 impl GapBitmap {
     /// An empty bitmap over `[0, universe)`.
     pub fn empty(universe: u64) -> Self {
-        GapBitmap { universe, count: 0, bits: BitBuf::new() }
+        GapBitmap {
+            universe,
+            count: 0,
+            bits: BitBuf::new(),
+        }
     }
 
     /// Builds from a strictly increasing slice of positions `< universe`.
@@ -46,7 +50,11 @@ impl GapBitmap {
             enc.push(p);
         }
         let count = enc.finish();
-        GapBitmap { universe, count, bits }
+        GapBitmap {
+            universe,
+            count,
+            bits,
+        }
     }
 
     /// Number of 1s (the paper's *cardinality* of a bitmap, §1.4).
@@ -74,14 +82,127 @@ impl GapBitmap {
         &self.bits
     }
 
+    /// Wraps an already-encoded gap code stream.
+    ///
+    /// `bits` must hold exactly `count` gamma codes in the gap convention
+    /// of this type (first element as `gamma(p₀ + 1)`, then gaps), for
+    /// strictly increasing positions below `universe`. This is how query
+    /// paths that cover a single stored bitmap return it as a whole-word
+    /// copy instead of a decode-reencode round trip; debug builds verify
+    /// the stream.
+    pub fn from_code_bits(bits: BitBuf, count: u64, universe: u64) -> Self {
+        let b = GapBitmap {
+            universe,
+            count,
+            bits,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut dec = b.iter();
+            let mut prev = None;
+            for p in dec.by_ref() {
+                debug_assert!(p < universe, "position {p} outside universe {universe}");
+                debug_assert!(prev.is_none_or(|q| q < p), "positions not increasing");
+                prev = Some(p);
+            }
+            debug_assert_eq!(
+                dec.into_source().bit_pos(),
+                b.bits.len(),
+                "code stream length mismatch"
+            );
+        }
+        b
+    }
+
     /// Iterates the 1-positions in increasing order.
     pub fn iter(&self) -> GapDecoder<BitBufReader<'_>> {
         GapDecoder::new(self.bits.reader(), self.count)
     }
 
+    /// Decodes all positions into `out` (cleared first) — the batch
+    /// endpoint for query pipelines that materialize results.
+    ///
+    /// The loop keeps a two-word window of the code stream in registers,
+    /// so decoding one gamma code is a shift-or to form the window, a
+    /// `leading_zeros`, and one shift to extract — one memory load per
+    /// *word* of stream instead of per code, and none of the cursor or
+    /// iterator machinery. Codes longer than 64 bits (gaps ≥ 2³²) detour
+    /// through the cursor decoder and re-synchronize the window.
+    pub fn decode_all(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.count as usize);
+        let words = self.bits.words();
+        let bit_len = self.bits.len();
+        // First position is gamma(p₀ + 1): seed the running sum with −1.
+        let mut prev = u64::MAX;
+        let mut pos = 0u64; // window base, in bits
+        while pos < bit_len {
+            // Load a 64-bit window at `pos`, then drain every codeword
+            // that lies entirely inside it — the drain loop is shift,
+            // count zeros, shift: no memory traffic and the shortest
+            // possible dependency chain between consecutive codes.
+            let w = (pos / 64) as usize;
+            let off = (pos % 64) as u32;
+            let lo = words.get(w + 1).copied().unwrap_or(0);
+            // `(lo >> 1) >> (63 − off)` is `lo >> (64 − off)` without the
+            // undefined 64-bit shift at off = 0.
+            let window = (words[w] << off) | ((lo >> 1) >> (63 - off));
+            let valid = (bit_len - pos).min(64) as u32;
+            let mut used = 0u32;
+            loop {
+                let rest = window << used;
+                let lz = rest.leading_zeros();
+                if lz == 0 {
+                    // A leading 1 is the code for gap 1, and a run of k
+                    // ones is k consecutive positions — the dense-bitmap
+                    // case (§1.2's "runs"), emitted as one burst with no
+                    // per-element decode at all.
+                    let ones = (!rest).leading_zeros().min(valid - used);
+                    let base = prev;
+                    out.extend((1..=u64::from(ones)).map(|d| base.wrapping_add(d)));
+                    prev = base.wrapping_add(u64::from(ones));
+                    used += ones;
+                    if used >= valid {
+                        break;
+                    }
+                    continue;
+                }
+                let len = 2 * lz + 1;
+                if used + len > valid {
+                    break;
+                }
+                // Top `lz` bits of `rest` are zero, so no mask is needed.
+                prev = prev.wrapping_add(rest >> (63 - 2 * lz));
+                out.push(prev);
+                used += len;
+                if used >= valid {
+                    break;
+                }
+            }
+            if used == 0 {
+                // Codeword longer than the window (gap ≥ 2³²): cursor
+                // decode, then resume word-at-a-time behind it.
+                let mut r = self.bits.reader_at(pos);
+                let n = r.get_unary();
+                prev = prev.wrapping_add((1u64 << n) | r.get_bits(n));
+                out.push(prev);
+                pos = r.bit_pos();
+            } else {
+                pos += u64::from(used);
+            }
+            assert!(
+                out.len() <= self.count as usize,
+                "gap stream holds more codes than its count"
+            );
+        }
+        debug_assert_eq!(out.len(), self.count as usize, "count vs stream mismatch");
+    }
+
     /// Decodes all positions into a vector.
     pub fn to_vec(&self) -> Vec<u64> {
-        self.iter().collect()
+        let mut out = Vec::new();
+        self.decode_all(&mut out);
+        out
     }
 
     /// Membership test by scanning (O(count); intended for tests and small
@@ -91,34 +212,53 @@ impl GapBitmap {
     }
 
     /// Appends this bitmap's raw code stream to a sink (used when
-    /// concatenating per-node bitmaps into a level stream on disk).
+    /// concatenating per-node bitmaps into a level stream on disk). A
+    /// 64-bit-aligned sink receives a whole-word copy.
     pub fn write_codes_to<S: BitSink>(&self, sink: &mut S) {
-        let mut pos = 0;
-        let mut remaining = self.bits.len();
-        while remaining > 0 {
-            let k = remaining.min(64) as u32;
-            sink.put_bits(self.bits.get_bits_at(pos, k), k);
-            pos += u64::from(k);
-            remaining -= u64::from(k);
-        }
+        sink.put_bits_bulk(self.bits.words(), self.bits.len());
     }
 
     /// The complement set over the same universe (used by Theorem 1's
     /// `z > n/2` trick when a materialized complement is required).
+    ///
+    /// Walks the gap stream run by run: each decoded 1-position closes a
+    /// run of complement elements, whose encoding is one gap code followed
+    /// by unit gaps — appended as whole words of 1-bits rather than
+    /// re-encoding every element through the generic path.
     pub fn complement(&self) -> GapBitmap {
-        let mut inside = self.iter().peekable();
         let universe = self.universe;
-        let iter = (0..universe).filter(move |&p| {
-            while let Some(&q) = inside.peek() {
-                if q < p {
-                    inside.next();
-                } else {
-                    return q != p;
-                }
+        let mut bits = BitBuf::with_capacity(universe - self.count);
+        let mut prev: Option<u64> = None;
+        // Emits the complement run [start, end): one gap code to enter the
+        // run, then end − start − 1 unit gaps ("1" bits), 64 at a time.
+        let emit_run = |bits: &mut BitBuf, prev: &mut Option<u64>, start: u64, end: u64| {
+            if start >= end {
+                return;
             }
-            true
-        });
-        GapBitmap::from_sorted_iter(iter, universe)
+            match *prev {
+                None => codes::put_gamma(bits, start + 1),
+                Some(p) => codes::put_gamma(bits, start - p),
+            }
+            let mut ones = end - start - 1;
+            while ones > 0 {
+                let k = ones.min(64) as u32;
+                let chunk = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+                bits.push_bits(chunk, k);
+                ones -= u64::from(k);
+            }
+            *prev = Some(end - 1);
+        };
+        let mut next_free = 0u64;
+        for p in self.iter() {
+            emit_run(&mut bits, &mut prev, next_free, p);
+            next_free = p + 1;
+        }
+        emit_run(&mut bits, &mut prev, next_free, universe);
+        GapBitmap {
+            universe,
+            count: universe - self.count,
+            bits,
+        }
     }
 }
 
@@ -145,7 +285,11 @@ pub struct GapEncoder<'a, S: BitSink> {
 impl<'a, S: BitSink> GapEncoder<'a, S> {
     /// Starts encoding into `sink`.
     pub fn new(sink: &'a mut S) -> Self {
-        GapEncoder { sink, prev: None, count: 0 }
+        GapEncoder {
+            sink,
+            prev: None,
+            count: 0,
+        }
     }
 
     /// Appends the next position (must exceed the previous one).
@@ -153,7 +297,10 @@ impl<'a, S: BitSink> GapEncoder<'a, S> {
         match self.prev {
             None => codes::put_gamma(self.sink, pos + 1),
             Some(prev) => {
-                assert!(pos > prev, "positions must be strictly increasing ({prev} then {pos})");
+                assert!(
+                    pos > prev,
+                    "positions must be strictly increasing ({prev} then {pos})"
+                );
                 codes::put_gamma(self.sink, pos - prev);
             }
         }
@@ -191,12 +338,44 @@ pub struct GapDecoder<S: BitSource> {
 impl<S: BitSource> GapDecoder<S> {
     /// Decodes `count` positions from `src`.
     pub fn new(src: S, count: u64) -> Self {
-        GapDecoder { src, remaining: count, prev: None }
+        GapDecoder {
+            src,
+            remaining: count,
+            prev: None,
+        }
     }
 
     /// Positions not yet decoded.
     pub fn remaining(&self) -> u64 {
         self.remaining
+    }
+
+    /// Decodes up to `out.len()` positions into `out`, returning how many
+    /// were written. The loop body is a plain gamma decode plus an add —
+    /// no `Option`, no per-element trait dispatch — so the compiler keeps
+    /// the running position and the source cursor in registers.
+    pub fn next_batch(&mut self, out: &mut [u64]) -> usize {
+        let n = self.remaining.min(out.len() as u64) as usize;
+        let mut prev = match self.prev {
+            Some(p) => p,
+            None => {
+                if n == 0 {
+                    return 0;
+                }
+                out[0] = codes::get_gamma(&mut self.src) - 1;
+                out[0]
+            }
+        };
+        let start = usize::from(self.prev.is_none());
+        for slot in &mut out[start..n] {
+            prev += codes::get_gamma(&mut self.src);
+            *slot = prev;
+        }
+        if n > 0 {
+            self.prev = Some(prev);
+        }
+        self.remaining -= n as u64;
+        n
     }
 
     /// Consumes the decoder, returning the underlying source positioned
@@ -226,6 +405,28 @@ impl<S: BitSource> Iterator for GapDecoder<S> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let r = self.remaining as usize;
         (r, Some(r))
+    }
+
+    fn fold<B, F>(self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, u64) -> B,
+    {
+        // Internal iteration (`sum`, `for_each`, `collect` via extend):
+        // the count is known, so decode in a plain counted loop with no
+        // per-element `Option` round trip.
+        let mut src = self.src;
+        let mut acc = init;
+        let mut prev = self.prev;
+        for _ in 0..self.remaining {
+            let code = codes::get_gamma(&mut src);
+            let pos = match prev {
+                None => code - 1,
+                Some(p) => p + code,
+            };
+            prev = Some(pos);
+            acc = f(acc, pos);
+        }
+        acc
     }
 }
 
@@ -270,8 +471,12 @@ mod tests {
         let step = n / m;
         let b = GapBitmap::from_sorted_iter((0..m).map(|i| i * step), n);
         let bound = psi_io::cost::output_bits(n, m); // m lg(n/m)
-        assert!(b.size_bits() as f64 <= 2.0 * bound + 2.0 * m as f64,
-            "size {} exceeds 2*bound {} + 2m", b.size_bits(), bound);
+        assert!(
+            b.size_bits() as f64 <= 2.0 * bound + 2.0 * m as f64,
+            "size {} exceeds 2*bound {} + 2m",
+            b.size_bits(),
+            bound
+        );
     }
 
     #[test]
@@ -306,6 +511,54 @@ mod tests {
         assert_eq!(src.bit_pos(), a_end);
         let dec2 = GapDecoder::new(src, 2);
         assert_eq!(dec2.collect::<Vec<_>>(), vec![0, 15]);
+    }
+
+    #[test]
+    fn huge_gaps_take_the_long_code_path() {
+        // Gaps ≥ 2³² produce gamma codes longer than 64 bits, which the
+        // word-window decoder must route through the cursor fallback.
+        let positions = vec![3u64, 1 << 33, (1 << 33) + 1, 1 << 62];
+        let b = GapBitmap::from_sorted(&positions, (1 << 62) + 1);
+        assert_eq!(b.to_vec(), positions);
+        let mut batch = [0u64; 2];
+        let mut dec = b.iter();
+        assert_eq!(dec.next_batch(&mut batch), 2);
+        assert_eq!(batch, [3, 1 << 33]);
+        assert_eq!(dec.next_batch(&mut batch), 2);
+        assert_eq!(batch, [(1 << 33) + 1, 1 << 62]);
+        assert_eq!(dec.next_batch(&mut batch), 0);
+    }
+
+    #[test]
+    fn from_code_bits_wraps_stream_verbatim() {
+        let original = GapBitmap::from_sorted(&[1, 4, 9, 100], 128);
+        let mut copy = BitBuf::new();
+        original.write_codes_to(&mut copy);
+        let rebuilt = GapBitmap::from_code_bits(copy, original.count(), original.universe());
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.to_vec(), vec![1, 4, 9, 100]);
+    }
+
+    #[test]
+    fn decode_all_reuses_buffer() {
+        let a = GapBitmap::from_sorted(&[5, 10], 20);
+        let b = GapBitmap::from_sorted(&[1], 20);
+        let mut out = vec![999; 7];
+        a.decode_all(&mut out);
+        assert_eq!(out, vec![5, 10]);
+        b.decode_all(&mut out);
+        assert_eq!(out, vec![1]);
+        GapBitmap::empty(20).decode_all(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn decode_all_handles_runs_across_word_boundaries() {
+        // 120 consecutive positions: the gap-1 burst path must carry runs
+        // across 64-bit window reloads.
+        let positions: Vec<u64> = (7..127).collect();
+        let b = GapBitmap::from_sorted(&positions, 200);
+        assert_eq!(b.to_vec(), positions);
     }
 
     #[test]

@@ -43,8 +43,34 @@ pub trait BitSink {
         self.put_bits(u64::from(bit), 1);
     }
 
+    /// Appends `bit_len` bits stored MSB-first in `words`.
+    ///
+    /// Bits of the final word beyond `bit_len` must be zero (the layout
+    /// [`BitBuf`] and disk extents maintain). The default chunks through
+    /// [`Self::put_bits`]; sinks with word-addressable storage override
+    /// this with a whole-word copy when their write head is 64-bit
+    /// aligned.
+    fn put_bits_bulk(&mut self, words: &[u64], bit_len: u64) {
+        copy_words_chunked(self, words, bit_len);
+    }
+
     /// Current length of the destination in bits.
     fn bit_pos(&self) -> u64;
+}
+
+/// The shared per-word fallback for bulk appends to an unaligned sink:
+/// full 64-bit words, then the tail field shifted down to the low bits.
+/// (`psi_io::DiskWriter::write_bulk` keeps its own copy of this loop —
+/// `psi-io` sits below this crate in the dependency order.)
+fn copy_words_chunked<S: BitSink + ?Sized>(sink: &mut S, words: &[u64], bit_len: u64) {
+    let full = (bit_len / 64) as usize;
+    for &w in &words[..full] {
+        sink.put_bits(w, 64);
+    }
+    let tail = (bit_len % 64) as u32;
+    if tail > 0 {
+        sink.put_bits(words[full] >> (64 - tail), tail);
+    }
 }
 
 /// A source of bits (in-memory reader or disk reader).
@@ -67,6 +93,26 @@ pub trait BitSource {
         zeros
     }
 
+    /// Peeks at the next up-to-64 bits without consuming them.
+    ///
+    /// Returns `(word, valid)`: the upcoming bits MSB-aligned in `word`,
+    /// with `valid ≤ 64` of them meaningful and everything past `valid`
+    /// zero. This is the lookahead that lets [`codes::get_gamma`] extract
+    /// a whole codeword with one `leading_zeros` + shift instead of a
+    /// bit cursor loop. The default returns `(0, 0)` — "no lookahead" —
+    /// which makes every decoder fall back to its cursor path, so
+    /// third-party sources keep working unmodified.
+    fn peek_word(&self) -> (u64, u32) {
+        (0, 0)
+    }
+
+    /// Consumes `k ≤ 64` bits previously examined via [`Self::peek_word`]
+    /// (counted as read, exactly as if they had been fetched with
+    /// [`Self::get_bits`]).
+    fn skip_bits(&mut self, k: u32) {
+        let _ = self.get_bits(k);
+    }
+
     /// Current position in bits.
     fn bit_pos(&self) -> u64;
 }
@@ -74,6 +120,10 @@ pub trait BitSource {
 impl BitSink for psi_io::DiskWriter<'_> {
     fn put_bits(&mut self, value: u64, k: u32) {
         self.write_bits(value, k);
+    }
+
+    fn put_bits_bulk(&mut self, words: &[u64], bit_len: u64) {
+        self.write_bulk(words, bit_len);
     }
 
     fn bit_pos(&self) -> u64 {
@@ -102,6 +152,14 @@ impl BitSource for psi_io::DiskReader<'_> {
 
     fn get_unary(&mut self) -> u32 {
         self.read_unary()
+    }
+
+    fn peek_word(&self) -> (u64, u32) {
+        self.peek_word()
+    }
+
+    fn skip_bits(&mut self, k: u32) {
+        self.consume_bits(k);
     }
 
     fn bit_pos(&self) -> u64 {

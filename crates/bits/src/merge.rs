@@ -8,6 +8,7 @@
 //! union is also provided.
 
 use std::cmp::Reverse;
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 
 use crate::GapBitmap;
@@ -46,22 +47,61 @@ where
     GapBitmap::from_sorted_iter(merge_disjoint(inputs), universe)
 }
 
-/// A heap-based k-way merge iterator.
+/// A k-way merge iterator.
+///
+/// Fan-in 1 is a passthrough and fan-in 2 a branch-per-element linear
+/// merge (the overwhelmingly common shapes in the canonical
+/// decompositions, which produce `O(lg n)` streams but usually one or
+/// two). Larger fan-ins use a min-heap advanced via
+/// [`BinaryHeap::peek_mut`]: replacing the head sifts it in place, one
+/// `O(lg k)` walk per element instead of the pop-then-push pair.
 #[derive(Debug)]
 pub struct KWayMerge<I: Iterator<Item = u64>> {
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
-    inputs: Vec<I>,
+    inner: Inner<I>,
+}
+
+#[derive(Debug)]
+enum Inner<I: Iterator<Item = u64>> {
+    One(Option<I>),
+    Two {
+        a: I,
+        b: I,
+        a_head: Option<u64>,
+        b_head: Option<u64>,
+    },
+    Heap {
+        heap: BinaryHeap<Reverse<(u64, usize)>>,
+        inputs: Vec<I>,
+    },
 }
 
 impl<I: Iterator<Item = u64>> KWayMerge<I> {
     fn new(mut inputs: Vec<I>) -> Self {
-        let mut heap = BinaryHeap::with_capacity(inputs.len());
-        for (idx, it) in inputs.iter_mut().enumerate() {
-            if let Some(first) = it.next() {
-                heap.push(Reverse((first, idx)));
+        let inner = match inputs.len() {
+            0 => Inner::One(None),
+            1 => Inner::One(inputs.pop()),
+            2 => {
+                let mut b = inputs.pop().expect("two inputs");
+                let mut a = inputs.pop().expect("two inputs");
+                let (a_head, b_head) = (a.next(), b.next());
+                Inner::Two {
+                    a,
+                    b,
+                    a_head,
+                    b_head,
+                }
             }
-        }
-        KWayMerge { heap, inputs }
+            _ => {
+                let mut heap = BinaryHeap::with_capacity(inputs.len());
+                for (idx, it) in inputs.iter_mut().enumerate() {
+                    if let Some(first) = it.next() {
+                        heap.push(Reverse((first, idx)));
+                    }
+                }
+                Inner::Heap { heap, inputs }
+            }
+        };
+        KWayMerge { inner }
     }
 }
 
@@ -69,12 +109,57 @@ impl<I: Iterator<Item = u64>> Iterator for KWayMerge<I> {
     type Item = u64;
 
     fn next(&mut self) -> Option<u64> {
-        let Reverse((pos, idx)) = self.heap.pop()?;
-        if let Some(next) = self.inputs[idx].next() {
-            debug_assert!(next > pos, "input stream {idx} not strictly increasing");
-            self.heap.push(Reverse((next, idx)));
+        match &mut self.inner {
+            Inner::One(input) => input.as_mut()?.next(),
+            Inner::Two {
+                a,
+                b,
+                a_head,
+                b_head,
+            } => match (*a_head, *b_head) {
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        *a_head = a.next();
+                        Some(x)
+                    } else {
+                        *b_head = b.next();
+                        Some(y)
+                    }
+                }
+                (Some(x), None) => {
+                    *a_head = a.next();
+                    Some(x)
+                }
+                (None, Some(y)) => {
+                    *b_head = b.next();
+                    Some(y)
+                }
+                (None, None) => None,
+            },
+            Inner::Heap { heap, inputs } => {
+                let mut top = heap.peek_mut()?;
+                let Reverse((pos, idx)) = *top;
+                match inputs[idx].next() {
+                    Some(next) => {
+                        debug_assert!(next > pos, "input stream {idx} not strictly increasing");
+                        // Sifts the replaced head in place when `top` drops.
+                        *top = Reverse((next, idx));
+                    }
+                    None => {
+                        PeekMut::pop(top);
+                    }
+                }
+                Some(pos)
+            }
         }
-        Some(pos)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            Inner::One(None) => (0, Some(0)),
+            Inner::One(Some(input)) => input.size_hint(),
+            _ => (0, None),
+        }
     }
 }
 
@@ -97,7 +182,11 @@ mod tests {
     fn merge_of_empty_inputs() {
         let empty: Vec<std::vec::IntoIter<u64>> = vec![];
         assert_eq!(merge_disjoint(empty).count(), 0);
-        let some_empty = vec![vec![].into_iter(), vec![5u64].into_iter(), vec![].into_iter()];
+        let some_empty = vec![
+            vec![].into_iter(),
+            vec![5u64].into_iter(),
+            vec![].into_iter(),
+        ];
         assert_eq!(merge_disjoint(some_empty).collect::<Vec<_>>(), vec![5]);
     }
 

@@ -17,7 +17,11 @@ pub struct PlainBitmap {
 impl PlainBitmap {
     /// An all-zeros bitmap over `[0, universe)`.
     pub fn new(universe: u64) -> Self {
-        PlainBitmap { universe, words: vec![0; (universe as usize).div_ceil(64)], ones: 0 }
+        PlainBitmap {
+            universe,
+            words: vec![0; (universe as usize).div_ceil(64)],
+            ones: 0,
+        }
     }
 
     /// Builds from an iterator of (not necessarily sorted) positions.
@@ -47,7 +51,11 @@ impl PlainBitmap {
 
     /// Sets bit `pos` (idempotent).
     pub fn set(&mut self, pos: u64) {
-        assert!(pos < self.universe, "position {pos} outside universe {}", self.universe);
+        assert!(
+            pos < self.universe,
+            "position {pos} outside universe {}",
+            self.universe
+        );
         let w = (pos / 64) as usize;
         let mask = 1u64 << (pos % 64);
         if self.words[w] & mask == 0 {
@@ -58,7 +66,11 @@ impl PlainBitmap {
 
     /// Clears bit `pos` (idempotent).
     pub fn clear(&mut self, pos: u64) {
-        assert!(pos < self.universe, "position {pos} outside universe {}", self.universe);
+        assert!(
+            pos < self.universe,
+            "position {pos} outside universe {}",
+            self.universe
+        );
         let w = (pos / 64) as usize;
         let mask = 1u64 << (pos % 64);
         if self.words[w] & mask != 0 {
@@ -69,7 +81,11 @@ impl PlainBitmap {
 
     /// Tests bit `pos`.
     pub fn get(&self, pos: u64) -> bool {
-        assert!(pos < self.universe, "position {pos} outside universe {}", self.universe);
+        assert!(
+            pos < self.universe,
+            "position {pos} outside universe {}",
+            self.universe
+        );
         self.words[(pos / 64) as usize] >> (pos % 64) & 1 == 1
     }
 
@@ -108,7 +124,10 @@ impl PlainBitmap {
     pub fn rank1(&self, pos: u64) -> u64 {
         assert!(pos <= self.universe);
         let full_words = (pos / 64) as usize;
-        let mut r: u64 = self.words[..full_words].iter().map(|w| u64::from(w.count_ones())).sum();
+        let mut r: u64 = self.words[..full_words]
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
         let rem = pos % 64;
         if rem > 0 {
             r += u64::from((self.words[full_words] & ((1u64 << rem) - 1)).count_ones());

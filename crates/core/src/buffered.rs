@@ -66,7 +66,14 @@ impl BufferedIndex {
         let rec_bits = 32 + lg_n;
         let b = config.words_per_block(symbols.len().max(1024) as u64);
         let capacity = (b * cost::lg2_ceil(symbols.len().max(1024) as u64)).max(64) as usize;
-        BufferedIndex { engine, log: Vec::new(), log_ext, log_disk, capacity, rec_bits }
+        BufferedIndex {
+            engine,
+            log: Vec::new(),
+            log_ext,
+            log_disk,
+            capacity,
+            rec_bits,
+        }
     }
 
     /// Drains the log into the engine in one batched session (block
@@ -118,8 +125,8 @@ impl SecondaryIndex for BufferedIndex {
         let base = self.engine.query(lo, hi, io);
         // Read the log blocks (the paper's "read each of the buffers …
         // that could potentially contain updates", O(lg n) of them).
-        let log_blocks = (self.log.len() as u64 * u64::from(self.rec_bits))
-            .div_ceil(self.log_disk.block_bits());
+        let log_blocks =
+            (self.log.len() as u64 * u64::from(self.rec_bits)).div_ceil(self.log_disk.block_bits());
         for blk in 0..log_blocks {
             io.charge_read(self.log_ext, blk);
         }
@@ -261,12 +268,19 @@ mod tests {
             per_buf < per_semi / 2.0,
             "buffered {per_buf:.3} I/Os should be well below semi-dynamic {per_semi:.3}"
         );
-        assert!(per_buf < 1.0, "buffered appends are sub-one-I/O ({per_buf:.3})");
+        assert!(
+            per_buf < 1.0,
+            "buffered appends are sub-one-I/O ({per_buf:.3})"
+        );
     }
 
     #[test]
     fn query_pays_additive_log_cost_only() {
-        let mut idx = BufferedIndex::build(&psi_workloads::uniform(20_000, 64, 107), 64, IoConfig::default());
+        let mut idx = BufferedIndex::build(
+            &psi_workloads::uniform(20_000, 64, 107),
+            64,
+            IoConfig::default(),
+        );
         let io = IoSession::untracked();
         for &c in &psi_workloads::uniform(500, 64, 109) {
             idx.append(c, &io);

@@ -244,7 +244,12 @@ impl BufferedBitmapIndex {
     fn new_node(&mut self, children: Children, key: (Symbol, u64), io: &IoSession) -> usize {
         let _ = io;
         let buf_ext = self.disk.alloc();
-        self.nodes.push(BNode { children, key, buf_ext, buf: Vec::new() });
+        self.nodes.push(BNode {
+            children,
+            key,
+            buf_ext,
+            buf: Vec::new(),
+        });
         self.nodes.len() - 1
     }
 
@@ -256,12 +261,14 @@ impl BufferedBitmapIndex {
     /// go stale as leaves split and re-anchor).
     fn node_key(&self, v: usize) -> (Symbol, u64) {
         match &self.nodes[v].children {
-            Children::Leaves(ls) => {
-                ls.first().map(|&l| self.leaf_key(l)).unwrap_or(self.nodes[v].key)
-            }
-            Children::Internal(kids) => {
-                kids.first().map(|&k| self.node_key(k)).unwrap_or(self.nodes[v].key)
-            }
+            Children::Leaves(ls) => ls
+                .first()
+                .map(|&l| self.leaf_key(l))
+                .unwrap_or(self.nodes[v].key),
+            Children::Internal(kids) => kids
+                .first()
+                .map(|&k| self.node_key(k))
+                .unwrap_or(self.nodes[v].key),
         }
     }
 
@@ -272,17 +279,36 @@ impl BufferedBitmapIndex {
 
     /// Inserts position `pos` for character `ch`.
     pub fn insert(&mut self, ch: Symbol, pos: u64, io: &IoSession) {
-        self.update(Update { ch, pos, delete: false }, io);
+        self.update(
+            Update {
+                ch,
+                pos,
+                delete: false,
+            },
+            io,
+        );
     }
 
     /// Deletes position `pos` from character `ch` (must be present once
     /// pending updates are folded in).
     pub fn remove(&mut self, ch: Symbol, pos: u64, io: &IoSession) {
-        self.update(Update { ch, pos, delete: true }, io);
+        self.update(
+            Update {
+                ch,
+                pos,
+                delete: true,
+            },
+            io,
+        );
     }
 
     fn update(&mut self, u: Update, io: &IoSession) {
-        assert!(u.ch < self.sigma, "character {} outside alphabet {}", u.ch, self.sigma);
+        assert!(
+            u.ch < self.sigma,
+            "character {} outside alphabet {}",
+            u.ch,
+            self.sigma
+        );
         self.universe = self.universe.max(u.pos + 1);
         if u.delete {
             self.counts[u.ch as usize] -= 1;
@@ -435,7 +461,7 @@ impl BufferedBitmapIndex {
                 .enumerate()
                 .filter(|&(_, &l)| self.leaf_key(l) <= (u.ch, u.pos))
                 .map(|(i, _)| i)
-                .last()
+                .next_back()
                 .filter(|&t| self.leaves[leaf_ids[t]].ch == u.ch);
             match target {
                 Some(t) => per_leaf.entry(t).or_default().push(u),
@@ -525,7 +551,15 @@ impl BufferedBitmapIndex {
         check_range(lo, hi, self.sigma);
         let mut leaf_positions: Vec<Vec<u64>> = Vec::new();
         let mut pending: Vec<Update> = Vec::new();
-        self.collect_query(self.root, lo, hi, io, &mut leaf_positions, &mut pending, true);
+        self.collect_query(
+            self.root,
+            lo,
+            hi,
+            io,
+            &mut leaf_positions,
+            &mut pending,
+            true,
+        );
         // Per-character concatenation: leaves arrive in (char, first_pos)
         // order, so a k-way merge over characters is a sort by (char,pos);
         // positions across characters overlap, so merge by position.
@@ -561,7 +595,10 @@ impl BufferedBitmapIndex {
                 let (_, d) = pend.next().expect("peeked");
                 net += i64::from(d);
             }
-            debug_assert!((0..=1).contains(&net), "position {next_pos} has net count {net}");
+            debug_assert!(
+                (0..=1).contains(&net),
+                "position {next_pos} has net count {net}"
+            );
             if net > 0 {
                 out.push(next_pos);
             }
@@ -679,10 +716,7 @@ impl SecondaryIndex for BufferedBitmapIndex {
 
     fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
         let positions = self.range_positions(lo, hi, io);
-        RidSet::from_positions(GapBitmap::from_sorted_iter(
-            positions.into_iter(),
-            self.universe.max(1),
-        ))
+        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.universe.max(1)))
     }
 }
 
@@ -772,7 +806,10 @@ mod tests {
         }
         let per_update = io.stats().total() as f64 / n as f64;
         // Theorem 6: amortized O(lg n / b) ~ 17/400 << 1.
-        assert!(per_update < 1.0, "amortized {per_update:.3} I/Os per update");
+        assert!(
+            per_update < 1.0,
+            "amortized {per_update:.3} I/Os per update"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! rebuild machinery). All reads and writes are charged to the caller's
 //! [`IoSession`].
 
-use psi_bits::{codes, GapDecoder};
+use psi_bits::{codes, BitBuf, GapBitmap, GapDecoder};
 use psi_io::{Disk, DiskReader, ExtentId, IoSession};
 
 /// Allocation policy for slot slack.
@@ -64,7 +64,13 @@ pub struct CutStream {
 impl CutStream {
     /// Creates an empty cut stream at tree depth `level`.
     pub fn new(disk: &mut Disk, level: u32, slack: Slack) -> Self {
-        CutStream { level, ext: disk.alloc(), slots: Vec::new(), dead_bits: 0, slack }
+        CutStream {
+            level,
+            ext: disk.alloc(),
+            slots: Vec::new(),
+            dead_bits: 0,
+            slack,
+        }
     }
 
     /// Number of slots ever allocated (including dead ones).
@@ -106,20 +112,36 @@ impl CutStream {
         if cap > len {
             w.write_zeros(cap - len);
         }
-        self.slots.push(Slot { off, len, cap, count, last_pos, dead: false });
+        self.slots.push(Slot {
+            off,
+            len,
+            cap,
+            count,
+            last_pos,
+            dead: false,
+        });
         self.slots.len() - 1
     }
 
     /// Appends one position to slot `idx` in place. Returns `false`
     /// (without writing) when the slot's slack cannot hold the gap code —
     /// the signal for the engine to rebuild the owning subtree.
-    pub fn append_position(&mut self, disk: &mut Disk, idx: usize, pos: u64, io: &IoSession) -> bool {
+    pub fn append_position(
+        &mut self,
+        disk: &mut Disk,
+        idx: usize,
+        pos: u64,
+        io: &IoSession,
+    ) -> bool {
         let slot = &self.slots[idx];
         assert!(!slot.dead, "append to dead slot");
         let code = match slot.last_pos {
             None => pos + 1,
             Some(prev) => {
-                assert!(pos > prev, "appended position {pos} not past slot tail {prev}");
+                assert!(
+                    pos > prev,
+                    "appended position {pos} not past slot tail {prev}"
+                );
                 pos - prev
             }
         };
@@ -138,10 +160,28 @@ impl CutStream {
     }
 
     /// Streaming decoder over slot `idx`, charging `io`.
-    pub fn decoder<'a>(&self, disk: &'a Disk, idx: usize, io: &'a IoSession) -> GapDecoder<DiskReader<'a>> {
+    pub fn decoder<'a>(
+        &self,
+        disk: &'a Disk,
+        idx: usize,
+        io: &'a IoSession,
+    ) -> GapDecoder<DiskReader<'a>> {
         let slot = &self.slots[idx];
         assert!(!slot.dead, "decode of dead slot");
         GapDecoder::new(disk.reader(self.ext, slot.off, io), slot.count)
+    }
+
+    /// Lifts slot `idx` verbatim into a [`GapBitmap`] over `universe`,
+    /// charging `io` for the bits read. A query whose canonical cover is a
+    /// single stored bitmap already holds its answer in the exact output
+    /// encoding, so this replaces decode-merge-reencode with a word copy.
+    pub fn copy_bitmap(&self, disk: &Disk, idx: usize, io: &IoSession, universe: u64) -> GapBitmap {
+        let slot = &self.slots[idx];
+        assert!(!slot.dead, "copy of dead slot");
+        let mut r = disk.reader(self.ext, slot.off, io);
+        let mut bits = BitBuf::with_capacity(slot.len);
+        bits.extend_from_source(&mut r, slot.len);
+        GapBitmap::from_code_bits(bits, slot.count, universe)
     }
 
     /// Tombstones slot `idx` (its bits become dead space until compaction).
@@ -188,7 +228,10 @@ mod tests {
     use psi_io::IoConfig;
 
     fn setup() -> (Disk, IoSession) {
-        (Disk::new(IoConfig::with_block_bits(256)), IoSession::untracked())
+        (
+            Disk::new(IoConfig::with_block_bits(256)),
+            IoSession::untracked(),
+        )
     }
 
     #[test]
@@ -197,7 +240,10 @@ mod tests {
         let mut cut = CutStream::new(&mut disk, 1, Slack::None);
         let a = cut.push_bitmap(&mut disk, vec![0u64, 3, 10], &io);
         let b = cut.push_bitmap(&mut disk, vec![5u64], &io);
-        assert_eq!(cut.decoder(&disk, a, &io).collect::<Vec<_>>(), vec![0, 3, 10]);
+        assert_eq!(
+            cut.decoder(&disk, a, &io).collect::<Vec<_>>(),
+            vec![0, 3, 10]
+        );
         assert_eq!(cut.decoder(&disk, b, &io).collect::<Vec<_>>(), vec![5]);
     }
 
@@ -219,7 +265,10 @@ mod tests {
         let a = cut.push_bitmap(&mut disk, vec![10u64], &io);
         assert!(cut.append_position(&mut disk, a, 20, &io));
         assert!(cut.append_position(&mut disk, a, 21, &io));
-        assert_eq!(cut.decoder(&disk, a, &io).collect::<Vec<_>>(), vec![10, 20, 21]);
+        assert_eq!(
+            cut.decoder(&disk, a, &io).collect::<Vec<_>>(),
+            vec![10, 20, 21]
+        );
         assert_eq!(cut.slot(a).count, 3);
     }
 
@@ -253,6 +302,25 @@ mod tests {
         assert!(cut.dead_fraction(&disk) > 0.9);
         cut.kill(a); // idempotent
         assert!(cut.dead_fraction(&disk) <= 1.0);
+    }
+
+    #[test]
+    fn copy_bitmap_is_verbatim_and_charged_like_decode() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let positions: Vec<u64> = (0..200u64).map(|i| i * 7).collect();
+        let a = cut.push_bitmap(&mut disk, positions.iter().copied(), &io);
+        let decode_io = IoSession::new();
+        let decoded: Vec<u64> = cut.decoder(&disk, a, &decode_io).collect();
+        let copy_io = IoSession::new();
+        let copied = cut.copy_bitmap(&disk, a, &copy_io, 1400);
+        assert_eq!(copied.to_vec(), decoded);
+        assert_eq!(copied.count(), 200);
+        assert_eq!(copied.universe(), 1400);
+        assert_eq!(copied.size_bits(), cut.slot(a).len);
+        // The copy reads the same stream, so it charges the same blocks.
+        assert_eq!(copy_io.stats().reads, decode_io.stats().reads);
+        assert_eq!(copy_io.stats().bits_read, decode_io.stats().bits_read);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! index, where deletion replaces a character with `∞`) and *current*
 //! positions (relative to the string with deletions compacted away).
 
-use psi_io::{cost, Disk, ExtentId, IoConfig, IoSession};
 use psi_bits::codes;
+use psi_io::{cost, Disk, ExtentId, IoConfig, IoSession};
 
 #[derive(Debug)]
 struct DLeaf {
@@ -42,7 +42,13 @@ impl DeletedPositionMap {
     /// An empty map.
     pub fn new(config: IoConfig) -> Self {
         let cap = (config.block_bits / 16).max(4) as usize;
-        DeletedPositionMap { disk: Disk::new(config), leaves: Vec::new(), prefix: vec![0], total: 0, cap }
+        DeletedPositionMap {
+            disk: Disk::new(config),
+            leaves: Vec::new(),
+            prefix: vec![0],
+            total: 0,
+            cap,
+        }
     }
 
     /// Number of deleted positions.
@@ -90,7 +96,14 @@ impl DeletedPositionMap {
             }
             prev = Some(p);
         }
-        self.leaves.insert(idx, DLeaf { ext, first: positions[0], count: positions.len() as u64 });
+        self.leaves.insert(
+            idx,
+            DLeaf {
+                ext,
+                first: positions[0],
+                count: positions.len() as u64,
+            },
+        );
     }
 
     /// Records position `pos` as deleted. Amortized `O(1)` leaf rewrites;
@@ -110,7 +123,9 @@ impl DeletedPositionMap {
             return;
         }
         let mut positions = self.read_leaf(idx, io);
-        let at = positions.binary_search(&pos).expect_err("position deleted twice");
+        let at = positions
+            .binary_search(&pos)
+            .expect_err("position deleted twice");
         positions.insert(at, pos);
         self.disk.free(self.leaves[idx].ext);
         self.leaves.remove(idx);
@@ -198,7 +213,9 @@ impl DeletedPositionMap {
     /// when deletions exceed a constant fraction; exposed so the owning
     /// index can fold it into its own epoch rebuilds).
     pub fn compact(&mut self, io: &IoSession) {
-        let all: Vec<u64> = (0..self.leaves.len()).flat_map(|i| self.read_leaf(i, io)).collect();
+        let all: Vec<u64> = (0..self.leaves.len())
+            .flat_map(|i| self.read_leaf(i, io))
+            .collect();
         for l in &self.leaves {
             // Free old storage.
             let _ = l;
@@ -250,7 +267,11 @@ mod tests {
         }
         let expected = [0u64, 1, 4, 5, 6, 8, 9];
         for (cur, &orig) in expected.iter().enumerate() {
-            assert_eq!(m.original_to_current(orig, &io), Some(cur as u64), "orig {orig}");
+            assert_eq!(
+                m.original_to_current(orig, &io),
+                Some(cur as u64),
+                "orig {orig}"
+            );
             assert_eq!(m.current_to_original(cur as u64, &io), orig, "cur {cur}");
         }
         for p in [2u64, 3, 7] {
@@ -303,7 +324,11 @@ mod tests {
         }
         let io = IoSession::new();
         m.original_to_current(500_000, &io);
-        assert!(io.stats().reads <= 4, "{} reads for a translation", io.stats().reads);
+        assert!(
+            io.stats().reads <= 4,
+            "{} reads for a translation",
+            io.stats().reads
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl FullyDynamicIndex {
             c: crate::engine::DEFAULT_C,
         };
         for (i, &s) in symbols.iter().enumerate() {
-            assert!(s < sigma, "symbol {s} at {i} outside alphabet of size {sigma}");
+            assert!(
+                s < sigma,
+                "symbol {s} at {i} outside alphabet of size {sigma}"
+            );
         }
         idx.rebuild();
         idx
@@ -182,12 +185,24 @@ impl FullyDynamicIndex {
             .map(|(&level, sets)| CutIndex {
                 level,
                 bbi: BufferedBitmapIndex::build_from_lists(
-                    if sets.is_empty() { vec![Vec::new()] } else { sets },
+                    if sets.is_empty() {
+                        vec![Vec::new()]
+                    } else {
+                        sets
+                    },
                     self.config,
                 ),
             })
             .collect();
-        self.snap = Some(Snapshot { tree, cuts, node_slot, route, leaf_route, levels, n0: n });
+        self.snap = Some(Snapshot {
+            tree,
+            cuts,
+            node_slot,
+            route,
+            leaf_route,
+            levels,
+            n0: n,
+        });
     }
 
     /// Looks up the cut node-character owning `(ch, pos)` in a cut.
@@ -224,7 +239,10 @@ impl FullyDynamicIndex {
     /// Changes position `pos` to `symbol` (Theorem 7's `change(x, i, a)`).
     /// `symbol` may be the `∞` character via [`Self::delete`].
     fn change_internal(&mut self, pos: u64, symbol: Symbol, io: &IoSession) {
-        assert!((pos as usize) < self.string.len(), "position {pos} out of range");
+        assert!(
+            (pos as usize) < self.string.len(),
+            "position {pos} out of range"
+        );
         let old = self.string[pos as usize];
         if old == symbol {
             return;
@@ -310,7 +328,10 @@ impl FullyDynamicIndex {
     /// trivial extension — the harness uses query results directly).
     pub fn cardinality(&self, lo: Symbol, hi: Symbol) -> u64 {
         check_range(lo, hi, self.sigma);
-        self.string.iter().filter(|&&s| (lo..=hi).contains(&s)).count() as u64
+        self.string
+            .iter()
+            .filter(|&&s| (lo..=hi).contains(&s))
+            .count() as u64
     }
 }
 
@@ -337,7 +358,10 @@ fn collect_cut_nodes(
             None => (levels.len() - 1) as u32,
         })
     } else {
-        levels.iter().position(|&l| l == node.depth).map(|i| i as u32)
+        levels
+            .iter()
+            .position(|&l| l == node.depth)
+            .map(|i| i as u32)
     };
     if let Some(cut_idx) = cut {
         // Positions and routing pieces for the multiset range [start, end).
@@ -371,7 +395,16 @@ fn collect_cut_nodes(
     let mut off = start;
     for &child in &tree.node(v).children {
         collect_cut_nodes(
-            tree, child, off, levels, lists, prefix, node_slot, per_cut_sets, route, leaf_route,
+            tree,
+            child,
+            off,
+            levels,
+            lists,
+            prefix,
+            node_slot,
+            per_cut_sets,
+            route,
+            leaf_route,
         );
         off += tree.node(child).weight;
     }
@@ -526,7 +559,10 @@ mod tests {
             idx.change(pos, sym, &io);
             current[pos as usize] = sym;
         }
-        assert!(idx.global_rebuilds > before, "epoch rebuild expected after n changes");
+        assert!(
+            idx.global_rebuilds > before,
+            "epoch rebuild expected after n changes"
+        );
         check_all(&idx, &current, sigma);
     }
 
@@ -547,7 +583,10 @@ mod tests {
         let per_change = io.stats().total() as f64 / f64::from(updates);
         // Theorem 7: amortized O(lg n lg lg n / b) << 1; allow generous
         // implementation constants (leaf rewrites dominate).
-        assert!(per_change < 20.0, "amortized {per_change:.2} I/Os per change");
+        assert!(
+            per_change < 20.0,
+            "amortized {per_change:.2} I/Os per change"
+        );
     }
 
     #[test]

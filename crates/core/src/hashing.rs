@@ -90,7 +90,11 @@ impl SplitXorHash {
         let copy = *self;
         (0..self.high_parts(n)).filter_map(move |i1| {
             let i2 = s ^ copy.g(i1);
-            let i = if copy.out_bits >= 64 { i2 } else { (i1 << copy.out_bits) | i2 };
+            let i = if copy.out_bits >= 64 {
+                i2
+            } else {
+                (i1 << copy.out_bits) | i2
+            };
             (i < n).then_some(i)
         })
     }
@@ -107,7 +111,9 @@ impl HashFamily {
     /// Builds the family for strings of length up to `n`.
     pub fn new(n: u64, seed: u64) -> Self {
         let k = k_for(n);
-        HashFamily { fns: (1..=k).map(|j| SplitXorHash::new(j, seed)).collect() }
+        HashFamily {
+            fns: (1..=k).map(|j| SplitXorHash::new(j, seed)).collect(),
+        }
     }
 
     /// `k = ⌊lg lg n⌋` — the number of levels.
@@ -135,7 +141,7 @@ impl HashFamily {
 
 /// `⌊lg lg n⌋`, clamped to at least 1 (so tiny inputs still have a level).
 pub fn k_for(n: u64) -> u32 {
-    let lg = 64 - n.max(4).leading_zeros() as u32 - 1; // ⌊lg n⌋
+    let lg = 64 - n.max(4).leading_zeros() - 1; // ⌊lg n⌋
     let lglg = 32 - lg.leading_zeros() - 1; // ⌊lg lg n⌋
     lglg.max(1)
 }

@@ -47,7 +47,9 @@ impl OptimalIndex {
         config: IoConfig,
         c: u32,
     ) -> Self {
-        OptimalIndex { engine: Engine::build(symbols, sigma, config, c, Slack::None) }
+        OptimalIndex {
+            engine: Engine::build(symbols, sigma, config, c, Slack::None),
+        }
     }
 
     /// The result cardinality `z` without reading any bitmap (from the
@@ -128,7 +130,11 @@ mod tests {
                     let io = IoSession::new();
                     let got = idx.query(lo, hi, &io);
                     let want = naive_query(symbols, lo, hi);
-                    assert_eq!(got.to_vec(), want.to_vec(), "workload {i} range [{lo}, {hi}]");
+                    assert_eq!(
+                        got.to_vec(),
+                        want.to_vec(),
+                        "workload {i} range [{lo}, {hi}]"
+                    );
                 }
             }
         }

@@ -27,7 +27,7 @@ pub struct Remap {
 impl Remap {
     /// Builds the mapping and rewrites `symbols` to internal characters in
     /// place, splitting any character with more than `n/2` occurrences.
-    pub fn build(symbols: &mut Vec<Symbol>, sigma: Symbol) -> Remap {
+    pub fn build(symbols: &mut [Symbol], sigma: Symbol) -> Remap {
         assert!(sigma > 0);
         let n = symbols.len() as u64;
         let mut counts = vec![0u64; sigma as usize];
@@ -64,13 +64,19 @@ impl Remap {
             seen[c] += 1;
             *s = range[c].0 + piece;
         }
-        Remap { range, sigma_internal }
+        Remap {
+            range,
+            sigma_internal,
+        }
     }
 
     /// Identity mapping (no split needed): used by structures that manage
     /// their own counts.
     pub fn identity(sigma: Symbol) -> Remap {
-        Remap { range: (0..sigma).map(|c| (c, c)).collect(), sigma_internal: sigma }
+        Remap {
+            range: (0..sigma).map(|c| (c, c)).collect(),
+            sigma_internal: sigma,
+        }
     }
 
     /// Internal alphabet size `σ'`.
@@ -102,8 +108,7 @@ impl Remap {
 
     /// Directory size in bits: two `⌈lg σ'⌉` fields per original character.
     pub fn size_bits(&self) -> u64 {
-        2 * psi_io::cost::lg2_ceil(u64::from(self.sigma_internal).max(2))
-            * self.range.len() as u64
+        2 * psi_io::cost::lg2_ceil(u64::from(self.sigma_internal).max(2)) * self.range.len() as u64
     }
 }
 
@@ -150,7 +155,10 @@ mod tests {
         }
         let n = s.len() as u64;
         for (c, &z) in counts.iter().enumerate() {
-            assert!(2 * z <= n + 1, "internal char {c} still has {z} > n/2 occurrences");
+            assert!(
+                2 * z <= n + 1,
+                "internal char {c} still has {z} > n/2 occurrences"
+            );
         }
     }
 

@@ -37,7 +37,9 @@ pub struct SemiDynamicIndex {
 impl SemiDynamicIndex {
     /// An empty index over alphabet `[0, sigma)`, ready for appends.
     pub fn new(sigma: Symbol, config: IoConfig) -> Self {
-        SemiDynamicIndex { engine: Engine::build(&[], sigma, config, DEFAULT_C, Slack::Proportional) }
+        SemiDynamicIndex {
+            engine: Engine::build(&[], sigma, config, DEFAULT_C, Slack::Proportional),
+        }
     }
 
     /// Bulk-builds from an initial string, then accepts appends.
@@ -132,7 +134,10 @@ mod tests {
             symbols.push(c);
         }
         let io = IoSession::new();
-        assert_eq!(idx.query(2, 5, &io).to_vec(), naive_query(&symbols, 2, 5).to_vec());
+        assert_eq!(
+            idx.query(2, 5, &io).to_vec(),
+            naive_query(&symbols, 2, 5).to_vec()
+        );
     }
 
     #[test]
@@ -148,7 +153,10 @@ mod tests {
         let per_append = total as f64 / n as f64;
         // Theorem 4: amortized O(lg lg n) ≈ 4; allow implementation
         // constants.
-        assert!(per_append < 40.0, "amortized {per_append:.2} I/Os per append");
+        assert!(
+            per_append < 40.0,
+            "amortized {per_append:.2} I/Os per append"
+        );
         assert!(idx.stats().subtree_rebuilds + idx.stats().global_rebuilds > 0);
     }
 

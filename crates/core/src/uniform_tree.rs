@@ -82,7 +82,13 @@ impl UniformTreeIndex {
                 })
                 .collect();
         }
-        UniformTreeIndex { disk, levels, prefix, n, sigma }
+        UniformTreeIndex {
+            disk,
+            levels,
+            prefix,
+            n,
+            sigma,
+        }
     }
 
     /// Result cardinality from the `A` array (no I/O).
@@ -133,8 +139,13 @@ impl UniformTreeIndex {
         out
     }
 
-    /// Merges the cover's bitmaps into a compressed result.
+    /// Merges the cover's bitmaps into a compressed result. A one-subtree
+    /// cover is already stored in the output encoding, so it is returned
+    /// as a verbatim word copy instead of decode-merge-reencode.
     fn merge_cover(&self, cover: &[(usize, u64)], io: &IoSession) -> GapBitmap {
+        if let [(level, idx)] = cover[..] {
+            return self.levels[level].copy_bitmap(&self.disk, idx as usize, io, self.n);
+        }
         let decoders: Vec<_> = cover
             .iter()
             .map(|&(level, idx)| self.levels[level].decoder(&self.disk, idx as usize, io))
@@ -157,8 +168,11 @@ impl SecondaryIndex for UniformTreeIndex {
         // plus the A array.
         let lg_n = cost::lg2_ceil(self.n.max(2));
         let payload: u64 = self.levels.iter().map(|l| l.extent_bits(&self.disk)).sum();
-        let directory: u64 =
-            self.levels.iter().map(|l| 3 * lg_n * l.num_slots() as u64).sum();
+        let directory: u64 = self
+            .levels
+            .iter()
+            .map(|l| 3 * lg_n * l.num_slots() as u64)
+            .sum();
         payload + directory + (u64::from(self.sigma) + 1) * lg_n
     }
 
@@ -223,7 +237,10 @@ mod tests {
             let cover = idx.canonical_cover(lo, hi);
             for level in 0..idx.num_levels() {
                 let count = cover.iter().filter(|&&(l, _)| l == level).count();
-                assert!(count <= 2, "level {level} has {count} subtrees for [{lo}, {hi}]");
+                assert!(
+                    count <= 2,
+                    "level {level} has {count} subtrees for [{lo}, {hi}]"
+                );
             }
             // Cover expands exactly to [lo, hi].
             let mut chars: Vec<u64> = cover

@@ -99,11 +99,19 @@ impl WbbTree {
     pub fn build_from_runs(runs: &[CharRun], c: u32) -> Self {
         assert!(c >= 5, "branching parameter must be > 4 (got {c})");
         assert!(!runs.is_empty(), "cannot build over an empty multiset");
-        debug_assert!(runs.windows(2).all(|w| w[0].0 < w[1].0), "runs must be sorted by character");
+        debug_assert!(
+            runs.windows(2).all(|w| w[0].0 < w[1].0),
+            "runs must be sorted by character"
+        );
         debug_assert!(runs.iter().all(|&(_, w)| w > 0), "runs must be non-empty");
         let n: u64 = runs.iter().map(|&(_, w)| w).sum();
         let h = height_for(n, c);
-        let mut tree = WbbTree { c, nodes: Vec::new(), root: 0, h };
+        let mut tree = WbbTree {
+            c,
+            nodes: Vec::new(),
+            root: 0,
+            h,
+        };
         let root = tree.build_rec(runs, 0, None);
         tree.root = root;
         tree
@@ -130,7 +138,9 @@ impl WbbTree {
         }
         // Split into k near-equal parts of ~weight/c each (k capped so each
         // child is non-empty).
-        let k = weight.div_ceil((weight.div_ceil(u64::from(self.c))).max(1)).clamp(2, u64::from(4 * self.c))
+        let k = weight
+            .div_ceil((weight.div_ceil(u64::from(self.c))).max(1))
+            .clamp(2, u64::from(4 * self.c))
             .min(weight) as usize;
         let mut children = Vec::with_capacity(k);
         let mut part: Vec<CharRun> = Vec::new();
@@ -203,7 +213,12 @@ impl WbbTree {
 
     /// Maximum depth among live nodes.
     pub fn max_depth(&self) -> u32 {
-        self.nodes.iter().filter(|n| !n.dead).map(|n| n.depth).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .filter(|n| !n.dead)
+            .map(|n| n.depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates live leaves of the subtree under `v`, in multiset order,
@@ -284,7 +299,11 @@ impl WbbTree {
         let old = &self.nodes[leaf as usize];
         let (lo, hi) = (old.char_lo.min(ch), old.char_hi.max(ch));
         // Restore the old leaf's span (the increment loop widened it).
-        let old_char = if old.char_lo == ch { old.char_hi } else { old.char_lo };
+        let old_char = if old.char_lo == ch {
+            old.char_hi
+        } else {
+            old.char_lo
+        };
         let before = ch < old_char;
         let depth = old.depth;
         let parent = old.parent;
@@ -319,7 +338,11 @@ impl WbbTree {
                     weight: old_weight + 1,
                     char_lo: lo,
                     char_hi: hi,
-                    children: if before { vec![new_leaf, leaf] } else { vec![leaf, new_leaf] },
+                    children: if before {
+                        vec![new_leaf, leaf]
+                    } else {
+                        vec![leaf, new_leaf]
+                    },
                     dead: false,
                 });
                 self.nodes[leaf as usize].parent = Some(new_root);
@@ -344,13 +367,10 @@ impl WbbTree {
     /// Highest node on `path` violating its weight cap, or one whose
     /// degree overflowed `4c`.
     pub fn find_violation(&self, path: &[NodeId]) -> Option<NodeId> {
-        path.iter()
-            .copied()
-            .find(|&v| {
-                let node = self.node(v);
-                node.weight > self.weight_cap(node.depth)
-                    || node.children.len() > 4 * self.c as usize
-            })
+        path.iter().copied().find(|&v| {
+            let node = self.node(v);
+            node.weight > self.weight_cap(node.depth) || node.children.len() > 4 * self.c as usize
+        })
     }
 
     /// Rebuilds the subtree rooted at `u` from its current character runs.
@@ -395,7 +415,9 @@ impl WbbTree {
         node.char_lo = lo;
         node.char_hi = hi;
         debug_assert_eq!(node.weight, w);
-        (first_new..self.nodes.len() as NodeId).filter(|&id| !self.nodes[id as usize].dead).collect()
+        (first_new..self.nodes.len() as NodeId)
+            .filter(|&id| !self.nodes[id as usize].dead)
+            .collect()
     }
 
     /// Checks structural invariants (tests and debug builds).
@@ -410,9 +432,11 @@ impl WbbTree {
                 assert_eq!(node.char_lo, node.char_hi, "leaf {id} spans multiple chars");
                 seen_weight += node.weight;
             } else {
-                assert!(node.children.len() >= 2, "internal node {id} has < 2 children");
-                let child_sum: u64 =
-                    node.children.iter().map(|&c| self.node(c).weight).sum();
+                assert!(
+                    node.children.len() >= 2,
+                    "internal node {id} has < 2 children"
+                );
+                let child_sum: u64 = node.children.iter().map(|&c| self.node(c).weight).sum();
                 assert_eq!(child_sum, node.weight, "weight mismatch at node {id}");
                 for &c in &node.children {
                     assert_eq!(self.node(c).parent, Some(id), "parent link broken at {c}");
@@ -428,7 +452,11 @@ impl WbbTree {
                 }
             }
         }
-        assert_eq!(seen_weight, self.total_weight(), "leaf weights do not sum to n");
+        assert_eq!(
+            seen_weight,
+            self.total_weight(),
+            "leaf weights do not sum to n"
+        );
     }
 }
 

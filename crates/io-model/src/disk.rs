@@ -39,7 +39,10 @@ pub struct Disk {
 impl Disk {
     /// Creates an empty disk with the given model configuration.
     pub fn new(config: IoConfig) -> Self {
-        Disk { config, extents: Vec::new() }
+        Disk {
+            config,
+            extents: Vec::new(),
+        }
     }
 
     /// The model configuration (block size, memory bound).
@@ -79,7 +82,11 @@ impl Disk {
 
     /// Total bits stored across all live extents (space accounting).
     pub fn used_bits(&self) -> u64 {
-        self.extents.iter().filter(|e| !e.freed).map(|e| e.bit_len).sum()
+        self.extents
+            .iter()
+            .filter(|e| !e.freed)
+            .map(|e| e.bit_len)
+            .sum()
     }
 
     /// Total blocks occupied across all live extents, i.e. space in the
@@ -100,7 +107,7 @@ impl Disk {
         let words = (bit_len as usize).div_ceil(64);
         e.words.truncate(words);
         // Clear any stale bits after the new end so appends find zeroes.
-        if bit_len % 64 != 0 {
+        if !bit_len.is_multiple_of(64) {
             if let Some(last) = e.words.last_mut() {
                 let keep = bit_len % 64;
                 *last &= !0u64 << (64 - keep);
@@ -114,9 +121,18 @@ impl Disk {
     ///
     /// # Panics
     /// Panics if `bit_off` exceeds the extent length.
-    pub fn reader<'a>(&'a self, ext: ExtentId, bit_off: u64, session: &'a IoSession) -> DiskReader<'a> {
+    pub fn reader<'a>(
+        &'a self,
+        ext: ExtentId,
+        bit_off: u64,
+        session: &'a IoSession,
+    ) -> DiskReader<'a> {
         let e = &self.extents[ext.0 as usize];
-        assert!(bit_off <= e.bit_len, "reader offset {bit_off} beyond extent length {}", e.bit_len);
+        assert!(
+            bit_off <= e.bit_len,
+            "reader offset {bit_off} beyond extent length {}",
+            e.bit_len
+        );
         DiskReader {
             words: &e.words,
             bit_len: e.bit_len,
@@ -133,7 +149,13 @@ impl Disk {
         let block_bits = self.config.block_bits;
         let e = &mut self.extents[ext.0 as usize];
         e.freed = false;
-        DiskWriter { extent: e, ext, session, block_bits, last_block: u64::MAX }
+        DiskWriter {
+            extent: e,
+            ext,
+            session,
+            block_bits,
+            last_block: u64::MAX,
+        }
     }
 
     /// A positioned cursor that writes (ORs) bits starting at `bit_off`,
@@ -148,9 +170,20 @@ impl Disk {
     ) -> DiskWriterAt<'a> {
         let block_bits = self.config.block_bits;
         let e = &mut self.extents[ext.0 as usize];
-        assert!(bit_off <= e.bit_len, "writer_at offset {bit_off} beyond extent length {}", e.bit_len);
+        assert!(
+            bit_off <= e.bit_len,
+            "writer_at offset {bit_off} beyond extent length {}",
+            e.bit_len
+        );
         e.freed = false;
-        DiskWriterAt { extent: e, ext, session, block_bits, last_block: u64::MAX, pos: bit_off }
+        DiskWriterAt {
+            extent: e,
+            ext,
+            session,
+            block_bits,
+            last_block: u64::MAX,
+            pos: bit_off,
+        }
     }
 }
 
@@ -214,7 +247,10 @@ impl<'a> DiskReader<'a> {
         if k == 0 {
             return 0;
         }
-        assert!(self.pos + u64::from(k) <= self.bit_len, "read past end of extent");
+        assert!(
+            self.pos + u64::from(k) <= self.bit_len,
+            "read past end of extent"
+        );
         let w = (self.pos / 64) as usize;
         let off = (self.pos % 64) as u32;
         self.charge_word(w as u64);
@@ -231,6 +267,51 @@ impl<'a> DiskReader<'a> {
         self.pos += u64::from(k);
         self.session.add_bits_read(u64::from(k));
         value
+    }
+
+    /// Peeks at the next up-to-64 bits without consuming or charging:
+    /// `(word, valid)` with the bits MSB-aligned and everything past
+    /// `valid` zero. Pair with [`Self::consume_bits`], which performs the
+    /// charging for whatever the caller actually consumed — so lookahead
+    /// that is not consumed is never billed, keeping the I/O accounting
+    /// identical to the cursor path.
+    #[inline]
+    pub fn peek_word(&self) -> (u64, u32) {
+        let remaining = self.bit_len - self.pos;
+        if remaining == 0 {
+            return (0, 0);
+        }
+        // One load: only the current word's tail. Codes that straddle into
+        // the next word take the decoder's fallback path — rarer than the
+        // second load is expensive. Bits past `bit_len` are zero (writes
+        // OR into zeroed words; truncation clears the tail), so no
+        // masking is needed.
+        let off = (self.pos % 64) as u32;
+        let word = self.words[(self.pos / 64) as usize] << off;
+        (word, remaining.min(u64::from(64 - off)) as u32)
+    }
+
+    /// Consumes `k ≤ 64` bits previously examined via [`Self::peek_word`],
+    /// charging the block(s) they lie in and counting them as read —
+    /// exactly what [`Self::read_bits`] would have charged.
+    #[inline]
+    pub fn consume_bits(&mut self, k: u32) {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return;
+        }
+        assert!(
+            self.pos + u64::from(k) <= self.bit_len,
+            "consume past end of extent"
+        );
+        let w = self.pos / 64;
+        self.charge_word(w);
+        let last = (self.pos + u64::from(k) - 1) / 64;
+        if last != w {
+            self.charge_word(last);
+        }
+        self.pos += u64::from(k);
+        self.session.add_bits_read(u64::from(k));
     }
 
     /// Advances the cursor without reading (the skipped blocks are *not*
@@ -336,6 +417,42 @@ impl<'a> DiskWriter<'a> {
             let k = count.min(64) as u32;
             self.write_bits(0, k);
             count -= u64::from(k);
+        }
+    }
+
+    /// Appends `bit_len` bits stored MSB-first in `words` (bits of the
+    /// final word beyond `bit_len` must be zero). When the extent length
+    /// is 64-bit aligned this is a whole-word copy; the charged blocks and
+    /// counted bits are the same as the equivalent `write_bits` loop.
+    pub fn write_bulk(&mut self, words: &[u64], bit_len: u64) {
+        if bit_len == 0 {
+            return;
+        }
+        let nwords = (bit_len as usize).div_ceil(64);
+        debug_assert!(nwords <= words.len(), "word slice shorter than bit_len");
+        let pos = self.extent.bit_len;
+        if pos.is_multiple_of(64) {
+            debug_assert_eq!(self.extent.words.len() as u64, pos / 64);
+            self.extent.words.extend_from_slice(&words[..nwords]);
+            let first_word = pos / 64;
+            let last_word = first_word + nwords as u64 - 1;
+            for blk in (first_word * 64 / self.block_bits)..=(last_word * 64 / self.block_bits) {
+                if blk != self.last_block {
+                    self.session.charge_write(self.ext, blk);
+                    self.last_block = blk;
+                }
+            }
+            self.extent.bit_len += bit_len;
+            self.session.add_bits_written(bit_len);
+        } else {
+            let full = (bit_len / 64) as usize;
+            for &w in &words[..full] {
+                self.write_bits(w, 64);
+            }
+            let tail = (bit_len % 64) as u32;
+            if tail > 0 {
+                self.write_bits(words[full] >> (64 - tail), tail);
+            }
         }
     }
 }
@@ -518,6 +635,69 @@ mod tests {
         assert_eq!(r.read_unary(), 0);
         assert_eq!(r.read_unary(), 3);
         assert_eq!(r.pos(), 106);
+    }
+
+    #[test]
+    fn peek_and_consume_charge_like_read_bits() {
+        let mut disk = small_disk(); // 128-bit blocks
+        let ext = disk.alloc();
+        let s = IoSession::untracked();
+        {
+            let mut w = disk.writer(ext, &s);
+            for i in 0..8u64 {
+                w.write_bits(i | 1 << 60, 64);
+            }
+        }
+        // Cursor path.
+        let s_cursor = IoSession::new();
+        let mut r = disk.reader(ext, 120, &s_cursor);
+        let want = r.read_bits(16); // straddles blocks 0 and 1
+                                    // Peek/consume path at the same offset.
+        let s_fast = IoSession::new();
+        let mut r = disk.reader(ext, 120, &s_fast);
+        let (word, valid) = r.peek_word();
+        assert_eq!(valid, 8, "peek stops at the word boundary");
+        assert_eq!(s_fast.stats().reads, 0, "peeking must not charge");
+        r.consume_bits(8);
+        let (word2, _) = r.peek_word();
+        assert_eq!((word >> 56) << 8 | word2 >> 56, want);
+        r.consume_bits(8);
+        assert_eq!(s_fast.stats().reads, s_cursor.stats().reads);
+        assert_eq!(s_fast.stats().bits_read, s_cursor.stats().bits_read);
+    }
+
+    #[test]
+    fn write_bulk_matches_write_bits_charges() {
+        let words: Vec<u64> = (0..5).map(|i| i * 0x0101_0101_0101_0101).collect();
+        let bit_len = 4 * 64 + 17;
+        // Aligned bulk append vs bit-cursor append: same bits, same charges.
+        let run = |bulk: bool, prefix: u32| {
+            let mut disk = small_disk();
+            let ext = disk.alloc();
+            let setup = IoSession::untracked();
+            if prefix > 0 {
+                disk.writer(ext, &setup).write_bits(1, prefix);
+            }
+            let s = IoSession::new();
+            let mut w = disk.writer(ext, &s);
+            if bulk {
+                w.write_bulk(&words, bit_len);
+            } else {
+                for &word in &words[..4] {
+                    w.write_bits(word, 64);
+                }
+                w.write_bits(words[4] >> (64 - 17), 17);
+            }
+            let check = IoSession::untracked();
+            let mut r = disk.reader(ext, u64::from(prefix), &check);
+            for &word in &words[..4] {
+                assert_eq!(r.read_bits(64), word);
+            }
+            assert_eq!(r.read_bits(17), words[4] >> (64 - 17));
+            (s.stats().writes, s.stats().bits_written)
+        };
+        assert_eq!(run(true, 0), run(false, 0), "aligned");
+        assert_eq!(run(true, 13), run(false, 13), "unaligned");
     }
 
     #[test]

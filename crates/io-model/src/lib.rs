@@ -59,7 +59,10 @@ pub struct IoConfig {
 
 impl Default for IoConfig {
     fn default() -> Self {
-        Self { block_bits: DEFAULT_BLOCK_BITS, mem_blocks: None }
+        Self {
+            block_bits: DEFAULT_BLOCK_BITS,
+            mem_blocks: None,
+        }
     }
 }
 
@@ -71,8 +74,14 @@ impl IoConfig {
     /// Panics if `block_bits` is zero or not a multiple of 64 (the disk
     /// stores words of 64 bits and requires blocks to be word-aligned).
     pub fn with_block_bits(block_bits: u64) -> Self {
-        assert!(block_bits > 0 && block_bits % 64 == 0, "block_bits must be a positive multiple of 64");
-        Self { block_bits, mem_blocks: None }
+        assert!(
+            block_bits > 0 && block_bits.is_multiple_of(64),
+            "block_bits must be a positive multiple of 64"
+        );
+        Self {
+            block_bits,
+            mem_blocks: None,
+        }
     }
 
     /// The paper's `b = Θ(B / lg n)`: the block size in "words" of `lg n`

@@ -81,7 +81,10 @@ impl IoSession {
     /// A tracking session with unbounded internal memory.
     pub fn new() -> Self {
         IoSession {
-            inner: RefCell::new(SessionInner { tracking: true, ..Default::default() }),
+            inner: RefCell::new(SessionInner {
+                tracking: true,
+                ..Default::default()
+            }),
         }
     }
 
@@ -103,7 +106,10 @@ impl IoSession {
     /// structures).
     pub fn untracked() -> Self {
         IoSession {
-            inner: RefCell::new(SessionInner { tracking: false, ..Default::default() }),
+            inner: RefCell::new(SessionInner {
+                tracking: false,
+                ..Default::default()
+            }),
         }
     }
 
@@ -255,9 +261,27 @@ mod tests {
 
     #[test]
     fn merged_stats_add_componentwise() {
-        let a = IoStats { reads: 1, writes: 2, bits_read: 3, bits_written: 4 };
-        let b = IoStats { reads: 10, writes: 20, bits_read: 30, bits_written: 40 };
+        let a = IoStats {
+            reads: 1,
+            writes: 2,
+            bits_read: 3,
+            bits_written: 4,
+        };
+        let b = IoStats {
+            reads: 10,
+            writes: 20,
+            bits_read: 30,
+            bits_written: 40,
+        };
         let m = a.merged(&b);
-        assert_eq!(m, IoStats { reads: 11, writes: 22, bits_read: 33, bits_written: 44 });
+        assert_eq!(
+            m,
+            IoStats {
+                reads: 11,
+                writes: 22,
+                bits_read: 33,
+                bits_written: 44
+            }
+        );
     }
 }

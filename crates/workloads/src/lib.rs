@@ -114,7 +114,9 @@ pub fn runs(n: usize, sigma: u32, mean_run_len: f64, seed: u64) -> Vec<Symbol> {
 /// positions.
 pub fn sorted(n: usize, sigma: u32) -> Vec<Symbol> {
     assert!(sigma > 0, "alphabet must be non-empty");
-    (0..n).map(|i| ((i as u64 * u64::from(sigma)) / n as u64) as u32).collect()
+    (0..n)
+        .map(|i| ((i as u64 * u64::from(sigma)) / n as u64) as u32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,7 +133,12 @@ mod tests {
 
     #[test]
     fn symbols_stay_in_alphabet() {
-        for dist in [Dist::Uniform, Dist::Zipf(1.5), Dist::Runs(16.0), Dist::Sorted] {
+        for dist in [
+            Dist::Uniform,
+            Dist::Zipf(1.5),
+            Dist::Runs(16.0),
+            Dist::Sorted,
+        ] {
             let s = generate(dist, 5000, 37, 1);
             assert_eq!(s.len(), 5000);
             assert!(s.iter().all(|&c| c < 37), "{dist:?} escaped alphabet");
@@ -143,7 +150,10 @@ mod tests {
         let s = uniform(100_000, 10, 3);
         let counts = psi_counts(&s, 10);
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c} far from expectation");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 1_000.0,
+                "count {c} far from expectation"
+            );
         }
     }
 

@@ -46,7 +46,10 @@ impl RangeQuery {
 pub fn range_of_length(sigma: u32, width: u32, rng: &mut StdRng) -> RangeQuery {
     assert!(width >= 1 && width <= sigma);
     let lo = rng.gen_range(0..=sigma - width);
-    RangeQuery { lo, hi: lo + width - 1 }
+    RangeQuery {
+        lo,
+        hi: lo + width - 1,
+    }
 }
 
 /// `count` random ranges whose answer cardinality is as close as possible

@@ -72,11 +72,19 @@ impl Table {
         let cols: Vec<(&Column, Symbol, Symbol)> = conditions
             .iter()
             .map(|&(name, lo, hi)| {
-                (self.column(name).unwrap_or_else(|| panic!("no column {name}")), lo, hi)
+                (
+                    self.column(name)
+                        .unwrap_or_else(|| panic!("no column {name}")),
+                    lo,
+                    hi,
+                )
             })
             .collect();
         (0..self.rows())
-            .filter(|&i| cols.iter().all(|&(c, lo, hi)| (lo..=hi).contains(&c.data[i])))
+            .filter(|&i| {
+                cols.iter()
+                    .all(|&(c, lo, hi)| (lo..=hi).contains(&c.data[i]))
+            })
             .map(|i| i as u64)
             .collect()
     }
@@ -89,9 +97,21 @@ pub fn people_table(n: usize, seed: u64) -> Table {
     let mut table = Table::generate(
         n,
         &[
-            ColumnSpec { name: "marital_status".into(), sigma: 4, dist: Dist::Zipf(0.8) },
-            ColumnSpec { name: "sex".into(), sigma: 2, dist: Dist::Uniform },
-            ColumnSpec { name: "age".into(), sigma: 128, dist: Dist::Uniform },
+            ColumnSpec {
+                name: "marital_status".into(),
+                sigma: 4,
+                dist: Dist::Zipf(0.8),
+            },
+            ColumnSpec {
+                name: "sex".into(),
+                sigma: 2,
+                dist: Dist::Uniform,
+            },
+            ColumnSpec {
+                name: "age".into(),
+                sigma: 128,
+                dist: Dist::Uniform,
+            },
         ],
         seed,
     );
@@ -120,7 +140,11 @@ mod tests {
         assert!(t.column("age").is_some());
         assert!(t.column("salary").is_none());
         for c in &t.columns {
-            assert!(c.data.iter().all(|&v| v < c.sigma), "column {} escaped alphabet", c.name);
+            assert!(
+                c.data.iter().all(|&v| v < c.sigma),
+                "column {} escaped alphabet",
+                c.name
+            );
         }
     }
 
@@ -137,8 +161,16 @@ mod tests {
     fn naive_conjunctive_query_intersects() {
         let t = Table {
             columns: vec![
-                Column { name: "x".into(), sigma: 4, data: vec![0, 1, 2, 3, 1] },
-                Column { name: "y".into(), sigma: 4, data: vec![3, 2, 1, 0, 2] },
+                Column {
+                    name: "x".into(),
+                    sigma: 4,
+                    data: vec![0, 1, 2, 3, 1],
+                },
+                Column {
+                    name: "y".into(),
+                    sigma: 4,
+                    data: vec![3, 2, 1, 0, 2],
+                },
             ],
         };
         let hits = t.naive_conjunctive_query(&[("x", 1, 2), ("y", 2, 3)]);
@@ -152,6 +184,9 @@ mod tests {
         let t = people_table(50_000, 3);
         let age = t.column("age").unwrap();
         let mean: f64 = age.data.iter().map(|&v| v as f64).sum::<f64>() / age.data.len() as f64;
-        assert!((mean - 63.0).abs() < 3.0, "triangular mean ≈ 63, got {mean}");
+        assert!(
+            (mean - 63.0).abs() < 3.0,
+            "triangular mean ≈ 63, got {mean}"
+        );
     }
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example dynamic_table`
 
-use psi::{DeletedPositionMap, DynamicIndex, FullyDynamicIndex, IoConfig, SecondaryIndex};
 use psi::io::IoSession;
+use psi::{DeletedPositionMap, DynamicIndex, FullyDynamicIndex, IoConfig, SecondaryIndex};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -23,9 +23,14 @@ fn main() {
     for _ in 0..20_000 {
         let pos = rng.gen_range(0..n as u64);
         if rng.gen_bool(0.7) {
-            let v = rng.gen_range(0..sigma);
-            idx.change(pos, v, &io);
-            current[pos as usize] = v;
+            // Deleted rows stay deleted: re-changing one would resurrect
+            // it in the index while the deleted-position map still holds
+            // it (and a second delete would then be rejected).
+            if current[pos as usize] != u32::MAX {
+                let v = rng.gen_range(0..sigma);
+                idx.change(pos, v, &io);
+                current[pos as usize] = v;
+            }
         } else if current[pos as usize] != u32::MAX {
             idx.delete(pos, &io);
             delmap.insert(pos, &io);
@@ -47,7 +52,11 @@ fn main() {
         .iter()
         .filter(|&&v| v != u32::MAX && (4..=9).contains(&v))
         .count() as u64;
-    println!("[4, 9] -> {} live rows (expected {expect}), {} reads", r.cardinality(), io2.stats().reads);
+    println!(
+        "[4, 9] -> {} live rows (expected {expect}), {} reads",
+        r.cardinality(),
+        io2.stats().reads
+    );
     assert_eq!(r.cardinality(), expect);
 
     // Translate between original and compacted row numbering (§4).

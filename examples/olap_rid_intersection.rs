@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example olap_rid_intersection`
 
-use psi::{ApproximateIndex, ApproxResult, IoConfig, OptimalIndex, SecondaryIndex};
 use psi::io::IoSession;
+use psi::{ApproxResult, ApproximateIndex, IoConfig, OptimalIndex, SecondaryIndex};
 
 fn main() {
     let n = 1 << 18;
@@ -18,10 +18,12 @@ fn main() {
 
     // Conditions: marital_status = 1 ("married"), sex = 0 ("male"),
     // age in [33, 33].
-    let conds: [(&str, u32, u32); 3] =
-        [("marital_status", 1, 1), ("sex", 0, 0), ("age", 33, 33)];
+    let conds: [(&str, u32, u32); 3] = [("marital_status", 1, 1), ("sex", 0, 0), ("age", 33, 33)];
     let truth = table.naive_conjunctive_query(&conds);
-    println!("ground truth: {} of {n} rows match all three conditions\n", truth.len());
+    println!(
+        "ground truth: {} of {n} rows match all three conditions\n",
+        truth.len()
+    );
 
     // --- Exact RID intersection over three OptimalIndexes. ---
     let cfg = IoConfig::default();
@@ -68,6 +70,9 @@ fn main() {
         survivors.len(),
     );
     for t in &truth {
-        assert!(survivors.contains(t), "approximate intersection lost a true match");
+        assert!(
+            survivors.contains(t),
+            "approximate intersection lost a true match"
+        );
     }
 }

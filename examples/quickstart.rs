@@ -28,7 +28,10 @@ fn main() {
     );
 
     // Range queries at several selectivities.
-    println!("\n{:>14} {:>10} {:>12} {:>12} {:>12}", "range", "z", "I/Os", "thm2 bound", "result bits");
+    println!(
+        "\n{:>14} {:>10} {:>12} {:>12} {:>12}",
+        "range", "z", "I/Os", "thm2 bound", "result bits"
+    );
     for (lo, hi) in [(7u32, 7u32), (10, 13), (0, 31), (100, 355), (0, 511)] {
         let (result, io) = index.query_measured(lo, hi);
         let z = result.cardinality();

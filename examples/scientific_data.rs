@@ -42,14 +42,38 @@ fn main() {
         }};
     }
 
-    bench!("OptimalIndex (paper, Thm 2)", OptimalIndex::build(&data, sigma, cfg));
-    bench!("PositionListIndex (B-tree)", PositionListIndex::build(&data, sigma, cfg));
-    bench!("UncompressedBitmapIndex", UncompressedBitmapIndex::build(&data, sigma, cfg));
-    bench!("CompressedScanIndex", CompressedScanIndex::build(&data, sigma, cfg));
-    bench!("BinnedBitmapIndex (w=16)", BinnedBitmapIndex::build(&data, sigma, 16, cfg));
-    bench!("MultiResolutionIndex (w=4)", MultiResolutionIndex::build(&data, sigma, 4, cfg));
-    bench!("RangeEncodedIndex", RangeEncodedIndex::build(&data, sigma, cfg));
-    bench!("IntervalEncodedIndex", IntervalEncodedIndex::build(&data, sigma, cfg));
+    bench!(
+        "OptimalIndex (paper, Thm 2)",
+        OptimalIndex::build(&data, sigma, cfg)
+    );
+    bench!(
+        "PositionListIndex (B-tree)",
+        PositionListIndex::build(&data, sigma, cfg)
+    );
+    bench!(
+        "UncompressedBitmapIndex",
+        UncompressedBitmapIndex::build(&data, sigma, cfg)
+    );
+    bench!(
+        "CompressedScanIndex",
+        CompressedScanIndex::build(&data, sigma, cfg)
+    );
+    bench!(
+        "BinnedBitmapIndex (w=16)",
+        BinnedBitmapIndex::build(&data, sigma, 16, cfg)
+    );
+    bench!(
+        "MultiResolutionIndex (w=4)",
+        MultiResolutionIndex::build(&data, sigma, 4, cfg)
+    );
+    bench!(
+        "RangeEncodedIndex",
+        RangeEncodedIndex::build(&data, sigma, cfg)
+    );
+    bench!(
+        "IntervalEncodedIndex",
+        IntervalEncodedIndex::build(&data, sigma, cfg)
+    );
 
     println!("\nNote how the paper's structure matches the best query cost at");
     println!("every selectivity while staying near the compressed-size floor —");

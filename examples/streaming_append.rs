@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example streaming_append`
 
-use psi::{AppendIndex, BufferedIndex, IoConfig, SecondaryIndex, SemiDynamicIndex};
 use psi::io::IoSession;
+use psi::{AppendIndex, BufferedIndex, IoConfig, SecondaryIndex, SemiDynamicIndex};
 
 fn main() {
     let sigma = 64;

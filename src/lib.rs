@@ -51,8 +51,8 @@ pub use psi_api::{
     check_range, naive_query, AppendIndex, DynamicIndex, RidSet, SecondaryIndex, Symbol,
 };
 pub use psi_core::{
-    ApproxResult, ApproximateIndex, BufferedBitmapIndex, BufferedIndex, DeletedPositionMap,
-    Engine, EngineStats, FullyDynamicIndex, OptimalIndex, SemiDynamicIndex, UniformTreeIndex,
+    ApproxResult, ApproximateIndex, BufferedBitmapIndex, BufferedIndex, DeletedPositionMap, Engine,
+    EngineStats, FullyDynamicIndex, OptimalIndex, SemiDynamicIndex, UniformTreeIndex,
 };
 pub use psi_io::{IoConfig, IoSession, IoStats};
 

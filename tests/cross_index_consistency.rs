@@ -7,15 +7,42 @@ use psi::{naive_query, IoConfig, IoSession, OptimalIndex, SecondaryIndex, Unifor
 fn all_indexes(symbols: &[u32], sigma: u32) -> Vec<(&'static str, Box<dyn SecondaryIndex>)> {
     let cfg = IoConfig::with_block_bits(1024);
     vec![
-        ("optimal", Box::new(OptimalIndex::build(symbols, sigma, cfg))),
-        ("uniform_tree", Box::new(UniformTreeIndex::build(symbols, sigma, cfg))),
-        ("position_list", Box::new(PositionListIndex::build(symbols, sigma, cfg))),
-        ("uncompressed", Box::new(UncompressedBitmapIndex::build(symbols, sigma, cfg))),
-        ("compressed_scan", Box::new(CompressedScanIndex::build(symbols, sigma, cfg))),
-        ("binned_w4", Box::new(BinnedBitmapIndex::build(symbols, sigma, 4, cfg))),
-        ("multires_w4", Box::new(MultiResolutionIndex::build(symbols, sigma, 4, cfg))),
-        ("range_encoded", Box::new(RangeEncodedIndex::build(symbols, sigma, cfg))),
-        ("interval_encoded", Box::new(IntervalEncodedIndex::build(symbols, sigma, cfg))),
+        (
+            "optimal",
+            Box::new(OptimalIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "uniform_tree",
+            Box::new(UniformTreeIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "position_list",
+            Box::new(PositionListIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "uncompressed",
+            Box::new(UncompressedBitmapIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "compressed_scan",
+            Box::new(CompressedScanIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "binned_w4",
+            Box::new(BinnedBitmapIndex::build(symbols, sigma, 4, cfg)),
+        ),
+        (
+            "multires_w4",
+            Box::new(MultiResolutionIndex::build(symbols, sigma, 4, cfg)),
+        ),
+        (
+            "range_encoded",
+            Box::new(RangeEncodedIndex::build(symbols, sigma, cfg)),
+        ),
+        (
+            "interval_encoded",
+            Box::new(IntervalEncodedIndex::build(symbols, sigma, cfg)),
+        ),
         (
             "buffered_bitmap",
             Box::new(psi::BufferedBitmapIndex::build(symbols, sigma, cfg)),

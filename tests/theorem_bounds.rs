@@ -94,13 +94,20 @@ fn thm4_appends_preserve_query_bound() {
     let n = stream.len() as u64;
     let per_append = total as f64 / n as f64;
     // Amortized O(lg lg n) with implementation constants.
-    assert!(per_append < 10.0 * cost::lg_lg(n).max(1.0), "{per_append:.2} I/Os per append");
+    assert!(
+        per_append < 10.0 * cost::lg_lg(n).max(1.0),
+        "{per_append:.2} I/Os per append"
+    );
     // Queries still answer correctly and output-sensitively.
     let b = IoConfig::default().words_per_block(n);
     let (r, io) = idx.query_measured(10, 12);
     assert_eq!(r.to_vec(), psi::naive_query(&stream, 10, 12).to_vec());
     let bound = cost::thm2_query_ios(n, r.cardinality(), B, b);
-    assert!((io.reads as f64) <= 16.0 * bound + 32.0, "{} reads vs {bound:.1}", io.reads);
+    assert!(
+        (io.reads as f64) <= 16.0 * bound + 32.0,
+        "{} reads vs {bound:.1}",
+        io.reads
+    );
 }
 
 #[test]
@@ -120,10 +127,20 @@ fn uncompressed_and_position_list_are_the_extremes() {
     // Wide range: position lists pay z lg n, optimal pays z lg(n/z).
     let (_, io_opt) = opt.query_measured(0, 100);
     let (_, io_pl) = pl.query_measured(0, 100);
-    assert!(io_opt.reads < io_pl.reads, "optimal {} vs poslist {}", io_opt.reads, io_pl.reads);
+    assert!(
+        io_opt.reads < io_pl.reads,
+        "optimal {} vs poslist {}",
+        io_opt.reads,
+        io_pl.reads
+    );
 
     // Narrow range: uncompressed bitmaps still scan a whole bitmap.
     let (_, io_opt) = opt.query_measured(7, 7);
     let (_, io_un) = un.query_measured(7, 7);
-    assert!(io_opt.reads <= io_un.reads, "optimal {} vs uncompressed {}", io_opt.reads, io_un.reads);
+    assert!(
+        io_opt.reads <= io_un.reads,
+        "optimal {} vs uncompressed {}",
+        io_opt.reads,
+        io_un.reads
+    );
 }

@@ -1,0 +1,273 @@
+//! API-compatible stand-in for the subset of the `criterion` crate used by
+//! this workspace, vendored locally because the build environment has no
+//! access to crates.io.
+//!
+//! It really measures: each benchmark is auto-calibrated so one sample
+//! takes a few milliseconds, `sample_size` samples are collected, and the
+//! median / min / max ns-per-iteration are reported. Two output channels:
+//!
+//! * human-readable lines on stdout (`group/name  median … ns/iter`);
+//! * machine-readable JSON appended to the file named by the
+//!   `PSI_BENCH_JSON` environment variable, one object per line
+//!   (`{"bench": "...", "ns_per_iter": ..., ...}`) — this is what the
+//!   workspace's bench-to-JSON tooling consumes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver: holds configuration shared by all groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target wall-clock duration of one sample.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_sample_time = t / 10;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, self.target_sample_time, f);
+        self
+    }
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.target_sample_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        run_benchmark(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.target_sample_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (drop also suffices; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// The timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, recording the total duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    target: Duration,
+    mut f: F,
+) {
+    // Calibration: grow the iteration count until one sample meets the
+    // target duration (also serves as warm-up).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64) * grow).ceil() as u64;
+    }
+    let mut ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let median = ns[ns.len() / 2];
+    let (min, max) = (ns[0], ns[ns.len() - 1]);
+    println!("{name:<48} median {median:>12.1} ns/iter  (min {min:.1}, max {max:.1}, {sample_size} samples x {iters} iters)");
+    if let Ok(path) = std::env::var("PSI_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                name.replace('"', "'"),
+                median,
+                min,
+                max,
+                sample_size,
+                iters
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; accept and
+            // ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2);
+            targets = target
+        }
+        benches();
+    }
+}
