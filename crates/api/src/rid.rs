@@ -1,6 +1,12 @@
 //! Compressed query results (RID sets).
+//!
+//! Set operations gallop: every [`GapBitmap`] carries (or lazily builds)
+//! a skip directory sampled every [`psi_bits::SKIP_SAMPLE`] elements, so
+//! membership, rank and select probe the directory and decode at most
+//! `K − 1` codes, and intersection leapfrogs both streams through
+//! [`psi_bits::GapCursor::next_geq`] instead of scanning `0..universe`.
 
-use psi_bits::GapBitmap;
+use psi_bits::{merge, GapBitmap};
 
 /// A compressed set of row ids (positions) returned by a range query.
 ///
@@ -67,26 +73,76 @@ impl RidSet {
         &self.stored
     }
 
-    /// Membership test (O(stored count) scan; use [`Self::iter`] for bulk
-    /// access).
+    /// Membership test: one skip-directory probe plus at most `K − 1`
+    /// decoded codes (`O(lg(z/K) + K)`), complement-aware.
     pub fn contains(&self, pos: u64) -> bool {
         self.stored.contains(pos) != self.complemented
     }
 
-    /// Iterates the logical positions in increasing order (lazily
-    /// materializes the complement when necessary).
+    /// Number of logical positions strictly below `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the universe.
+    pub fn rank(&self, pos: u64) -> u64 {
+        assert!(pos <= self.universe(), "rank past universe");
+        if self.complemented {
+            pos - self.stored.rank(pos)
+        } else {
+            self.stored.rank(pos)
+        }
+    }
+
+    /// The `k`-th logical position (0-indexed), or `None` when
+    /// `k ≥ cardinality`. Plain sets answer from the skip directory;
+    /// complemented sets binary-search the monotone complement rank.
+    pub fn select(&self, k: u64) -> Option<u64> {
+        if !self.complemented {
+            return self.stored.select(k);
+        }
+        if k >= self.cardinality() {
+            return None;
+        }
+        // Smallest p with |complement ∩ [0, p]| = k + 1.
+        let (mut lo, mut hi) = (0u64, self.universe() - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (mid + 1) - self.stored.rank(mid + 1) > k {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        debug_assert!(!self.stored.contains(lo));
+        Some(lo)
+    }
+
+    /// Iterates the logical positions in increasing order. Plain sets
+    /// stream the decoder; complemented sets walk the stored stream and
+    /// emit the gaps between its elements (no `0..universe` filter scan).
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        let mut stored_iter = self.stored.iter().peekable();
+        let mut stored_iter = self.stored.iter();
+        let mut next_stored = stored_iter.next();
+        let universe = self.universe();
+        let mut cursor = 0u64;
         let complemented = self.complemented;
-        (0..self.stored.universe()).filter(move |&p| {
-            let in_stored = match stored_iter.peek() {
-                Some(&q) if q == p => {
-                    stored_iter.next();
-                    true
+        std::iter::from_fn(move || {
+            if !complemented {
+                let p = next_stored;
+                next_stored = stored_iter.next();
+                return p;
+            }
+            loop {
+                if cursor >= universe {
+                    return None;
                 }
-                _ => false,
-            };
-            in_stored != complemented
+                if next_stored == Some(cursor) {
+                    cursor += 1;
+                    next_stored = stored_iter.next();
+                } else {
+                    cursor += 1;
+                    return Some(cursor - 1);
+                }
+            }
         })
     }
 
@@ -111,7 +167,38 @@ impl RidSet {
 
     /// Intersects two results (RID intersection, the paper's §1 motivating
     /// use). Both must share a universe.
+    ///
+    /// Galloping, complement-aware: plain ∧ plain leapfrogs both skip
+    /// directories, mixed representations leapfrog a difference, and
+    /// complement ∧ complement merges the two (small) stored streams and
+    /// stays complemented — never the reference implementation's
+    /// `O(universe)` scan (kept as [`Self::intersect_reference`]).
     pub fn intersect(&self, other: &RidSet) -> RidSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        let n = self.universe();
+        match (self.complemented, other.complemented) {
+            (false, false) => RidSet::from_positions(leapfrog_and(&self.stored, &other.stored, n)),
+            (false, true) => RidSet::from_positions(leapfrog_diff(&self.stored, &other.stored, n)),
+            (true, false) => RidSet::from_positions(leapfrog_diff(&other.stored, &self.stored, n)),
+            (true, true) => {
+                // ¬A ∩ ¬B = ¬(A ∪ B): union the two stored streams (they
+                // may overlap) and keep the complement representation.
+                let total = self.stored.count() + other.stored.count();
+                let union = GapBitmap::from_sorted_iter_sized(
+                    merge::union_dedup(vec![self.stored.iter(), other.stored.iter()]),
+                    n,
+                    total,
+                );
+                RidSet::from_complement(union)
+            }
+        }
+    }
+
+    /// The pre-directory reference intersection: co-scan both logical
+    /// streams via [`Self::iter`]. `O(universe)` for complemented inputs —
+    /// kept as the oracle for the galloping paths (differential tests and
+    /// the before/after benchmark).
+    pub fn intersect_reference(&self, other: &RidSet) -> RidSet {
         assert_eq!(self.universe(), other.universe(), "universe mismatch");
         let mut b = other.iter().peekable();
         let positions = self.iter().filter(move |&p| {
@@ -128,9 +215,53 @@ impl RidSet {
     }
 }
 
+/// Leapfrog intersection of two plain gap streams: alternately seek each
+/// cursor to the other's head; matches are emitted, long runs of misses
+/// are jumped via the skip directories.
+fn leapfrog_and(a: &GapBitmap, b: &GapBitmap, universe: u64) -> GapBitmap {
+    let mut out = Vec::with_capacity(a.count().min(b.count()) as usize);
+    let mut ac = a.cursor();
+    let mut bc = b.cursor();
+    if let Some(mut x) = ac.next() {
+        loop {
+            match bc.next_geq(x) {
+                None => break,
+                Some(y) if y == x => {
+                    out.push(x);
+                    match ac.next() {
+                        Some(v) => x = v,
+                        None => break,
+                    }
+                }
+                Some(y) => match ac.next_geq(y) {
+                    Some(v) => x = v,
+                    None => break,
+                },
+            }
+        }
+    }
+    GapBitmap::from_sorted(&out, universe)
+}
+
+/// Leapfrog difference `a \ b` of two plain gap streams: every element of
+/// `a` is checked by galloping `b`'s cursor forward, so runs of `b`
+/// between consecutive `a`-elements are skipped, not decoded.
+fn leapfrog_diff(a: &GapBitmap, b: &GapBitmap, universe: u64) -> GapBitmap {
+    let mut out = Vec::with_capacity(a.count() as usize);
+    let mut bc = b.cursor();
+    for p in a.iter() {
+        match bc.next_geq(p) {
+            Some(q) if q == p => {}
+            _ => out.push(p),
+        }
+    }
+    GapBitmap::from_sorted(&out, universe)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn gap(positions: &[u64], n: u64) -> GapBitmap {
         GapBitmap::from_sorted(positions, n)
@@ -170,6 +301,11 @@ mod tests {
         assert_eq!(i.to_vec(), vec![2, 4, 6]);
         // Intersection with itself is identity on positions.
         assert_eq!(a.intersect(&a).to_vec(), a.to_vec());
+        // Both complemented: the result stays complemented (¬(A ∪ B)).
+        let c = RidSet::from_complement(gap(&[1, 2], 8));
+        let bc = b.intersect(&c);
+        assert!(bc.is_complemented());
+        assert_eq!(bc.to_vec(), vec![3, 4, 5, 6, 7]);
     }
 
     #[test]
@@ -178,5 +314,74 @@ mod tests {
         let v: Vec<u64> = r.iter().collect();
         assert!(v.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(v, r.to_vec());
+    }
+
+    #[test]
+    fn rank_select_both_representations() {
+        for complemented in [false, true] {
+            let stored = gap(&[1, 3, 4, 9], 12);
+            let r = if complemented {
+                RidSet::from_complement(stored)
+            } else {
+                RidSet::from_positions(stored)
+            };
+            let logical = r.to_vec();
+            for q in 0..=12u64 {
+                let naive = logical.iter().filter(|&&p| p < q).count() as u64;
+                assert_eq!(r.rank(q), naive, "rank({q}), comp={complemented}");
+            }
+            for (k, &p) in logical.iter().enumerate() {
+                assert_eq!(r.select(k as u64), Some(p), "select({k})");
+            }
+            assert_eq!(r.select(logical.len() as u64), None);
+        }
+    }
+
+    #[test]
+    fn galloping_intersect_matches_reference_on_large_sets() {
+        let n = 1u64 << 16;
+        let a = RidSet::from_positions(gap(&(0..n / 3).map(|i| i * 3).collect::<Vec<_>>(), n));
+        let b = RidSet::from_positions(gap(&(0..n / 7).map(|i| i * 7).collect::<Vec<_>>(), n));
+        assert_eq!(a.intersect(&b).to_vec(), a.intersect_reference(&b).to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn set_ops_match_full_decode_reference(
+            pos_a in proptest::collection::btree_set(0u64..2048, 0..300),
+            pos_b in proptest::collection::btree_set(0u64..2048, 0..300),
+            comp_a in any::<bool>(),
+            comp_b in any::<bool>(),
+        ) {
+            let n = 2048u64;
+            let mk = |pos: &std::collections::BTreeSet<u64>, comp: bool| {
+                let stored = GapBitmap::from_sorted_iter(pos.iter().copied(), n);
+                if comp { RidSet::from_complement(stored) } else { RidSet::from_positions(stored) }
+            };
+            let a = mk(&pos_a, comp_a);
+            let b = mk(&pos_b, comp_b);
+            // The oracle: fully decoded logical sets.
+            let la: Vec<u64> = a.iter().collect();
+            let lb: std::collections::BTreeSet<u64> = b.iter().collect();
+            prop_assert_eq!(&la, &a.to_vec());
+            for q in (0..=n).step_by(97) {
+                prop_assert_eq!(a.rank(q), la.iter().filter(|&&p| p < q).count() as u64);
+                if q < n {
+                    prop_assert_eq!(a.contains(q), la.binary_search(&q).is_ok());
+                }
+            }
+            for (k, &p) in la.iter().enumerate() {
+                prop_assert_eq!(a.select(k as u64), Some(p));
+            }
+            prop_assert_eq!(a.select(la.len() as u64), None);
+            let want: Vec<u64> = la.iter().copied().filter(|p| lb.contains(p)).collect();
+            let got = a.intersect(&b);
+            prop_assert_eq!(got.to_vec(), want.clone());
+            prop_assert_eq!(got.cardinality() as usize, want.len());
+            prop_assert_eq!(
+                a.intersect_reference(&b).to_vec(),
+                want
+            );
+        }
     }
 }

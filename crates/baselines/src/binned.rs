@@ -103,15 +103,27 @@ impl SecondaryIndex for BinnedBitmapIndex {
         }
         // Single-bitmap covers (one bin, or one edge character) come back
         // as a verbatim word copy of the stored stream.
-        if let [(catalog, idx)] = parts[..] {
-            return RidSet::from_positions(catalog.copy_bitmap(&self.disk, idx, io));
+        parts.retain(|&(catalog, idx)| catalog.entry(idx).count > 0);
+        if parts.is_empty() {
+            return RidSet::from_positions(GapBitmap::empty(self.n));
         }
+        if let [(catalog, idx)] = parts[..] {
+            return RidSet::from_positions(catalog.copy_bitmap_auto(&self.disk, idx, io));
+        }
+        // Density-planned merge over the cover's catalog metadata.
+        let (total, span) = merge::cover_stats(parts.iter().map(|&(catalog, idx)| {
+            let e = catalog.entry(idx);
+            (
+                e.count,
+                e.first_pos.expect("non-empty entry"),
+                e.last_pos.expect("non-empty entry"),
+            )
+        }));
         let streams: Vec<_> = parts
             .iter()
             .map(|&(catalog, idx)| catalog.decoder(&self.disk, idx, io))
             .collect();
-        let positions = merge::merge_disjoint(streams);
-        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
+        RidSet::from_positions(merge::merge_adaptive(streams, self.n, total, span))
     }
 }
 

@@ -5,9 +5,18 @@
 //! bitmaps concatenated in one disk stream, with an in-memory directory of
 //! `(offset, length, cardinality)` triples — the paper's "for each node, we
 //! also store the position and length of its compressed bitmap" (§2.1).
+//!
+//! Alongside the payload extent, a side extent persists one **skip
+//! directory** per bitmap ([`psi_bits::SKIP_SAMPLE`]-spaced samples; see
+//! `psi_bits::skip`): charged reads buy directory-assisted seeks
+//! ([`BitmapCatalog::seek_decoder`]) and indexed verbatim copies whose
+//! results gallop ([`BitmapCatalog::copy_bitmap_indexed`]).
 
-use psi_bits::{BitBuf, GapBitmap, GapDecoder, GapEncoder};
+use psi_bits::skip::{self, SkipDirectory, SkipEntry, SKIP_LIFT_MIN};
+use psi_bits::{BitBuf, GapBitmap, GapDecoder, GapEncoder, SKIP_ENTRY_BITS, SKIP_SAMPLE};
 use psi_io::{cost, Disk, DiskReader, ExtentId, IoSession};
+
+pub use psi_bits::skip::DIR_MIN_COUNT;
 
 /// Directory entry for one bitmap in a [`BitmapCatalog`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,12 +27,23 @@ pub struct CatalogEntry {
     pub bit_len: u64,
     /// Number of positions encoded (the bitmap's cardinality).
     pub count: u64,
+    /// Smallest encoded position (with `last_pos`, the bitmap's span —
+    /// read by the merge planner before any decode).
+    pub first_pos: Option<u64>,
+    /// Largest encoded position.
+    pub last_pos: Option<u64>,
+    /// Bit offset of the skip directory in the side extent.
+    pub dir_off: u64,
+    /// Persisted skip-directory entries.
+    pub dir_entries: u64,
 }
 
 /// A family of gap-compressed bitmaps concatenated in one extent.
 #[derive(Debug)]
 pub struct BitmapCatalog {
     ext: ExtentId,
+    /// Side extent holding every bitmap's skip directory.
+    dir_ext: ExtentId,
     universe: u64,
     entries: Vec<CatalogEntry>,
 }
@@ -37,24 +57,54 @@ impl BitmapCatalog {
         J: IntoIterator<Item = u64>,
     {
         let ext = disk.alloc();
+        let dir_ext = disk.alloc();
         let session = IoSession::untracked();
-        let mut writer = disk.writer(ext, &session);
         let mut entries = Vec::new();
-        for group in groups {
-            let bit_off = writer.pos();
-            let mut enc = GapEncoder::new(&mut writer);
-            for p in group {
-                enc.push(p);
+        let mut directories: Vec<Vec<SkipEntry>> = Vec::new();
+        {
+            let mut writer = disk.writer(ext, &session);
+            for group in groups {
+                let bit_off = writer.pos();
+                let mut samples = Vec::new();
+                let mut first_pos = None;
+                let mut enc = GapEncoder::new(&mut writer);
+                for p in group {
+                    enc.push(p);
+                    if (enc.count() - 1).is_multiple_of(u64::from(SKIP_SAMPLE)) {
+                        samples.push(SkipEntry {
+                            pos: p,
+                            bit_off: enc.bit_pos() - bit_off,
+                        });
+                    }
+                    first_pos.get_or_insert(p);
+                }
+                let last_pos = enc.last();
+                let count = enc.finish();
+                if count < DIR_MIN_COUNT {
+                    samples.clear();
+                }
+                entries.push(CatalogEntry {
+                    bit_off,
+                    bit_len: writer.pos() - bit_off,
+                    count,
+                    first_pos,
+                    last_pos,
+                    dir_off: 0, // assigned below
+                    dir_entries: samples.len() as u64,
+                });
+                directories.push(samples);
             }
-            let count = enc.finish();
-            entries.push(CatalogEntry {
-                bit_off,
-                bit_len: writer.pos() - bit_off,
-                count,
-            });
+        }
+        let mut dw = disk.writer(dir_ext, &session);
+        for (entry, samples) in entries.iter_mut().zip(&directories) {
+            entry.dir_off = dw.pos();
+            for e in samples {
+                e.write_to(&mut dw);
+            }
         }
         BitmapCatalog {
             ext,
+            dir_ext,
             universe,
             entries,
         }
@@ -102,6 +152,67 @@ impl BitmapCatalog {
         GapBitmap::from_code_bits(bits, e.count, self.universe)
     }
 
+    /// Reads bitmap `idx`'s persisted skip directory (sequential, charged).
+    pub fn read_directory(&self, disk: &Disk, idx: usize, io: &IoSession) -> SkipDirectory {
+        let e = &self.entries[idx];
+        let mut r = disk.reader(self.dir_ext, e.dir_off, io);
+        SkipDirectory::read_from_source(&mut r, SKIP_SAMPLE, e.dir_entries)
+    }
+
+    /// [`Self::copy_bitmap`] plus a lift of the persisted skip directory
+    /// (charged against the side extent): payload charges are identical,
+    /// the directory costs exactly its own blocks, and the returned
+    /// bitmap gallops without a decode pass.
+    pub fn copy_bitmap_indexed(&self, disk: &Disk, idx: usize, io: &IoSession) -> GapBitmap {
+        let e = &self.entries[idx];
+        let skip = self.read_directory(disk, idx, io);
+        let mut r = disk.reader(self.ext, e.bit_off, io);
+        let mut bits = BitBuf::with_capacity(e.bit_len);
+        bits.extend_from_source(&mut r, e.bit_len);
+        GapBitmap::from_code_bits_indexed(bits, e.count, self.universe, skip)
+    }
+
+    /// [`Self::copy_bitmap_indexed`] when the result is large enough for
+    /// galloping to repay the directory blocks ([`SKIP_LIFT_MIN`]), else
+    /// the plain verbatim copy.
+    pub fn copy_bitmap_auto(&self, disk: &Disk, idx: usize, io: &IoSession) -> GapBitmap {
+        if self.entries[idx].count >= SKIP_LIFT_MIN {
+            self.copy_bitmap_indexed(disk, idx, io)
+        } else {
+            self.copy_bitmap(disk, idx, io)
+        }
+    }
+
+    /// A decoder over bitmap `idx` fast-forwarded past every sampled
+    /// element below `min_pos`: a binary search over the persisted
+    /// directory (charging only the probed blocks) re-seats the decoder
+    /// at the latest sample with position `< min_pos`, so the skipped
+    /// stream prefix is never read. Returns the decoder plus the number
+    /// of skipped elements; the first up-to-`K − 1` decoded elements may
+    /// still be below `min_pos`.
+    pub fn seek_decoder<'a>(
+        &self,
+        disk: &'a Disk,
+        idx: usize,
+        io: &'a IoSession,
+        min_pos: u64,
+    ) -> (GapDecoder<DiskReader<'a>>, u64) {
+        let e = &self.entries[idx];
+        let mut r = disk.reader(self.dir_ext, e.dir_off, io);
+        let hit = skip::search_persisted(e.dir_entries, min_pos, |j| {
+            r.skip_to(e.dir_off + j * SKIP_ENTRY_BITS);
+            SkipEntry::read_from(&mut r)
+        });
+        match hit {
+            None => (self.decoder(disk, idx, io), 0),
+            Some((j, s)) => {
+                let rank = j * u64::from(SKIP_SAMPLE);
+                let src = disk.reader(self.ext, e.bit_off + s.bit_off, io);
+                (GapDecoder::resume(src, e.count - rank - 1, s.pos), rank + 1)
+            }
+        }
+    }
+
     /// Compressed payload size in bits.
     pub fn payload_bits(&self, disk: &Disk) -> u64 {
         disk.extent_bits(self.ext)
@@ -116,9 +227,14 @@ impl BitmapCatalog {
         3 * field * self.entries.len() as u64
     }
 
-    /// Payload plus directory.
+    /// Persisted skip-directory bits (the side extent).
+    pub fn skip_directory_bits(&self, disk: &Disk) -> u64 {
+        disk.extent_bits(self.dir_ext)
+    }
+
+    /// Payload plus directories (pointer fields and skip samples).
     pub fn size_bits(&self, disk: &Disk) -> u64 {
-        self.payload_bits(disk) + self.directory_bits(disk)
+        self.payload_bits(disk) + self.directory_bits(disk) + self.skip_directory_bits(disk)
     }
 }
 
@@ -166,6 +282,63 @@ mod tests {
             assert_eq!(copy_io.stats().reads, decode_io.stats().reads);
             assert_eq!(copy_io.stats().bits_read, decode_io.stats().bits_read);
         }
+    }
+
+    #[test]
+    fn copy_bitmap_indexed_charges_payload_parity_plus_directory() {
+        let mut disk = Disk::new(IoConfig::with_block_bits(256));
+        let positions: Vec<u64> = (0..600u64).map(|i| i * 4).collect();
+        let cat = BitmapCatalog::build(&mut disk, 2400, vec![positions.clone()]);
+        let e = *cat.entry(0);
+        assert_eq!(e.dir_entries, 600u64.div_ceil(64));
+        assert_eq!((e.first_pos, e.last_pos), (Some(0), Some(2396)));
+        let plain_io = IoSession::new();
+        let plain = cat.copy_bitmap(&disk, 0, &plain_io);
+        let indexed_io = IoSession::new();
+        let indexed = cat.copy_bitmap_indexed(&disk, 0, &indexed_io);
+        assert_eq!(indexed, plain);
+        let dir_blocks = {
+            let b = 256;
+            (e.dir_off + e.dir_entries * SKIP_ENTRY_BITS - 1) / b - e.dir_off / b + 1
+        };
+        assert_eq!(
+            indexed_io.stats().reads,
+            plain_io.stats().reads + dir_blocks
+        );
+        assert_eq!(
+            indexed_io.stats().bits_read,
+            plain_io.stats().bits_read + e.dir_entries * SKIP_ENTRY_BITS
+        );
+        assert!(indexed.contains(2396) && !indexed.contains(2395));
+        assert_eq!(indexed.rank(1200), 300);
+    }
+
+    #[test]
+    fn seek_decoder_reads_strictly_fewer_blocks() {
+        let mut disk = Disk::new(IoConfig::with_block_bits(256));
+        let positions: Vec<u64> = (0..5000u64).map(|i| i * 3).collect();
+        let cat = BitmapCatalog::build(&mut disk, 15_001, vec![positions.clone()]);
+        let full_io = IoSession::new();
+        let full: Vec<u64> = cat.decoder(&disk, 0, &full_io).collect();
+        assert_eq!(full, positions);
+        let min_pos = 3 * 4800;
+        let seek_io = IoSession::new();
+        let (dec, skipped) = cat.seek_decoder(&disk, 0, &seek_io, min_pos);
+        assert!(skipped >= 4800 - u64::from(psi_bits::SKIP_SAMPLE) && skipped <= 4800);
+        let tail: Vec<u64> = dec.filter(|&p| p >= min_pos).collect();
+        assert_eq!(tail, positions[4800..]);
+        assert!(
+            seek_io.stats().reads < full_io.stats().reads,
+            "seek {} blocks vs full {}",
+            seek_io.stats().reads,
+            full_io.stats().reads
+        );
+        // Tiny bitmaps have no directory: the seek degenerates gracefully.
+        let tiny = BitmapCatalog::build(&mut disk, 100, vec![vec![7u64, 9]]);
+        let untracked = IoSession::untracked();
+        let (dec, skipped) = tiny.seek_decoder(&disk, 0, &untracked, 9);
+        assert_eq!(skipped, 0);
+        assert_eq!(dec.collect::<Vec<_>>(), vec![7, 9]);
     }
 
     #[test]

@@ -70,15 +70,30 @@ impl SecondaryIndex for CompressedScanIndex {
             return RidSet::from_positions(GapBitmap::empty(0));
         }
         // Point queries return the stored per-character bitmap as a
-        // verbatim word copy.
+        // verbatim word copy (with its skip directory when large enough
+        // to gallop over).
         if lo == hi {
-            return RidSet::from_positions(self.cat.copy_bitmap(&self.disk, lo as usize, io));
+            return RidSet::from_positions(self.cat.copy_bitmap_auto(&self.disk, lo as usize, io));
         }
-        let decoders: Vec<_> = (lo..=hi)
-            .map(|c| self.cat.decoder(&self.disk, c as usize, io))
+        // Density-planned merge: counts and span come from the in-memory
+        // catalog directory, before any decode.
+        let chars: Vec<usize> = (lo..=hi)
+            .map(|c| c as usize)
+            .filter(|&c| self.cat.entry(c).count > 0)
             .collect();
-        let positions = merge::merge_disjoint(decoders);
-        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
+        let (total, span) = merge::cover_stats(chars.iter().map(|&c| {
+            let e = self.cat.entry(c);
+            (
+                e.count,
+                e.first_pos.expect("non-empty entry"),
+                e.last_pos.expect("non-empty entry"),
+            )
+        }));
+        let decoders: Vec<_> = chars
+            .iter()
+            .map(|&c| self.cat.decoder(&self.disk, c, io))
+            .collect();
+        RidSet::from_positions(merge::merge_adaptive(decoders, self.n, total, span))
     }
 }
 

@@ -124,8 +124,9 @@ impl SecondaryIndex for IntervalEncodedIndex {
             self.cat
                 .and_into(&self.disk, (hi + 1 - m) as usize, &mut acc, io);
         }
-        let positions = self.cat.acc_positions(&acc);
-        RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n))
+        // Word-scan re-encode of the accumulator (see `range_encoded.rs`):
+        // CPU-only, the dense-slot reads above are the whole I/O story.
+        RidSet::from_positions(GapBitmap::from_words(&acc, self.n))
     }
 }
 
@@ -190,6 +191,51 @@ mod tests {
                 stats.reads,
                 2 * bitmap_blocks
             );
+        }
+    }
+
+    #[test]
+    fn word_scan_encode_matches_scalar_path_with_io_parity() {
+        // Same discipline as catalog.rs / range_encoded.rs: exercise all
+        // four interval-algebra branches; the word-scan encode must
+        // return the identical stream for identical block charges.
+        let symbols = psi_workloads::uniform(2500, 12, 59);
+        let idx = IntervalEncodedIndex::build(&symbols, 12, cfg());
+        let m = idx.interval_width();
+        let branches = [
+            (0u32, 11u32), // width ≥ m: union
+            (1, 3),        // near the bottom: AND NOT above
+            (8, 10),       // near the top: AND NOT below
+            (4, 8),        // generic: intersection
+        ];
+        for (lo, hi) in branches {
+            let (fast, fast_io) = idx.query_measured(lo, hi);
+            let ref_io = IoSession::new();
+            let mut acc = idx.cat.new_acc();
+            let width = hi - lo + 1;
+            if width >= m {
+                idx.cat.or_into(&idx.disk, lo as usize, &mut acc, &ref_io);
+                let k = (hi + 1 - m) as usize;
+                if k != lo as usize {
+                    idx.cat.or_into(&idx.disk, k, &mut acc, &ref_io);
+                }
+            } else if hi < m - 1 {
+                idx.cat.or_into(&idx.disk, lo as usize, &mut acc, &ref_io);
+                idx.cat
+                    .and_not_into(&idx.disk, (hi + 1) as usize, &mut acc, &ref_io);
+            } else if lo > idx.sigma - m {
+                idx.cat
+                    .or_into(&idx.disk, (hi + 1 - m) as usize, &mut acc, &ref_io);
+                idx.cat
+                    .and_not_into(&idx.disk, (lo - m) as usize, &mut acc, &ref_io);
+            } else {
+                idx.cat.or_into(&idx.disk, lo as usize, &mut acc, &ref_io);
+                idx.cat
+                    .and_into(&idx.disk, (hi + 1 - m) as usize, &mut acc, &ref_io);
+            }
+            let reference = GapBitmap::from_sorted(&idx.cat.acc_positions(&acc), idx.n);
+            assert_eq!(fast.stored(), &reference, "[{lo},{hi}]");
+            assert_eq!(fast_io, ref_io.stats(), "[{lo},{hi}] I/O parity");
         }
     }
 

@@ -136,18 +136,32 @@ impl SecondaryIndex for MultiResolutionIndex {
         if self.n == 0 {
             return RidSet::from_positions(GapBitmap::empty(0));
         }
-        let cover = self.canonical_cover(lo, hi);
+        let mut cover = self.canonical_cover(lo, hi);
+        cover.retain(|&(j, b)| self.levels[j].entry(b as usize).count > 0);
+        if cover.is_empty() {
+            return RidSet::from_positions(GapBitmap::empty(self.n));
+        }
         // A one-bin cover (aligned ranges, single characters) is already
         // stored in the output encoding: return the word copy directly.
         if let [(j, b)] = cover[..] {
-            return RidSet::from_positions(self.levels[j].copy_bitmap(&self.disk, b as usize, io));
+            return RidSet::from_positions(
+                self.levels[j].copy_bitmap_auto(&self.disk, b as usize, io),
+            );
         }
+        // Density-planned merge over the cover's catalog metadata.
+        let (total, span) = merge::cover_stats(cover.iter().map(|&(j, b)| {
+            let e = self.levels[j].entry(b as usize);
+            (
+                e.count,
+                e.first_pos.expect("non-empty entry"),
+                e.last_pos.expect("non-empty entry"),
+            )
+        }));
         let streams: Vec<_> = cover
             .iter()
             .map(|&(j, b)| self.levels[j].decoder(&self.disk, b as usize, io))
             .collect();
-        let positions = merge::merge_disjoint(streams);
-        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
+        RidSet::from_positions(merge::merge_adaptive(streams, self.n, total, span))
     }
 }
 

@@ -238,11 +238,16 @@ impl SecondaryIndex for PositionListIndex {
             return RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n));
         }
         // Read and merge the per-character lists (streams share blocks at
-        // their boundaries; the session deduplicates those charges).
+        // their boundaries; the session deduplicates those charges). The
+        // planner sees the summed counts from the prefix array; position
+        // lists keep no span metadata, so the universe bounds the span —
+        // conservative, but enough to switch dense unions to the bitset
+        // path.
+        let total = self.prefix[hi as usize + 1] - self.prefix[lo as usize];
         let streams: Vec<PositionsIter<'_>> =
             (lo..=hi).map(|c| self.char_positions(c, io)).collect();
-        let positions = merge::merge_disjoint(streams);
-        RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.n))
+        let span = (total > 0 && self.n > 0).then_some((0, self.n - 1));
+        RidSet::from_positions(merge::merge_adaptive(streams, self.n, total, span))
     }
 }
 

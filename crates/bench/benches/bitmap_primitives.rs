@@ -85,6 +85,56 @@ fn bench_primitives(c: &mut Criterion) {
             .count()
         })
     });
+    // Wide fan-in: 32 interleaved streams, the heap's worst territory.
+    let streams32: Vec<Vec<u64>> = (0..32u64)
+        .map(|k| (0..4096u64).map(|i| i * 32 + k).collect())
+        .collect();
+    g.bench_function("kway_merge_32x4k", |b| {
+        b.iter(|| {
+            merge::merge_disjoint(
+                streams32
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
+            )
+            .count()
+        })
+    });
+    // The same dense 32-way union through the planner: counts + span pick
+    // the bitset-accumulate path (word array + trailing_zeros re-encode).
+    g.bench_function("merge_adaptive_dense_32x4k", |b| {
+        b.iter(|| {
+            merge::merge_adaptive(
+                streams32
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
+                32 * 4096,
+                32 * 4096,
+                Some((0, 32 * 4096 - 1)),
+            )
+            .count()
+        })
+    });
+    // Dense runs (the complement trick's output shape): 8 streams whose
+    // union is a solid run of 100k positions.
+    let dense_runs: Vec<Vec<u64>> = (0..8u64)
+        .map(|k| (k * 12_500..(k + 1) * 12_500).collect())
+        .collect();
+    g.bench_function("merge_adaptive_dense_runs_8x12k", |b| {
+        b.iter(|| {
+            merge::merge_adaptive(
+                dense_runs
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
+                100_000,
+                100_000,
+                Some((0, 99_999)),
+            )
+            .count()
+        })
+    });
     g.bench_function("two_way_merge_2x50k", |b| {
         let a: Vec<u64> = (0..50_000u64).map(|i| i * 2).collect();
         let z: Vec<u64> = (0..50_000u64).map(|i| i * 2 + 1).collect();
@@ -108,6 +158,24 @@ fn bench_primitives(c: &mut Criterion) {
     let plain = psi_bits::PlainBitmap::from_positions(positions.iter().copied(), 13 * 100_000 + 1);
     g.bench_function("plain_rank_sweep", |b| {
         b.iter(|| (0..100u64).map(|i| plain.rank1(i * 13_000)).sum::<u64>())
+    });
+    // RID intersection: a 10k-element set against a 100k-element set over
+    // the same universe — the galloping leapfrog vs the full-decode
+    // reference co-scan.
+    let rid_a = psi_api::RidSet::from_positions(GapBitmap::from_sorted_iter(
+        (0..10_000u64).map(|i| i * 97),
+        13 * 100_000 + 1,
+    ));
+    let rid_b = psi_api::RidSet::from_positions(gap.clone());
+    g.bench_function("rid_intersect_gallop_10kx100k", |b| {
+        b.iter(|| rid_a.intersect(&rid_b).cardinality())
+    });
+    g.bench_function("rid_intersect_reference_10kx100k", |b| {
+        b.iter(|| rid_a.intersect_reference(&rid_b).cardinality())
+    });
+    // Skip-directory point operations on a 100k-element set.
+    g.bench_function("gap_contains_sweep_100k", |b| {
+        b.iter(|| (0..1000u64).filter(|&i| gap.contains(i * 1300)).count())
     });
     g.finish();
 }

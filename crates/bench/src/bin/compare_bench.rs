@@ -1,0 +1,14 @@
+//! `compare_bench BEFORE.json AFTER.json [--strict]` — diff two
+//! `BENCH_NNNN.json` snapshots and flag >15% regressions (report-only
+//! unless `--strict`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [before, after] = files[..] else {
+        eprintln!("usage: compare_bench BEFORE.json AFTER.json [--strict]");
+        std::process::exit(2);
+    };
+    std::process::exit(psi_bench::compare::run(before, after, strict));
+}

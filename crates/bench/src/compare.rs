@@ -1,0 +1,183 @@
+//! Diffing of `BENCH_NNNN.json` snapshots.
+//!
+//! `compare_bench BEFORE.json AFTER.json` joins two `psi-bench/1`
+//! snapshots by benchmark name and reports per-row speedups, flagging
+//! regressions beyond [`REGRESSION_THRESHOLD`]. Report-only by default
+//! (exit 0 even with regressions — CI wall-clock is noisy); `--strict`
+//! makes regressions fail the process. The parser is deliberately tiny:
+//! it reads exactly the schema `jsonout` emits, one result per line.
+
+/// Relative slowdown that counts as a regression (ISSUE 2's 15%).
+pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// Parses a `psi-bench/1` snapshot into `(bench, ns_per_iter)` rows.
+///
+/// Tolerant of unknown keys; rows without both fields are skipped.
+pub fn parse(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "\"bench\":") else {
+            continue;
+        };
+        let Some(ns) = field_num(line, "\"ns_per_iter\":") else {
+            continue;
+        };
+        out.push((name, ns));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let start = rest.find('"')? + 1;
+    let end = start + rest[start..].find('"')?;
+    Some(rest[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = line[line.find(key)? + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One joined comparison row.
+#[derive(Debug, PartialEq)]
+pub struct Delta {
+    /// Benchmark name.
+    pub bench: String,
+    /// ns/iter in the baseline snapshot.
+    pub before: f64,
+    /// ns/iter in the new snapshot.
+    pub after: f64,
+}
+
+impl Delta {
+    /// Relative change (`after/before − 1`; negative is faster).
+    pub fn change(&self) -> f64 {
+        self.after / self.before - 1.0
+    }
+
+    /// Whether this row regressed beyond `threshold`.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.change() > threshold
+    }
+}
+
+/// Joins two parsed snapshots by name (order of the baseline).
+pub fn join(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<Delta> {
+    before
+        .iter()
+        .filter_map(|(name, b)| {
+            let (_, a) = after.iter().find(|(n, _)| n == name)?;
+            Some(Delta {
+                bench: name.clone(),
+                before: *b,
+                after: *a,
+            })
+        })
+        .collect()
+}
+
+/// Prints the comparison table; returns the regressed rows' names.
+pub fn report(deltas: &[Delta], threshold: f64) -> Vec<String> {
+    println!(
+        "{:<42} {:>14} {:>14} {:>9}",
+        "bench", "before ns", "after ns", "change"
+    );
+    println!("{}", "-".repeat(82));
+    let mut regressions = Vec::new();
+    for d in deltas {
+        let flag = if d.regressed(threshold) {
+            regressions.push(d.bench.clone());
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<42} {:>14.1} {:>14.1} {:>+8.1}%{}",
+            d.bench,
+            d.before,
+            d.after,
+            100.0 * d.change(),
+            flag
+        );
+    }
+    regressions
+}
+
+/// Entry point for the `compare_bench` binary. Returns the process exit
+/// code: 0 unless `strict` and regressions were found.
+pub fn run(before_path: &str, after_path: &str, strict: bool) -> i32 {
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let before = parse(&read(before_path));
+    let after = parse(&read(after_path));
+    let deltas = join(&before, &after);
+    println!("comparing {before_path} (baseline) vs {after_path}:\n");
+    let regressions = report(&deltas, REGRESSION_THRESHOLD);
+    let missing = before.len() - deltas.len();
+    if missing > 0 {
+        println!("\n{missing} baseline bench(es) missing from the new snapshot");
+    }
+    if regressions.is_empty() {
+        println!(
+            "\nno regressions beyond {:.0}%",
+            100.0 * REGRESSION_THRESHOLD
+        );
+        0
+    } else {
+        println!(
+            "\n{} regression(s) beyond {:.0}%: {}",
+            regressions.len(),
+            100.0 * REGRESSION_THRESHOLD,
+            regressions.join(", ")
+        );
+        i32::from(strict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+  "schema": "psi-bench/1",
+  "results": [
+    {"bench": "decode/x", "ns_per_iter": 100.0, "per_element_ns": 1.00},
+    {"bench": "merge/y", "ns_per_iter": 2000.5},
+    {"bench": "query/z_w128", "ns_per_iter": 3.5e6}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_emitted_schema() {
+        let rows = parse(SNAPSHOT);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ("decode/x".to_string(), 100.0));
+        assert_eq!(rows[1].1, 2000.5);
+        assert_eq!(rows[2].1, 3.5e6);
+        // Round-trips what jsonout emits.
+        let emitted = crate::jsonout::to_json(&[crate::jsonout::JsonResult {
+            bench: "a/b".into(),
+            ns_per_iter: 42.5,
+            elements: 7,
+        }]);
+        assert_eq!(parse(&emitted), vec![("a/b".to_string(), 42.5)]);
+    }
+
+    #[test]
+    fn join_flags_regressions_beyond_threshold() {
+        let before = vec![
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 100.0),
+            ("gone".to_string(), 5.0),
+        ];
+        let after = vec![("a".to_string(), 114.0), ("b".to_string(), 116.0)];
+        let deltas = join(&before, &after);
+        assert_eq!(deltas.len(), 2);
+        assert!(!deltas[0].regressed(REGRESSION_THRESHOLD));
+        assert!(deltas[1].regressed(REGRESSION_THRESHOLD));
+        assert!((deltas[1].change() - 0.16).abs() < 1e-9);
+    }
+}

@@ -180,6 +180,87 @@ pub fn run_microbenches() -> Vec<JsonResult> {
         }),
         100_000,
     );
+    // The same dense 8-way union through the planner's bitset path
+    // (word-array accumulate + trailing_zeros re-encode) — the adaptive
+    // answer to merge/kway_8x12k's heap traffic.
+    push(
+        "merge/adaptive_dense_8x12k",
+        measure(|| {
+            merge::merge_adaptive(
+                streams
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
+                100_000,
+                100_000,
+                Some((0, 99_999)),
+            )
+            .count()
+        }),
+        100_000,
+    );
+    // Wide fan-in, sparse: 32 streams over a 17M universe stay on the
+    // heap (avg gap 131 > the planner's bitset threshold).
+    let streams32: Vec<Vec<u64>> = (0..32u64)
+        .map(|k| (0..4096u64).map(|i| (i * 32 + k) * 131).collect())
+        .collect();
+    push(
+        "merge/kway_32x4k",
+        measure(|| {
+            merge::merge_adaptive(
+                streams32
+                    .iter()
+                    .map(|s| s.iter().copied())
+                    .collect::<Vec<_>>(),
+                131 * 32 * 4096 + 1,
+                32 * 4096,
+                Some((0, 131 * (32 * 4096 - 1))),
+            )
+            .count()
+        }),
+        32 * 4096,
+    );
+
+    // --- RID set operations (galloping vs full-decode reference) ---
+    // The paper's conjunctive shape: a selective condition (1k rows)
+    // intersected with a broad one (100k rows). The leapfrog jumps the
+    // broad stream through its skip directory instead of decoding it.
+    use psi_api::RidSet;
+    let rid_universe = 13 * 100_000 + 1;
+    let rid_a = RidSet::from_positions(GapBitmap::from_sorted_iter(
+        (0..1000u64).map(|i| i * 1300),
+        rid_universe,
+    ));
+    let rid_b = RidSet::from_positions(GapBitmap::from_sorted(&sparse, rid_universe));
+    push(
+        "intersect/rid_gallop_1kx100k",
+        measure(|| rid_a.intersect(&rid_b).cardinality()),
+        1000,
+    );
+    push(
+        "intersect/rid_reference_1kx100k",
+        measure(|| rid_a.intersect_reference(&rid_b).cardinality()),
+        1000,
+    );
+    let comp_a = RidSet::from_complement(GapBitmap::from_sorted_iter(
+        (0..10_000u64).map(|i| i * 97),
+        rid_universe,
+    ));
+    push(
+        "intersect/rid_complement_10kx100k",
+        measure(|| comp_a.intersect(&rid_b).cardinality()),
+        100_000,
+    );
+    push(
+        "intersect/rid_complement_reference_10kx100k",
+        measure(|| comp_a.intersect_reference(&rid_b).cardinality()),
+        100_000,
+    );
+    push(
+        "contains/rid_probe_sweep_100k",
+        measure(|| (0..1000u64).filter(|&i| rid_b.contains(i * 1300)).count()),
+        1000,
+    );
 
     // --- query (end to end, wall clock; I/O-model costs are the
     // experiment binaries' domain) ---

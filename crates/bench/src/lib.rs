@@ -13,6 +13,7 @@
 //! merge, query) via [`jsonout`], the perf trajectory baseline diffed by
 //! successive PRs.
 
+pub mod compare;
 pub mod jsonout;
 
 use psi_api::{AppendIndex, DynamicIndex, SecondaryIndex};
@@ -542,7 +543,24 @@ pub fn e12() {
             OptimalIndex::build(&cols[c].data, cols[c].sigma, cfg).query(lo, hi, &io)
         })
         .collect();
-    let result = exact[0].intersect(&exact[1]).intersect(&exact[2]);
+    let best_of = |f: &dyn Fn() -> psi_api::RidSet| {
+        let mut best = u128::MAX;
+        let mut out = None;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            let r = f();
+            best = best.min(t.elapsed().as_micros());
+            out = Some(r);
+        }
+        (out.expect("ran"), best)
+    };
+    let (result, gallop_us) = best_of(&|| exact[0].intersect(&exact[1]).intersect(&exact[2]));
+    let (reference, reference_us) = best_of(&|| {
+        exact[0]
+            .intersect_reference(&exact[1])
+            .intersect_reference(&exact[2])
+    });
+    assert_eq!(result.to_vec(), reference.to_vec());
     println!(
         "exact: dims z = ({}, {}, {}) -> {} rows (truth {}), {} reads",
         exact[0].cardinality(),
@@ -551,6 +569,10 @@ pub fn e12() {
         result.cardinality(),
         truth.len(),
         io.stats().reads
+    );
+    println!(
+        "intersection: galloping skip-directory leapfrog {gallop_us} us \
+         vs full-decode co-scan {reference_us} us"
     );
     hdr(&["eps", "survivors", "false pos", "bits read", "exact bits"]);
     for eps in [0.1, 0.01, 0.001] {

@@ -31,6 +31,12 @@ impl BitBuf {
         self.bit_len
     }
 
+    /// Reserved capacity in bits (whole words). Encoders that pre-reserve
+    /// from size hints assert against this in debug builds.
+    pub fn capacity_bits(&self) -> u64 {
+        64 * self.words.capacity() as u64
+    }
+
     /// Whether the buffer contains no bits.
     pub fn is_empty(&self) -> bool {
         self.bit_len == 0

@@ -8,19 +8,38 @@
 //! ones over `[n]` costs `O(m lg(n/m) + m)` bits — within a constant factor
 //! of the information-theoretic minimum `lg C(n, m)` (by concavity of `lg`).
 
+use std::sync::OnceLock;
+
+use crate::skip::{SkipDirectory, SKIP_SAMPLE};
 use crate::{codes, BitBuf, BitBufReader, BitSink, BitSource};
 
 /// A compressed bitmap: gamma-coded gaps between consecutive 1-positions.
 ///
 /// The element count and universe size are carried as plain metadata (the
 /// paper stores these as node weights in the tree structures); only the gap
-/// codes occupy the compressed payload.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// codes occupy the compressed payload. A [`SkipDirectory`] sampled every
+/// [`SKIP_SAMPLE`] elements rides alongside the code stream — filled for
+/// free by the encoding constructors, lifted from persisted side extents
+/// by the storage layers, or built lazily by one decode pass otherwise —
+/// and makes [`Self::contains`], [`Self::rank`], [`Self::select`] and the
+/// galloping [`GapCursor`] `O(lg(z/K) + K)` instead of `O(z)`.
+#[derive(Debug, Clone, Default)]
 pub struct GapBitmap {
     universe: u64,
     count: u64,
     bits: BitBuf,
+    /// Lazily materialized skip samples. Excluded from equality: the
+    /// directory is derived data, never part of the bitmap's value.
+    skip: OnceLock<SkipDirectory>,
 }
+
+impl PartialEq for GapBitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.count == other.count && self.bits == other.bits
+    }
+}
+
+impl Eq for GapBitmap {}
 
 impl GapBitmap {
     /// An empty bitmap over `[0, universe)`.
@@ -29,6 +48,7 @@ impl GapBitmap {
             universe,
             count: 0,
             bits: BitBuf::new(),
+            skip: OnceLock::new(),
         }
     }
 
@@ -42,18 +62,134 @@ impl GapBitmap {
     }
 
     /// Builds from a strictly increasing iterator of positions.
+    ///
+    /// The payload buffer is pre-reserved from the iterator's size hint
+    /// (`Σ gamma_len(gap) ≤ m(2⌈lg(n/m + 1)⌉ + 1)` bits for `m` gaps
+    /// summing to at most `n`, by concavity of `lg`), so encoding never
+    /// re-allocates when the hint is exact; the skip directory is sampled
+    /// during the same pass.
     pub fn from_sorted_iter<I: IntoIterator<Item = u64>>(positions: I, universe: u64) -> Self {
-        let mut bits = BitBuf::new();
+        let iter = positions.into_iter();
+        let hint = {
+            let (lo, up) = iter.size_hint();
+            up.unwrap_or(lo) as u64
+        };
+        Self::encode_iter(iter, universe, hint)
+    }
+
+    /// [`Self::from_sorted_iter`] with an externally known element count
+    /// (e.g. the summed slot counts of a canonical cover), for call sites
+    /// whose iterators cannot carry an exact size hint.
+    pub fn from_sorted_iter_sized<I: IntoIterator<Item = u64>>(
+        positions: I,
+        universe: u64,
+        expected: u64,
+    ) -> Self {
+        Self::encode_iter(positions.into_iter(), universe, expected)
+    }
+
+    /// Worst-case payload bits for `m` gap codes over `[0, universe)`.
+    fn reserve_bits(m: u64, universe: u64) -> u64 {
+        if m == 0 {
+            return 0;
+        }
+        // ⌈lg(universe/m + 1)⌉ ≤ 64 − leading_zeros(universe/m + 1).
+        let lg = u64::from(64 - (universe / m + 1).leading_zeros());
+        m * (2 * lg + 1)
+    }
+
+    fn encode_iter<I: Iterator<Item = u64>>(iter: I, universe: u64, hint: u64) -> Self {
+        let reserved = Self::reserve_bits(hint.min(universe), universe);
+        let mut bits = BitBuf::with_capacity(reserved);
+        let mut skip = SkipDirectory::new(SKIP_SAMPLE);
         let mut enc = GapEncoder::new(&mut bits);
-        for p in positions {
+        for p in iter {
             assert!(p < universe, "position {p} outside universe {universe}");
             enc.push(p);
+            skip.observe(enc.count() - 1, p, enc.bit_pos());
         }
         let count = enc.finish();
+        // The reservation bound is exact mathematics, not a guess: when
+        // the hint matched the stream, encoding must have fit in place.
+        debug_assert!(
+            count != hint || bits.len() <= reserved,
+            "encoded {} bits into a {reserved}-bit reservation for {count} elements",
+            bits.len()
+        );
+        let cell = OnceLock::new();
+        let _ = cell.set(skip);
         GapBitmap {
             universe,
             count,
             bits,
+            skip: cell,
+        }
+    }
+
+    /// Builds from an LSB-first word array: bit `64i + j` of the array
+    /// (bit `j` of `words[i]`) set means position `base + 64i + j` is in
+    /// the set. This is the re-encode half of the dense merge path: one
+    /// `trailing_zeros` scan per word instead of a per-element encoder
+    /// round trip, with whole words of unit gaps emitted for saturated
+    /// words. `base` must be 64-bit aligned; bits at or beyond
+    /// `universe - base` must be zero.
+    pub fn from_words(words: &[u64], universe: u64) -> Self {
+        Self::from_words_span(words, 0, universe)
+    }
+
+    /// [`Self::from_words`] over the word-aligned span starting at `base`.
+    pub fn from_words_span(words: &[u64], base: u64, universe: u64) -> Self {
+        assert!(base.is_multiple_of(64), "span base must be word-aligned");
+        let count: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        let reserved = Self::reserve_bits(count, universe);
+        let mut bits = BitBuf::with_capacity(reserved);
+        let mut skip = SkipDirectory::new(SKIP_SAMPLE);
+        let mut index = 0u64;
+        let mut prev: Option<u64> = None;
+        for (i, &word) in words.iter().enumerate() {
+            let word_base = base + 64 * i as u64;
+            // Saturated word continuing a run: 64 unit gaps, one append.
+            if word == u64::MAX && word_base > 0 && prev == Some(word_base - 1) {
+                assert!(
+                    word_base + 63 < universe,
+                    "position {} outside universe {universe}",
+                    word_base + 63
+                );
+                bits.push_bits(u64::MAX, 64);
+                // Runs cover every element index, so the sample due in
+                // this word (if any) is a fixed offset into it.
+                let next_sample = index.next_multiple_of(u64::from(SKIP_SAMPLE));
+                if next_sample < index + 64 {
+                    let d = next_sample - index;
+                    skip.observe(next_sample, word_base + d, bits.len() - 63 + d);
+                }
+                prev = Some(word_base + 63);
+                index += 64;
+                continue;
+            }
+            let mut w = word;
+            while w != 0 {
+                let pos = word_base + u64::from(w.trailing_zeros());
+                assert!(pos < universe, "position {pos} outside universe {universe}");
+                match prev {
+                    None => codes::put_gamma(&mut bits, pos + 1),
+                    Some(p) => codes::put_gamma(&mut bits, pos - p),
+                }
+                skip.observe(index, pos, bits.len());
+                prev = Some(pos);
+                index += 1;
+                w &= w - 1;
+            }
+        }
+        debug_assert_eq!(index, count);
+        debug_assert!(bits.len() <= reserved.max(64));
+        let cell = OnceLock::new();
+        let _ = cell.set(skip);
+        GapBitmap {
+            universe,
+            count,
+            bits,
+            skip: cell,
         }
     }
 
@@ -95,6 +231,7 @@ impl GapBitmap {
             universe,
             count,
             bits,
+            skip: OnceLock::new(),
         };
         #[cfg(debug_assertions)]
         {
@@ -112,6 +249,117 @@ impl GapBitmap {
             );
         }
         b
+    }
+
+    /// [`Self::from_code_bits`] plus a skip directory lifted alongside the
+    /// stream (the storage layers persist one per slot; a query covered by
+    /// a single stored bitmap copies both verbatim, so the result supports
+    /// galloping set operations without a decode pass). Debug builds
+    /// verify every sample against a decode of the stream.
+    pub fn from_code_bits_indexed(
+        bits: BitBuf,
+        count: u64,
+        universe: u64,
+        skip: SkipDirectory,
+    ) -> Self {
+        let b = Self::from_code_bits(bits, count, universe);
+        #[cfg(debug_assertions)]
+        {
+            let reference = b.build_skip();
+            debug_assert!(
+                skip.len() <= reference.len()
+                    && skip.entries() == &reference.entries()[..skip.len()],
+                "lifted skip directory disagrees with the stream"
+            );
+        }
+        let _ = b.skip.set(skip);
+        b
+    }
+
+    /// The skip directory, building it with one decode pass if no
+    /// construction or storage path supplied it. CPU-only: the payload is
+    /// already in memory.
+    pub fn skip_dir(&self) -> &SkipDirectory {
+        self.skip.get_or_init(|| self.build_skip())
+    }
+
+    fn build_skip(&self) -> SkipDirectory {
+        let mut skip = SkipDirectory::new(SKIP_SAMPLE);
+        let mut src = self.bits.reader();
+        let mut prev = u64::MAX;
+        for i in 0..self.count {
+            prev = prev.wrapping_add(codes::get_gamma(&mut src));
+            skip.observe(i, prev, src.bit_pos());
+        }
+        skip
+    }
+
+    /// A decoder re-seated just past sampled element `rank` (`entry` from
+    /// this bitmap's directory), ready to yield element `rank + 1`.
+    fn resume_after(
+        &self,
+        rank: u64,
+        entry: crate::skip::SkipEntry,
+    ) -> GapDecoder<BitBufReader<'_>> {
+        GapDecoder::resume(
+            self.bits.reader_at(entry.bit_off),
+            self.count - rank - 1,
+            entry.pos,
+        )
+    }
+
+    /// Number of elements strictly below `pos` (`rank₁`), in
+    /// `O(lg(z/K) + K)` via the skip directory (linear for directory-less
+    /// tiny sets).
+    pub fn rank(&self, pos: u64) -> u64 {
+        match self.skip_dir().seek(pos) {
+            None => {
+                // Either the first element exceeds `pos`, or a lifted
+                // directory is empty (tiny slot): scan from the start.
+                if self.skip_dir().is_empty() {
+                    self.iter().take_while(|&p| p < pos).count() as u64
+                } else {
+                    0
+                }
+            }
+            Some((r, e)) if e.pos >= pos => r,
+            Some((r, e)) => {
+                let mut rank = r + 1;
+                for p in self.resume_after(r, e) {
+                    if p >= pos {
+                        break;
+                    }
+                    rank += 1;
+                }
+                rank
+            }
+        }
+    }
+
+    /// The `k`-th element (0-indexed), or `None` when `k ≥ count`, in
+    /// `O(lg(z/K) + K)` via the skip directory (linear for directory-less
+    /// tiny sets).
+    pub fn select(&self, k: u64) -> Option<u64> {
+        if k >= self.count {
+            return None;
+        }
+        let Some((r, e)) = self.skip_dir().seek_rank(k) else {
+            return self.iter().nth(k as usize); // empty lifted directory
+        };
+        if r == k {
+            return Some(e.pos);
+        }
+        self.resume_after(r, e).nth((k - r - 1) as usize)
+    }
+
+    /// A galloping cursor over the elements (see [`GapCursor`]).
+    pub fn cursor(&self) -> GapCursor<'_> {
+        GapCursor {
+            bm: self,
+            src: self.bits.reader(),
+            consumed: 0,
+            current: None,
+        }
     }
 
     /// Iterates the 1-positions in increasing order.
@@ -205,10 +453,25 @@ impl GapBitmap {
         out
     }
 
-    /// Membership test by scanning (O(count); intended for tests and small
-    /// sets — the index structures never need random membership).
+    /// Membership test: a directory probe plus at most `K − 1` decoded
+    /// codes (`O(lg(z/K) + K)` instead of the pre-directory `O(z)` scan).
     pub fn contains(&self, pos: u64) -> bool {
-        self.iter().take_while(|&p| p <= pos).any(|p| p == pos)
+        match self.skip_dir().seek(pos) {
+            None => {
+                // Empty lifted directory (tiny slot): linear scan.
+                self.skip_dir().is_empty()
+                    && self.iter().take_while(|&p| p <= pos).any(|p| p == pos)
+            }
+            Some((_, e)) if e.pos == pos => true,
+            Some((r, e)) => {
+                for p in self.resume_after(r, e) {
+                    if p >= pos {
+                        return p == pos;
+                    }
+                }
+                false
+            }
+        }
     }
 
     /// Appends this bitmap's raw code stream to a sink (used when
@@ -258,7 +521,91 @@ impl GapBitmap {
             universe,
             count: universe - self.count,
             bits,
+            skip: OnceLock::new(),
         }
+    }
+}
+
+/// A forward-only cursor with galloping seeks.
+///
+/// [`Self::next_geq`] is the leapfrog primitive behind RID-set
+/// intersection: it returns the smallest element `≥ target` at or after
+/// the cursor, using the skip directory to jump over sampled runs of
+/// smaller elements (re-seating the decoder at a sample costs one binary
+/// search and no decoding), then decoding at most `K − 1` codes linearly.
+#[derive(Debug)]
+pub struct GapCursor<'a> {
+    bm: &'a GapBitmap,
+    src: BitBufReader<'a>,
+    /// Elements decoded so far (index of the next element to decode).
+    consumed: u64,
+    /// The element most recently returned.
+    current: Option<u64>,
+}
+
+impl<'a> GapCursor<'a> {
+    /// The element most recently returned, if any.
+    pub fn current(&self) -> Option<u64> {
+        self.current
+    }
+
+    /// Advances to the next element.
+    #[allow(clippy::should_implement_trait)] // iterator-like, but `next_geq` is the point
+    pub fn next(&mut self) -> Option<u64> {
+        if self.consumed >= self.bm.count {
+            self.current = None;
+            return None;
+        }
+        let code = codes::get_gamma(&mut self.src);
+        let pos = match self.current {
+            None if self.consumed == 0 => code - 1,
+            None => return None, // exhausted earlier
+            Some(p) => p + code,
+        };
+        self.consumed += 1;
+        self.current = Some(pos);
+        Some(pos)
+    }
+
+    /// The smallest element `≥ target` at or after the cursor (the
+    /// current element satisfies the bound without advancing). `None`
+    /// exhausts the cursor.
+    ///
+    /// Short advances stay a plain linear decode: one O(1) probe of the
+    /// first sample ahead of the cursor decides whether any directory
+    /// jump can reach past the target, so the binary search is paid only
+    /// when it is guaranteed to skip at least one sample run.
+    pub fn next_geq(&mut self, target: u64) -> Option<u64> {
+        if let Some(p) = self.current {
+            if p >= target {
+                return Some(p);
+            }
+        } else if self.consumed > 0 {
+            return None; // exhausted
+        }
+        let dir = self.bm.skip_dir();
+        let k = u64::from(dir.k());
+        // First sample whose jump would advance the cursor.
+        let j0 = (self.consumed.div_ceil(k)) as usize;
+        if dir.entries().get(j0).is_some_and(|e| e.pos <= target) {
+            // Gallop: the latest sample ≤ target, searched only in the
+            // still-ahead suffix.
+            let ahead = &dir.entries()[j0..];
+            let j = j0 + ahead.partition_point(|e| e.pos <= target) - 1;
+            let e = dir.entries()[j];
+            self.src = self.bm.bits.reader_at(e.bit_off);
+            self.consumed = j as u64 * k + 1;
+            self.current = Some(e.pos);
+            if e.pos >= target {
+                return Some(e.pos);
+            }
+        }
+        while let Some(p) = self.next() {
+            if p >= target {
+                return Some(p);
+            }
+        }
+        None
     }
 }
 
@@ -313,6 +660,12 @@ impl<'a, S: BitSink> GapEncoder<'a, S> {
         self.count
     }
 
+    /// The sink's current bit position (used by skip-directory samplers,
+    /// which record the offset just past each sampled codeword).
+    pub fn bit_pos(&self) -> u64 {
+        self.sink.bit_pos()
+    }
+
     /// Last position encoded, if any.
     pub fn last(&self) -> Option<u64> {
         self.prev
@@ -342,6 +695,19 @@ impl<S: BitSource> GapDecoder<S> {
             src,
             remaining: count,
             prev: None,
+        }
+    }
+
+    /// Resumes decoding mid-stream: `src` must sit just past the code of
+    /// an element whose value was `prev`, with `remaining` codes left —
+    /// exactly what a [`crate::skip::SkipEntry`] records. This is the
+    /// directory-assisted seek: the skipped prefix is neither decoded nor
+    /// (for charged sources) read.
+    pub fn resume(src: S, remaining: u64, prev: u64) -> Self {
+        GapDecoder {
+            src,
+            remaining,
+            prev: Some(prev),
         }
     }
 
@@ -573,6 +939,146 @@ mod tests {
         let _ = GapBitmap::from_sorted(&[10], 10);
     }
 
+    #[test]
+    fn encode_paths_prefill_the_skip_directory() {
+        let positions: Vec<u64> = (0..300u64).map(|i| i * 11).collect();
+        let b = GapBitmap::from_sorted(&positions, 4096);
+        // 300 elements at K = 64: samples at indices 0, 64, 128, 192, 256.
+        assert_eq!(b.skip_dir().len(), 5);
+        assert_eq!(b.skip_dir().entries()[0].pos, 0);
+        assert_eq!(b.skip_dir().entries()[1].pos, 64 * 11);
+        // Lazy build (verbatim wrap drops the directory) agrees exactly.
+        let mut copy = BitBuf::new();
+        b.write_codes_to(&mut copy);
+        let wrapped = GapBitmap::from_code_bits(copy, b.count(), b.universe());
+        assert_eq!(wrapped.skip_dir(), b.skip_dir());
+    }
+
+    #[test]
+    fn rank_select_contains_match_naive() {
+        let positions: Vec<u64> = (0..500u64)
+            .map(|i| i * i % 9973)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let b = GapBitmap::from_sorted(&positions, 10_000);
+        for q in (0..10_000).step_by(131) {
+            let naive_rank = positions.iter().filter(|&&p| p < q).count() as u64;
+            assert_eq!(b.rank(q), naive_rank, "rank({q})");
+            assert_eq!(b.contains(q), positions.binary_search(&q).is_ok());
+        }
+        for (k, &p) in positions.iter().enumerate() {
+            assert_eq!(b.select(k as u64), Some(p));
+            assert_eq!(b.rank(p), k as u64);
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.select(positions.len() as u64), None);
+        assert_eq!(b.rank(0), 0);
+    }
+
+    #[test]
+    fn cursor_gallops_and_degrades_to_linear() {
+        let positions: Vec<u64> = (0..1000u64).map(|i| i * 7).collect();
+        let b = GapBitmap::from_sorted(&positions, 7001);
+        let mut c = b.cursor();
+        assert_eq!(c.next(), Some(0));
+        assert_eq!(c.next_geq(0), Some(0), "current element satisfies bound");
+        assert_eq!(c.next_geq(6500), Some(6503), "gallops over ~900 elements");
+        assert_eq!(c.next(), Some(6510));
+        assert_eq!(c.next_geq(6511), Some(6517), "linear within a sample run");
+        assert_eq!(c.next_geq(1), Some(6517), "cursor never rewinds");
+        assert_eq!(c.next_geq(99_999), None);
+        assert_eq!(c.next(), None, "exhausted cursor stays exhausted");
+    }
+
+    #[test]
+    fn from_words_matches_from_sorted() {
+        let positions: Vec<u64> = vec![0, 1, 5, 63, 64, 65, 200, 511];
+        let mut words = vec![0u64; 8];
+        for &p in &positions {
+            words[(p / 64) as usize] |= 1 << (p % 64);
+        }
+        let b = GapBitmap::from_words(&words, 512);
+        assert_eq!(b, GapBitmap::from_sorted(&positions, 512));
+        assert_eq!(b.to_vec(), positions);
+        assert!(GapBitmap::from_words(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn from_words_dense_run_takes_word_appends() {
+        // 512 consecutive positions: words 1..7 are saturated and must go
+        // through the whole-word unit-gap path, samples included.
+        let positions: Vec<u64> = (37..549).collect();
+        let mut words = vec![0u64; 9];
+        for &p in &positions {
+            words[(p / 64) as usize] |= 1 << (p % 64);
+        }
+        let b = GapBitmap::from_words(&words, 576);
+        let reference = GapBitmap::from_sorted(&positions, 576);
+        assert_eq!(b, reference);
+        assert_eq!(b.skip_dir(), reference.skip_dir());
+    }
+
+    #[test]
+    fn from_words_span_offsets_the_scan() {
+        let base = 128u64;
+        let positions: Vec<u64> = vec![130, 190, 191, 300];
+        let mut words = vec![0u64; 3];
+        for &p in &positions {
+            words[((p - base) / 64) as usize] |= 1 << ((p - base) % 64);
+        }
+        let b = GapBitmap::from_words_span(&words, base, 400);
+        assert_eq!(b.to_vec(), positions);
+        assert_eq!(b.universe(), 400);
+    }
+
+    #[test]
+    fn from_code_bits_indexed_carries_the_directory() {
+        let original = GapBitmap::from_sorted_iter((0..200u64).map(|i| 3 * i), 600);
+        let mut copy = BitBuf::new();
+        original.write_codes_to(&mut copy);
+        let dir = original.skip_dir().clone();
+        let rebuilt =
+            GapBitmap::from_code_bits_indexed(copy, original.count(), original.universe(), dir);
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.skip_dir(), original.skip_dir());
+        assert!(rebuilt.contains(597) && !rebuilt.contains(598));
+    }
+
+    #[test]
+    fn truncated_directory_stays_correct() {
+        // A directory cut off mid-stream (persisted slack exhausted) must
+        // still answer correctly via its linear tail.
+        let positions: Vec<u64> = (0..400u64).map(|i| 5 * i).collect();
+        let full = GapBitmap::from_sorted(&positions, 2000);
+        let mut copy = BitBuf::new();
+        full.write_codes_to(&mut copy);
+        let truncated = crate::skip::SkipDirectory::from_entries(
+            crate::SKIP_SAMPLE,
+            full.skip_dir().entries()[..2].to_vec(),
+        );
+        let b = GapBitmap::from_code_bits_indexed(copy, full.count(), full.universe(), truncated);
+        assert_eq!(b.select(399), Some(1995));
+        assert_eq!(b.rank(1996), 400);
+        assert!(b.contains(1000) && !b.contains(1001));
+    }
+
+    #[test]
+    fn from_sorted_iter_reservation_is_tight() {
+        // Exact size hint: the reservation must absorb the whole stream.
+        let positions: Vec<u64> = (0..10_000u64).map(|i| i * 97).collect();
+        let b = GapBitmap::from_sorted_iter(positions.iter().copied(), 97 * 10_000);
+        assert_eq!(b.count(), 10_000);
+        assert!(b.code_bits().capacity_bits() >= b.size_bits());
+        // Sized constructor with the count known out of band.
+        let sized = GapBitmap::from_sorted_iter_sized(
+            positions.iter().copied().filter(|_| true),
+            97 * 10_000,
+            10_000,
+        );
+        assert_eq!(sized, b);
+    }
+
     fn sorted_unique(max: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
         proptest::collection::btree_set(0..max, 0..len)
             .prop_map(|s| s.into_iter().collect::<Vec<_>>())
@@ -602,6 +1108,29 @@ mod tests {
             let b = GapBitmap::from_sorted(&pos, 512);
             prop_assert_eq!(b.complement().complement(), b.clone());
             prop_assert_eq!(b.complement().count(), 512 - b.count());
+        }
+
+        #[test]
+        fn directory_ops_match_full_decode(pos in sorted_unique(1 << 14, 400)) {
+            let b = GapBitmap::from_sorted(&pos, 1 << 14);
+            for q in (0..(1u64 << 14)).step_by(509) {
+                let naive = pos.iter().filter(|&&p| p < q).count() as u64;
+                prop_assert_eq!(b.rank(q), naive);
+                prop_assert_eq!(b.contains(q), pos.binary_search(&q).is_ok());
+            }
+            for (k, &p) in pos.iter().enumerate() {
+                prop_assert_eq!(b.select(k as u64), Some(p));
+            }
+            prop_assert_eq!(b.select(pos.len() as u64), None);
+            // next_geq sweeps forward exactly like a filtered scan.
+            let mut c = b.cursor();
+            let mut targets: Vec<u64> = pos.iter().map(|&p| p.saturating_sub(1)).collect();
+            targets.sort_unstable();
+            let mut expect = pos.iter().copied().peekable();
+            for t in targets {
+                while expect.peek().is_some_and(|&p| p < t) { expect.next(); }
+                prop_assert_eq!(c.next_geq(t), expect.peek().copied());
+            }
         }
     }
 }

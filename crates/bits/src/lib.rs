@@ -17,7 +17,12 @@
 //! * [`PlainBitmap`] — an uncompressed bitmap with broadword rank/select
 //!   (the baseline bitmap-index representation);
 //! * [`merge`] — k-way merges over position streams (the paper's
-//!   "compute the compressed bitmap of their union by merging", §2.1);
+//!   "compute the compressed bitmap of their union by merging", §2.1),
+//!   including the density-driven planner ([`merge::plan`]) and its
+//!   bitset-accumulate path for dense covers;
+//! * [`skip`] — skip directories: sampled `(position, bit offset)`
+//!   entries that make gap streams seekable, powering galloping set
+//!   operations and directory-assisted decoder seeks;
 //! * [`entropy`] — empirical 0th-order entropy of symbol strings.
 
 #![warn(missing_docs)]
@@ -28,10 +33,12 @@ pub mod entropy;
 mod gap;
 pub mod merge;
 mod plain;
+pub mod skip;
 
 pub use buf::{BitBuf, BitBufReader};
-pub use gap::{GapBitmap, GapDecoder, GapEncoder};
+pub use gap::{GapBitmap, GapCursor, GapDecoder, GapEncoder};
 pub use plain::{PlainBitmap, RankDirectory};
+pub use skip::{SkipDirectory, SkipEntry, SKIP_ENTRY_BITS, SKIP_SAMPLE};
 
 /// A destination for bits (in-memory buffer or disk writer).
 pub trait BitSink {

@@ -47,6 +47,127 @@ where
     GapBitmap::from_sorted_iter(merge_disjoint(inputs), universe)
 }
 
+/// How a k-way union is executed (chosen by [`plan`] from metadata known
+/// *before* any stream is decoded: fan-in, summed element counts, and the
+/// position span of the cover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeStrategy {
+    /// No inputs: the empty bitmap.
+    Empty,
+    /// One input: encode straight through (callers with stored streams
+    /// short-circuit earlier to a verbatim copy).
+    Passthrough,
+    /// Two inputs: branch-per-element linear merge.
+    Linear,
+    /// Three or more sparse inputs: min-heap merge.
+    Heap,
+    /// Three or more inputs whose union is dense in its span: set bits in
+    /// an LSB-first word array (no comparisons, no heap), then re-encode
+    /// once with a `trailing_zeros` word scan
+    /// ([`GapBitmap::from_words_span`]). Exactly where the complement
+    /// trick makes results dense, this turns `O(z lg k)` heap traffic
+    /// into straight-line word operations.
+    Bitset,
+}
+
+/// Average gap (span/total) at or below which the bitset path wins: one
+/// element per word on average, so the accumulate-and-scan pass touches
+/// no more words than the union has elements.
+pub const BITSET_MAX_AVG_GAP: u64 = 64;
+
+/// Minimum union size for the bitset path (below this the word array's
+/// allocation dominates any heap savings).
+pub const BITSET_MIN_TOTAL: u64 = 128;
+
+/// Folds a cover's per-member metadata `(count, first_pos, last_pos)` —
+/// non-empty members only — into the planner inputs `(total, span)`.
+/// Shared by every index that feeds slot/entry directories to
+/// [`merge_adaptive`].
+pub fn cover_stats<I: IntoIterator<Item = (u64, u64, u64)>>(
+    members: I,
+) -> (u64, Option<(u64, u64)>) {
+    let mut total = 0u64;
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for (count, first, last) in members {
+        debug_assert!(count > 0, "cover members must be non-empty");
+        total += count;
+        lo = lo.min(first);
+        hi = hi.max(last);
+    }
+    (total, (total > 0).then_some((lo, hi)))
+}
+
+/// Picks the strategy for `streams` inputs totalling `total` elements
+/// within the inclusive position span `span` (when known).
+pub fn plan(streams: usize, total: u64, span: Option<(u64, u64)>) -> MergeStrategy {
+    match streams {
+        0 => MergeStrategy::Empty,
+        1 => MergeStrategy::Passthrough,
+        2 => MergeStrategy::Linear,
+        _ => match span {
+            Some((lo, hi))
+                if total >= BITSET_MIN_TOTAL
+                    && (hi - lo).saturating_add(1) <= total.saturating_mul(BITSET_MAX_AVG_GAP) =>
+            {
+                MergeStrategy::Bitset
+            }
+            _ => MergeStrategy::Heap,
+        },
+    }
+}
+
+/// Merges disjoint sorted streams into a [`GapBitmap`] under the planned
+/// strategy. `total` is the summed element count (known from slot/entry
+/// metadata); `span` bounds every element inclusively. Every strategy
+/// consumes each input exactly once in order, so the I/O charged to any
+/// underlying reader is identical across strategies by construction.
+pub fn merge_adaptive<I>(
+    inputs: Vec<I>,
+    universe: u64,
+    total: u64,
+    span: Option<(u64, u64)>,
+) -> GapBitmap
+where
+    I: Iterator<Item = u64>,
+{
+    let strategy = plan(inputs.len(), total, span);
+    merge_with_strategy(inputs, universe, total, span, strategy)
+}
+
+/// [`merge_adaptive`] with the strategy forced — the differential-testing
+/// and benchmarking hook that pins every branch against the heap merge.
+pub fn merge_with_strategy<I>(
+    inputs: Vec<I>,
+    universe: u64,
+    total: u64,
+    span: Option<(u64, u64)>,
+    strategy: MergeStrategy,
+) -> GapBitmap
+where
+    I: Iterator<Item = u64>,
+{
+    match strategy {
+        MergeStrategy::Empty => GapBitmap::empty(universe),
+        MergeStrategy::Bitset => {
+            let (lo, hi) = span.expect("bitset strategy requires a span");
+            let base = lo & !63;
+            let words = ((hi - base) / 64 + 1) as usize;
+            let mut acc = vec![0u64; words];
+            for input in inputs {
+                for p in input {
+                    debug_assert!(
+                        (lo..=hi).contains(&p),
+                        "element {p} outside declared span [{lo}, {hi}]"
+                    );
+                    acc[((p - base) / 64) as usize] |= 1u64 << ((p - base) % 64);
+                }
+            }
+            GapBitmap::from_words_span(&acc, base, universe)
+        }
+        _ => GapBitmap::from_sorted_iter_sized(merge_disjoint(inputs), universe, total),
+    }
+}
+
 /// A k-way merge iterator.
 ///
 /// Fan-in 1 is a passthrough and fan-in 2 a branch-per-element linear
@@ -108,6 +229,7 @@ impl<I: Iterator<Item = u64>> KWayMerge<I> {
 impl<I: Iterator<Item = u64>> Iterator for KWayMerge<I> {
     type Item = u64;
 
+    #[inline]
     fn next(&mut self) -> Option<u64> {
         match &mut self.inner {
             Inner::One(input) => input.as_mut()?.next(),
@@ -205,6 +327,85 @@ mod tests {
         let g = merge_into_gap(vec![a.into_iter(), b.into_iter()], 100);
         assert_eq!(g.to_vec(), vec![10, 20, 30]);
         assert_eq!(g.universe(), 100);
+    }
+
+    #[test]
+    fn plan_picks_by_fanin_and_density() {
+        assert_eq!(plan(0, 0, None), MergeStrategy::Empty);
+        assert_eq!(plan(1, 10, None), MergeStrategy::Passthrough);
+        assert_eq!(plan(2, 10_000, Some((0, 10_000))), MergeStrategy::Linear);
+        // Dense: 8 streams, 10k elements across a 20k span.
+        assert_eq!(plan(8, 10_000, Some((0, 19_999))), MergeStrategy::Bitset);
+        // Sparse: same elements across a 10M span.
+        assert_eq!(plan(8, 10_000, Some((0, 9_999_999))), MergeStrategy::Heap);
+        // No span known: cannot size a word array.
+        assert_eq!(plan(8, 10_000, None), MergeStrategy::Heap);
+        // Tiny unions never pay for the allocation.
+        assert_eq!(plan(8, 64, Some((0, 63))), MergeStrategy::Heap);
+    }
+
+    fn strided(streams: u64, per: u64, stride: u64, offset: u64) -> Vec<Vec<u64>> {
+        (0..streams)
+            .map(|k| {
+                (0..per)
+                    .map(|i| offset + i * stride * streams + k * stride)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bitset_path_matches_heap_on_dense_cover() {
+        // 8 disjoint dense streams with a word-unaligned span start.
+        let streams = strided(8, 1000, 1, 37);
+        let universe = 37 + 8 * 1000 + 1;
+        let total = 8 * 1000;
+        let span = Some((37, 37 + 8 * 1000 - 1));
+        let mk = || {
+            streams
+                .iter()
+                .map(|s| s.iter().copied())
+                .collect::<Vec<_>>()
+        };
+        let heap = merge_with_strategy(mk(), universe, total, span, MergeStrategy::Heap);
+        let bitset = merge_with_strategy(mk(), universe, total, span, MergeStrategy::Bitset);
+        assert_eq!(plan(8, total, span), MergeStrategy::Bitset);
+        assert_eq!(bitset, heap);
+        assert_eq!(bitset.count(), total);
+    }
+
+    proptest! {
+        #[test]
+        fn adaptive_matches_heap_on_every_branch(
+            parts in proptest::collection::vec(
+                proptest::collection::btree_set(0u64..5_000, 0..400), 1..6),
+            dense in any::<bool>(),
+        ) {
+            // Disjoint by stride-tagging; `dense` narrows the value range
+            // so both planner outcomes are exercised.
+            let stride = if dense { 1 } else { 97 };
+            let k = parts.len() as u64;
+            let streams: Vec<Vec<u64>> = parts
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.iter().map(|&x| (x * k + i as u64) * stride).collect())
+                .collect();
+            let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+            let lo = streams.iter().filter_map(|s| s.first()).min().copied();
+            let hi = streams.iter().filter_map(|s| s.last()).max().copied();
+            let span = lo.zip(hi);
+            let universe = hi.map_or(1, |h| h + 1);
+            let mk = || streams.iter().map(|s| s.iter().copied()).collect::<Vec<_>>();
+            let reference = merge_with_strategy(
+                mk(), universe, total, span, MergeStrategy::Heap);
+            let adaptive = merge_adaptive(mk(), universe, total, span);
+            prop_assert_eq!(&adaptive, &reference);
+            if span.is_some() && total > 0 {
+                let forced = merge_with_strategy(
+                    mk(), universe, total, span, MergeStrategy::Bitset);
+                prop_assert_eq!(&forced, &reference);
+            }
+        }
     }
 
     proptest! {

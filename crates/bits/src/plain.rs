@@ -94,6 +94,29 @@ impl PlainBitmap {
         &self.words
     }
 
+    /// Wraps an existing LSB-first word array (bits at or beyond
+    /// `universe` must be zero) — the hand-off from word-level set
+    /// algebra (bitmap-index accumulators, the dense merge path) into a
+    /// bitmap without a per-element rebuild.
+    pub fn from_raw_words(words: Vec<u64>, universe: u64) -> Self {
+        assert!(
+            words.len() == (universe as usize).div_ceil(64),
+            "word array does not match universe"
+        );
+        let ones = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        PlainBitmap {
+            universe,
+            words,
+            ones,
+        }
+    }
+
+    /// Re-encodes into a gap-compressed bitmap with one `trailing_zeros`
+    /// word scan (see [`crate::GapBitmap::from_words`]).
+    pub fn to_gap(&self) -> crate::GapBitmap {
+        crate::GapBitmap::from_words(&self.words, self.universe)
+    }
+
     /// ORs `other` into `self` (used by bitmap-index range scans).
     ///
     /// # Panics

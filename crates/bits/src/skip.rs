@@ -1,0 +1,267 @@
+//! Skip directories over gap-coded streams.
+//!
+//! Gamma codes are not addressable: finding one element of a
+//! [`GapBitmap`](crate::GapBitmap) means decoding everything before it.
+//! A **skip directory** samples every `K`-th decoded element, recording
+//! its value and the bit offset just past its codeword, so membership,
+//! rank and select restart decoding at the nearest sample — `O(lg(z/K))`
+//! for the probe plus at most `K − 1` codes of linear decode, instead of
+//! `O(z)`. This is the classical skip-pointer design of inverted indexes
+//! (cf. the perlin posting layout), applied to Pagh & Rao's cut streams:
+//! the directory lives *beside* the code stream (a side extent on disk,
+//! a small vector in memory) and never changes the stream encoding, so
+//! every existing bound on the payload is untouched.
+
+/// Sampling interval: one directory entry per `SKIP_SAMPLE` elements.
+///
+/// 64 keeps the directory at `z/64` entries (`≈ 80·z/64 = 1.25` bits per
+/// element persisted, `< 2` words per element in memory) while bounding
+/// every directory-assisted operation's linear tail at 63 codes.
+pub const SKIP_SAMPLE: u32 = 64;
+
+/// Width of a persisted directory entry: 48-bit position + 32-bit offset.
+///
+/// Matches the engine's 48-bit node-weight fields; slot code streams are
+/// far below `2³²` bits.
+pub const SKIP_ENTRY_BITS: u64 = 80;
+
+/// One sample: the `(j·K)`-th decoded element (0-indexed) of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// The element's value (its position in the encoded set).
+    pub pos: u64,
+    /// Bit offset just past the element's codeword, relative to the
+    /// stream start — decoding resumes here with `prev = pos`.
+    pub bit_off: u64,
+}
+
+impl SkipEntry {
+    /// Writes the fixed-width persisted form (48-bit position, 32-bit
+    /// offset — matching the engine's 48-bit weight fields; slot streams
+    /// are far below 2³² bits).
+    pub fn write_to<S: crate::BitSink>(&self, sink: &mut S) {
+        debug_assert!(self.pos < 1 << 48, "sample position exceeds 48 bits");
+        debug_assert!(self.bit_off < 1 << 32, "sample offset exceeds 32 bits");
+        sink.put_bits(self.pos, 48);
+        sink.put_bits(self.bit_off, 32);
+    }
+
+    /// Reads the persisted form.
+    pub fn read_from<S: crate::BitSource>(src: &mut S) -> SkipEntry {
+        SkipEntry {
+            pos: src.get_bits(48),
+            bit_off: src.get_bits(32),
+        }
+    }
+}
+
+/// Latest persisted entry with `pos < min_pos` — the restart point for a
+/// directory-assisted seek — found by binary search through
+/// `read_entry(index)` (each probe charges only the blocks it touches).
+/// Returns `(entry_index, entry)`; `None` when decoding must start at
+/// the stream head. Shared by every layer that persists fixed-width
+/// entry arrays, so the off-by-one rank arithmetic lives in one place.
+pub fn search_persisted<F: FnMut(u64) -> SkipEntry>(
+    entries: u64,
+    min_pos: u64,
+    mut read_entry: F,
+) -> Option<(u64, SkipEntry)> {
+    let (mut lo, mut hi) = (0u64, entries);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if read_entry(mid).pos < min_pos {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let j = lo.checked_sub(1)?;
+    Some((j, read_entry(j)))
+}
+
+/// Streams below this element count persist no skip directory: galloping
+/// over fewer than two sampling intervals is linear decode anyway, and
+/// the [`SKIP_ENTRY_BITS`]-wide entries would otherwise dominate the
+/// space of small stored bitmaps. Shared policy of every storage layer
+/// that persists directories.
+pub const DIR_MIN_COUNT: u64 = 2 * SKIP_SAMPLE as u64;
+
+/// Minimum single-cover result size at which storage layers lift the
+/// persisted skip directory alongside a verbatim copy. Below this,
+/// galloping over the result saves less than the directory's own block
+/// reads cost; above it, the directory is a rounding error next to the
+/// payload and turns every subsequent membership/rank/select on the
+/// result into `O(lg(z/K) + K)` work with no decode pass.
+pub const SKIP_LIFT_MIN: u64 = 4096;
+
+/// A sampled directory over one gap stream.
+///
+/// Entry `j` describes element index `j · k`. The directory may be
+/// *truncated* (fewer entries than `count/k`, e.g. when a persisted
+/// slot's reserved directory slack filled up): operations past the last
+/// sample simply decode linearly from there, so truncation affects speed,
+/// never correctness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SkipDirectory {
+    k: u32,
+    entries: Vec<SkipEntry>,
+}
+
+impl SkipDirectory {
+    /// An empty directory sampling every `k` elements.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "sampling interval must be positive");
+        SkipDirectory {
+            k,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Wraps pre-read entries (the persisted-directory lift).
+    pub fn from_entries(k: u32, entries: Vec<SkipEntry>) -> Self {
+        assert!(k > 0, "sampling interval must be positive");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].pos < w[1].pos),
+            "directory positions must be strictly increasing"
+        );
+        SkipDirectory { k, entries }
+    }
+
+    /// Reads `entries` consecutive persisted entries from `src` (the
+    /// storage layers' sequential directory lift).
+    pub fn read_from_source<S: crate::BitSource>(src: &mut S, k: u32, entries: u64) -> Self {
+        Self::from_entries(k, (0..entries).map(|_| SkipEntry::read_from(src)).collect())
+    }
+
+    /// The sampling interval `K`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw samples (entry `j` = element index `j·k`).
+    pub fn entries(&self) -> &[SkipEntry] {
+        &self.entries
+    }
+
+    /// In-memory footprint in bits (two words per entry).
+    pub fn size_bits(&self) -> u64 {
+        128 * self.entries.len() as u64
+    }
+
+    /// Feeds one decoded/encoded element; call in index order. Records a
+    /// sample when `index` is a multiple of `k`.
+    #[inline]
+    pub fn observe(&mut self, index: u64, pos: u64, bit_off: u64) {
+        if index.is_multiple_of(u64::from(self.k)) {
+            debug_assert_eq!(index / u64::from(self.k), self.entries.len() as u64);
+            self.entries.push(SkipEntry { pos, bit_off });
+        }
+    }
+
+    /// The latest sample with `pos ≤ target`, as `(rank, entry)` where
+    /// `rank` is the sampled element's index. `None` when the stream is
+    /// empty or its first element exceeds `target`.
+    pub fn seek(&self, target: u64) -> Option<(u64, SkipEntry)> {
+        let j = self.entries.partition_point(|e| e.pos <= target);
+        let j = j.checked_sub(1)?;
+        Some((j as u64 * u64::from(self.k), self.entries[j]))
+    }
+
+    /// The latest sample at element index `≤ rank`, as `(sample_rank,
+    /// entry)` — the restart point for `select(rank)`.
+    pub fn seek_rank(&self, rank: u64) -> Option<(u64, SkipEntry)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let j = (rank / u64::from(self.k)).min(self.entries.len() as u64 - 1);
+        Some((j * u64::from(self.k), self.entries[j as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(k: u32, samples: &[(u64, u64)]) -> SkipDirectory {
+        let mut d = SkipDirectory::new(k);
+        for (j, &(pos, off)) in samples.iter().enumerate() {
+            d.observe(j as u64 * u64::from(k), pos, off);
+        }
+        d
+    }
+
+    #[test]
+    fn observe_samples_every_kth() {
+        let mut d = SkipDirectory::new(4);
+        for i in 0..10u64 {
+            d.observe(i, 10 * i, 3 * i);
+        }
+        assert_eq!(d.len(), 3); // indices 0, 4, 8
+        assert_eq!(
+            d.entries()[1],
+            SkipEntry {
+                pos: 40,
+                bit_off: 12
+            }
+        );
+        assert_eq!(d.size_bits(), 3 * 128);
+    }
+
+    #[test]
+    fn seek_finds_latest_entry_at_or_before() {
+        let d = dir(4, &[(5, 3), (20, 19), (100, 44)]);
+        assert_eq!(d.seek(4), None);
+        assert_eq!(d.seek(5), Some((0, SkipEntry { pos: 5, bit_off: 3 })));
+        assert_eq!(d.seek(19), Some((0, SkipEntry { pos: 5, bit_off: 3 })));
+        assert_eq!(
+            d.seek(20),
+            Some((
+                4,
+                SkipEntry {
+                    pos: 20,
+                    bit_off: 19
+                }
+            ))
+        );
+        assert_eq!(
+            d.seek(u64::MAX),
+            Some((
+                8,
+                SkipEntry {
+                    pos: 100,
+                    bit_off: 44
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn seek_rank_clamps_to_truncated_directory() {
+        let d = dir(4, &[(5, 3), (20, 19)]);
+        assert_eq!(d.seek_rank(0).unwrap().0, 0);
+        assert_eq!(d.seek_rank(6).unwrap().0, 4);
+        // Rank 40 would live at sample 10, but the directory is truncated:
+        // fall back to the last available restart point.
+        assert_eq!(d.seek_rank(40).unwrap().0, 4);
+        assert_eq!(SkipDirectory::new(4).seek_rank(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = SkipDirectory::new(0);
+    }
+}

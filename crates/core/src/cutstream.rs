@@ -10,8 +10,19 @@
 //! bits the owner compacts the stream (the engine folds this into its
 //! rebuild machinery). All reads and writes are charged to the caller's
 //! [`IoSession`].
+//!
+//! Each slot additionally persists a **skip directory** — one
+//! `(position, bit offset)` sample per [`SKIP_SAMPLE`] encoded elements —
+//! in a side extent, written at build/rebuild time and extended by
+//! appends. Directory reads are charged like any other read; they buy
+//! directory-assisted seeks ([`CutStream::seek_decoder`] reads only the
+//! probed directory blocks plus the stream blocks past the sample) and
+//! indexed verbatim copies ([`CutStream::copy_bitmap_indexed`] lifts the
+//! samples with the payload so the returned bitmap supports galloping set
+//! operations without a decode pass).
 
-use psi_bits::{codes, BitBuf, GapBitmap, GapDecoder};
+use psi_bits::skip::{self, SkipDirectory, SkipEntry};
+use psi_bits::{codes, BitBuf, GapBitmap, GapDecoder, SKIP_ENTRY_BITS, SKIP_SAMPLE};
 use psi_io::{Disk, DiskReader, ExtentId, IoSession};
 
 /// Allocation policy for slot slack.
@@ -31,7 +42,25 @@ impl Slack {
             Slack::Proportional => 2 * len + 256,
         }
     }
+
+    /// Reserved directory entries for a slot that starts with `entries`
+    /// samples (a little slack absorbs appended samples until the owning
+    /// subtree is rebuilt; an exhausted reservation merely truncates the
+    /// directory — operations past the last sample decode linearly).
+    /// Slots too small to earn a directory reserve nothing.
+    fn dir_cap_for(self, entries: u64) -> u64 {
+        match (self, entries) {
+            (_, 0) => 0,
+            (Slack::None, e) => e,
+            (Slack::Proportional, e) => e + 2,
+        }
+    }
 }
+
+/// Slot-size floor for persisting directories (the entropy bound
+/// `O(nH₀ + n)` must absorb them, so they are charged only where they
+/// pay: `≤ 1.25` bits per element on slots of 128+ elements).
+pub use psi_bits::skip::DIR_MIN_COUNT;
 
 /// One bitmap slot within the cut stream.
 #[derive(Debug, Clone)]
@@ -44,8 +73,17 @@ pub struct Slot {
     pub cap: u64,
     /// Number of encoded positions.
     pub count: u64,
+    /// First encoded position (with `last_pos`, the slot's span — the
+    /// merge planner reads density off this metadata before any decode).
+    pub first_pos: Option<u64>,
     /// Last encoded position (needed to append the next gap code).
     pub last_pos: Option<u64>,
+    /// Bit offset of the skip directory in the side extent.
+    pub dir_off: u64,
+    /// Written directory entries.
+    pub dir_entries: u64,
+    /// Reserved directory entries (`≥ dir_entries`).
+    pub dir_cap: u64,
     /// Tombstone flag.
     pub dead: bool,
 }
@@ -56,6 +94,8 @@ pub struct CutStream {
     /// Tree depth this cut materializes.
     pub level: u32,
     ext: ExtentId,
+    /// Side extent holding every slot's skip directory.
+    dir_ext: ExtentId,
     slots: Vec<Slot>,
     dead_bits: u64,
     slack: Slack,
@@ -67,6 +107,7 @@ impl CutStream {
         CutStream {
             level,
             ext: disk.alloc(),
+            dir_ext: disk.alloc(),
             slots: Vec::new(),
             dead_bits: 0,
             slack,
@@ -95,7 +136,9 @@ impl CutStream {
         let off = disk.extent_bits(self.ext);
         let mut w = disk.writer(self.ext, io);
         let mut count = 0u64;
+        let mut first_pos = None;
         let mut last_pos = None;
+        let mut samples: Vec<SkipEntry> = Vec::new();
         for p in positions {
             match last_pos {
                 None => codes::put_gamma(&mut w, p + 1),
@@ -104,6 +147,13 @@ impl CutStream {
                     codes::put_gamma(&mut w, p - prev);
                 }
             }
+            if count.is_multiple_of(u64::from(SKIP_SAMPLE)) {
+                samples.push(SkipEntry {
+                    pos: p,
+                    bit_off: w.pos() - off,
+                });
+            }
+            first_pos.get_or_insert(p);
             last_pos = Some(p);
             count += 1;
         }
@@ -112,12 +162,31 @@ impl CutStream {
         if cap > len {
             w.write_zeros(cap - len);
         }
+        // Persist the skip directory in the side extent, with entry slack
+        // mirroring the payload's policy. Tiny slots skip it entirely.
+        if count < DIR_MIN_COUNT {
+            samples.clear();
+        }
+        let dir_off = disk.extent_bits(self.dir_ext);
+        let dir_entries = samples.len() as u64;
+        let dir_cap = self.slack.dir_cap_for(dir_entries);
+        let mut dw = disk.writer(self.dir_ext, io);
+        for e in &samples {
+            e.write_to(&mut dw);
+        }
+        if dir_cap > dir_entries {
+            dw.write_zeros((dir_cap - dir_entries) * SKIP_ENTRY_BITS);
+        }
         self.slots.push(Slot {
             off,
             len,
             cap,
             count,
+            first_pos,
             last_pos,
+            dir_off,
+            dir_entries,
+            dir_cap,
             dead: false,
         });
         self.slots.len() - 1
@@ -152,11 +221,68 @@ impl CutStream {
         let at = slot.off + slot.len;
         let mut w = disk.writer_at(self.ext, at, io);
         codes::put_gamma(&mut w, code);
+        // The appended element's index is the old count; when it lands on
+        // a sampling boundary, extend the persisted directory (or let it
+        // truncate when the reservation is spent — rebuilds re-sample).
+        let sample_due = slot.count.is_multiple_of(u64::from(SKIP_SAMPLE));
         let slot = &mut self.slots[idx];
         slot.len += need;
         slot.count += 1;
+        slot.first_pos.get_or_insert(pos);
         slot.last_pos = Some(pos);
+        if sample_due && slot.dir_entries < slot.dir_cap {
+            let entry = SkipEntry {
+                pos,
+                bit_off: slot.len,
+            };
+            let at = slot.dir_off + slot.dir_entries * SKIP_ENTRY_BITS;
+            slot.dir_entries += 1;
+            let mut dw = disk.writer_at(self.dir_ext, at, io);
+            entry.write_to(&mut dw);
+        }
         true
+    }
+
+    /// Reads slot `idx`'s persisted skip directory (sequential, charged).
+    pub fn read_directory(&self, disk: &Disk, idx: usize, io: &IoSession) -> SkipDirectory {
+        let slot = &self.slots[idx];
+        assert!(!slot.dead, "directory read of dead slot");
+        let mut r = disk.reader(self.dir_ext, slot.dir_off, io);
+        SkipDirectory::read_from_source(&mut r, SKIP_SAMPLE, slot.dir_entries)
+    }
+
+    /// A decoder over slot `idx` fast-forwarded past every sampled element
+    /// below `min_pos`: a binary search over the persisted directory
+    /// (charging only the probed blocks) re-seats the decoder at the
+    /// latest sample with position `< min_pos`, so the skipped prefix of
+    /// the stream is never read. Returns the decoder plus the number of
+    /// skipped elements; the first up-to-`K − 1` decoded elements may
+    /// still be below `min_pos`.
+    pub fn seek_decoder<'a>(
+        &self,
+        disk: &'a Disk,
+        idx: usize,
+        io: &'a IoSession,
+        min_pos: u64,
+    ) -> (GapDecoder<DiskReader<'a>>, u64) {
+        let slot = &self.slots[idx];
+        assert!(!slot.dead, "seek into dead slot");
+        let mut r = disk.reader(self.dir_ext, slot.dir_off, io);
+        let hit = skip::search_persisted(slot.dir_entries, min_pos, |j| {
+            r.skip_to(slot.dir_off + j * SKIP_ENTRY_BITS);
+            SkipEntry::read_from(&mut r)
+        });
+        match hit {
+            None => (self.decoder(disk, idx, io), 0),
+            Some((j, e)) => {
+                let rank = j * u64::from(SKIP_SAMPLE);
+                let src = disk.reader(self.ext, slot.off + e.bit_off, io);
+                (
+                    GapDecoder::resume(src, slot.count - rank - 1, e.pos),
+                    rank + 1,
+                )
+            }
+        }
     }
 
     /// Streaming decoder over slot `idx`, charging `io`.
@@ -182,6 +308,44 @@ impl CutStream {
         let mut bits = BitBuf::with_capacity(slot.len);
         bits.extend_from_source(&mut r, slot.len);
         GapBitmap::from_code_bits(bits, slot.count, universe)
+    }
+
+    /// [`Self::copy_bitmap`] plus a lift of the persisted skip directory
+    /// (charged against the side extent), so the returned bitmap answers
+    /// membership/rank/select and gallops in `O(lg(z/K) + K)` without a
+    /// decode pass. Payload charges are identical to [`Self::copy_bitmap`];
+    /// the directory costs exactly its own blocks on top.
+    pub fn copy_bitmap_indexed(
+        &self,
+        disk: &Disk,
+        idx: usize,
+        io: &IoSession,
+        universe: u64,
+    ) -> GapBitmap {
+        let slot = &self.slots[idx];
+        assert!(!slot.dead, "copy of dead slot");
+        let skip = self.read_directory(disk, idx, io);
+        let mut r = disk.reader(self.ext, slot.off, io);
+        let mut bits = BitBuf::with_capacity(slot.len);
+        bits.extend_from_source(&mut r, slot.len);
+        GapBitmap::from_code_bits_indexed(bits, slot.count, universe, skip)
+    }
+
+    /// [`Self::copy_bitmap_indexed`] when the result is large enough for
+    /// galloping to repay the directory blocks
+    /// ([`psi_bits::skip::SKIP_LIFT_MIN`]), else the plain verbatim copy.
+    pub fn copy_bitmap_auto(
+        &self,
+        disk: &Disk,
+        idx: usize,
+        io: &IoSession,
+        universe: u64,
+    ) -> GapBitmap {
+        if self.slots[idx].count >= skip::SKIP_LIFT_MIN {
+            self.copy_bitmap_indexed(disk, idx, io, universe)
+        } else {
+            self.copy_bitmap(disk, idx, io, universe)
+        }
     }
 
     /// Tombstones slot `idx` (its bits become dead space until compaction).
@@ -217,6 +381,7 @@ impl CutStream {
     /// recreate cuts from scratch).
     pub fn clear(&mut self, disk: &mut Disk) {
         disk.free(self.ext);
+        disk.free(self.dir_ext);
         self.slots.clear();
         self.dead_bits = 0;
     }
@@ -321,6 +486,140 @@ mod tests {
         // The copy reads the same stream, so it charges the same blocks.
         assert_eq!(copy_io.stats().reads, decode_io.stats().reads);
         assert_eq!(copy_io.stats().bits_read, decode_io.stats().bits_read);
+    }
+
+    #[test]
+    fn copy_bitmap_indexed_charges_payload_parity_plus_directory() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let positions: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
+        let a = cut.push_bitmap(&mut disk, positions.iter().copied(), &io);
+        let plain_io = IoSession::new();
+        let plain = cut.copy_bitmap(&disk, a, &plain_io, 1500);
+        let indexed_io = IoSession::new();
+        let indexed = cut.copy_bitmap_indexed(&disk, a, &indexed_io, 1500);
+        assert_eq!(indexed, plain);
+        // Payload parity: the extra charges are exactly the directory's
+        // blocks and bits, nothing else.
+        let slot = cut.slot(a);
+        let dir_blocks = {
+            let b = 256; // block bits of setup()
+            let first = slot.dir_off / b;
+            let last = (slot.dir_off + slot.dir_cap * SKIP_ENTRY_BITS - 1) / b;
+            last - first + 1
+        };
+        assert_eq!(
+            indexed_io.stats().reads,
+            plain_io.stats().reads + dir_blocks
+        );
+        assert_eq!(
+            indexed_io.stats().bits_read,
+            plain_io.stats().bits_read + slot.dir_entries * SKIP_ENTRY_BITS
+        );
+        // The lifted directory gallops without further decoding.
+        assert!(indexed.contains(3 * 499) && !indexed.contains(3 * 499 - 1));
+        assert_eq!(indexed.rank(750), 250);
+        assert_eq!(indexed.select(499), Some(1497));
+    }
+
+    #[test]
+    fn seek_decoder_reads_strictly_fewer_blocks() {
+        let mut disk = Disk::new(IoConfig::with_block_bits(256));
+        let io = IoSession::untracked();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::None);
+        let positions: Vec<u64> = (0..4000u64).map(|i| i * 5).collect();
+        let a = cut.push_bitmap(&mut disk, positions.iter().copied(), &io);
+        // Full decode charges every payload block.
+        let full_io = IoSession::new();
+        let full: Vec<u64> = cut.decoder(&disk, a, &full_io).collect();
+        assert_eq!(full, positions);
+        // Directory-assisted seek into the tail: decode only elements
+        // ≥ min_pos (after filtering the sample run-in).
+        let min_pos = 5 * 3900;
+        let seek_io = IoSession::new();
+        let (dec, skipped) = cut.seek_decoder(&disk, a, &seek_io, min_pos);
+        assert!(skipped >= 3900 - u64::from(SKIP_SAMPLE) && skipped <= 3900);
+        let tail: Vec<u64> = dec.filter(|&p| p >= min_pos).collect();
+        assert_eq!(tail, positions[3900..]);
+        assert!(
+            seek_io.stats().reads < full_io.stats().reads,
+            "seek {} blocks vs full {}",
+            seek_io.stats().reads,
+            full_io.stats().reads
+        );
+        assert!(seek_io.stats().bits_read < full_io.stats().bits_read);
+        // Seeking below the first element degenerates to the full stream.
+        let (dec, skipped) = cut.seek_decoder(&disk, a, &io, 0);
+        assert_eq!(skipped, 0);
+        assert_eq!(dec.count(), 4000);
+    }
+
+    #[test]
+    fn appends_extend_the_persisted_directory() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::Proportional);
+        let a = cut.push_bitmap(&mut disk, (0..180u64).map(|i| 2 * i), &io);
+        assert_eq!(cut.slot(a).dir_entries, 3); // samples at 0, 64, 128
+                                                // Push the count across the next sampling boundary (index 192).
+        for p in 0..30u64 {
+            assert!(cut.append_position(&mut disk, a, 400 + p, &io));
+        }
+        let slot = cut.slot(a);
+        assert_eq!(slot.count, 210);
+        assert_eq!(slot.dir_entries, 4);
+        assert_eq!(slot.first_pos, Some(0));
+        let dir = cut.read_directory(&disk, a, &io);
+        assert_eq!(dir.len(), 4);
+        assert_eq!(dir.entries()[3].pos, 400 + 12); // element index 192
+                                                    // The lifted directory agrees with the stream.
+        let copied = cut.copy_bitmap_indexed(&disk, a, &io, 4096);
+        assert_eq!(copied.to_vec().len(), 210);
+        assert!(copied.contains(358) && !copied.contains(359)); // pushed evens
+        assert!(copied.contains(429) && !copied.contains(430)); // appended run
+    }
+
+    #[test]
+    fn tiny_slots_persist_no_directory() {
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::Proportional);
+        let a = cut.push_bitmap(&mut disk, 0..(DIR_MIN_COUNT - 1), &io);
+        let slot = cut.slot(a);
+        assert_eq!((slot.dir_entries, slot.dir_cap), (0, 0));
+        // The indexed copy still works: an empty directory means every
+        // operation takes the linear path.
+        let copied = cut.copy_bitmap_indexed(&disk, a, &io, 1000);
+        assert_eq!(copied.count(), DIR_MIN_COUNT - 1);
+        assert!(copied.contains(5));
+    }
+
+    #[test]
+    fn exhausted_directory_slack_truncates_but_stays_correct() {
+        // A sparse slot (long codes, few samples) whose payload slack then
+        // absorbs a dense run of appends (1-bit codes) out-samples its
+        // directory reservation: the directory truncates, correctness
+        // survives via the linear tail.
+        let (mut disk, io) = setup();
+        let mut cut = CutStream::new(&mut disk, 1, Slack::Proportional);
+        let sparse: Vec<u64> = (0..128u64).map(|i| i * 10_000).collect();
+        let a = cut.push_bitmap(&mut disk, sparse.iter().copied(), &io);
+        let cap = cut.slot(a).dir_cap;
+        assert_eq!(cap, 4); // 2 entries + 2
+        let mut next = 128 * 10_000;
+        while cut.append_position(&mut disk, a, next, &io) {
+            next += 1;
+        }
+        let slot = cut.slot(a);
+        assert!(
+            slot.count.div_ceil(u64::from(SKIP_SAMPLE)) > cap,
+            "appends must out-sample the reservation (count {})",
+            slot.count
+        );
+        assert_eq!(slot.dir_entries, cap);
+        let copied = cut.copy_bitmap_indexed(&disk, a, &io, next + 1);
+        assert_eq!(copied.count(), slot.count);
+        // Operations past the last sample fall back to linear decode.
+        assert_eq!(copied.select(slot.count - 1), Some(next - 1));
+        assert!(copied.contains(next - 1) && !copied.contains(next));
     }
 
     #[test]

@@ -42,6 +42,9 @@ use crate::wbb::{NodeId, WbbTree};
 /// `c > 4`).
 pub const DEFAULT_C: u32 = 8;
 
+#[cfg(test)]
+use psi_bits::skip::SKIP_LIFT_MIN;
+
 /// Counters exposed to the experiment harnesses.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineStats {
@@ -376,28 +379,45 @@ impl Engine {
     /// node contributes its own slot if materialized, otherwise its
     /// frontier in the next cut below (§2.2's "merging the bitmaps stored
     /// with all the nearest descendants that are in the materialized level
-    /// immediately below"). A single-slot cover — the common case for
-    /// narrow ranges — is returned as a verbatim word copy of the stored
-    /// stream; larger covers stream through the k-way merge, whose word-
-    /// level gamma decoding does the per-element work.
+    /// immediately below").
+    ///
+    /// The execution is planned from slot metadata alone — counts and
+    /// first/last positions, known before any stream bit is decoded:
+    /// a single-slot cover is a verbatim word copy (with the persisted
+    /// skip directory lifted alongside once the result is large enough to
+    /// gallop over); sparse multi-slot covers stream through the linear or
+    /// heap merge; dense covers (the complement trick's bread and butter)
+    /// accumulate into a word array and re-encode once
+    /// ([`merge::MergeStrategy::Bitset`]). Every strategy drains the same
+    /// decoders, so the blocks charged are identical by construction.
     fn merge_canonical(&self, canonical: &[NodeId], io: &IoSession) -> GapBitmap {
         let mut slots = Vec::new();
         for &v in canonical {
             self.collect_slots(v, &mut slots);
         }
+        // Empty slots contribute nothing — and would poison the span.
+        slots.retain(|&(cut, slot)| self.cuts[cut as usize].slot(slot as usize).count > 0);
         match slots[..] {
             [] => GapBitmap::empty(self.n),
             [(cut, slot)] => {
-                self.cuts[cut as usize].copy_bitmap(&self.disk, slot as usize, io, self.n)
+                self.cuts[cut as usize].copy_bitmap_auto(&self.disk, slot as usize, io, self.n)
             }
             _ => {
+                let (total, span) = merge::cover_stats(slots.iter().map(|&(cut, slot)| {
+                    let s = self.cuts[cut as usize].slot(slot as usize);
+                    (
+                        s.count,
+                        s.first_pos.expect("non-empty slot"),
+                        s.last_pos.expect("non-empty slot"),
+                    )
+                }));
                 let decoders: Vec<_> = slots
                     .iter()
                     .map(|&(cut, slot)| {
                         self.cuts[cut as usize].decoder(&self.disk, slot as usize, io)
                     })
                     .collect();
-                GapBitmap::from_sorted_iter(merge::merge_disjoint(decoders), self.n)
+                merge::merge_adaptive(decoders, self.n, total, span)
             }
         }
     }
@@ -974,6 +994,93 @@ mod tests {
             payload < 6.0 * (nh0 + n as f64),
             "payload {payload} too large vs nH0 = {nh0}"
         );
+    }
+
+    #[test]
+    fn planner_branches_match_forced_heap_with_identical_io() {
+        use psi_bits::merge::MergeStrategy;
+        let n = 40_000usize;
+        let mut seen = std::collections::HashSet::new();
+        // Dense covers (small alphabet) drive the bitset branch; sparse
+        // covers (large alphabet, narrow ranges) drive the heap branch.
+        let cases: [(u32, &[(u32, u32)]); 2] = [
+            (16, &[(3, 3), (2, 5), (4, 11), (0, 12), (1, 14), (0, 14)]),
+            (1024, &[(100, 103), (7, 7), (511, 514), (200, 207)]),
+        ];
+        for (sigma, ranges) in cases {
+            let symbols = psi_workloads::uniform(n, sigma, 33);
+            let engine = Engine::build(&symbols, sigma, cfg(), DEFAULT_C, Slack::None);
+            for &(lo, hi) in ranges {
+                let io = IoSession::new();
+                let got = engine.query(lo, hi, &io);
+                assert_eq!(got.to_vec(), naive_query(&symbols, lo, hi).to_vec());
+                // Replay the same canonical cover through the forced heap
+                // merge: identical output stream, identical blocks charged.
+                let (ilo, ihi) = engine.remap().map_range(lo, hi);
+                let (qs, qe) = engine.index_range(ilo, ihi);
+                let z = qe - qs;
+                let io_ref = IoSession::new();
+                let mut slots = if 2 * z > engine.n() {
+                    let mut s = engine.canonical_slots(0, qs, &io_ref);
+                    s.extend(engine.canonical_slots(qe, engine.n(), &io_ref));
+                    s
+                } else {
+                    engine.canonical_slots(qs, qe, &io_ref)
+                };
+                slots.retain(|&(c, s)| engine.cuts[c as usize].slot(s as usize).count > 0);
+                if slots.len() < 2 {
+                    continue; // verbatim-copy path, covered elsewhere
+                }
+                let mut total = 0u64;
+                let (mut plo, mut phi) = (u64::MAX, 0u64);
+                for &(c, s) in &slots {
+                    let slot = engine.cuts[c as usize].slot(s as usize);
+                    total += slot.count;
+                    plo = plo.min(slot.first_pos.unwrap());
+                    phi = phi.max(slot.last_pos.unwrap());
+                }
+                seen.insert(merge::plan(slots.len(), total, Some((plo, phi))));
+                let decoders: Vec<_> = slots
+                    .iter()
+                    .map(|&(c, s)| {
+                        engine.cuts[c as usize].decoder(&engine.disk, s as usize, &io_ref)
+                    })
+                    .collect();
+                let reference = merge::merge_with_strategy(
+                    decoders,
+                    engine.n(),
+                    total,
+                    Some((plo, phi)),
+                    MergeStrategy::Heap,
+                );
+                assert_eq!(got.stored(), &reference, "[{lo},{hi}] planner output");
+                assert_eq!(
+                    io.stats(),
+                    io_ref.stats(),
+                    "[{lo},{hi}] planner must charge exactly the heap merge's I/O"
+                );
+            }
+        }
+        assert!(
+            seen.contains(&MergeStrategy::Bitset) && seen.contains(&MergeStrategy::Heap),
+            "query set failed to exercise the planner branches: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn large_single_cover_lifts_the_skip_directory() {
+        // One heavy character: its leaf slot exceeds SKIP_LIFT_MIN, so the
+        // narrow query's verbatim copy carries the persisted directory and
+        // the result gallops with no further decode.
+        let mut symbols = vec![5u32; 10_000];
+        symbols.extend(psi_workloads::uniform(9_000, 16, 35));
+        let engine = Engine::build(&symbols, 16, cfg(), DEFAULT_C, Slack::None);
+        let plain_io = IoSession::new();
+        let r = engine.query(5, 5, &plain_io);
+        assert!(r.cardinality() >= SKIP_LIFT_MIN);
+        assert_eq!(r.to_vec(), naive_query(&symbols, 5, 5).to_vec());
+        assert!(r.contains(0) && r.contains(9_999));
+        assert_eq!(r.rank(10_000), 10_000);
     }
 
     #[test]

@@ -141,16 +141,34 @@ impl UniformTreeIndex {
 
     /// Merges the cover's bitmaps into a compressed result. A one-subtree
     /// cover is already stored in the output encoding, so it is returned
-    /// as a verbatim word copy instead of decode-merge-reencode.
+    /// as a verbatim word copy instead of decode-merge-reencode; larger
+    /// covers go through the density-driven planner (slot counts and the
+    /// cover's position span pick linear/heap/bitset before any decode).
     fn merge_cover(&self, cover: &[(usize, u64)], io: &IoSession) -> GapBitmap {
-        if let [(level, idx)] = cover[..] {
-            return self.levels[level].copy_bitmap(&self.disk, idx as usize, io, self.n);
+        let cover: Vec<(usize, u64)> = cover
+            .iter()
+            .copied()
+            .filter(|&(level, idx)| self.levels[level].slot(idx as usize).count > 0)
+            .collect();
+        if cover.is_empty() {
+            return GapBitmap::empty(self.n);
         }
+        if let [(level, idx)] = cover[..] {
+            return self.levels[level].copy_bitmap_auto(&self.disk, idx as usize, io, self.n);
+        }
+        let (total, span) = merge::cover_stats(cover.iter().map(|&(level, idx)| {
+            let s = self.levels[level].slot(idx as usize);
+            (
+                s.count,
+                s.first_pos.expect("non-empty slot"),
+                s.last_pos.expect("non-empty slot"),
+            )
+        }));
         let decoders: Vec<_> = cover
             .iter()
             .map(|&(level, idx)| self.levels[level].decoder(&self.disk, idx as usize, io))
             .collect();
-        GapBitmap::from_sorted_iter(merge::merge_disjoint(decoders), self.n)
+        merge::merge_adaptive(decoders, self.n, total, span)
     }
 }
 
