@@ -56,6 +56,20 @@ pub trait SecondaryIndex {
         let stats = io.stats();
         (result, stats)
     }
+
+    /// Estimated result cardinality of `I[lo; hi]`, computed from metadata
+    /// resident in memory *before any payload bit is decoded* — the
+    /// paper's prefix array `A`, catalog directories, or cut-slot counts.
+    ///
+    /// Structures that keep per-character counts return the exact `z`;
+    /// structures without such metadata return `None` and planners fall
+    /// back to a uniformity assumption. Implementations must not charge
+    /// any I/O: this is what conjunctive planners call to order an
+    /// intersection before paying for a single cover.
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        let _ = (lo, hi);
+        None
+    }
 }
 
 /// A semi-dynamic index supporting appends (paper §4.1: "OLAP and

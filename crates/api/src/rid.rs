@@ -155,6 +155,17 @@ impl RidSet {
         }
     }
 
+    /// The complement of this result within its universe, in O(1): the
+    /// stored bitmap is reused unchanged and only the representation flag
+    /// flips. This is how negated predicates are answered without
+    /// touching a single payload bit beyond the positive query's.
+    pub fn negate(self) -> RidSet {
+        RidSet {
+            stored: self.stored,
+            complemented: !self.complemented,
+        }
+    }
+
     /// Normalizes to a non-complemented compressed set (materializing the
     /// complement if needed).
     pub fn into_positions(self) -> GapBitmap {
@@ -306,6 +317,18 @@ mod tests {
         let bc = b.intersect(&c);
         assert!(bc.is_complemented());
         assert_eq!(bc.to_vec(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn negate_flips_representation_without_reencoding() {
+        let r = RidSet::from_positions(gap(&[1, 3, 5], 8));
+        let not_r = r.clone().negate();
+        assert!(not_r.is_complemented());
+        assert_eq!(not_r.cardinality(), 5);
+        assert_eq!(not_r.to_vec(), vec![0, 2, 4, 6, 7]);
+        assert_eq!(not_r.stored(), r.stored());
+        // Double negation is the identity.
+        assert_eq!(not_r.negate(), r);
     }
 
     #[test]

@@ -125,6 +125,15 @@ impl SecondaryIndex for BinnedBitmapIndex {
             .collect();
         RidSet::from_positions(merge::merge_adaptive(streams, self.n, total, span))
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the per-character catalog directory (no decode).
+        Some(
+            (lo..=hi)
+                .map(|c| self.chars.entry(c as usize).count)
+                .sum::<u64>(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,15 @@ impl SecondaryIndex for CompressedScanIndex {
             .collect();
         RidSet::from_positions(merge::merge_adaptive(decoders, self.n, total, span))
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the in-memory catalog directory (no decode).
+        Some(
+            (lo..=hi)
+                .map(|c| self.cat.entry(c as usize).count)
+                .sum::<u64>(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -163,6 +163,15 @@ impl SecondaryIndex for MultiResolutionIndex {
             .collect();
         RidSet::from_positions(merge::merge_adaptive(streams, self.n, total, span))
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from level 0's per-character catalog directory.
+        Some(
+            (lo..=hi)
+                .map(|c| self.levels[0].entry(c as usize).count)
+                .sum::<u64>(),
+        )
+    }
 }
 
 #[cfg(test)]

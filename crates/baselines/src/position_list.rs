@@ -249,6 +249,11 @@ impl SecondaryIndex for PositionListIndex {
         let span = (total > 0 && self.n > 0).then_some((0, self.n - 1));
         RidSet::from_positions(merge::merge_adaptive(streams, self.n, total, span))
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the in-memory prefix array (no descent, no I/O).
+        Some(self.prefix[hi as usize + 1] - self.prefix[lo as usize])
+    }
 }
 
 #[cfg(test)]

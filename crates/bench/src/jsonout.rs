@@ -262,6 +262,82 @@ pub fn run_microbenches() -> Vec<JsonResult> {
         1000,
     );
 
+    // --- conjunctive queries (planner vs fixed left-to-right order on a
+    // skewed multi-attribute table; identical simulated I/O, the delta is
+    // the CPU-side combine order) ---
+    {
+        use psi_query::{CombineStrategy, IndexedTable, Predicate};
+        let n = 1usize << 16;
+        let table = psi_workloads::Table::generate(
+            n,
+            &[
+                psi_workloads::ColumnSpec {
+                    name: "a".into(),
+                    sigma: 256,
+                    dist: psi_workloads::Dist::Zipf(1.1),
+                },
+                psi_workloads::ColumnSpec {
+                    name: "b".into(),
+                    sigma: 64,
+                    dist: psi_workloads::Dist::Zipf(0.9),
+                },
+                psi_workloads::ColumnSpec {
+                    name: "c".into(),
+                    sigma: 1024,
+                    dist: psi_workloads::Dist::Zipf(1.3),
+                },
+            ],
+            15,
+        );
+        let indexed = IndexedTable::build(&table, |s, g| {
+            Box::new(psi_core::OptimalIndex::build(s, g, IoConfig::default()))
+        });
+        // Worst-first: broad Zipf-head ranges lead, the selective tail
+        // condition is last.
+        let query = Predicate::and([
+            Predicate::range("a", 0, 3),
+            Predicate::range("b", 0, 7),
+            Predicate::range("c", 700, 720),
+        ])
+        .normalize()
+        .expect("conjunctive");
+        let fixed_order: Vec<usize> = (0..query.len()).collect();
+        push(
+            "conjunctive/planned_zipf_3cond",
+            measure(|| {
+                indexed
+                    .execute_conjunctive(&query)
+                    .expect("planned")
+                    .rows
+                    .cardinality()
+            }),
+            0,
+        );
+        push(
+            "conjunctive/fixed_lr_zipf_3cond",
+            measure(|| {
+                indexed
+                    .execute_forced(&query, &fixed_order, CombineStrategy::Gallop)
+                    .expect("fixed")
+                    .rows
+                    .cardinality()
+            }),
+            0,
+        );
+        push(
+            "conjunctive/probe_zipf_3cond",
+            measure(|| {
+                let plan = indexed.plan_query(&query).expect("plan");
+                indexed
+                    .execute_forced(&query, &plan.order, CombineStrategy::Probe)
+                    .expect("probe")
+                    .rows
+                    .cardinality()
+            }),
+            0,
+        );
+    }
+
     // --- query (end to end, wall clock; I/O-model costs are the
     // experiment binaries' domain) ---
     let n = 1usize << 17;

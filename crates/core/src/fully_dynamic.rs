@@ -86,6 +86,10 @@ pub struct FullyDynamicIndex {
     /// The current string, including `∞` markers (this mirrors the
     /// *indexed table*, not the index; it is not counted in space).
     string: Vec<Symbol>,
+    /// Per-character counts over `[0, σ]` (the last entry counts `∞`),
+    /// maintained under every update — the memory-resident analogue of
+    /// the engine's array `A`, backing O(σ)-time cardinalities.
+    counts: Vec<u64>,
     /// The `∞` character (= `sigma`): "never matched by a range query".
     inf: Symbol,
     snap: Option<Snapshot>,
@@ -101,10 +105,15 @@ impl FullyDynamicIndex {
     /// Builds over `symbols ∈ [0, sigma)ⁿ`.
     pub fn build(symbols: &[Symbol], sigma: Symbol, config: IoConfig) -> Self {
         assert!(sigma > 0);
+        let mut counts = vec![0u64; sigma as usize + 1];
+        for &s in symbols {
+            counts[s as usize] += 1;
+        }
         let mut idx = FullyDynamicIndex {
             config,
             sigma,
             string: symbols.to_vec(),
+            counts,
             inf: sigma,
             snap: None,
             pending_appends: 0,
@@ -247,6 +256,8 @@ impl FullyDynamicIndex {
         if old == symbol {
             return;
         }
+        self.counts[old as usize] -= 1;
+        self.counts[symbol as usize] += 1;
         self.string[pos as usize] = symbol;
         self.changes_since_rebuild += 1;
         let needs_rebuild = match &self.snap {
@@ -323,15 +334,11 @@ impl FullyDynamicIndex {
         }
     }
 
-    /// Result cardinality (scan of the in-memory counts is avoided by
-    /// keeping the string mirror; `O(1)` per maintained count would be a
-    /// trivial extension — the harness uses query results directly).
+    /// Result cardinality from the maintained per-character counts —
+    /// `O(hi − lo)` memory-resident reads, no string scan, no I/O.
     pub fn cardinality(&self, lo: Symbol, hi: Symbol) -> u64 {
         check_range(lo, hi, self.sigma);
-        self.string
-            .iter()
-            .filter(|&&s| (lo..=hi).contains(&s))
-            .count() as u64
+        self.counts[lo as usize..=hi as usize].iter().sum()
     }
 }
 
@@ -459,6 +466,11 @@ impl SecondaryIndex for FullyDynamicIndex {
             .map(|(i, _)| snap.n0 + i as u64);
         RidSet::from_positions(GapBitmap::from_sorted_iter(positions.chain(tail), n))
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the maintained per-character counts (no I/O).
+        Some(self.cardinality(lo, hi))
+    }
 }
 
 impl AppendIndex for FullyDynamicIndex {
@@ -466,6 +478,7 @@ impl AppendIndex for FullyDynamicIndex {
         assert!(symbol < self.sigma);
         let _ = io;
         self.string.push(symbol);
+        self.counts[symbol as usize] += 1;
         self.pending_appends += 1;
         // Appends are folded in by re-snapshotting once they accumulate to
         // a constant fraction (the paper's fully dynamic structure fixes
@@ -600,6 +613,43 @@ mod tests {
             current.push(s);
         }
         check_all(&idx, &current, sigma);
+    }
+
+    #[test]
+    fn counts_track_every_update_kind() {
+        let sigma = 6u32;
+        let mut current = psi_workloads::uniform(500, sigma, 101);
+        let mut idx = FullyDynamicIndex::build(&current, sigma, cfg());
+        let io = IoSession::untracked();
+        let mut rng = StdRng::seed_from_u64(103);
+        for step in 0..300 {
+            match step % 3 {
+                0 => {
+                    let s = rng.gen_range(0..sigma);
+                    idx.append(s, &io);
+                    current.push(s);
+                }
+                1 => {
+                    let pos = rng.gen_range(0..current.len() as u64);
+                    let s = rng.gen_range(0..sigma);
+                    idx.change(pos, s, &io);
+                    current[pos as usize] = s;
+                }
+                _ => {
+                    let pos = rng.gen_range(0..current.len() as u64);
+                    idx.delete(pos, &io);
+                    current[pos as usize] = sigma;
+                }
+            }
+        }
+        use psi_api::SecondaryIndex as _;
+        for lo in 0..sigma {
+            for hi in lo..sigma {
+                let naive = current.iter().filter(|&&s| (lo..=hi).contains(&s)).count() as u64;
+                assert_eq!(idx.cardinality(lo, hi), naive, "counts for [{lo}, {hi}]");
+                assert_eq!(idx.cardinality_hint(lo, hi), Some(naive));
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,11 @@ impl SecondaryIndex for OptimalIndex {
     fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
         self.engine.query(lo, hi, io)
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the memory-resident prefix counts (the paper's `A`).
+        Some(self.engine.query_cardinality(lo, hi))
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,12 @@ impl SecondaryIndex for SemiDynamicIndex {
     fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
         self.engine.query(lo, hi, io)
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the memory-resident prefix counts (the paper's `A`,
+        // Fenwick-maintained under appends).
+        Some(self.engine.query_cardinality(lo, hi))
+    }
 }
 
 impl AppendIndex for SemiDynamicIndex {

@@ -219,6 +219,11 @@ impl SecondaryIndex for UniformTreeIndex {
             RidSet::from_positions(self.merge_cover(&cover, io))
         }
     }
+
+    fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+        // Exact, from the memory-resident A array.
+        Some(self.cardinality(lo, hi))
+    }
 }
 
 #[cfg(test)]

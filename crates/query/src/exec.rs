@@ -1,0 +1,476 @@
+//! Execution of conjunctive queries over per-attribute secondary indexes.
+//!
+//! An [`IndexedTable`] holds one [`SecondaryIndex`] per attribute of a
+//! [`Table`]. Executing a [`Predicate`] normalizes it, plans the
+//! intersection order from pre-decode cardinality estimates, runs one
+//! alphabet range query per condition (each under its own fresh
+//! [`IoSession`], so the reported cost is the sum of the per-index
+//! operations — including every skip-directory lift those queries
+//! charge), and combines the compressed results with the planned
+//! strategy. All strategies consume identical covers, so their simulated
+//! I/O is identical by construction; `tests/io_parity.rs` asserts it the
+//! way PR 2's forced-heap replay pins the merge planner.
+
+use psi_api::{RidSet, SecondaryIndex, Symbol};
+use psi_bits::GapBitmap;
+use psi_io::{IoSession, IoStats};
+use psi_workloads::Table;
+
+use crate::plan::{plan_conjunction, CombineStrategy, Plan};
+use crate::predicate::{AttrCondition, ConjunctiveQuery, Predicate};
+use crate::QueryError;
+
+/// One indexed attribute: the column's name and alphabet plus the
+/// secondary index built over its values.
+pub struct IndexedColumn {
+    /// Attribute name (matched by [`AttrCondition::attr`]).
+    pub name: String,
+    /// Alphabet size of the dictionary-encoded attribute.
+    pub sigma: u32,
+    /// The per-attribute secondary index.
+    pub index: Box<dyn SecondaryIndex>,
+}
+
+impl std::fmt::Debug for IndexedColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexedColumn")
+            .field("name", &self.name)
+            .field("sigma", &self.sigma)
+            .field("n", &self.index.len())
+            .finish()
+    }
+}
+
+/// The result of executing one predicate: the compressed row set, the
+/// plan that produced it, and the summed per-condition I/O statistics.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Matching rows, compressed (positions or complement).
+    pub rows: RidSet,
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// Summed I/O of the per-condition index queries (each condition runs
+    /// under its own fresh session, exactly like a standalone
+    /// [`SecondaryIndex::query_measured`] call).
+    pub io: IoStats,
+}
+
+/// A multi-attribute table with one secondary index per column.
+#[derive(Debug)]
+pub struct IndexedTable {
+    n: u64,
+    columns: Vec<IndexedColumn>,
+}
+
+impl IndexedTable {
+    /// Builds one index per column of `table` through `build_index`
+    /// (called with the column's values and alphabet size) — the hook
+    /// that wires the engine indexes and every baseline through the same
+    /// executor.
+    pub fn build<F>(table: &Table, mut build_index: F) -> IndexedTable
+    where
+        F: FnMut(&[Symbol], u32) -> Box<dyn SecondaryIndex>,
+    {
+        let n = table.rows() as u64;
+        let columns = table
+            .columns
+            .iter()
+            .map(|c| {
+                let index = build_index(&c.data, c.sigma);
+                assert_eq!(index.len(), n, "index length mismatch on {}", c.name);
+                IndexedColumn {
+                    name: c.name.clone(),
+                    sigma: c.sigma,
+                    index,
+                }
+            })
+            .collect();
+        IndexedTable { n, columns }
+    }
+
+    /// Wraps pre-built per-attribute indexes (all of the same length).
+    pub fn from_columns(columns: Vec<IndexedColumn>) -> IndexedTable {
+        let n = columns.first().map_or(0, |c| c.index.len());
+        for c in &columns {
+            assert_eq!(c.index.len(), n, "index length mismatch on {}", c.name);
+        }
+        IndexedTable { n, columns }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.n
+    }
+
+    /// The indexed columns.
+    pub fn columns(&self) -> &[IndexedColumn] {
+        &self.columns
+    }
+
+    fn column(&self, name: &str) -> Result<&IndexedColumn, QueryError> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| QueryError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Clamps a condition's range to the column's alphabet; `None` when
+    /// the positive range cannot match anything.
+    fn clamp(col: &IndexedColumn, cond: &AttrCondition) -> Option<(Symbol, Symbol)> {
+        if cond.lo >= col.sigma || cond.lo > cond.hi {
+            return None;
+        }
+        Some((cond.lo, cond.hi.min(col.sigma - 1)))
+    }
+
+    /// Estimated result cardinality of one condition, from index metadata
+    /// available before any decode ([`SecondaryIndex::cardinality_hint`]),
+    /// falling back to a uniformity assumption when the structure keeps
+    /// no counts. Negated conditions estimate `n − z`.
+    pub fn estimate_condition(&self, cond: &AttrCondition) -> Result<u64, QueryError> {
+        let col = self.column(&cond.attr)?;
+        let base = match Self::clamp(col, cond) {
+            None => 0,
+            Some((lo, hi)) => col.index.cardinality_hint(lo, hi).unwrap_or_else(|| {
+                let width = u64::from(hi - lo + 1);
+                // max-then-min keeps the estimate positive without
+                // tripping on an empty table (clamp(1, 0) would panic).
+                (self.n * width / u64::from(col.sigma)).max(1).min(self.n)
+            }),
+        };
+        Ok(if cond.negated { self.n - base } else { base })
+    }
+
+    /// Plans a conjunctive query: per-condition estimates, ascending
+    /// selectivity order, and the combine strategy. Touches no index
+    /// payload.
+    pub fn plan_query(&self, query: &ConjunctiveQuery) -> Result<Plan, QueryError> {
+        let estimates = query
+            .conditions
+            .iter()
+            .map(|c| self.estimate_condition(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(plan_conjunction(self.n, &estimates))
+    }
+
+    /// Normalizes, plans and executes a predicate.
+    pub fn execute(&self, predicate: &Predicate) -> Result<QueryOutcome, QueryError> {
+        let query = predicate.normalize()?;
+        self.execute_conjunctive(&query)
+    }
+
+    /// Plans and executes an already-normalized conjunction.
+    pub fn execute_conjunctive(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<QueryOutcome, QueryError> {
+        let plan = self.plan_query(query)?;
+        self.run(query, plan)
+    }
+
+    /// Replay entry point: executes `query` with a forced condition order
+    /// and combine strategy, bypassing the planner. The differential and
+    /// I/O-parity suites drive every branch through here.
+    pub fn execute_forced(
+        &self,
+        query: &ConjunctiveQuery,
+        order: &[usize],
+        strategy: CombineStrategy,
+    ) -> Result<QueryOutcome, QueryError> {
+        assert_eq!(
+            order.len(),
+            query.len(),
+            "forced order must cover every condition"
+        );
+        let mut seen = vec![false; query.len()];
+        for &i in order {
+            assert!(
+                i < query.len() && !std::mem::replace(&mut seen[i], true),
+                "forced order must be a permutation of 0..{} (got {order:?})",
+                query.len()
+            );
+        }
+        let estimates = order
+            .iter()
+            .map(|&i| self.estimate_condition(&query.conditions[i]))
+            .collect::<Result<Vec<_>, _>>()?;
+        let plan = Plan {
+            order: order.to_vec(),
+            estimates,
+            strategy,
+        };
+        self.run(query, plan)
+    }
+
+    /// Runs one condition's index query under a fresh session, returning
+    /// the (possibly negated) compressed result and the session stats.
+    fn eval_condition(&self, cond: &AttrCondition) -> Result<(RidSet, IoStats), QueryError> {
+        let col = self.column(&cond.attr)?;
+        let io = IoSession::new();
+        let base = match Self::clamp(col, cond) {
+            None => RidSet::from_positions(GapBitmap::empty(self.n)),
+            Some((lo, hi)) => col.index.query(lo, hi, &io),
+        };
+        let rows = if cond.negated { base.negate() } else { base };
+        Ok((rows, io.stats()))
+    }
+
+    fn run(&self, query: &ConjunctiveQuery, plan: Plan) -> Result<QueryOutcome, QueryError> {
+        // The empty conjunction matches every row: the complement of the
+        // empty set, produced without touching any index.
+        if query.is_empty() {
+            return Ok(QueryOutcome {
+                rows: RidSet::from_complement(GapBitmap::empty(self.n)),
+                plan,
+                io: IoStats::default(),
+            });
+        }
+        let mut io = IoStats::default();
+        let mut results = Vec::with_capacity(plan.order.len());
+        for &i in &plan.order {
+            let (rows, stats) = self.eval_condition(&query.conditions[i])?;
+            io = io.merged(&stats);
+            results.push(rows);
+        }
+        let rows = match plan.strategy {
+            CombineStrategy::Gallop => {
+                let mut iter = results.into_iter();
+                let first = iter.next().expect("non-empty conjunction");
+                iter.fold(first, |acc, r| acc.intersect(&r))
+            }
+            CombineStrategy::Probe => probe_combine(&results, self.n),
+            CombineStrategy::Scan => coscan_combine(&results, self.n),
+        };
+        Ok(QueryOutcome { rows, plan, io })
+    }
+}
+
+/// Semi-join combine: stream the first (smallest) result and keep each
+/// row that every other result `contains` — one `O(lg z)` skip-directory
+/// probe per (row, condition), no intermediate re-encoding.
+fn probe_combine(results: &[RidSet], universe: u64) -> RidSet {
+    let (first, rest) = results.split_first().expect("non-empty conjunction");
+    let positions = first.iter().filter(|&p| rest.iter().all(|r| r.contains(p)));
+    RidSet::from_positions(GapBitmap::from_sorted_iter(positions, universe))
+}
+
+/// Linear k-way co-scan: advance all logical streams in lockstep,
+/// emitting positions present in every one. `O(Σ zᵢ)` — the fallback for
+/// dense, non-selective inputs where no gallop can jump.
+fn coscan_combine(results: &[RidSet], universe: u64) -> RidSet {
+    let mut iters: Vec<_> = results.iter().map(|r| r.iter().peekable()).collect();
+    let mut out = Vec::new();
+    // `bound` is the smallest position any stream may still contribute;
+    // each pass advances every stream to it. A pass either agrees on one
+    // position (emitted) or raises the bound — so the scan is linear in
+    // the summed logical sizes.
+    let mut bound = 0u64;
+    'outer: loop {
+        let mut max = bound;
+        let mut agree = true;
+        for it in iters.iter_mut() {
+            while it.peek().is_some_and(|&p| p < max) {
+                it.next();
+            }
+            match it.peek() {
+                None => break 'outer,
+                Some(&p) if p > max => {
+                    max = p;
+                    agree = false;
+                }
+                Some(_) => {}
+            }
+        }
+        if agree {
+            out.push(max);
+            bound = max + 1;
+            for it in iters.iter_mut() {
+                it.next();
+            }
+        } else {
+            bound = max;
+        }
+    }
+    RidSet::from_positions(GapBitmap::from_sorted(&out, universe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_api::naive_query;
+
+    /// A toy index for executor unit tests: queries scan an in-memory
+    /// string (charging nothing), with an exact hint.
+    struct ScanIndex {
+        data: Vec<Symbol>,
+        sigma: u32,
+    }
+
+    impl SecondaryIndex for ScanIndex {
+        fn len(&self) -> u64 {
+            self.data.len() as u64
+        }
+        fn sigma(&self) -> Symbol {
+            self.sigma
+        }
+        fn space_bits(&self) -> u64 {
+            0
+        }
+        fn query(&self, lo: Symbol, hi: Symbol, _io: &IoSession) -> RidSet {
+            naive_query(&self.data, lo, hi)
+        }
+        fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
+            Some(
+                self.data
+                    .iter()
+                    .filter(|&&s| (lo..=hi).contains(&s))
+                    .count() as u64,
+            )
+        }
+    }
+
+    /// [`ScanIndex`] without the hint: exercises the uniformity fallback.
+    struct NoHintIndex(ScanIndex);
+
+    impl SecondaryIndex for NoHintIndex {
+        fn len(&self) -> u64 {
+            self.0.len()
+        }
+        fn sigma(&self) -> Symbol {
+            self.0.sigma()
+        }
+        fn space_bits(&self) -> u64 {
+            0
+        }
+        fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+            self.0.query(lo, hi, io)
+        }
+    }
+
+    fn indexed(cols: &[(&str, u32, Vec<Symbol>)]) -> IndexedTable {
+        IndexedTable::from_columns(
+            cols.iter()
+                .map(|(name, sigma, data)| IndexedColumn {
+                    name: (*name).to_string(),
+                    sigma: *sigma,
+                    index: Box::new(ScanIndex {
+                        data: data.clone(),
+                        sigma: *sigma,
+                    }),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn executes_all_strategies_identically() {
+        let t = indexed(&[
+            ("a", 4, vec![0, 1, 2, 3, 1, 2, 0, 1]),
+            ("b", 3, vec![2, 2, 1, 0, 0, 2, 1, 2]),
+        ]);
+        let q = Predicate::and([Predicate::range("a", 1, 2), Predicate::point("b", 2)])
+            .normalize()
+            .unwrap();
+        let want = vec![1, 5, 7];
+        for strategy in [
+            CombineStrategy::Gallop,
+            CombineStrategy::Probe,
+            CombineStrategy::Scan,
+        ] {
+            for order in [vec![0, 1], vec![1, 0]] {
+                let got = t.execute_forced(&q, &order, strategy).unwrap();
+                assert_eq!(got.rows.to_vec(), want, "{strategy:?} {order:?}");
+            }
+        }
+        let auto = t.execute_conjunctive(&q).unwrap();
+        assert_eq!(auto.rows.to_vec(), want);
+    }
+
+    #[test]
+    fn empty_conjunction_matches_all_rows() {
+        let t = indexed(&[("a", 2, vec![0, 1, 0])]);
+        let out = t.execute(&Predicate::and([])).unwrap();
+        assert_eq!(out.rows.to_vec(), vec![0, 1, 2]);
+        assert!(out.rows.is_complemented());
+        assert_eq!(out.io, IoStats::default());
+    }
+
+    #[test]
+    fn negation_and_out_of_alphabet_ranges() {
+        let t = indexed(&[("a", 4, vec![0, 1, 2, 3, 1])]);
+        // ¬(a ∈ [1,2]) = {0, 3}.
+        let not_mid = Predicate::not(Predicate::range("a", 1, 2));
+        assert_eq!(t.execute(&not_mid).unwrap().rows.to_vec(), vec![0, 3]);
+        // A range entirely outside the alphabet matches nothing; its
+        // negation matches everything.
+        let beyond = Predicate::range("a", 9, 12);
+        assert!(t.execute(&beyond).unwrap().rows.is_empty());
+        assert_eq!(
+            t.execute(&Predicate::not(beyond))
+                .unwrap()
+                .rows
+                .cardinality(),
+            5
+        );
+        // A range straddling the alphabet edge is clamped.
+        let straddle = Predicate::range("a", 2, 40);
+        assert_eq!(t.execute(&straddle).unwrap().rows.to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_table_executes_without_hints() {
+        // Regression: the uniformity fallback used clamp(1, 0) on n == 0,
+        // which panics. Hint-less indexes over an empty table must plan
+        // and execute to the empty result instead.
+        let t = IndexedTable::from_columns(vec![IndexedColumn {
+            name: "a".into(),
+            sigma: 4,
+            index: Box::new(NoHintIndex(ScanIndex {
+                data: vec![],
+                sigma: 4,
+            })),
+        }]);
+        let out = t.execute(&Predicate::range("a", 1, 2)).unwrap();
+        assert!(out.rows.is_empty());
+        // And the fallback estimate is exercised on a non-empty table.
+        let t2 = IndexedTable::from_columns(vec![IndexedColumn {
+            name: "a".into(),
+            sigma: 4,
+            index: Box::new(NoHintIndex(ScanIndex {
+                data: vec![0, 1, 2, 3, 1, 2],
+                sigma: 4,
+            })),
+        }]);
+        let q = Predicate::range("a", 1, 2).normalize().unwrap();
+        assert_eq!(t2.estimate_condition(&q.conditions[0]).unwrap(), 3);
+        assert_eq!(
+            t2.execute_conjunctive(&q).unwrap().rows.to_vec(),
+            vec![1, 2, 4, 5]
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let t = indexed(&[("a", 2, vec![0, 1])]);
+        let err = t.execute(&Predicate::point("missing", 0)).unwrap_err();
+        assert_eq!(err, QueryError::UnknownAttribute("missing".into()));
+    }
+
+    #[test]
+    fn planner_orders_by_selectivity() {
+        // Condition 0 is broad (6/8 rows), condition 1 selective (1/8).
+        let t = indexed(&[
+            ("broad", 2, vec![0, 0, 0, 0, 1, 0, 0, 1]),
+            ("narrow", 8, vec![0, 1, 2, 3, 4, 5, 6, 7]),
+        ]);
+        let q = Predicate::and([Predicate::point("broad", 0), Predicate::point("narrow", 3)])
+            .normalize()
+            .unwrap();
+        let plan = t.plan_query(&q).unwrap();
+        assert_eq!(plan.order, vec![1, 0]);
+        assert_eq!(plan.estimates, vec![1, 6]);
+        // 1 · PROBE_RATIO > 6, so the gap is not wide enough to probe.
+        assert_eq!(plan.strategy, CombineStrategy::Gallop);
+        assert_eq!(t.execute_conjunctive(&q).unwrap().rows.to_vec(), vec![3u64]);
+    }
+}

@@ -1,0 +1,95 @@
+//! # psi-query — multi-attribute conjunctive queries
+//!
+//! The reason secondary indexes exist (paper §1): "in a database of
+//! people we may want to find all married men of age 33", answered by
+//! combining one per-attribute index per predicate through RID
+//! intersection — without decompressing every result. This crate is that
+//! layer for the `psi` workspace:
+//!
+//! * [`Predicate`] — the query algebra: point and range predicates on
+//!   named attributes, negation, conjunction; normalized into a flat
+//!   [`ConjunctiveQuery`].
+//! * [`plan_conjunction`] — the cost-based planner: per-condition
+//!   cardinality estimates (from
+//!   [`psi_api::SecondaryIndex::cardinality_hint`] — prefix counts and
+//!   catalog directories, read before any payload decode) order the
+//!   intersection ascending and pick a [`CombineStrategy`]: galloping
+//!   intersection, semi-join `contains` probes, or a linear co-scan for
+//!   non-selective conjunctions.
+//! * [`IndexedTable`] — the executor: one [`psi_api::SecondaryIndex`]
+//!   per attribute (the paper's engine or any baseline), each condition
+//!   charged under its own session, every strategy consuming identical
+//!   covers so simulated I/O is identical by construction.
+//!
+//! The `tests/` directory holds the workload-replay differential harness
+//! that pins every planner branch, for every index family, against the
+//! [`Predicate::naive_rows`] full scan.
+//!
+//! ```
+//! use psi_query::{IndexedTable, Predicate};
+//!
+//! let table = psi_workloads::people_table(10_000, 42);
+//! let indexed = IndexedTable::build(&table, |symbols, sigma| {
+//!     Box::new(psi_core_stub::build(symbols, sigma))
+//! });
+//! # mod psi_core_stub {
+//! #     use psi_api::{naive_query, RidSet, SecondaryIndex, Symbol};
+//! #     pub struct S(Vec<Symbol>, u32);
+//! #     impl SecondaryIndex for S {
+//! #         fn len(&self) -> u64 { self.0.len() as u64 }
+//! #         fn sigma(&self) -> Symbol { self.1 }
+//! #         fn space_bits(&self) -> u64 { 0 }
+//! #         fn query(&self, lo: Symbol, hi: Symbol, _io: &psi_io::IoSession) -> RidSet {
+//! #             naive_query(&self.0, lo, hi)
+//! #         }
+//! #     }
+//! #     pub fn build(s: &[Symbol], sigma: u32) -> S { S(s.to_vec(), sigma) }
+//! # }
+//! // Married (status 1) men (sex 0) aged 30–35.
+//! let married_men_30s = Predicate::and([
+//!     Predicate::point("marital_status", 1),
+//!     Predicate::point("sex", 0),
+//!     Predicate::range("age", 30, 35),
+//! ]);
+//! let outcome = indexed.execute(&married_men_30s).unwrap();
+//! assert_eq!(
+//!     outcome.rows.to_vec(),
+//!     married_men_30s.naive_rows(&table)
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+mod plan;
+mod predicate;
+
+pub use exec::{IndexedColumn, IndexedTable, QueryOutcome};
+pub use plan::{plan_conjunction, CombineStrategy, Plan, PROBE_RATIO, SCAN_MIN_FRACTION};
+pub use predicate::{AttrCondition, ConjunctiveQuery, Predicate, Symbol};
+
+/// Errors surfaced by normalization, planning and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The predicate is not expressible as a conjunction of per-attribute
+    /// conditions (a negated multi-term conjunction is a disjunction).
+    NotConjunctive,
+    /// A predicate names an attribute the indexed table does not have.
+    UnknownAttribute(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotConjunctive => {
+                write!(
+                    f,
+                    "predicate is not a conjunction of per-attribute conditions"
+                )
+            }
+            QueryError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,277 @@
+//! The predicate algebra over multi-attribute tables.
+//!
+//! The paper motivates secondary indexes with conjunctive multi-predicate
+//! queries — "in a database of people we may want to find all married men
+//! of age 33" (§1) — each predicate answered by one per-attribute index
+//! and the results combined by RID intersection. [`Predicate`] is the
+//! algebra those queries are written in: point and range predicates on
+//! named attributes, negation, and conjunction. [`Predicate::normalize`]
+//! lowers a tree into the flat [`ConjunctiveQuery`] form the planner and
+//! executor work on; [`Predicate::naive_rows`] is the full-scan oracle the
+//! differential harness replays every plan against.
+
+use psi_workloads::Table;
+
+use crate::QueryError;
+
+/// Symbols are dense character codes (dictionary-encoded attribute
+/// values), re-exported from `psi_api`.
+pub type Symbol = psi_api::Symbol;
+
+/// A predicate over the rows of a multi-attribute table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `attr = value` — an exact match on one attribute.
+    Point {
+        /// Attribute (column) name.
+        attr: String,
+        /// The matched value.
+        value: Symbol,
+    },
+    /// `lo ≤ attr ≤ hi` — the paper's alphabet range query on one
+    /// attribute (inclusive endpoints).
+    Range {
+        /// Attribute (column) name.
+        attr: String,
+        /// Left endpoint.
+        lo: Symbol,
+        /// Right endpoint (`≥ lo` for a non-empty range).
+        hi: Symbol,
+    },
+    /// Logical negation of a predicate.
+    Not(Box<Predicate>),
+    /// Conjunction of predicates (`And(vec![])` is `true`: all rows).
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = value`.
+    pub fn point(attr: impl Into<String>, value: Symbol) -> Predicate {
+        Predicate::Point {
+            attr: attr.into(),
+            value,
+        }
+    }
+
+    /// `lo ≤ attr ≤ hi`.
+    pub fn range(attr: impl Into<String>, lo: Symbol, hi: Symbol) -> Predicate {
+        Predicate::Range {
+            attr: attr.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// `¬p`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(p: Predicate) -> Predicate {
+        Predicate::Not(Box::new(p))
+    }
+
+    /// `p₁ ∧ p₂ ∧ …`.
+    pub fn and(ps: impl IntoIterator<Item = Predicate>) -> Predicate {
+        Predicate::And(ps.into_iter().collect())
+    }
+
+    /// Evaluates the predicate on one row, looking attribute values up
+    /// through `value_of`. This is the executable specification: every
+    /// planner branch must agree with a scan filtered by this function.
+    pub fn matches_row(&self, value_of: &dyn Fn(&str) -> Symbol) -> bool {
+        match self {
+            Predicate::Point { attr, value } => value_of(attr) == *value,
+            Predicate::Range { attr, lo, hi } => (*lo..=*hi).contains(&value_of(attr)),
+            Predicate::Not(p) => !p.matches_row(value_of),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches_row(value_of)),
+        }
+    }
+
+    /// The exact answer on a table, by brute-force row scan — the ground
+    /// truth for the workload-replay differential tests.
+    ///
+    /// # Panics
+    /// Panics if the predicate names an attribute the table lacks.
+    pub fn naive_rows(&self, table: &Table) -> Vec<u64> {
+        let lookup = |row: usize| {
+            move |name: &str| {
+                table
+                    .column(name)
+                    .unwrap_or_else(|| panic!("no column {name}"))
+                    .data[row]
+            }
+        };
+        (0..table.rows())
+            .filter(|&i| self.matches_row(&lookup(i)))
+            .map(|i| i as u64)
+            .collect()
+    }
+
+    /// Lowers the algebra into a flat conjunction of per-attribute
+    /// (possibly negated) range conditions.
+    ///
+    /// `Not` distributes over points and ranges as a condition flag and
+    /// cancels pairwise; a negated conjunction is rejected with
+    /// [`QueryError::NotConjunctive`] unless it has exactly one term —
+    /// with more it is a disjunction (De Morgan), and with none it is
+    /// logical *false*, which the flat form cannot express (an empty
+    /// condition list means *all rows*). This engine evaluates
+    /// conjunctions only.
+    pub fn normalize(&self) -> Result<ConjunctiveQuery, QueryError> {
+        let mut conditions = Vec::new();
+        self.normalize_into(false, &mut conditions)?;
+        Ok(ConjunctiveQuery { conditions })
+    }
+
+    fn normalize_into(
+        &self,
+        negated: bool,
+        out: &mut Vec<AttrCondition>,
+    ) -> Result<(), QueryError> {
+        match self {
+            Predicate::Point { attr, value } => {
+                out.push(AttrCondition {
+                    attr: attr.clone(),
+                    lo: *value,
+                    hi: *value,
+                    negated,
+                });
+                Ok(())
+            }
+            Predicate::Range { attr, lo, hi } => {
+                out.push(AttrCondition {
+                    attr: attr.clone(),
+                    lo: *lo,
+                    hi: *hi,
+                    negated,
+                });
+                Ok(())
+            }
+            Predicate::Not(p) => p.normalize_into(!negated, out),
+            Predicate::And(ps) => {
+                if negated && ps.len() != 1 {
+                    return Err(QueryError::NotConjunctive);
+                }
+                for p in ps {
+                    p.normalize_into(negated, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One flattened conjunct: a (possibly negated) inclusive range on one
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrCondition {
+    /// Attribute (column) name.
+    pub attr: String,
+    /// Left endpoint.
+    pub lo: Symbol,
+    /// Right endpoint.
+    pub hi: Symbol,
+    /// Whether the condition is `attr ∉ [lo, hi]` instead of `∈`.
+    pub negated: bool,
+}
+
+/// A conjunction of per-attribute conditions — the planner's input.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConjunctiveQuery {
+    /// The conjuncts, in the order the predicate listed them (the
+    /// planner reorders a copy; replay harnesses force this order).
+    pub conditions: Vec<AttrCondition>,
+}
+
+impl ConjunctiveQuery {
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Whether there are no conjuncts (the all-rows query).
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_workloads::{Column, Table};
+
+    fn table() -> Table {
+        Table {
+            columns: vec![
+                Column {
+                    name: "x".into(),
+                    sigma: 4,
+                    data: vec![0, 1, 2, 3, 1, 2],
+                },
+                Column {
+                    name: "y".into(),
+                    sigma: 3,
+                    data: vec![2, 2, 1, 0, 0, 2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn naive_rows_evaluates_the_algebra() {
+        let t = table();
+        let p = Predicate::and([
+            Predicate::range("x", 1, 2),
+            Predicate::not(Predicate::point("y", 0)),
+        ]);
+        assert_eq!(p.naive_rows(&t), vec![1, 2, 5]);
+        // Empty conjunction matches everything.
+        assert_eq!(Predicate::and([]).naive_rows(&t).len(), 6);
+    }
+
+    #[test]
+    fn normalization_flattens_and_cancels_double_negation() {
+        let p = Predicate::and([
+            Predicate::point("x", 2),
+            Predicate::not(Predicate::not(Predicate::range("y", 0, 1))),
+            Predicate::not(Predicate::range("y", 2, 2)),
+        ]);
+        let q = p.normalize().unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(
+            q.conditions[0],
+            AttrCondition {
+                attr: "x".into(),
+                lo: 2,
+                hi: 2,
+                negated: false
+            }
+        );
+        assert!(!q.conditions[1].negated);
+        assert!(q.conditions[2].negated);
+    }
+
+    #[test]
+    fn nested_conjunctions_flatten() {
+        let p = Predicate::and([
+            Predicate::and([Predicate::point("x", 0), Predicate::point("y", 1)]),
+            Predicate::range("x", 0, 3),
+        ]);
+        assert_eq!(p.normalize().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn negated_conjunction_is_rejected() {
+        let p = Predicate::not(Predicate::and([
+            Predicate::point("x", 0),
+            Predicate::point("y", 1),
+        ]));
+        assert_eq!(p.normalize().unwrap_err(), QueryError::NotConjunctive);
+        // A negated single-term conjunction is fine.
+        let p1 = Predicate::not(Predicate::and([Predicate::point("x", 0)]));
+        assert!(p1.normalize().unwrap().conditions[0].negated);
+        // A negated *empty* conjunction is logical false — inexpressible
+        // in the flat form (empty conditions mean all rows), so rejected.
+        let p0 = Predicate::not(Predicate::and([]));
+        assert_eq!(p0.normalize().unwrap_err(), QueryError::NotConjunctive);
+        assert_eq!(p0.naive_rows(&table()), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,212 @@
+//! Workload-replay differential oracle for the conjunctive query engine.
+//!
+//! Random multi-attribute tables and random conjunctive predicates
+//! (points, ranges, negations) are replayed against **every index
+//! family** in the workspace and **every planner branch** — the
+//! automatically planned execution plus every `(strategy, order)`
+//! combination forced through [`IndexedTable::execute_forced`] — and
+//! each output is pinned to the [`Predicate::naive_rows`] full scan.
+//! This is the harness that makes future planner changes safe: any
+//! branch that diverges from the brute-force answer on any generated
+//! workload fails here with the generating seed printed.
+
+use proptest::prelude::*;
+use psi_api::SecondaryIndex;
+use psi_baselines::*;
+use psi_core::*;
+use psi_io::IoConfig;
+use psi_query::{CombineStrategy, IndexedTable, Predicate};
+use psi_workloads::{ColumnSpec, Dist, Table};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+type BuildFn = fn(&[u32], u32) -> Box<dyn SecondaryIndex>;
+
+fn cfg() -> IoConfig {
+    IoConfig::with_block_bits(512)
+}
+
+/// Every index family in the workspace, behind one build signature.
+fn builders() -> Vec<(&'static str, BuildFn)> {
+    vec![
+        ("optimal", |s, sigma| {
+            Box::new(OptimalIndex::build(s, sigma, cfg()))
+        }),
+        ("uniform_tree", |s, sigma| {
+            Box::new(UniformTreeIndex::build(s, sigma, cfg()))
+        }),
+        ("semi_dynamic", |s, sigma| {
+            Box::new(SemiDynamicIndex::build(s, sigma, cfg()))
+        }),
+        ("fully_dynamic", |s, sigma| {
+            Box::new(FullyDynamicIndex::build(s, sigma, cfg()))
+        }),
+        ("buffered_bitmap", |s, sigma| {
+            Box::new(BufferedBitmapIndex::build(s, sigma, cfg()))
+        }),
+        ("position_list", |s, sigma| {
+            Box::new(PositionListIndex::build(s, sigma, cfg()))
+        }),
+        ("uncompressed", |s, sigma| {
+            Box::new(UncompressedBitmapIndex::build(s, sigma, cfg()))
+        }),
+        ("compressed_scan", |s, sigma| {
+            Box::new(CompressedScanIndex::build(s, sigma, cfg()))
+        }),
+        ("binned_w4", |s, sigma| {
+            Box::new(BinnedBitmapIndex::build(s, sigma, 4, cfg()))
+        }),
+        ("multires_w4", |s, sigma| {
+            Box::new(MultiResolutionIndex::build(s, sigma, 4, cfg()))
+        }),
+        ("range_encoded", |s, sigma| {
+            Box::new(RangeEncodedIndex::build(s, sigma, cfg()))
+        }),
+        ("interval_encoded", |s, sigma| {
+            Box::new(IntervalEncodedIndex::build(s, sigma, cfg()))
+        }),
+    ]
+}
+
+/// Derives a random table (2–4 columns, mixed distributions) from a seed.
+fn random_table(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_cols = rng.gen_range(2..=4usize);
+    let specs: Vec<ColumnSpec> = (0..num_cols)
+        .map(|i| ColumnSpec {
+            name: format!("c{i}"),
+            sigma: rng.gen_range(2..12),
+            dist: match rng.gen_range(0..4u32) {
+                0 => Dist::Uniform,
+                1 => Dist::Zipf(1.2),
+                2 => Dist::Runs(5.0),
+                _ => Dist::Sorted,
+            },
+        })
+        .collect();
+    Table::generate(n, &specs, rng.gen())
+}
+
+/// Derives a random conjunctive predicate over `table`'s columns:
+/// point/range conditions, some negated, at least one condition total.
+fn random_predicate(table: &Table, seed: u64) -> Predicate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut terms = Vec::new();
+    for col in &table.columns {
+        if rng.gen_bool(0.3) && !terms.is_empty() {
+            continue; // leave some columns unconstrained
+        }
+        let leaf = if rng.gen_bool(0.4) {
+            Predicate::point(&col.name, rng.gen_range(0..col.sigma))
+        } else {
+            let lo = rng.gen_range(0..col.sigma);
+            // Occasionally overshoot the alphabet to exercise clamping.
+            let hi = (lo + rng.gen_range(0..col.sigma)).min(col.sigma + 1);
+            Predicate::range(&col.name, lo, hi)
+        };
+        terms.push(if rng.gen_bool(0.3) {
+            Predicate::not(leaf)
+        } else {
+            leaf
+        });
+    }
+    Predicate::and(terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The oracle: planner output == naive full scan, for every index
+    // family, the planned execution, and every forced (strategy, order)
+    // replay — including the reversed (worst) order.
+    #[test]
+    fn every_index_and_every_branch_matches_the_full_scan(
+        n in 30usize..160,
+        table_seed in any::<u64>(),
+        pred_seed in any::<u64>(),
+    ) {
+        let table = random_table(n, table_seed);
+        let predicate = random_predicate(&table, pred_seed);
+        let want = predicate.naive_rows(&table);
+        let query = predicate.normalize().unwrap();
+        for (name, build) in builders() {
+            let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+            let auto = indexed.execute(&predicate).unwrap();
+            prop_assert_eq!(
+                auto.rows.to_vec(),
+                want.clone(),
+                "{} auto ({:?}) diverged from the scan",
+                name,
+                auto.plan.strategy
+            );
+            prop_assert_eq!(auto.rows.cardinality() as usize, want.len());
+            let planned_order = auto.plan.order.clone();
+            let mut reversed = planned_order.clone();
+            reversed.reverse();
+            for strategy in [
+                CombineStrategy::Gallop,
+                CombineStrategy::Probe,
+                CombineStrategy::Scan,
+            ] {
+                for order in [&planned_order, &reversed] {
+                    let got = indexed.execute_forced(&query, order, strategy).unwrap();
+                    prop_assert_eq!(
+                        got.rows.to_vec(),
+                        want.clone(),
+                        "{} forced {:?} order {:?} diverged",
+                        name,
+                        strategy,
+                        order
+                    );
+                }
+            }
+        }
+    }
+
+    // Single-condition queries reduce to the underlying index's answer,
+    // negations to its complement — for every family.
+    #[test]
+    fn single_condition_reduces_to_the_index(
+        n in 20usize..120,
+        table_seed in any::<u64>(),
+        lo in 0u32..8,
+        width in 0u32..8,
+        negate in any::<bool>(),
+    ) {
+        let table = random_table(n, table_seed);
+        let col = &table.columns[0];
+        let lo = lo.min(col.sigma - 1);
+        let hi = (lo + width).min(col.sigma - 1);
+        let leaf = Predicate::range(&col.name, lo, hi);
+        let predicate = if negate { Predicate::not(leaf) } else { leaf };
+        let want = predicate.naive_rows(&table);
+        for (name, build) in builders() {
+            let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+            let got = indexed.execute(&predicate).unwrap();
+            prop_assert_eq!(got.rows.to_vec(), want.clone(), "{} diverged", name);
+        }
+    }
+}
+
+/// The paper's §1 example, pinned exactly: married men of age 33 on the
+/// generated people table, across the whole index spectrum.
+#[test]
+fn married_men_aged_33_across_the_spectrum() {
+    let table = psi_workloads::people_table(4000, 14);
+    let predicate = Predicate::and([
+        Predicate::point("marital_status", 1),
+        Predicate::point("sex", 0),
+        Predicate::point("age", 33),
+    ]);
+    let want = predicate.naive_rows(&table);
+    assert_eq!(
+        want,
+        table.naive_conjunctive_query(&[("marital_status", 1, 1), ("sex", 0, 0), ("age", 33, 33)])
+    );
+    for (name, build) in builders() {
+        let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+        let got = indexed.execute(&predicate).unwrap();
+        assert_eq!(got.rows.to_vec(), want, "{name} diverged");
+        assert!(got.io.reads > 0, "{name} charged no I/O");
+    }
+}

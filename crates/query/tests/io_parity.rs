@@ -1,0 +1,192 @@
+//! I/O-accounting invariants of the conjunctive executor.
+//!
+//! Every combine strategy consumes the same per-condition covers, so for
+//! one predicate set all of them must report **identical** `IoSession`
+//! block counts — the query-layer analogue of PR 2's forced-heap merge
+//! replay. And because each condition runs under its own fresh session,
+//! the executor's reported cost must equal the sum of the standalone
+//! `query_measured` calls — which is how skip-directory lifts (charged by
+//! the underlying indexes for large covers) are proven to be charged
+//! through the conjunctive path too.
+
+use psi_api::SecondaryIndex;
+use psi_baselines::*;
+use psi_core::*;
+use psi_io::{IoConfig, IoStats};
+use psi_query::{CombineStrategy, IndexedTable, Predicate};
+use psi_workloads::{people_table, Column, Table};
+
+type BuildFn = fn(&[u32], u32) -> Box<dyn SecondaryIndex>;
+
+fn cfg() -> IoConfig {
+    IoConfig::with_block_bits(1024)
+}
+
+fn families() -> Vec<(&'static str, BuildFn)> {
+    vec![
+        ("optimal", |s, sigma| {
+            Box::new(OptimalIndex::build(s, sigma, cfg()))
+        }),
+        ("uniform_tree", |s, sigma| {
+            Box::new(UniformTreeIndex::build(s, sigma, cfg()))
+        }),
+        ("position_list", |s, sigma| {
+            Box::new(PositionListIndex::build(s, sigma, cfg()))
+        }),
+        ("compressed_scan", |s, sigma| {
+            Box::new(CompressedScanIndex::build(s, sigma, cfg()))
+        }),
+        ("binned_w4", |s, sigma| {
+            Box::new(BinnedBitmapIndex::build(s, sigma, 4, cfg()))
+        }),
+        ("multires_w4", |s, sigma| {
+            Box::new(MultiResolutionIndex::build(s, sigma, 4, cfg()))
+        }),
+        ("range_encoded", |s, sigma| {
+            Box::new(RangeEncodedIndex::build(s, sigma, cfg()))
+        }),
+    ]
+}
+
+/// All strategies and all orders charge the same blocks for the same
+/// predicate set, and the total equals the sum of the standalone
+/// per-condition queries.
+#[test]
+fn every_strategy_charges_identical_io() {
+    let table = people_table(20_000, 7);
+    let predicate = Predicate::and([
+        Predicate::point("marital_status", 1),
+        Predicate::not(Predicate::point("sex", 1)),
+        Predicate::range("age", 30, 35),
+    ]);
+    let query = predicate.normalize().unwrap();
+    for (name, build) in families() {
+        let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+        let planned = indexed.plan_query(&query).unwrap();
+        let reference = indexed
+            .execute_forced(&query, &planned.order, CombineStrategy::Gallop)
+            .unwrap();
+        assert!(reference.io.reads > 0, "{name} charged nothing");
+        let left_to_right: Vec<usize> = (0..query.len()).collect();
+        let mut reversed = planned.order.clone();
+        reversed.reverse();
+        for strategy in [
+            CombineStrategy::Gallop,
+            CombineStrategy::Probe,
+            CombineStrategy::Scan,
+        ] {
+            for order in [
+                planned.order.clone(),
+                left_to_right.clone(),
+                reversed.clone(),
+            ] {
+                let got = indexed.execute_forced(&query, &order, strategy).unwrap();
+                assert_eq!(
+                    got.io, reference.io,
+                    "{name} {strategy:?} {order:?}: strategies must charge \
+                     identical I/O for identical covers"
+                );
+                assert_eq!(got.rows.to_vec(), reference.rows.to_vec());
+            }
+        }
+        // The conjunctive cost is exactly the sum of the standalone
+        // per-condition queries (each condition is its own operation).
+        let mut standalone = IoStats::default();
+        for cond in &query.conditions {
+            let col = table.column(&cond.attr).unwrap();
+            let idx = build(&col.data, col.sigma);
+            let (_, stats) = idx.query_measured(cond.lo, cond.hi.min(col.sigma - 1));
+            standalone = standalone.merged(&stats);
+        }
+        assert_eq!(
+            reference.io, standalone,
+            "{name}: conjunctive cost must equal the summed standalone queries"
+        );
+    }
+}
+
+/// Large single-cover conditions lift their persisted skip directory, and
+/// those probe reads are charged through the conjunctive path: the
+/// condition's bits read strictly exceed the verbatim payload (result
+/// size), by exactly the directory read.
+#[test]
+fn skip_directory_probe_reads_are_charged() {
+    use psi_bits::skip::SKIP_LIFT_MIN;
+    // A hot value with ≥ SKIP_LIFT_MIN occurrences: its point query is a
+    // single-cover verbatim copy that lifts the skip directory.
+    let n = 12_000usize;
+    let hot: Vec<u32> = (0..n)
+        .map(|i| if i % 2 == 0 { 3 } else { (i % 3) as u32 })
+        .collect();
+    let other: Vec<u32> = (0..n).map(|i| (i % 5) as u32).collect();
+    let table = Table {
+        columns: vec![
+            Column {
+                name: "hot".into(),
+                sigma: 4,
+                data: hot.clone(),
+            },
+            Column {
+                name: "other".into(),
+                sigma: 5,
+                data: other,
+            },
+        ],
+    };
+    let hot_index = CompressedScanIndex::build(&hot, 4, cfg());
+    let (hot_result, hot_stats) = hot_index.query_measured(3, 3);
+    assert!(
+        hot_result.cardinality() >= SKIP_LIFT_MIN,
+        "hot value too small to lift: {}",
+        hot_result.cardinality()
+    );
+    assert!(
+        hot_stats.bits_read > hot_result.size_bits(),
+        "the lifted skip directory must be charged on top of the verbatim \
+         payload ({} bits read vs {} payload)",
+        hot_stats.bits_read,
+        hot_result.size_bits()
+    );
+    // The same charge flows through the conjunctive executor.
+    let indexed = IndexedTable::build(&table, |s, sigma| {
+        Box::new(CompressedScanIndex::build(s, sigma, cfg()))
+    });
+    let predicate = Predicate::and([Predicate::point("hot", 3), Predicate::range("other", 1, 2)]);
+    let outcome = indexed.execute(&predicate).unwrap();
+    let other_index =
+        CompressedScanIndex::build(table.column("other").unwrap().data.as_slice(), 5, cfg());
+    let (_, other_stats) = other_index.query_measured(1, 2);
+    assert_eq!(outcome.io, hot_stats.merged(&other_stats));
+    assert_eq!(outcome.rows.to_vec(), predicate.naive_rows(&table));
+}
+
+/// The planner's estimates agree with the executed cardinalities for
+/// hint-bearing indexes (exact counts), so ordering really is by true
+/// selectivity on the engine path.
+#[test]
+fn estimates_are_exact_for_hint_bearing_indexes() {
+    let table = people_table(8_000, 21);
+    let indexed = IndexedTable::build(&table, |s, sigma| {
+        Box::new(OptimalIndex::build(s, sigma, cfg()))
+    });
+    let predicate = Predicate::and([
+        Predicate::point("sex", 0),
+        Predicate::range("age", 30, 35),
+        Predicate::point("marital_status", 2),
+    ]);
+    let query = predicate.normalize().unwrap();
+    let plan = indexed.plan_query(&query).unwrap();
+    // Each estimate equals the naive per-condition count.
+    for (k, &i) in plan.order.iter().enumerate() {
+        let cond = &query.conditions[i];
+        let col = table.column(&cond.attr).unwrap();
+        let true_z = col
+            .data
+            .iter()
+            .filter(|&&v| (cond.lo..=cond.hi).contains(&v))
+            .count() as u64;
+        assert_eq!(plan.estimates[k], true_z, "estimate for {}", cond.attr);
+    }
+    // And the order is ascending.
+    assert!(plan.estimates.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -40,12 +40,16 @@
 //!   binned/multi-resolution/range-encoded/interval-encoded bitmap
 //!   indexes: the paper's entire related-work spectrum, measured under
 //!   the same I/O model.
+//! * [`query`] — the multi-attribute conjunctive engine: a [`Predicate`]
+//!   algebra over [`workloads::Table`]s, executed against one index per
+//!   attribute with a selectivity-ordered intersection planner (the
+//!   paper's "married men of age 33", §1).
 //! * [`io`] — the simulated Aggarwal–Vitter block device and I/O
 //!   accounting sessions.
 //! * [`workloads`] — deterministic generators for every experiment.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of all twelve experiments (E1–E12).
+//! paper-vs-measured record of all thirteen experiments (E1–E13).
 
 pub use psi_api::{
     check_range, naive_query, AppendIndex, DynamicIndex, RidSet, SecondaryIndex, Symbol,
@@ -55,6 +59,7 @@ pub use psi_core::{
     EngineStats, FullyDynamicIndex, OptimalIndex, SemiDynamicIndex, UniformTreeIndex,
 };
 pub use psi_io::{IoConfig, IoSession, IoStats};
+pub use psi_query::{CombineStrategy, IndexedTable, Predicate};
 
 /// The simulated I/O model (block device, sessions, cost formulas).
 pub mod io {
@@ -74,6 +79,11 @@ pub mod baselines {
 /// Deterministic workload generators.
 pub mod workloads {
     pub use psi_workloads::*;
+}
+
+/// Multi-attribute conjunctive queries (predicate algebra + planner).
+pub mod query {
+    pub use psi_query::*;
 }
 
 /// Core structures and substrates (hash families, weight-balanced trees).

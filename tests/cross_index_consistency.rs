@@ -1,8 +1,13 @@
 //! Integration: every index family answers identically on shared
-//! workloads — the paper's structures, all baselines, and the naive scan.
+//! workloads — the paper's structures, all baselines, and the naive scan —
+//! in static builds, after appends, after deletes, and through the
+//! conjunctive query layer.
 
 use psi::baselines::*;
-use psi::{naive_query, IoConfig, IoSession, OptimalIndex, SecondaryIndex, UniformTreeIndex};
+use psi::{
+    naive_query, AppendIndex, IoConfig, IoSession, OptimalIndex, Predicate, SecondaryIndex,
+    UniformTreeIndex,
+};
 
 fn all_indexes(symbols: &[u32], sigma: u32) -> Vec<(&'static str, Box<dyn SecondaryIndex>)> {
     let cfg = IoConfig::with_block_bits(1024);
@@ -104,5 +109,187 @@ fn degenerate_single_char() {
 fn tiny_alphabets() {
     for sigma in 1..=4u32 {
         check_workload(psi::workloads::uniform(800, sigma, 7), sigma);
+    }
+}
+
+/// Post-append states: every append-capable index, fed the same stream,
+/// agrees with the static families rebuilt on the final string.
+#[test]
+fn post_append_consistency() {
+    let sigma = 12u32;
+    let initial = psi::workloads::uniform(1200, sigma, 31);
+    let appends = psi::workloads::zipf(1300, sigma, 1.1, 32);
+    let cfg = IoConfig::with_block_bits(1024);
+    let io = IoSession::untracked();
+    let mut dynamic: Vec<(&'static str, Box<dyn AppendIndex>)> = vec![
+        (
+            "semi_dynamic",
+            Box::new(psi::SemiDynamicIndex::build(&initial, sigma, cfg)),
+        ),
+        (
+            "fully_dynamic",
+            Box::new(psi::FullyDynamicIndex::build(&initial, sigma, cfg)),
+        ),
+        (
+            "buffered",
+            Box::new(psi::BufferedIndex::build(&initial, sigma, cfg)),
+        ),
+    ];
+    let mut full = initial.clone();
+    for &c in &appends {
+        for (_, idx) in dynamic.iter_mut() {
+            idx.append(c, &io);
+        }
+        full.push(c);
+    }
+    let static_families = all_indexes(&full, sigma);
+    for lo in (0..sigma).step_by(3) {
+        for hi in [lo, (lo + 3).min(sigma - 1), sigma - 1] {
+            let want = naive_query(&full, lo, hi).to_vec();
+            for (name, idx) in &dynamic {
+                let io = IoSession::new();
+                assert_eq!(
+                    idx.query(lo, hi, &io).to_vec(),
+                    want,
+                    "{name} post-append disagrees on [{lo}, {hi}]"
+                );
+            }
+            for (name, idx) in &static_families {
+                let io = IoSession::new();
+                assert_eq!(
+                    idx.query(lo, hi, &io).to_vec(),
+                    want,
+                    "{name} rebuilt-on-final disagrees on [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}
+
+/// Post-delete states: the fully dynamic index after deletions agrees
+/// with the naive scan over the ∞-marked string and with a static
+/// optimal index built over the extended (σ+1) alphabet where deleted
+/// positions hold the marker.
+#[test]
+fn post_delete_consistency() {
+    use psi::DynamicIndex as _;
+    let sigma = 10u32;
+    let mut current = psi::workloads::uniform(2000, sigma, 33);
+    let cfg = IoConfig::with_block_bits(1024);
+    let mut fd = psi::FullyDynamicIndex::build(&current, sigma, cfg);
+    let io = IoSession::untracked();
+    // Delete every 7th position, change every 11th.
+    for pos in (0..current.len() as u64).step_by(7) {
+        fd.delete(pos, &io);
+        current[pos as usize] = sigma; // ∞ marker
+    }
+    for pos in (0..current.len() as u64).step_by(11) {
+        let sym = (pos % u64::from(sigma)) as u32;
+        fd.change(pos, sym, &io);
+        current[pos as usize] = sym;
+    }
+    // Static oracle: the marked string over the σ+1 alphabet (queries
+    // never include the marker character).
+    let marked = OptimalIndex::build(&current, sigma + 1, cfg);
+    for lo in 0..sigma {
+        for hi in lo..sigma {
+            let want = naive_query(&current, lo, hi).to_vec();
+            let io_a = IoSession::new();
+            assert_eq!(
+                fd.query(lo, hi, &io_a).to_vec(),
+                want,
+                "fully_dynamic post-delete disagrees on [{lo}, {hi}]"
+            );
+            let io_b = IoSession::new();
+            assert_eq!(
+                marked.query(lo, hi, &io_b).to_vec(),
+                want,
+                "marked-alphabet optimal disagrees on [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+/// The conjunctive path: every index family, wired through the query
+/// layer, answers the same multi-attribute predicates as the table scan.
+#[test]
+fn conjunctive_path_consistency() {
+    let table = psi::workloads::people_table(3000, 9);
+    let predicates = [
+        Predicate::and([
+            Predicate::point("marital_status", 1),
+            Predicate::point("sex", 0),
+            Predicate::range("age", 30, 35),
+        ]),
+        Predicate::and([
+            Predicate::not(Predicate::point("marital_status", 0)),
+            Predicate::range("age", 0, 90),
+        ]),
+        Predicate::and([
+            Predicate::range("age", 60, 127),
+            Predicate::not(Predicate::range("age", 80, 127)),
+            Predicate::point("sex", 1),
+        ]),
+    ];
+    let cfg = IoConfig::with_block_bits(1024);
+    type BuildFn = Box<dyn Fn(&[u32], u32) -> Box<dyn SecondaryIndex>>;
+    let families: Vec<(&'static str, BuildFn)> = vec![
+        (
+            "optimal",
+            Box::new(move |s, g| Box::new(OptimalIndex::build(s, g, cfg))),
+        ),
+        (
+            "uniform_tree",
+            Box::new(move |s, g| Box::new(UniformTreeIndex::build(s, g, cfg))),
+        ),
+        (
+            "position_list",
+            Box::new(move |s, g| Box::new(PositionListIndex::build(s, g, cfg))),
+        ),
+        (
+            "uncompressed",
+            Box::new(move |s, g| Box::new(UncompressedBitmapIndex::build(s, g, cfg))),
+        ),
+        (
+            "compressed_scan",
+            Box::new(move |s, g| Box::new(CompressedScanIndex::build(s, g, cfg))),
+        ),
+        (
+            "binned_w4",
+            Box::new(move |s, g| Box::new(BinnedBitmapIndex::build(s, g, 4, cfg))),
+        ),
+        (
+            "multires_w4",
+            Box::new(move |s, g| Box::new(MultiResolutionIndex::build(s, g, 4, cfg))),
+        ),
+        (
+            "range_encoded",
+            Box::new(move |s, g| Box::new(RangeEncodedIndex::build(s, g, cfg))),
+        ),
+        (
+            "interval_encoded",
+            Box::new(move |s, g| Box::new(IntervalEncodedIndex::build(s, g, cfg))),
+        ),
+        (
+            "buffered_bitmap",
+            Box::new(move |s, g| Box::new(psi::BufferedBitmapIndex::build(s, g, cfg))),
+        ),
+        (
+            "fully_dynamic",
+            Box::new(move |s, g| Box::new(psi::FullyDynamicIndex::build(s, g, cfg))),
+        ),
+    ];
+    // Build each family once; the table never changes across predicates.
+    for (name, build) in &families {
+        let indexed = psi::IndexedTable::build(&table, |s, g| build(s, g));
+        for predicate in &predicates {
+            let want = predicate.naive_rows(&table);
+            let got = indexed.execute(predicate).unwrap();
+            assert_eq!(
+                got.rows.to_vec(),
+                want,
+                "{name} conjunctive path disagrees on {predicate:?}"
+            );
+        }
     }
 }

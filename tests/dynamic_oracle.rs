@@ -1,0 +1,193 @@
+//! Dynamic-index oracle suite: random interleavings of insert / delete /
+//! change / query on `SemiDynamicIndex` and `FullyDynamicIndex`, pinned
+//! against per-character `BTreeSet` oracles — including delete-then-
+//! reinsert of the same rid, the case §4's `∞`-character encoding makes
+//! subtle (a deleted position must stop matching every range and then
+//! match again after reinsertion).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use psi::{AppendIndex, DynamicIndex, IoConfig, IoSession, SecondaryIndex};
+
+const SIGMA: u32 = 8;
+
+fn cfg() -> IoConfig {
+    IoConfig::with_block_bits(512)
+}
+
+/// The oracle: one sorted rid set per character, updated in lockstep
+/// with the index under test.
+struct Oracle {
+    sets: Vec<BTreeSet<u64>>,
+    /// Mirror of the string; `SIGMA` marks a deleted (`∞`) position.
+    mirror: Vec<u32>,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle {
+            sets: vec![BTreeSet::new(); SIGMA as usize],
+            mirror: Vec::new(),
+        }
+    }
+
+    fn from_symbols(symbols: &[u32]) -> Oracle {
+        let mut o = Oracle::new();
+        for &s in symbols {
+            o.append(s);
+        }
+        o
+    }
+
+    fn append(&mut self, sym: u32) {
+        self.sets[sym as usize].insert(self.mirror.len() as u64);
+        self.mirror.push(sym);
+    }
+
+    fn change(&mut self, pos: u64, sym: u32) {
+        let old = self.mirror[pos as usize];
+        if old < SIGMA {
+            self.sets[old as usize].remove(&pos);
+        }
+        if sym < SIGMA {
+            self.sets[sym as usize].insert(pos);
+        }
+        self.mirror[pos as usize] = sym;
+    }
+
+    fn delete(&mut self, pos: u64) {
+        self.change(pos, SIGMA);
+    }
+
+    fn expected(&self, lo: u32, hi: u32) -> Vec<u64> {
+        let mut all: Vec<u64> = (lo..=hi)
+            .flat_map(|c| self.sets[c as usize].iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+fn check_queries<I: SecondaryIndex>(idx: &I, oracle: &Oracle, lo: u32, width: u32) {
+    let lo = lo.min(SIGMA - 1);
+    let hi = (lo + width).min(SIGMA - 1);
+    let io = IoSession::new();
+    let got = idx.query(lo, hi, &io).to_vec();
+    assert_eq!(got, oracle.expected(lo, hi), "range [{lo}, {hi}]");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Semi-dynamic: any interleaving of appends and queries agrees with
+    // the BTreeSet oracle at every query point.
+    #[test]
+    fn semi_dynamic_append_query_interleaving(
+        ops in proptest::collection::vec((0u32..100, 0u32..SIGMA, 0u32..SIGMA), 1..150),
+    ) {
+        let mut idx = psi::SemiDynamicIndex::new(SIGMA, cfg());
+        let mut oracle = Oracle::new();
+        let io = IoSession::untracked();
+        for (kind, sym, width) in ops {
+            if kind < 70 {
+                idx.append(sym, &io);
+                oracle.append(sym);
+            } else {
+                check_queries(&idx, &oracle, sym, width);
+            }
+        }
+        // Final exhaustive sweep.
+        for lo in 0..SIGMA {
+            for hi in lo..SIGMA {
+                check_queries(&idx, &oracle, lo, hi - lo);
+            }
+        }
+    }
+
+    // Fully dynamic: random interleavings of append / change / delete /
+    // reinsert / query, with delete-then-reinsert of the same rid forced
+    // into every history.
+    #[test]
+    fn fully_dynamic_interleaving_with_reinsertion(
+        initial in proptest::collection::vec(0u32..SIGMA, 1..80),
+        ops in proptest::collection::vec(
+            (0u32..100, any::<proptest::sample::Index>(), 0u32..SIGMA, 0u32..SIGMA),
+            1..120,
+        ),
+    ) {
+        let mut idx = psi::FullyDynamicIndex::build(&initial, SIGMA, cfg());
+        let mut oracle = Oracle::from_symbols(&initial);
+        let io = IoSession::untracked();
+        for (kind, pos, sym, width) in ops {
+            let len = oracle.mirror.len();
+            match kind {
+                0..=19 => {
+                    idx.append(sym, &io);
+                    oracle.append(sym);
+                }
+                20..=44 => {
+                    let p = pos.index(len) as u64;
+                    idx.change(p, sym, &io);
+                    oracle.change(p, sym);
+                }
+                45..=64 => {
+                    let p = pos.index(len) as u64;
+                    idx.delete(p, &io);
+                    oracle.delete(p);
+                }
+                65..=79 => {
+                    // Reinsert a deleted rid when one exists (delete-then-
+                    // reinsert of the same rid), else change a live one.
+                    let p = pos.index(len);
+                    let deleted = oracle.mirror.iter().position(|&v| v == SIGMA);
+                    let target = deleted.unwrap_or(p) as u64;
+                    idx.change(target, sym, &io);
+                    oracle.change(target, sym);
+                }
+                _ => check_queries(&idx, &oracle, sym, width),
+            }
+        }
+        for lo in (0..SIGMA).step_by(2) {
+            for hi in lo..SIGMA {
+                check_queries(&idx, &oracle, lo, hi - lo);
+            }
+        }
+    }
+}
+
+/// Deterministic delete-then-reinsert of the same rid: the position must
+/// stop matching every range while deleted and match its new character
+/// afterwards — even when deleted and reinserted repeatedly.
+#[test]
+fn delete_then_reinsert_same_rid() {
+    let initial = psi::workloads::uniform(600, SIGMA, 51);
+    let mut idx = psi::FullyDynamicIndex::build(&initial, SIGMA, cfg());
+    let mut oracle = Oracle::from_symbols(&initial);
+    let io = IoSession::untracked();
+    for &rid in &[0u64, 299, 599] {
+        let old = oracle.mirror[rid as usize];
+        for round in 0..3 {
+            idx.delete(rid, &io);
+            oracle.delete(rid);
+            let gone = idx.query(old, old, &io).to_vec();
+            assert!(
+                !gone.contains(&rid),
+                "rid {rid} still matches after delete (round {round})"
+            );
+            let back = (old + round) % SIGMA;
+            idx.change(rid, back, &io);
+            oracle.change(rid, back);
+            let found = idx.query(back, back, &io).to_vec();
+            assert!(
+                found.contains(&rid),
+                "rid {rid} lost after reinsert (round {round})"
+            );
+        }
+    }
+    for lo in 0..SIGMA {
+        for hi in lo..SIGMA {
+            check_queries(&idx, &oracle, lo, hi - lo);
+        }
+    }
+}
