@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 
 use psi_bits::GapBitmap;
-use psi_io::{IoSession, IoStats};
+use psi_io::{Disk, IoSession, IoStats};
 
 mod rid;
 
@@ -85,6 +85,17 @@ pub trait AppendIndex: SecondaryIndex {
 pub trait DynamicIndex: AppendIndex {
     /// Changes the character at position `pos` to `symbol`.
     fn change(&mut self, pos: u64, symbol: Symbol, io: &IoSession);
+}
+
+/// Read access to the simulated disk backing an index.
+///
+/// One trait replaces the per-family "simulated disk (for inspection)"
+/// accessors: the experiment harnesses use it to read space and layout,
+/// and the `psi-store` save path uses it as the payload source for
+/// single-volume families.
+pub trait HasDisk {
+    /// The simulated disk holding this structure's payload.
+    fn disk(&self) -> &Disk;
 }
 
 /// Validates query endpoints against an alphabet size. Shared helper for

@@ -7,7 +7,7 @@
 //! compressed bitmaps". One step of the space/time trade-off that
 //! [`crate::MultiResolutionIndex`] applies recursively.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{merge, GapBitmap};
 use psi_io::{Disk, IoConfig, IoSession};
 
@@ -56,9 +56,10 @@ impl BinnedBitmapIndex {
     pub fn bin_width(&self) -> u32 {
         self.w
     }
+}
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
+impl HasDisk for BinnedBitmapIndex {
+    fn disk(&self) -> &Disk {
         &self.disk
     }
 }
@@ -133,6 +134,40 @@ impl SecondaryIndex for BinnedBitmapIndex {
                 .map(|c| self.chars.entry(c as usize).count)
                 .sum::<u64>(),
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for BinnedBitmapIndex {
+    const TAG: &'static str = "binned";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.bins.persist_meta(out);
+        self.chars.persist_meta(out);
+        out.put_u32(self.w);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "binned bitmap")?;
+        Ok(BinnedBitmapIndex {
+            bins: BitmapCatalog::restore_meta(meta, &disk)?,
+            chars: BitmapCatalog::restore_meta(meta, &disk)?,
+            w: meta.get_u32()?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            disk,
+        })
     }
 }
 

@@ -238,6 +238,60 @@ impl BitmapCatalog {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl BitmapCatalog {
+    /// Serializes the in-memory directory (payload stays on disk).
+    pub(crate) fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.ext.0);
+        out.put_u32(self.dir_ext.0);
+        out.put_u64(self.universe);
+        out.put_len(self.entries.len());
+        for e in &self.entries {
+            out.put_u64(e.bit_off);
+            out.put_u64(e.bit_len);
+            out.put_u64(e.count);
+            out.put_opt_u64(e.first_pos);
+            out.put_opt_u64(e.last_pos);
+            out.put_u64(e.dir_off);
+            out.put_u64(e.dir_entries);
+        }
+    }
+
+    /// Rebuilds the catalog over a reopened disk.
+    pub(crate) fn restore_meta(
+        meta: &mut psi_store::MetaCursor,
+        disk: &Disk,
+    ) -> Result<Self, psi_store::StoreError> {
+        let ext = psi_store::check_extent(disk, meta.get_u32()?, "catalog")?;
+        let dir_ext = psi_store::check_extent(disk, meta.get_u32()?, "catalog directory")?;
+        let universe = meta.get_u64()?;
+        // Minimum encoded entry: 5 u64 fields + two absent options = 42
+        // bytes (an empty bitmap omits first/last_pos), so the length
+        // bound must use 42, not the fully-populated 58.
+        let n = meta.get_len(42)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(CatalogEntry {
+                bit_off: meta.get_u64()?,
+                bit_len: meta.get_u64()?,
+                count: meta.get_u64()?,
+                first_pos: meta.get_opt_u64()?,
+                last_pos: meta.get_opt_u64()?,
+                dir_off: meta.get_u64()?,
+                dir_entries: meta.get_u64()?,
+            });
+        }
+        Ok(BitmapCatalog {
+            ext,
+            dir_ext,
+            universe,
+            entries,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

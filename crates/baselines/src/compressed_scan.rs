@@ -8,7 +8,7 @@
 //! `lg(n/z_c)` bits per position instead of `lg(n/z)`. Experiment E3
 //! measures exactly this gap against the paper's structure.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{merge, GapBitmap};
 use psi_io::{Disk, IoConfig, IoSession};
 
@@ -39,15 +39,16 @@ impl CompressedScanIndex {
         }
     }
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
-        &self.disk
-    }
-
     /// Total compressed payload in bits (without the directory), used by
     /// the space experiments.
     pub fn payload_bits(&self) -> u64 {
         self.cat.payload_bits(&self.disk)
+    }
+}
+
+impl HasDisk for CompressedScanIndex {
+    fn disk(&self) -> &Disk {
+        &self.disk
     }
 }
 
@@ -103,6 +104,36 @@ impl SecondaryIndex for CompressedScanIndex {
                 .map(|c| self.cat.entry(c as usize).count)
                 .sum::<u64>(),
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for CompressedScanIndex {
+    const TAG: &'static str = "compressed_scan";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.cat.persist_meta(out);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "compressed scan")?;
+        Ok(CompressedScanIndex {
+            cat: BitmapCatalog::restore_meta(meta, &disk)?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            disk,
+        })
     }
 }
 

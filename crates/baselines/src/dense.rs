@@ -139,6 +139,33 @@ impl DenseCatalog {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl DenseCatalog {
+    /// Serializes the catalog's directory (the bitmaps stay on disk).
+    pub(crate) fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.ext.0);
+        out.put_u64(self.universe);
+        out.put_u64(self.words_per_slot);
+        out.put_len(self.slots);
+    }
+
+    /// Rebuilds the catalog over a reopened disk.
+    pub(crate) fn restore_meta(
+        meta: &mut psi_store::MetaCursor,
+        disk: &Disk,
+    ) -> Result<Self, psi_store::StoreError> {
+        let ext = psi_store::check_extent(disk, meta.get_u32()?, "dense catalog")?;
+        Ok(DenseCatalog {
+            ext,
+            universe: meta.get_u64()?,
+            words_per_slot: meta.get_u64()?,
+            slots: meta.get_u64()? as usize,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

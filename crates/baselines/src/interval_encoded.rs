@@ -14,7 +14,7 @@
 //! about half of them), so the index needs `≈ n·σ/2` bits — the other
 //! member of the paper's `nσ^{1−o(1)}` class.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::GapBitmap;
 use psi_io::{Disk, IoConfig, IoSession};
 
@@ -72,9 +72,10 @@ impl IntervalEncodedIndex {
     pub fn interval_width(&self) -> Symbol {
         self.m
     }
+}
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
+impl HasDisk for IntervalEncodedIndex {
+    fn disk(&self) -> &Disk {
         &self.disk
     }
 }
@@ -127,6 +128,38 @@ impl SecondaryIndex for IntervalEncodedIndex {
         // Word-scan re-encode of the accumulator (see `range_encoded.rs`):
         // CPU-only, the dense-slot reads above are the whole I/O story.
         RidSet::from_positions(GapBitmap::from_words(&acc, self.n))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for IntervalEncodedIndex {
+    const TAG: &'static str = "interval_encoded";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.cat.persist_meta(out);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+        out.put_u32(self.m);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "interval encoded")?;
+        Ok(IntervalEncodedIndex {
+            cat: crate::dense::DenseCatalog::restore_meta(meta, &disk)?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            m: meta.get_u32()?,
+            disk,
+        })
     }
 }
 

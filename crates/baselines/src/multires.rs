@@ -12,7 +12,7 @@
 //! builds on (`psi_core::UniformTreeIndex` adds the paper's prefix-count
 //! array and complement trick on top).
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{merge, GapBitmap};
 use psi_io::{Disk, IoConfig, IoSession};
 
@@ -69,11 +69,6 @@ impl MultiResolutionIndex {
         self.levels.len()
     }
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
-        &self.disk
-    }
-
     /// The canonical cover of `[lo, hi]`: maximal `w`-aligned bins, as
     /// `(level, bin_index)` pairs. At most `2(w−1)` bins per level.
     fn canonical_cover(&self, lo: Symbol, hi: Symbol) -> Vec<(usize, u64)> {
@@ -115,6 +110,12 @@ impl MultiResolutionIndex {
             hi /= w;
         }
         cover
+    }
+}
+
+impl HasDisk for MultiResolutionIndex {
+    fn disk(&self) -> &Disk {
+        &self.disk
     }
 }
 
@@ -171,6 +172,46 @@ impl SecondaryIndex for MultiResolutionIndex {
                 .map(|c| self.levels[0].entry(c as usize).count)
                 .sum::<u64>(),
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for MultiResolutionIndex {
+    const TAG: &'static str = "multires";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_len(self.levels.len());
+        for level in &self.levels {
+            level.persist_meta(out);
+        }
+        out.put_u32(self.w);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "multi-resolution")?;
+        let num_levels = meta.get_len(20)?;
+        let mut levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            levels.push(BitmapCatalog::restore_meta(meta, &disk)?);
+        }
+        Ok(MultiResolutionIndex {
+            levels,
+            w: meta.get_u32()?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            disk,
+        })
     }
 }
 

@@ -8,7 +8,7 @@
 //! `Ω(lg n)` above the compressed output size when the result is dense —
 //! plus a `O(log_b n)` directory descent.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{merge, GapBitmap};
 use psi_io::{cost, Disk, DiskReader, ExtentId, IoConfig, IoSession};
 
@@ -124,11 +124,6 @@ impl PositionListIndex {
         }
     }
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
-        &self.disk
-    }
-
     /// Descends the directory for the first entry with character `≥ lo`,
     /// returning the leaf-level key index found. Charges one block per
     /// level, exactly the `O(log_b n)` descent of a B-tree search.
@@ -189,6 +184,12 @@ impl Iterator for PositionsIter<'_> {
         }
         self.remaining -= 1;
         Some(self.reader.read_bits(self.width))
+    }
+}
+
+impl HasDisk for PositionListIndex {
+    fn disk(&self) -> &Disk {
+        &self.disk
     }
 }
 
@@ -253,6 +254,57 @@ impl SecondaryIndex for PositionListIndex {
     fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
         // Exact, from the in-memory prefix array (no descent, no I/O).
         Some(self.prefix[hi as usize + 1] - self.prefix[lo as usize])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for PositionListIndex {
+    const TAG: &'static str = "position_list";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.data.0);
+        out.put_len(self.dir_levels.len());
+        for l in &self.dir_levels {
+            out.put_u32(l.ext.0);
+            out.put_u64(l.keys);
+        }
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+        out.put_u32(self.pos_width);
+        out.put_u32(self.key_width);
+        out.put_vec_u64(&self.prefix);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "position list")?;
+        let data = psi_store::check_extent(&disk, meta.get_u32()?, "position-list data")?;
+        let num_levels = meta.get_len(12)?;
+        let mut dir_levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            dir_levels.push(DirLevel {
+                ext: psi_store::check_extent(&disk, meta.get_u32()?, "position-list directory")?,
+                keys: meta.get_u64()?,
+            });
+        }
+        Ok(PositionListIndex {
+            data,
+            dir_levels,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            pos_width: meta.get_u32()?,
+            key_width: meta.get_u32()?,
+            prefix: meta.get_vec_u64()?,
+            disk,
+        })
     }
 }
 

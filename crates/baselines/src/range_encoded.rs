@@ -7,7 +7,7 @@
 //! help and the index occupies `n·σ` bits — the paper's `nσ^{1−o(1)}`
 //! class of precomputation schemes.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::GapBitmap;
 use psi_io::{Disk, IoConfig, IoSession};
 
@@ -42,9 +42,10 @@ impl RangeEncodedIndex {
             sigma,
         }
     }
+}
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
+impl HasDisk for RangeEncodedIndex {
+    fn disk(&self) -> &Disk {
         &self.disk
     }
 }
@@ -79,6 +80,36 @@ impl SecondaryIndex for RangeEncodedIndex {
         // element by element. CPU-only — the blocks read above are the
         // whole I/O story, identical to the scalar path.
         RidSet::from_positions(GapBitmap::from_words(&acc, self.n))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for RangeEncodedIndex {
+    const TAG: &'static str = "range_encoded";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.cat.persist_meta(out);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "range encoded")?;
+        Ok(RangeEncodedIndex {
+            cat: crate::dense::DenseCatalog::restore_meta(meta, &disk)?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            disk,
+        })
     }
 }
 

@@ -5,7 +5,7 @@
 //! I/Os — regardless of the result size. Optimal for tiny alphabets
 //! (§1.2's opening observation), hopeless for large ones.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::GapBitmap;
 use psi_io::{Disk, IoConfig, IoSession};
 
@@ -35,9 +35,10 @@ impl UncompressedBitmapIndex {
             sigma,
         }
     }
+}
 
-    /// The simulated disk (for inspection by harnesses).
-    pub fn disk(&self) -> &Disk {
+impl HasDisk for UncompressedBitmapIndex {
+    fn disk(&self) -> &Disk {
         &self.disk
     }
 }
@@ -66,6 +67,36 @@ impl SecondaryIndex for UncompressedBitmapIndex {
         }
         let positions = self.cat.acc_positions(&acc);
         RidSet::from_positions(GapBitmap::from_sorted(&positions, self.n))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for UncompressedBitmapIndex {
+    const TAG: &'static str = "uncompressed";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.cat.persist_meta(out);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "uncompressed bitmap")?;
+        Ok(UncompressedBitmapIndex {
+            cat: crate::dense::DenseCatalog::restore_meta(meta, &disk)?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+            disk,
+        })
     }
 }
 

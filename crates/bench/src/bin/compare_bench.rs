@@ -1,14 +1,28 @@
-//! `compare_bench BEFORE.json AFTER.json [--strict]` — diff two
+//! `compare_bench [BEFORE.json] AFTER.json [--strict]` — diff two
 //! `BENCH_NNNN.json` snapshots and flag >15% regressions (report-only
-//! unless `--strict`).
+//! unless `--strict`). With a single file, the baseline is the
+//! highest-numbered `BENCH_NNNN.json` in the current directory (the
+//! latest checked-in snapshot), so CI never hard-codes a snapshot name.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strict = args.iter().any(|a| a == "--strict");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let [before, after] = files[..] else {
-        eprintln!("usage: compare_bench BEFORE.json AFTER.json [--strict]");
-        std::process::exit(2);
+    let (before, after) = match files[..] {
+        [before, after] => (before.clone(), after.clone()),
+        [after] => {
+            let Some(baseline) =
+                psi_bench::compare::latest_snapshot(std::path::Path::new("."), Some(after))
+            else {
+                eprintln!("no BENCH_NNNN.json baseline found in the current directory");
+                std::process::exit(2);
+            };
+            (baseline.display().to_string(), after.clone())
+        }
+        _ => {
+            eprintln!("usage: compare_bench [BEFORE.json] AFTER.json [--strict]");
+            std::process::exit(2);
+        }
     };
-    std::process::exit(psi_bench::compare::run(before, after, strict));
+    std::process::exit(psi_bench::compare::run(&before, &after, strict));
 }

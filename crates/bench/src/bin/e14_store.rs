@@ -1,0 +1,3 @@
+fn main() {
+    psi_bench::e14();
+}

@@ -107,6 +107,35 @@ pub fn report(deltas: &[Delta], threshold: f64) -> Vec<String> {
     regressions
 }
 
+/// Highest-numbered `BENCH_NNNN.json` in `dir`, excluding the file named
+/// by `exclude` (so a freshly written snapshot is never its own
+/// baseline). This is how the CI step picks its baseline automatically
+/// instead of hard-coding the latest snapshot's number.
+pub fn latest_snapshot(dir: &std::path::Path, exclude: Option<&str>) -> Option<std::path::PathBuf> {
+    let mut best: Option<(u32, std::path::PathBuf)> = None;
+    let excluded = exclude.and_then(|e| std::fs::canonicalize(e).ok());
+    for entry in std::fs::read_dir(dir).ok()? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        let Some(num) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("BENCH_"))
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|d| d.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if excluded.is_some() && std::fs::canonicalize(&path).ok() == excluded {
+            continue;
+        }
+        if best.as_ref().map(|(b, _)| num > *b).unwrap_or(true) {
+            best = Some((num, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 /// Entry point for the `compare_bench` binary. Returns the process exit
 /// code: 0 unless `strict` and regressions were found.
 pub fn run(before_path: &str, after_path: &str, strict: bool) -> i32 {
@@ -162,8 +191,29 @@ mod tests {
             bench: "a/b".into(),
             ns_per_iter: 42.5,
             elements: 7,
+            space_bits: 99,
+            file_bytes: 1000,
         }]);
         assert_eq!(parse(&emitted), vec![("a/b".to_string(), 42.5)]);
+    }
+
+    #[test]
+    fn latest_snapshot_picks_highest_and_skips_the_new_file() {
+        let dir = std::env::temp_dir().join("psi_compare_latest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(latest_snapshot(&dir, None).is_none());
+        for n in [1, 3, 11, 2] {
+            std::fs::write(dir.join(format!("BENCH_{n:04}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_notanumber.json"), "{}").unwrap();
+        std::fs::write(dir.join("other.json"), "{}").unwrap();
+        let best = latest_snapshot(&dir, None).expect("baseline");
+        assert!(best.ends_with("BENCH_0011.json"));
+        // The freshly produced snapshot must not be its own baseline.
+        let newest = dir.join("BENCH_0011.json");
+        let best = latest_snapshot(&dir, Some(newest.to_str().unwrap())).expect("baseline");
+        assert!(best.ends_with("BENCH_0003.json"));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct JsonResult {
     pub ns_per_iter: f64,
     /// Elements processed per iteration (0 when not meaningful).
     pub elements: u64,
+    /// In-memory structure size in bits (0 when not meaningful) — the
+    /// `SecondaryIndex::space_bits` of the index the row measures.
+    pub space_bits: u64,
+    /// On-disk store-file size in bytes (0 when not meaningful) — the
+    /// psi-store file the index saves to.
+    pub file_bytes: u64,
 }
 
 fn measure<O, F: FnMut() -> O>(mut f: F) -> f64 {
@@ -80,6 +86,8 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             bench: bench.to_string(),
             ns_per_iter: ns,
             elements,
+            space_bits: 0,
+            file_bytes: 0,
         });
     };
 
@@ -348,40 +356,156 @@ pub fn run_microbenches() -> Vec<JsonResult> {
     let scan = psi_baselines::CompressedScanIndex::build(&s, sigma, cfg);
     let pl = psi_baselines::PositionListIndex::build(&s, sigma, cfg);
     let mr = psi_baselines::MultiResolutionIndex::build(&s, sigma, 4, cfg);
+    // On-disk footprint per family (the psi-store save of each index),
+    // carried as space_bits/file_bytes columns on the query rows.
+    let store_dir = std::env::temp_dir().join("psi_bench_store");
+    std::fs::create_dir_all(&store_dir).expect("bench store dir");
+    let footprint = |name: &str, idx: &dyn StoreBench| {
+        let path = store_dir.join(format!("json_{name}.psi"));
+        let file_bytes = idx.save_to(&path);
+        (idx.space(), file_bytes, path)
+    };
+    let foot_opt = footprint("optimal", &opt);
+    let foot_scan = footprint("compressed_scan", &scan);
+    let foot_pl = footprint("position_list", &pl);
+    let foot_mr = footprint("multires4", &mr);
     for width in [1u32, 16, 128] {
         let (lo, hi) = (32, 32 + width - 1);
-        let mut q = |name: &str, idx: &dyn SecondaryIndex| {
-            let ns = measure(|| {
-                let io = IoSession::untracked();
-                idx.query(lo, hi, &io).cardinality()
+        let mut q =
+            |name: &str, idx: &dyn SecondaryIndex, foot: &(u64, u64, std::path::PathBuf)| {
+                let ns = measure(|| {
+                    let io = IoSession::untracked();
+                    idx.query(lo, hi, &io).cardinality()
+                });
+                let bench = format!("query/{name}_w{width}");
+                println!("{bench:<40} {ns:>14.1} ns/iter");
+                results.push(JsonResult {
+                    bench: format!("query/{name}_w{width}"),
+                    ns_per_iter: ns,
+                    elements: 0,
+                    space_bits: foot.0,
+                    file_bytes: foot.1,
+                });
+            };
+        q("optimal", &opt, &foot_opt);
+        q("compressed_scan", &scan, &foot_scan);
+        q("position_list", &pl, &foot_pl);
+        q("multires4", &mr, &foot_mr);
+    }
+
+    // --- store (E14): save/open/warm-pooled-query wall clock ---
+    {
+        use psi_store::{open, Backend, OpenOptions};
+        let mut push = |bench: &str, ns: f64, space_bits: u64, file_bytes: u64| {
+            println!("{bench:<40} {ns:>14.1} ns/iter");
+            results.push(JsonResult {
+                bench: bench.to_string(),
+                ns_per_iter: ns,
+                elements: 0,
+                space_bits,
+                file_bytes,
             });
-            push(&format!("query/{name}_w{width}"), ns, 0);
         };
-        q("optimal", &opt);
-        q("compressed_scan", &scan);
-        q("position_list", &pl);
-        q("multires4", &mr);
+        let path = &foot_opt.2;
+        push(
+            "store/save_optimal",
+            measure(|| {
+                psi_store::save(&opt, store_dir.join("json_save_probe.psi"))
+                    .expect("save")
+                    .file_bytes
+            }),
+            foot_opt.0,
+            foot_opt.1,
+        );
+        push(
+            "store/open_optimal",
+            measure(|| {
+                open::<psi_core::OptimalIndex>(path, &OpenOptions::default())
+                    .expect("open")
+                    .index
+                    .len()
+            }),
+            foot_opt.0,
+            foot_opt.1,
+        );
+        // Warm-pool query cost per backend vs the RAM index: the pooled
+        // cursor path (no word-level lookahead, per-word frame reads) is
+        // the price of real storage; the cold counterpart additionally
+        // pays real I/O, measured one-shot in the E14 experiment binary.
+        let (lo, hi) = (32u32, 47);
+        for (name, backend) in [("file", Backend::File), ("mmap", Backend::Mmap)] {
+            let opened = open::<psi_core::OptimalIndex>(
+                path,
+                &OpenOptions {
+                    backend,
+                    pool_blocks: 1 << 16,
+                },
+            )
+            .expect("open");
+            let io = IoSession::untracked();
+            let _ = opened.index.query(lo, hi, &io); // warm the pool
+            push(
+                &format!("store/query_warm_{name}_optimal_w16"),
+                measure(|| {
+                    let io = IoSession::untracked();
+                    opened.index.query(lo, hi, &io).cardinality()
+                }),
+                foot_opt.0,
+                foot_opt.1,
+            );
+        }
+        push(
+            "store/query_ram_optimal_w16",
+            measure(|| {
+                let io = IoSession::untracked();
+                opt.query(lo, hi, &io).cardinality()
+            }),
+            foot_opt.0,
+            foot_opt.1,
+        );
     }
     results
+}
+
+/// The save+size surface the footprint rows need, object-safe over the
+/// concrete families.
+trait StoreBench {
+    fn save_to(&self, path: &std::path::Path) -> u64;
+    fn space(&self) -> u64;
+}
+
+impl<I: psi_store::PersistIndex + SecondaryIndex> StoreBench for I {
+    fn save_to(&self, path: &std::path::Path) -> u64 {
+        psi_store::save(self, path).expect("save").file_bytes
+    }
+
+    fn space(&self) -> u64 {
+        self.space_bits()
+    }
 }
 
 /// Serializes rows to the `psi-bench/1` JSON schema.
 pub fn to_json(results: &[JsonResult]) -> String {
     let mut s = String::from("{\n  \"schema\": \"psi-bench/1\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
-        let per_element = if r.elements > 0 {
-            format!(
+        let mut extras = String::new();
+        if r.elements > 0 {
+            extras.push_str(&format!(
                 ", \"per_element_ns\": {:.2}",
                 r.ns_per_iter / r.elements as f64
-            )
-        } else {
-            String::new()
-        };
+            ));
+        }
+        if r.space_bits > 0 {
+            extras.push_str(&format!(", \"space_bits\": {}", r.space_bits));
+        }
+        if r.file_bytes > 0 {
+            extras.push_str(&format!(", \"file_bytes\": {}", r.file_bytes));
+        }
         s.push_str(&format!(
             "    {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}{}}}{}\n",
             r.bench,
             r.ns_per_iter,
-            per_element,
+            extras,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -421,11 +545,15 @@ mod tests {
                 bench: "decode/x".into(),
                 ns_per_iter: 123.45,
                 elements: 100,
+                space_bits: 0,
+                file_bytes: 0,
             },
             JsonResult {
                 bench: "query/y".into(),
                 ns_per_iter: 6.0,
                 elements: 0,
+                space_bits: 4096,
+                file_bytes: 812,
             },
         ];
         let s = to_json(&rows);
@@ -433,7 +561,9 @@ mod tests {
         assert!(
             s.contains("\"bench\": \"decode/x\", \"ns_per_iter\": 123.5, \"per_element_ns\": 1.23")
         );
-        assert!(s.contains("\"bench\": \"query/y\", \"ns_per_iter\": 6.0}"));
+        assert!(s.contains(
+            "\"bench\": \"query/y\", \"ns_per_iter\": 6.0, \"space_bits\": 4096, \"file_bytes\": 812}"
+        ));
         // Balanced braces/brackets; trailing comma rules respected.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());

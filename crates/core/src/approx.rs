@@ -144,11 +144,6 @@ impl ApproximateIndex {
     pub fn cardinality(&self, lo: Symbol, hi: Symbol) -> u64 {
         self.engine.query_cardinality(lo, hi)
     }
-
-    /// The simulated disk.
-    pub fn disk(&self) -> &Disk {
-        self.engine.disk()
-    }
 }
 
 impl SecondaryIndex for ApproximateIndex {
@@ -291,6 +286,12 @@ fn hash_g(h: &SplitXorHash, i1: u64) -> u64 {
         h.hash(0) // single block: g(0)
     } else {
         h.hash(i1 << h.out_bits)
+    }
+}
+
+impl psi_api::HasDisk for ApproximateIndex {
+    fn disk(&self) -> &Disk {
+        self.engine.disk()
     }
 }
 

@@ -27,7 +27,7 @@
 //! boundaries), costing at most one extra partially-filled block per
 //! character.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{codes, GapBitmap};
 use psi_io::{cost, Disk, ExtentId, IoConfig, IoSession};
 
@@ -621,7 +621,8 @@ impl BufferedBitmapIndex {
         is_root: bool,
     ) {
         if !is_root && !self.nodes[v].buf.is_empty() {
-            io.charge_read(self.nodes[v].buf_ext, 0);
+            // Charge (and, on an opened store, fault) the buffer block.
+            self.disk.charge_read_span(self.nodes[v].buf_ext, 0, 1, io);
             io.add_bits_read(self.nodes[v].buf.len() as u64 * UPDATE_BITS);
         }
         pending.extend(self.nodes[v].buf.iter().copied());
@@ -664,11 +665,6 @@ impl BufferedBitmapIndex {
     pub fn num_leaf_blocks(&self) -> usize {
         self.leaves.iter().filter(|l| l.count > 0).count()
     }
-
-    /// The simulated disk.
-    pub fn disk(&self) -> &Disk {
-        &self.disk
-    }
 }
 
 /// Folds updates (already targeted at this list) into a sorted position
@@ -696,6 +692,12 @@ fn merge_updates(positions: &mut Vec<u64>, ups: Vec<Update>) {
     }
 }
 
+impl HasDisk for BufferedBitmapIndex {
+    fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
 impl SecondaryIndex for BufferedBitmapIndex {
     fn len(&self) -> u64 {
         self.total
@@ -717,6 +719,150 @@ impl SecondaryIndex for BufferedBitmapIndex {
     fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
         let positions = self.range_positions(lo, hi, io);
         RidSet::from_positions(GapBitmap::from_sorted_iter(positions, self.universe.max(1)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl BufferedBitmapIndex {
+    /// Serializes the directory: leaves, tree nodes, buffered updates
+    /// (mirrored on disk too, but the in-memory form is authoritative
+    /// for logic), counts and parameters.
+    pub(crate) fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.sigma);
+        out.put_u64(self.universe);
+        out.put_u64(self.total);
+        out.put_len(self.root);
+        out.put_len(self.c);
+        out.put_vec_u64(&self.counts);
+        out.put_len(self.leaves.len());
+        for l in &self.leaves {
+            out.put_u32(l.ch);
+            out.put_u64(l.first_pos);
+            out.put_u64(l.count);
+            out.put_u64(l.bits);
+            out.put_u32(l.ext.0);
+        }
+        out.put_len(self.nodes.len());
+        for n in &self.nodes {
+            match &n.children {
+                Children::Internal(kids) => {
+                    out.put_u8(0);
+                    out.put_vec_u64(&kids.iter().map(|&k| k as u64).collect::<Vec<_>>());
+                }
+                Children::Leaves(ls) => {
+                    out.put_u8(1);
+                    out.put_vec_u64(&ls.iter().map(|&l| l as u64).collect::<Vec<_>>());
+                }
+            }
+            out.put_u32(n.key.0);
+            out.put_u64(n.key.1);
+            out.put_u32(n.buf_ext.0);
+            out.put_len(n.buf.len());
+            for u in &n.buf {
+                out.put_u32(u.ch);
+                out.put_u64(u.pos);
+                out.put_bool(u.delete);
+            }
+        }
+    }
+
+    /// Rebuilds the index over a reopened disk.
+    pub(crate) fn restore_meta(
+        meta: &mut psi_store::MetaCursor,
+        disk: Disk,
+    ) -> Result<Self, psi_store::StoreError> {
+        let check_ext = |id: u32| psi_store::check_extent(&disk, id, "bbi");
+        let sigma = meta.get_u32()?;
+        let universe = meta.get_u64()?;
+        let total = meta.get_u64()?;
+        let root = meta.get_u64()? as usize;
+        let c = meta.get_u64()? as usize;
+        let counts = meta.get_vec_u64()?;
+        let num_leaves = meta.get_len(29)?;
+        let mut leaves = Vec::with_capacity(num_leaves);
+        for _ in 0..num_leaves {
+            leaves.push(Leaf {
+                ch: meta.get_u32()?,
+                first_pos: meta.get_u64()?,
+                count: meta.get_u64()?,
+                bits: meta.get_u64()?,
+                ext: check_ext(meta.get_u32()?)?,
+            });
+        }
+        let num_nodes = meta.get_len(30)?;
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let kind = meta.get_u8()?;
+            let ids: Vec<usize> = meta
+                .get_vec_u64()?
+                .into_iter()
+                .map(|x| x as usize)
+                .collect();
+            let children = match kind {
+                0 => Children::Internal(ids),
+                1 => Children::Leaves(ids),
+                t => {
+                    return Err(psi_store::StoreError::Meta {
+                        what: format!("bbi child tag {t}"),
+                    })
+                }
+            };
+            let key = (meta.get_u32()?, meta.get_u64()?);
+            let buf_ext = check_ext(meta.get_u32()?)?;
+            let buf_len = meta.get_len(13)?;
+            let mut buf = Vec::with_capacity(buf_len);
+            for _ in 0..buf_len {
+                buf.push(Update {
+                    ch: meta.get_u32()?,
+                    pos: meta.get_u64()?,
+                    delete: meta.get_bool()?,
+                });
+            }
+            nodes.push(BNode {
+                children,
+                key,
+                buf_ext,
+                buf,
+            });
+        }
+        if root >= nodes.len() {
+            return Err(psi_store::StoreError::Meta {
+                what: "bbi root out of range".into(),
+            });
+        }
+        Ok(BufferedBitmapIndex {
+            disk,
+            sigma,
+            universe,
+            total,
+            leaves,
+            nodes,
+            root,
+            c,
+            counts,
+        })
+    }
+}
+
+impl psi_store::PersistIndex for BufferedBitmapIndex {
+    const TAG: &'static str = "buffered_bitmap";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.persist_meta(out);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "buffered bitmap")?;
+        Self::restore_meta(meta, disk)
     }
 }
 

@@ -387,6 +387,93 @@ impl CutStream {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl Slack {
+    /// One-byte tag for serialization.
+    pub(crate) fn persist_tag(self) -> u8 {
+        match self {
+            Slack::None => 0,
+            Slack::Proportional => 1,
+        }
+    }
+
+    /// Decodes a serialized tag.
+    pub(crate) fn from_persist_tag(tag: u8) -> Result<Slack, psi_store::StoreError> {
+        match tag {
+            0 => Ok(Slack::None),
+            1 => Ok(Slack::Proportional),
+            t => Err(psi_store::StoreError::Meta {
+                what: format!("slack tag {t}"),
+            }),
+        }
+    }
+}
+
+impl CutStream {
+    /// Serializes the cut's slot directory (the payload stays on disk).
+    pub(crate) fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.level);
+        out.put_u32(self.ext.0);
+        out.put_u32(self.dir_ext.0);
+        out.put_u64(self.dead_bits);
+        out.put_u8(self.slack.persist_tag());
+        out.put_len(self.slots.len());
+        for s in &self.slots {
+            out.put_u64(s.off);
+            out.put_u64(s.len);
+            out.put_u64(s.cap);
+            out.put_u64(s.count);
+            out.put_opt_u64(s.first_pos);
+            out.put_opt_u64(s.last_pos);
+            out.put_u64(s.dir_off);
+            out.put_u64(s.dir_entries);
+            out.put_u64(s.dir_cap);
+            out.put_bool(s.dead);
+        }
+    }
+
+    /// Rebuilds the cut from serialized metadata; extent ids are
+    /// validated against the reopened disk.
+    pub(crate) fn restore_meta(
+        meta: &mut psi_store::MetaCursor,
+        disk: &Disk,
+    ) -> Result<CutStream, psi_store::StoreError> {
+        let level = meta.get_u32()?;
+        let ext = psi_store::check_extent(disk, meta.get_u32()?, "cut")?;
+        let dir_ext = psi_store::check_extent(disk, meta.get_u32()?, "cut directory")?;
+        let dead_bits = meta.get_u64()?;
+        let slack = Slack::from_persist_tag(meta.get_u8()?)?;
+        // Minimum encoded slot: 7 u64 fields + two absent options + the
+        // dead flag = 59 bytes (an empty slot omits first/last_pos).
+        let len = meta.get_len(59)?;
+        let mut slots = Vec::with_capacity(len);
+        for _ in 0..len {
+            slots.push(Slot {
+                off: meta.get_u64()?,
+                len: meta.get_u64()?,
+                cap: meta.get_u64()?,
+                count: meta.get_u64()?,
+                first_pos: meta.get_opt_u64()?,
+                last_pos: meta.get_opt_u64()?,
+                dir_off: meta.get_u64()?,
+                dir_entries: meta.get_u64()?,
+                dir_cap: meta.get_u64()?,
+                dead: meta.get_bool()?,
+            });
+        }
+        Ok(CutStream {
+            level,
+            ext,
+            dir_ext,
+            slots,
+            dead_bits,
+            slack,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -275,18 +275,15 @@ impl Engine {
         self.node_rec[v as usize] = (off, len);
     }
 
-    /// Charges the blocks of node `v`'s directory record to `io`.
+    /// Charges the blocks of node `v`'s directory record to `io` (and,
+    /// on an opened file-backed disk, faults them through the buffer
+    /// pool so the charge drives a real fetch).
     fn charge_record(&self, v: NodeId, io: &IoSession) {
         let (off, len) = self.node_rec[v as usize];
         if off == u64::MAX {
             return;
         }
-        let b = self.disk.block_bits();
-        let first = off / b;
-        let last = (off + len.max(1) - 1) / b;
-        for blk in first..=last {
-            io.charge_read(self.tree_ext, blk);
-        }
+        self.disk.charge_read_span(self.tree_ext, off, len, io);
         io.add_bits_read(len);
     }
 
@@ -863,6 +860,129 @@ impl Fenwick {
             i -= i & i.wrapping_neg();
         }
         s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl Engine {
+    /// Serializes the engine's memory-resident state: tree mirror, cut
+    /// directories, node-to-slot and node-to-record maps, remap, prefix
+    /// counts and parameters. The disk payload is persisted separately
+    /// (extent by extent) by the store layer.
+    pub(crate) fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        match &self.tree {
+            Some(tree) => {
+                out.put_bool(true);
+                tree.persist_meta(out);
+            }
+            None => out.put_bool(false),
+        }
+        out.put_len(self.cuts.len());
+        for cut in &self.cuts {
+            cut.persist_meta(out);
+        }
+        out.put_len(self.node_slot.len());
+        for s in &self.node_slot {
+            match s {
+                Some((cut, slot)) => {
+                    out.put_bool(true);
+                    out.put_u32(*cut);
+                    out.put_u32(*slot);
+                }
+                None => out.put_bool(false),
+            }
+        }
+        out.put_len(self.node_rec.len());
+        for &(off, len) in &self.node_rec {
+            out.put_u64(off);
+            out.put_u64(len);
+        }
+        out.put_u32(self.tree_ext.0);
+        self.remap.persist_meta(out);
+        out.put_vec_u64(&self.counts.tree);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+        out.put_u32(self.c);
+        out.put_u8(self.slack.persist_tag());
+    }
+
+    /// Rebuilds an engine over a reopened disk. Rebuild counters start
+    /// from zero (they describe a process lifetime, not the structure).
+    pub(crate) fn restore_meta(
+        meta: &mut psi_store::MetaCursor,
+        disk: Disk,
+    ) -> Result<Engine, psi_store::StoreError> {
+        let tree = if meta.get_bool()? {
+            Some(WbbTree::restore_meta(meta)?)
+        } else {
+            None
+        };
+        let num_cuts = meta.get_len(20)?;
+        let mut cuts = Vec::with_capacity(num_cuts);
+        for _ in 0..num_cuts {
+            cuts.push(CutStream::restore_meta(meta, &disk)?);
+        }
+        let slots = meta.get_len(1)?;
+        let mut node_slot = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            node_slot.push(if meta.get_bool()? {
+                Some((meta.get_u32()?, meta.get_u32()?))
+            } else {
+                None
+            });
+        }
+        let recs = meta.get_len(16)?;
+        let mut node_rec = Vec::with_capacity(recs);
+        for _ in 0..recs {
+            node_rec.push((meta.get_u64()?, meta.get_u64()?));
+        }
+        let tree_ext = psi_store::check_extent(&disk, meta.get_u32()?, "engine tree")?;
+        // Cross-consistency: the per-node tables must cover the arena and
+        // every slot pointer must land in an existing cut slot — a
+        // checksum-valid but inconsistent producer should fail typed at
+        // open, not panic on the first query.
+        if let Some(tree) = &tree {
+            if node_slot.len() < tree.arena_len() || node_rec.len() < tree.arena_len() {
+                return Err(psi_store::StoreError::Meta {
+                    what: "engine node tables shorter than the tree arena".into(),
+                });
+            }
+        }
+        for s in node_slot.iter().flatten() {
+            let valid = cuts
+                .get(s.0 as usize)
+                .is_some_and(|c| (s.1 as usize) < c.num_slots());
+            if !valid {
+                return Err(psi_store::StoreError::Meta {
+                    what: format!("engine slot pointer ({}, {}) out of range", s.0, s.1),
+                });
+            }
+        }
+        let remap = crate::remap::Remap::restore_meta(meta)?;
+        let counts = Fenwick {
+            tree: meta.get_vec_u64()?,
+        };
+        let n = meta.get_u64()?;
+        let sigma = meta.get_u32()?;
+        let c = meta.get_u32()?;
+        let slack = Slack::from_persist_tag(meta.get_u8()?)?;
+        Ok(Engine {
+            disk,
+            tree,
+            cuts,
+            node_slot,
+            node_rec,
+            tree_ext,
+            remap,
+            counts,
+            n,
+            sigma,
+            c,
+            slack,
+            stats: EngineStats::default(),
+        })
     }
 }
 

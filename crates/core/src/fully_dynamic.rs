@@ -25,9 +25,9 @@
 //! `n/4` changes, or immediately when a change introduces a character
 //! that the snapshot has no node for.
 
-use psi_api::{check_range, AppendIndex, DynamicIndex, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, AppendIndex, DynamicIndex, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{merge, GapBitmap};
-use psi_io::{IoConfig, IoSession};
+use psi_io::{Disk, IoConfig, IoSession};
 
 use crate::buffered_bitmap::BufferedBitmapIndex;
 use crate::wbb::{NodeId, WbbTree};
@@ -70,7 +70,7 @@ struct Snapshot {
 /// ```
 /// use psi_core::FullyDynamicIndex;
 /// use psi_api::{DynamicIndex, SecondaryIndex};
-/// use psi_io::{IoConfig, IoSession};
+/// use psi_io::{Disk, IoConfig, IoSession};
 ///
 /// let mut idx = FullyDynamicIndex::build(&[0, 1, 2, 1, 0], 3, IoConfig::default());
 /// let io = IoSession::new();
@@ -494,6 +494,196 @@ impl DynamicIndex for FullyDynamicIndex {
     fn change(&mut self, pos: u64, symbol: Symbol, io: &IoSession) {
         assert!(symbol < self.sigma, "use delete() for the ∞ character");
         self.change_internal(pos, symbol, io);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for FullyDynamicIndex {
+    const TAG: &'static str = "fully_dynamic";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u64(self.config.block_bits);
+        out.put_opt_u64(self.config.mem_blocks.map(|m| m as u64));
+        out.put_u32(self.sigma);
+        out.put_vec_u32(&self.string);
+        out.put_vec_u64(&self.counts);
+        out.put_u32(self.inf);
+        out.put_len(self.pending_appends);
+        out.put_u64(self.changes_since_rebuild);
+        out.put_u64(self.global_rebuilds);
+        out.put_u32(self.c);
+        match &self.snap {
+            None => out.put_bool(false),
+            Some(snap) => {
+                out.put_bool(true);
+                snap.tree.persist_meta(out);
+                out.put_vec_u32(&snap.levels);
+                out.put_u64(snap.n0);
+                out.put_len(snap.node_slot.len());
+                for s in &snap.node_slot {
+                    match s {
+                        Some((cut, slot)) => {
+                            out.put_bool(true);
+                            out.put_u32(*cut);
+                            out.put_u32(*slot);
+                        }
+                        None => out.put_bool(false),
+                    }
+                }
+                out.put_len(snap.route.len());
+                for per_char in &snap.route {
+                    out.put_len(per_char.len());
+                    for pieces in per_char {
+                        out.put_len(pieces.len());
+                        for &(pos, slot) in pieces {
+                            out.put_u64(pos);
+                            out.put_u32(slot);
+                        }
+                    }
+                }
+                out.put_len(snap.leaf_route.len());
+                for pieces in &snap.leaf_route {
+                    out.put_len(pieces.len());
+                    for &(pos, depth) in pieces {
+                        out.put_u64(pos);
+                        out.put_u32(depth);
+                    }
+                }
+                // Each cut's buffered bitmap index follows; its disk is
+                // the corresponding volume (in cut order).
+                out.put_len(snap.cuts.len());
+                for cut in &snap.cuts {
+                    out.put_u32(cut.level);
+                    cut.bbi.persist_meta(out);
+                }
+            }
+        }
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        match &self.snap {
+            None => Vec::new(),
+            Some(snap) => snap.cuts.iter().map(|c| c.bbi.disk()).collect(),
+        }
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let block_bits = meta.get_u64()?;
+        let mem_blocks = meta.get_opt_u64()?.map(|m| m as usize);
+        let config = psi_io::IoConfig {
+            block_bits,
+            mem_blocks,
+        };
+        let sigma = meta.get_u32()?;
+        let string = meta.get_vec_u32()?;
+        let counts = meta.get_vec_u64()?;
+        let inf = meta.get_u32()?;
+        let pending_appends = meta.get_u64()? as usize;
+        let changes_since_rebuild = meta.get_u64()?;
+        let global_rebuilds = meta.get_u64()?;
+        let c = meta.get_u32()?;
+        let snap = if meta.get_bool()? {
+            let tree = WbbTree::restore_meta(meta)?;
+            let levels = meta.get_vec_u32()?;
+            let n0 = meta.get_u64()?;
+            let slots = meta.get_len(1)?;
+            let mut node_slot = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                node_slot.push(if meta.get_bool()? {
+                    Some((meta.get_u32()?, meta.get_u32()?))
+                } else {
+                    None
+                });
+            }
+            let cuts_n = meta.get_len(8)?;
+            let mut route = Vec::with_capacity(cuts_n);
+            for _ in 0..cuts_n {
+                let chars = meta.get_len(8)?;
+                let mut per_char = Vec::with_capacity(chars);
+                for _ in 0..chars {
+                    let pieces = meta.get_len(12)?;
+                    per_char.push(
+                        (0..pieces)
+                            .map(|_| Ok((meta.get_u64()?, meta.get_u32()?)))
+                            .collect::<Result<Vec<RouteEntry>, psi_store::StoreError>>()?,
+                    );
+                }
+                route.push(per_char);
+            }
+            let chars = meta.get_len(8)?;
+            let mut leaf_route = Vec::with_capacity(chars);
+            for _ in 0..chars {
+                let pieces = meta.get_len(12)?;
+                leaf_route.push(
+                    (0..pieces)
+                        .map(|_| Ok((meta.get_u64()?, meta.get_u32()?)))
+                        .collect::<Result<Vec<(u64, u32)>, psi_store::StoreError>>()?,
+                );
+            }
+            let num_cuts = meta.get_len(8)?;
+            if num_cuts != disks.len() || num_cuts != route.len() {
+                return Err(psi_store::StoreError::Meta {
+                    what: format!(
+                        "fully dynamic index expects one volume per cut ({} cuts, {} volumes)",
+                        num_cuts,
+                        disks.len()
+                    ),
+                });
+            }
+            for s in node_slot.iter().flatten() {
+                if s.0 as usize >= num_cuts {
+                    return Err(psi_store::StoreError::Meta {
+                        what: format!("snapshot slot pointer cut {} out of range", s.0),
+                    });
+                }
+            }
+            if node_slot.len() < tree.arena_len() {
+                return Err(psi_store::StoreError::Meta {
+                    what: "snapshot node_slot shorter than the tree arena".into(),
+                });
+            }
+            let mut cuts = Vec::with_capacity(num_cuts);
+            for disk in disks {
+                let level = meta.get_u32()?;
+                cuts.push(CutIndex {
+                    level,
+                    bbi: BufferedBitmapIndex::restore_meta(meta, disk)?,
+                });
+            }
+            Some(Snapshot {
+                tree,
+                cuts,
+                node_slot,
+                route,
+                leaf_route,
+                levels,
+                n0,
+            })
+        } else {
+            if !disks.is_empty() {
+                return Err(psi_store::StoreError::Meta {
+                    what: "fully dynamic index without snapshot expects no volumes".into(),
+                });
+            }
+            None
+        };
+        Ok(FullyDynamicIndex {
+            config,
+            sigma,
+            string,
+            counts,
+            inf,
+            snap,
+            pending_appends,
+            changes_since_rebuild,
+            global_rebuilds,
+            c,
+        })
     }
 }
 

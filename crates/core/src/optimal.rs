@@ -1,6 +1,6 @@
 //! The optimal static secondary index (Theorem 2).
 
-use psi_api::{RidSet, SecondaryIndex, Symbol};
+use psi_api::{HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_io::{Disk, IoConfig, IoSession};
 
 use crate::cutstream::Slack;
@@ -69,11 +69,6 @@ impl OptimalIndex {
         self.engine.num_cuts()
     }
 
-    /// The simulated disk (harness inspection).
-    pub fn disk(&self) -> &Disk {
-        self.engine.disk()
-    }
-
     /// Engine counters (static builds never rebuild; exposed for symmetry).
     pub fn stats(&self) -> EngineStats {
         self.engine.stats
@@ -82,6 +77,12 @@ impl OptimalIndex {
     /// Consumes the index, returning the engine (approximate layer).
     pub(crate) fn into_engine(self) -> Engine {
         self.engine
+    }
+}
+
+impl HasDisk for OptimalIndex {
+    fn disk(&self) -> &Disk {
+        self.engine.disk()
     }
 }
 
@@ -105,6 +106,31 @@ impl SecondaryIndex for OptimalIndex {
     fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
         // Exact, from the memory-resident prefix counts (the paper's `A`).
         Some(self.engine.query_cardinality(lo, hi))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for OptimalIndex {
+    const TAG: &'static str = "optimal";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.engine.persist_meta(out);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "optimal")?;
+        Ok(OptimalIndex {
+            engine: Engine::restore_meta(meta, disk)?,
+        })
     }
 }
 

@@ -112,6 +112,34 @@ impl Remap {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl Remap {
+    /// Serializes the mapping into an index-metadata buffer.
+    pub fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.sigma_internal);
+        out.put_len(self.range.len());
+        for &(lo, hi) in &self.range {
+            out.put_u32(lo);
+            out.put_u32(hi);
+        }
+    }
+
+    /// Rebuilds the mapping from serialized metadata.
+    pub fn restore_meta(meta: &mut psi_store::MetaCursor) -> Result<Remap, psi_store::StoreError> {
+        let sigma_internal = meta.get_u32()?;
+        let len = meta.get_len(8)?;
+        let range = (0..len)
+            .map(|_| Ok((meta.get_u32()?, meta.get_u32()?)))
+            .collect::<Result<Vec<_>, psi_store::StoreError>>()?;
+        Ok(Remap {
+            range,
+            sigma_internal,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,6 @@
 //! The semi-dynamic (append-only) index (Theorem 4).
 
-use psi_api::{AppendIndex, RidSet, SecondaryIndex, Symbol};
+use psi_api::{AppendIndex, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_io::{Disk, IoConfig, IoSession};
 
 use crate::cutstream::Slack;
@@ -59,14 +59,15 @@ impl SemiDynamicIndex {
         self.engine.stats
     }
 
-    /// The simulated disk (harness inspection).
-    pub fn disk(&self) -> &Disk {
-        self.engine.disk()
-    }
-
     /// Live compressed payload bits across cuts.
     pub fn payload_bits(&self) -> u64 {
         self.engine.live_payload_bits()
+    }
+}
+
+impl HasDisk for SemiDynamicIndex {
+    fn disk(&self) -> &Disk {
+        self.engine.disk()
     }
 }
 
@@ -97,6 +98,31 @@ impl SecondaryIndex for SemiDynamicIndex {
 impl AppendIndex for SemiDynamicIndex {
     fn append(&mut self, symbol: Symbol, io: &IoSession) {
         self.engine.append(symbol, io);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for SemiDynamicIndex {
+    const TAG: &'static str = "semi_dynamic";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        self.engine.persist_meta(out);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "semi-dynamic")?;
+        Ok(SemiDynamicIndex {
+            engine: Engine::restore_meta(meta, disk)?,
+        })
     }
 }
 

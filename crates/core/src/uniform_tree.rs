@@ -14,7 +14,7 @@
 //! space (every level repeats the whole multiset), which is exactly what
 //! the weight-balanced structure of Theorem 2 fixes.
 
-use psi_api::{check_range, RidSet, SecondaryIndex, Symbol};
+use psi_api::{check_range, HasDisk, RidSet, SecondaryIndex, Symbol};
 use psi_bits::{merge, GapBitmap};
 use psi_io::{cost, Disk, IoConfig, IoSession};
 
@@ -102,11 +102,6 @@ impl UniformTreeIndex {
         self.levels.len()
     }
 
-    /// The simulated disk (harness inspection).
-    pub fn disk(&self) -> &Disk {
-        &self.disk
-    }
-
     /// Maximal aligned subtrees covering `[lo, hi]` as `(level, index)`
     /// pairs — at most two per level.
     fn canonical_cover(&self, lo: Symbol, hi: Symbol) -> Vec<(usize, u64)> {
@@ -172,6 +167,12 @@ impl UniformTreeIndex {
     }
 }
 
+impl HasDisk for UniformTreeIndex {
+    fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
 impl SecondaryIndex for UniformTreeIndex {
     fn len(&self) -> u64 {
         self.n
@@ -223,6 +224,46 @@ impl SecondaryIndex for UniformTreeIndex {
     fn cardinality_hint(&self, lo: Symbol, hi: Symbol) -> Option<u64> {
         // Exact, from the memory-resident A array.
         Some(self.cardinality(lo, hi))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl psi_store::PersistIndex for UniformTreeIndex {
+    const TAG: &'static str = "uniform_tree";
+
+    fn write_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_len(self.levels.len());
+        for level in &self.levels {
+            level.persist_meta(out);
+        }
+        out.put_vec_u64(&self.prefix);
+        out.put_u64(self.n);
+        out.put_u32(self.sigma);
+    }
+
+    fn disks(&self) -> Vec<&Disk> {
+        vec![HasDisk::disk(self)]
+    }
+
+    fn from_parts(
+        meta: &mut psi_store::MetaCursor,
+        disks: Vec<Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        let disk = psi_store::single_volume(disks, "uniform-tree")?;
+        let num_levels = meta.get_len(20)?;
+        let mut levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            levels.push(CutStream::restore_meta(meta, &disk)?);
+        }
+        Ok(UniformTreeIndex {
+            disk,
+            levels,
+            prefix: meta.get_vec_u64()?,
+            n: meta.get_u64()?,
+            sigma: meta.get_u32()?,
+        })
     }
 }
 

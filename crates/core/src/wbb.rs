@@ -477,6 +477,61 @@ pub fn height_for(n: u64, c: u32) -> u32 {
     h
 }
 
+// ---------------------------------------------------------------------------
+// Persistence (psi-store)
+
+impl WbbTree {
+    /// Serializes the tree mirror into an index-metadata buffer.
+    pub fn persist_meta(&self, out: &mut psi_store::MetaBuf) {
+        out.put_u32(self.c);
+        out.put_u32(self.h);
+        out.put_u32(self.root);
+        out.put_len(self.nodes.len());
+        for n in &self.nodes {
+            out.put_opt_u32(n.parent);
+            out.put_u32(n.depth);
+            out.put_u64(n.weight);
+            out.put_u32(n.char_lo);
+            out.put_u32(n.char_hi);
+            out.put_vec_u32(&n.children);
+            out.put_bool(n.dead);
+        }
+    }
+
+    /// Rebuilds the tree mirror from serialized metadata.
+    pub fn restore_meta(
+        meta: &mut psi_store::MetaCursor,
+    ) -> Result<WbbTree, psi_store::StoreError> {
+        let c = meta.get_u32()?;
+        let h = meta.get_u32()?;
+        let root = meta.get_u32()?;
+        let len = meta.get_len(16)?;
+        let mut nodes = Vec::with_capacity(len);
+        for _ in 0..len {
+            nodes.push(Node {
+                parent: meta.get_opt_u32()?,
+                depth: meta.get_u32()?,
+                weight: meta.get_u64()?,
+                char_lo: meta.get_u32()?,
+                char_hi: meta.get_u32()?,
+                children: meta.get_vec_u32()?,
+                dead: meta.get_bool()?,
+            });
+        }
+        let bad_link = |id: NodeId| id as usize >= nodes.len();
+        if bad_link(root)
+            || nodes.iter().any(|n| {
+                n.children.iter().any(|&ch| bad_link(ch)) || n.parent.is_some_and(bad_link)
+            })
+        {
+            return Err(psi_store::StoreError::Meta {
+                what: "tree node id out of range".into(),
+            });
+        }
+        Ok(WbbTree { c, nodes, root, h })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

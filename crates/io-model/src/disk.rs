@@ -1,5 +1,9 @@
 //! The simulated block device.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::pool::BufferPool;
 use crate::session::IoSession;
 use crate::IoConfig;
 
@@ -12,14 +16,41 @@ use crate::IoConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExtentId(pub u32);
 
-#[derive(Debug, Default)]
+/// Extent metadata recorded in a store file: enough to recreate the
+/// extent table of a [`Disk`] without loading any payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredExtent {
+    /// Valid bits in the extent.
+    pub bit_len: u64,
+    /// Whether the extent had been freed when saved.
+    pub freed: bool,
+}
+
+#[derive(Debug)]
 struct Extent {
-    /// Bit storage, MSB-first within each word.
+    /// Bit storage, MSB-first within each word. Authoritative only while
+    /// `resident`; non-resident extents are fetched block by block from
+    /// the disk's buffer pool.
     words: Vec<u64>,
     /// Number of valid bits.
     bit_len: u64,
     /// Freed extents keep their id but release their storage.
     freed: bool,
+    /// Whether `words` holds the extent (the default for built disks).
+    /// Opened, file-backed disks start non-resident and read through the
+    /// buffer pool; writers promote an extent back to residency.
+    resident: bool,
+}
+
+impl Default for Extent {
+    fn default() -> Self {
+        Extent {
+            words: Vec::new(),
+            bit_len: 0,
+            freed: false,
+            resident: true,
+        }
+    }
 }
 
 /// An in-RAM simulated block device with bit-granular extents.
@@ -34,6 +65,9 @@ struct Extent {
 pub struct Disk {
     config: IoConfig,
     extents: Vec<Extent>,
+    /// Buffer pool fronting a real backend; `None` for the fully
+    /// resident, in-RAM disk (the default).
+    pool: Option<Rc<BufferPool>>,
 }
 
 impl Disk {
@@ -42,6 +76,125 @@ impl Disk {
         Disk {
             config,
             extents: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// Reconstructs a disk from stored extent metadata, reading payload
+    /// on demand through `pool`. Extents are recreated with the same ids
+    /// (indices) they were saved with; none of them is resident until a
+    /// writer promotes it.
+    pub fn from_stored(config: IoConfig, extents: &[StoredExtent], pool: Rc<BufferPool>) -> Self {
+        Disk {
+            config,
+            extents: extents
+                .iter()
+                .map(|e| Extent {
+                    words: Vec::new(),
+                    bit_len: e.bit_len,
+                    freed: e.freed,
+                    resident: e.freed || e.bit_len == 0,
+                })
+                .collect(),
+            pool: Some(pool),
+        }
+    }
+
+    /// The buffer pool, when this disk reads through one.
+    pub fn pool(&self) -> Option<&Rc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Number of extents ever allocated (live and freed).
+    pub fn num_extents(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Whether an extent's words are memory-resident.
+    pub fn is_resident(&self, ext: ExtentId) -> bool {
+        self.extents[ext.0 as usize].resident
+    }
+
+    /// Whether an extent has been freed.
+    pub fn is_freed(&self, ext: ExtentId) -> bool {
+        self.extents[ext.0 as usize].freed
+    }
+
+    /// The resident word image of an extent (save paths).
+    ///
+    /// # Panics
+    /// Panics when the extent is non-resident; promote it first.
+    pub fn extent_words(&self, ext: ExtentId) -> &[u64] {
+        let e = &self.extents[ext.0 as usize];
+        assert!(
+            e.resident,
+            "extent {} is not resident; promote before snapshotting",
+            ext.0
+        );
+        &e.words
+    }
+
+    /// Loads a non-resident extent's blocks from the backend into RAM,
+    /// making `words` authoritative again (writers call this; reads of a
+    /// resident extent no longer consult the pool). Each loaded block
+    /// counts as a real fetch.
+    pub fn promote(&mut self, ext: ExtentId) {
+        let e = &mut self.extents[ext.0 as usize];
+        if e.resident {
+            return;
+        }
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("non-resident extent needs a pool");
+        let block_words = (self.config.block_bits / 64) as usize;
+        let blocks = self.config.blocks_for_bits(e.bit_len);
+        let mut words = vec![0u64; (e.bit_len as usize).div_ceil(64)];
+        let mut buf = vec![0u64; block_words];
+        for blk in 0..blocks {
+            match pool.store().read_block(ext, blk, &mut buf) {
+                Ok(()) => {}
+                Err(err) => panic!("promoting extent {}: {err}", ext.0),
+            }
+            let start = blk as usize * block_words;
+            let end = (start + block_words).min(words.len());
+            words[start..end].copy_from_slice(&buf[..end - start]);
+        }
+        pool.forget_extent(ext);
+        e.words = words;
+        e.resident = true;
+    }
+
+    /// Promotes every extent (a full load; used before re-saving an
+    /// opened disk).
+    pub fn promote_all(&mut self) {
+        for i in 0..self.extents.len() {
+            self.promote(ExtentId(i as u32));
+        }
+    }
+
+    /// Charges the blocks covering `[bit_off, bit_off + bit_len)` of
+    /// `ext` as reads, and — on a pooled disk — faults each of them, so
+    /// directory-record charges drive real fetches exactly like payload
+    /// reads do. Zero-length spans charge their single containing block,
+    /// matching a one-record read.
+    pub fn charge_read_span(&self, ext: ExtentId, bit_off: u64, bit_len: u64, io: &IoSession) {
+        let b = self.config.block_bits;
+        let first = bit_off / b;
+        let last = (bit_off + bit_len.max(1) - 1) / b;
+        let e = &self.extents[ext.0 as usize];
+        // Blocks that exist on the backend (a span may legitimately end
+        // inside slack that was never written; those blocks are charged
+        // but have nothing to fetch).
+        let stored = self.config.blocks_for_bits(e.bit_len);
+        for blk in first..=last {
+            io.charge_read(ext, blk);
+            if !e.resident && blk < stored {
+                self.pool
+                    .as_ref()
+                    .expect("non-resident extent needs a pool")
+                    .touch(ext, blk);
+            }
         }
     }
 
@@ -68,6 +221,13 @@ impl Disk {
         e.words = Vec::new();
         e.bit_len = 0;
         e.freed = true;
+        // An empty extent needs no backend: it is trivially resident.
+        if !e.resident {
+            e.resident = true;
+            if let Some(pool) = &self.pool {
+                pool.forget_extent(ext);
+            }
+        }
     }
 
     /// Length of an extent in bits.
@@ -101,6 +261,7 @@ impl Disk {
 
     /// Truncates an extent to `bit_len` bits (must not exceed current).
     pub fn truncate(&mut self, ext: ExtentId, bit_len: u64) {
+        self.promote(ext);
         let e = &mut self.extents[ext.0 as usize];
         assert!(bit_len <= e.bit_len, "truncate beyond extent length");
         e.bit_len = bit_len;
@@ -133,8 +294,20 @@ impl Disk {
             "reader offset {bit_off} beyond extent length {}",
             e.bit_len
         );
+        let pool = if e.resident {
+            None
+        } else {
+            Some(
+                &**self
+                    .pool
+                    .as_ref()
+                    .expect("non-resident extent needs a pool"),
+            )
+        };
         DiskReader {
             words: &e.words,
+            pool,
+            pinned: Cell::new(PIN_NONE),
             bit_len: e.bit_len,
             ext,
             pos: bit_off,
@@ -144,8 +317,12 @@ impl Disk {
         }
     }
 
-    /// An appending cursor positioned at the end of `ext`.
+    /// An appending cursor positioned at the end of `ext`. On a pooled
+    /// disk the extent is promoted to a resident RAM image first (writes
+    /// on opened stores are in-memory overlays; the file is immutable
+    /// until the index is saved again).
     pub fn writer<'a>(&'a mut self, ext: ExtentId, session: &'a IoSession) -> DiskWriter<'a> {
+        self.promote(ext);
         let block_bits = self.config.block_bits;
         let e = &mut self.extents[ext.0 as usize];
         e.freed = false;
@@ -168,6 +345,7 @@ impl Disk {
         bit_off: u64,
         session: &'a IoSession,
     ) -> DiskWriterAt<'a> {
+        self.promote(ext);
         let block_bits = self.config.block_bits;
         let e = &mut self.extents[ext.0 as usize];
         assert!(
@@ -187,20 +365,45 @@ impl Disk {
     }
 }
 
+/// Sentinel for "no block pinned" in a pooled reader.
+const PIN_NONE: (u64, u32) = (u64::MAX, u32::MAX);
+
 /// A bit-granular reading cursor over one extent.
 ///
 /// Bits are MSB-first within 64-bit words. Each word access charges the
 /// block containing it to the session (deduplicated against the previously
 /// charged block, and again inside the session's residency set).
+///
+/// Over a resident extent the cursor reads the RAM image directly. Over a
+/// non-resident extent (an opened store) every word access goes through
+/// the disk's [`BufferPool`]: the cursor keeps its current block **pinned**
+/// (so concurrent cursors cannot evict it mid-decode), moving the pin as
+/// it crosses block boundaries and releasing it on drop. The charges are
+/// identical in both modes; only the pooled mode turns them into real
+/// fetches.
 #[derive(Debug)]
 pub struct DiskReader<'a> {
     words: &'a [u64],
+    pool: Option<&'a BufferPool>,
+    /// Pooled mode: the currently pinned `(block, frame)`.
+    pinned: Cell<(u64, u32)>,
     bit_len: u64,
     ext: ExtentId,
     pos: u64,
     session: &'a IoSession,
     block_bits: u64,
     last_block: u64,
+}
+
+impl Drop for DiskReader<'_> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool {
+            let (block, frame) = self.pinned.get();
+            if block != PIN_NONE.0 {
+                pool.unpin_frame(frame);
+            }
+        }
+    }
 }
 
 impl<'a> DiskReader<'a> {
@@ -212,6 +415,41 @@ impl<'a> DiskReader<'a> {
             self.session.charge_read(self.ext, block);
             self.last_block = block;
         }
+    }
+
+    /// Reads word `word_idx` of the extent: directly from the RAM image
+    /// (the slice access *is* the dispatch — pooled readers hold an empty
+    /// slice, so they fall through to the cold pooled path), or through
+    /// the pool with a moving pin for non-resident extents.
+    #[inline]
+    fn word(&self, word_idx: u64) -> u64 {
+        match self.words.get(word_idx as usize) {
+            Some(&w) => w,
+            None => self.pooled_word(word_idx),
+        }
+    }
+
+    /// The non-resident path of [`Self::word`]: reads through the buffer
+    /// pool, keeping the current block pinned and moving the pin as the
+    /// cursor crosses block boundaries.
+    #[cold]
+    fn pooled_word(&self, word_idx: u64) -> u64 {
+        let pool = self
+            .pool
+            .expect("word index out of bounds on resident extent");
+        let block = word_idx * 64 / self.block_bits;
+        let (pinned_block, frame) = self.pinned.get();
+        let frame = if pinned_block == block {
+            frame
+        } else {
+            if pinned_block != PIN_NONE.0 {
+                pool.unpin_frame(frame);
+            }
+            let frame = pool.pin(self.ext, block);
+            self.pinned.set((block, frame));
+            frame
+        };
+        pool.frame_word(frame, (word_idx - block * (self.block_bits / 64)) as usize)
     }
 
     /// Current bit position.
@@ -233,7 +471,7 @@ impl<'a> DiskReader<'a> {
         assert!(self.pos < self.bit_len, "read past end of extent");
         let w = self.pos / 64;
         self.charge_word(w);
-        let bit = (self.words[w as usize] >> (63 - (self.pos % 64))) & 1;
+        let bit = (self.word(w) >> (63 - (self.pos % 64))) & 1;
         self.pos += 1;
         self.session.add_bits_read(1);
         bit == 1
@@ -251,17 +489,17 @@ impl<'a> DiskReader<'a> {
             self.pos + u64::from(k) <= self.bit_len,
             "read past end of extent"
         );
-        let w = (self.pos / 64) as usize;
+        let w = self.pos / 64;
         let off = (self.pos % 64) as u32;
-        self.charge_word(w as u64);
+        self.charge_word(w);
         let avail = 64 - off;
         let value = if k <= avail {
             // Entirely within one word.
-            (self.words[w] << off) >> (64 - k)
+            (self.word(w) << off) >> (64 - k)
         } else {
-            self.charge_word(w as u64 + 1);
-            let hi = self.words[w] << off >> (64 - k); // top `avail` bits in place
-            let lo = self.words[w + 1] >> (64 - (k - avail));
+            self.charge_word(w + 1);
+            let hi = self.word(w) << off >> (64 - k); // top `avail` bits in place
+            let lo = self.word(w + 1) >> (64 - (k - avail));
             hi | lo
         };
         self.pos += u64::from(k);
@@ -286,9 +524,19 @@ impl<'a> DiskReader<'a> {
         // second load is expensive. Bits past `bit_len` are zero (writes
         // OR into zeroed words; truncation clears the tail), so no
         // masking is needed.
+        //
+        // Pooled (non-resident) readers hold an empty slice and land in
+        // the `None` arm: they advertise no lookahead, because a peek
+        // must not charge the session, yet a pooled access performs a
+        // real fetch — and a fetch without a charge would break the
+        // cold-cache invariant "real reads == charged reads". An empty
+        // window sends codecs down the cursor path, whose charges are
+        // identical to the peek/consume path by construction.
         let off = (self.pos % 64) as u32;
-        let word = self.words[(self.pos / 64) as usize] << off;
-        (word, remaining.min(u64::from(64 - off)) as u32)
+        match self.words.get((self.pos / 64) as usize) {
+            Some(&w) => (w << off, remaining.min(u64::from(64 - off)) as u32),
+            None => (0, 0),
+        }
     }
 
     /// Consumes `k ≤ 64` bits previously examined via [`Self::peek_word`],
@@ -309,6 +557,13 @@ impl<'a> DiskReader<'a> {
         let last = (self.pos + u64::from(k) - 1) / 64;
         if last != w {
             self.charge_word(last);
+        }
+        if self.pool.is_some() {
+            // Pooled mode: every charge must drive a fetch, even though
+            // the consumed bits were never peeked (defensive — pooled
+            // peeks return an empty window, so this path is cold).
+            let _ = self.word(w);
+            let _ = self.word(last);
         }
         self.pos += u64::from(k);
         self.session.add_bits_read(u64::from(k));
@@ -333,10 +588,10 @@ impl<'a> DiskReader<'a> {
         let mut zeros = 0u32;
         loop {
             assert!(self.pos < self.bit_len, "unary code ran past end of extent");
-            let w = (self.pos / 64) as usize;
+            let w = self.pos / 64;
             let off = (self.pos % 64) as u32;
-            self.charge_word(w as u64);
-            let chunk = self.words[w] << off;
+            self.charge_word(w);
+            let chunk = self.word(w) << off;
             let avail = (64 - off).min((self.bit_len - self.pos) as u32);
             let lz = chunk.leading_zeros().min(avail);
             if lz < avail {

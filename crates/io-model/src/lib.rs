@@ -28,11 +28,15 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 pub mod cost;
 mod disk;
+mod pool;
 mod session;
 
-pub use disk::{Disk, DiskReader, DiskWriter, DiskWriterAt, ExtentId};
+pub use backend::{BlockStore, BlockStoreError, MemStore};
+pub use disk::{Disk, DiskReader, DiskWriter, DiskWriterAt, ExtentId, StoredExtent};
+pub use pool::{BufferPool, PoolStats};
 pub use session::{IoSession, IoStats};
 
 /// Default block size in bits: 8192 bits = 1 KiB blocks.

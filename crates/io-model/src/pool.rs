@@ -1,0 +1,348 @@
+//! The pinning buffer pool between [`IoSession`] charging and a real
+//! [`BlockStore`] backend.
+//!
+//! A pool caches up to `capacity` model blocks in fixed-size frames.
+//! Readers **pin** the frame they are currently decoding from (one pin
+//! per cursor, moved as the cursor crosses block boundaries, released on
+//! drop), so concurrent cursors in a k-way merge can never have their
+//! working block evicted under them. Eviction is the classic clock
+//! (second-chance) sweep over unpinned frames.
+//!
+//! Invariants (asserted in tests, documented in `DESIGN.md`):
+//!
+//! * a pinned frame is never evicted or reused — the pool grows past its
+//!   capacity target rather than evict a pinned frame;
+//! * every miss performs exactly one backend fetch; hits perform none —
+//!   so on a cold pool large enough to hold an operation's working set,
+//!   real fetches equal the operation's distinct-block charge, and on a
+//!   warm pool they are at most that charge;
+//! * frame contents are immutable while resident: the pool fronts
+//!   read-only opened stores (writers promote extents to RAM instead).
+//!
+//! [`IoSession`]: crate::IoSession
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::backend::BlockStore;
+use crate::disk::ExtentId;
+
+/// Aggregate pool counters (see [`BufferPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Block requests served from a resident frame.
+    pub hits: u64,
+    /// Block requests that required a backend fetch.
+    pub misses: u64,
+    /// Frames evicted by the clock sweep.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: (ExtentId, u64),
+    data: Box<[u64]>,
+    pins: u32,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<(ExtentId, u64), u32>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+/// A clock-eviction, pin-counting block cache over a [`BlockStore`].
+pub struct BufferPool {
+    store: Rc<dyn BlockStore>,
+    capacity: usize,
+    block_words: usize,
+    inner: RefCell<PoolInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("BufferPool")
+            .field("backend", &self.store.kind())
+            .field("capacity", &self.capacity)
+            .field("resident", &inner.frames.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool of at most `capacity` blocks (frames of
+    /// `block_bits / 64` words each) over `store`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `block_bits` is not a positive
+    /// multiple of 64.
+    pub fn new(store: Rc<dyn BlockStore>, capacity: usize, block_bits: u64) -> Self {
+        assert!(capacity > 0, "pool needs at least one frame");
+        assert!(
+            block_bits > 0 && block_bits.is_multiple_of(64),
+            "block_bits must be a positive multiple of 64"
+        );
+        BufferPool {
+            store,
+            capacity,
+            block_words: (block_bits / 64) as usize,
+            inner: RefCell::new(PoolInner::default()),
+        }
+    }
+
+    /// The backend this pool fetches from.
+    pub fn store(&self) -> &Rc<dyn BlockStore> {
+        &self.store
+    }
+
+    /// Target number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident frames.
+    pub fn resident(&self) -> usize {
+        self.inner.borrow().frames.len()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Real fetches performed by the backend on this pool's behalf.
+    pub fn fetches(&self) -> u64 {
+        self.store.fetches()
+    }
+
+    /// Pins block `block` of extent `ext`, fetching it on miss. Returns
+    /// the frame index, stable until the matching [`Self::unpin_frame`].
+    pub fn pin(&self, ext: ExtentId, block: u64) -> u32 {
+        let key = (ext, block);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&idx) = inner.map.get(&key) {
+            let f = &mut inner.frames[idx as usize];
+            f.pins += 1;
+            f.referenced = true;
+            inner.stats.hits += 1;
+            return idx;
+        }
+        inner.stats.misses += 1;
+        let idx = self.acquire_frame(&mut inner);
+        let frame = &mut inner.frames[idx as usize];
+        frame.key = key;
+        frame.pins = 1;
+        frame.referenced = true;
+        if let Err(e) = self.store.read_block(ext, block, &mut frame.data) {
+            // The file was validated at open; a failing fetch afterwards
+            // means it changed or rotted underneath us.
+            panic!("block fetch failed after open: {e}");
+        }
+        inner.map.insert(key, idx);
+        idx
+    }
+
+    /// Releases one pin on frame `idx`.
+    pub fn unpin_frame(&self, idx: u32) {
+        let mut inner = self.inner.borrow_mut();
+        let f = &mut inner.frames[idx as usize];
+        debug_assert!(f.pins > 0, "unpin of unpinned frame");
+        f.pins -= 1;
+    }
+
+    /// Reads word `word_in_block` of a pinned frame.
+    #[inline]
+    pub fn frame_word(&self, idx: u32, word_in_block: usize) -> u64 {
+        let inner = self.inner.borrow();
+        let f = &inner.frames[idx as usize];
+        debug_assert!(f.pins > 0, "reading an unpinned frame");
+        f.data[word_in_block]
+    }
+
+    /// Ensures block `block` of `ext` is resident (fetching on miss)
+    /// without holding a pin — used when a *charge* must drive a fetch
+    /// even though no payload word is read (directory-record charges).
+    pub fn touch(&self, ext: ExtentId, block: u64) {
+        let idx = self.pin(ext, block);
+        self.unpin_frame(idx);
+    }
+
+    /// Drops any frames belonging to `ext` (called when the owning disk
+    /// promotes the extent to a resident RAM image, making pooled copies
+    /// stale).
+    ///
+    /// # Panics
+    /// Panics if one of those frames is still pinned by a live reader.
+    pub fn forget_extent(&self, ext: ExtentId) {
+        let mut inner = self.inner.borrow_mut();
+        let stale: Vec<(ExtentId, u64)> = inner
+            .map
+            .keys()
+            .filter(|(e, _)| *e == ext)
+            .copied()
+            .collect();
+        for key in stale {
+            let idx = inner.map.remove(&key).expect("key just listed");
+            let f = &mut inner.frames[idx as usize];
+            assert!(f.pins == 0, "promoting an extent with pinned blocks");
+            // Leave the frame allocated but unkeyed: key it to an
+            // impossible address so the clock reuses it.
+            f.key = (ExtentId(u32::MAX), u64::MAX);
+            f.referenced = false;
+        }
+    }
+
+    /// Finds a free frame slot: grows up to capacity, then clock-evicts
+    /// an unpinned frame, then (all pinned) grows past capacity.
+    fn acquire_frame(&self, inner: &mut PoolInner) -> u32 {
+        if inner.frames.len() < self.capacity {
+            inner.frames.push(Frame {
+                key: (ExtentId(u32::MAX), u64::MAX),
+                data: vec![0u64; self.block_words].into_boxed_slice(),
+                pins: 0,
+                referenced: false,
+            });
+            return (inner.frames.len() - 1) as u32;
+        }
+        // Clock sweep: two full revolutions guarantee a victim unless
+        // every frame is pinned.
+        for _ in 0..2 * inner.frames.len() {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % inner.frames.len();
+            let f = &mut inner.frames[idx];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            let key = f.key;
+            if inner.map.remove(&key).is_some() {
+                inner.stats.evictions += 1;
+            }
+            return idx as u32;
+        }
+        // Every frame pinned: grow past the target rather than evict a
+        // pinned frame (the invariant readers rely on).
+        inner.frames.push(Frame {
+            key: (ExtentId(u32::MAX), u64::MAX),
+            data: vec![0u64; self.block_words].into_boxed_slice(),
+            pins: 0,
+            referenced: false,
+        });
+        (inner.frames.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStore;
+    use crate::{Disk, IoConfig, IoSession};
+
+    fn store_with_blocks(blocks: u64) -> Rc<dyn BlockStore> {
+        let mut disk = Disk::new(IoConfig::with_block_bits(128));
+        let ext = disk.alloc();
+        let io = IoSession::untracked();
+        let mut w = disk.writer(ext, &io);
+        for i in 0..blocks * 2 {
+            w.write_bits(i + 1, 64);
+        }
+        Rc::new(MemStore::from_disk(&disk))
+    }
+
+    const EXT: ExtentId = ExtentId(0);
+
+    #[test]
+    fn hits_do_not_refetch() {
+        let pool = BufferPool::new(store_with_blocks(4), 4, 128);
+        let a = pool.pin(EXT, 0);
+        pool.unpin_frame(a);
+        let b = pool.pin(EXT, 0);
+        assert_eq!(pool.frame_word(b, 0), 1);
+        pool.unpin_frame(b);
+        assert_eq!(pool.fetches(), 1);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn clock_evicts_unpinned_in_order() {
+        let pool = BufferPool::new(store_with_blocks(8), 2, 128);
+        for blk in 0..4 {
+            let f = pool.pin(EXT, blk);
+            pool.unpin_frame(f);
+        }
+        // Capacity 2: blocks 2 and 3 resident, 0 and 1 evicted.
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.stats().evictions, 2);
+        let f = pool.pin(EXT, 0); // re-fetch
+        pool.unpin_frame(f);
+        assert_eq!(pool.fetches(), 5);
+    }
+
+    #[test]
+    fn pinned_frames_survive_pressure() {
+        let pool = BufferPool::new(store_with_blocks(8), 2, 128);
+        let pinned = pool.pin(EXT, 0);
+        for blk in 1..6 {
+            let f = pool.pin(EXT, blk);
+            pool.unpin_frame(f);
+        }
+        // The pinned frame still holds block 0's data.
+        assert_eq!(pool.frame_word(pinned, 0), 1);
+        let again = pool.pin(EXT, 0);
+        assert_eq!(again, pinned, "pinned block must hit its own frame");
+        assert_eq!(
+            pool.fetches(),
+            6,
+            "block 0 fetched once despite eviction pressure"
+        );
+        pool.unpin_frame(again);
+        pool.unpin_frame(pinned);
+    }
+
+    #[test]
+    fn all_pinned_grows_past_capacity() {
+        let pool = BufferPool::new(store_with_blocks(8), 2, 128);
+        let f0 = pool.pin(EXT, 0);
+        let f1 = pool.pin(EXT, 1);
+        let f2 = pool.pin(EXT, 2); // both frames pinned: pool must grow
+        assert_eq!(pool.resident(), 3);
+        assert!(pool.resident() > pool.capacity());
+        for f in [f0, f1, f2] {
+            pool.unpin_frame(f);
+        }
+    }
+
+    #[test]
+    fn touch_fetches_without_leaving_a_pin() {
+        let pool = BufferPool::new(store_with_blocks(4), 2, 128);
+        pool.touch(EXT, 1);
+        assert_eq!(pool.fetches(), 1);
+        pool.touch(EXT, 1);
+        assert_eq!(pool.fetches(), 1, "second touch hits");
+        // No pins left: the frame is evictable.
+        pool.touch(EXT, 2);
+        pool.touch(EXT, 3);
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn forget_extent_drops_frames() {
+        let pool = BufferPool::new(store_with_blocks(4), 4, 128);
+        pool.touch(EXT, 0);
+        pool.touch(EXT, 1);
+        pool.forget_extent(EXT);
+        // Both frames are reusable; repinning refetches.
+        pool.touch(EXT, 0);
+        assert_eq!(pool.fetches(), 3);
+    }
+}

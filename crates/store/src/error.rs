@@ -1,0 +1,90 @@
+//! Typed errors for every open/validate path — corrupt or truncated
+//! files are reported, never panicked on.
+
+use std::fmt;
+
+/// Everything that can go wrong saving or opening a store file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `PSISTOR1` magic.
+    BadMagic,
+    /// The file's format version is not one this build reads.
+    BadVersion {
+        /// Version number found in the superblock.
+        found: u32,
+    },
+    /// A checksum mismatch (superblock, a metadata page, or a payload
+    /// page).
+    Corrupt {
+        /// Which region failed verification.
+        what: String,
+    },
+    /// The file ends before a region it promises to contain.
+    Truncated {
+        /// Which region was cut short.
+        what: String,
+    },
+    /// The index metadata region could not be decoded.
+    Meta {
+        /// What the decoder was reading when it failed.
+        what: String,
+    },
+    /// The file holds a different index family than requested.
+    WrongFamily {
+        /// Tag of the family the caller asked for.
+        expected: String,
+        /// Tag recorded in the file.
+        found: String,
+    },
+    /// A disk handed to `save` has non-resident extents (an opened,
+    /// file-backed index must be promoted before re-saving).
+    NotResident,
+    /// Caller-supplied open options are unusable (e.g. a zero-capacity
+    /// buffer pool).
+    InvalidOptions {
+        /// What was wrong with the options.
+        what: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a psi-store file (bad magic)"),
+            StoreError::BadVersion { found } => {
+                write!(f, "unsupported store version {found}")
+            }
+            StoreError::Corrupt { what } => write!(f, "checksum mismatch in {what}"),
+            StoreError::Truncated { what } => write!(f, "file truncated in {what}"),
+            StoreError::Meta { what } => write!(f, "malformed index metadata: {what}"),
+            StoreError::WrongFamily { expected, found } => {
+                write!(
+                    f,
+                    "file holds index family `{found}`, expected `{expected}`"
+                )
+            }
+            StoreError::NotResident => {
+                write!(f, "disk has non-resident extents; promote before saving")
+            }
+            StoreError::InvalidOptions { what } => write!(f, "invalid open options: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

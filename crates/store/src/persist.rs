@@ -1,0 +1,206 @@
+//! Save/open entry points and the [`PersistIndex`] trait every index
+//! family implements.
+
+use std::cell::Cell;
+use std::path::Path;
+use std::rc::Rc;
+
+use psi_io::{BlockStore, BufferPool, Disk, PoolStats, StoredExtent};
+
+use crate::format::{read_header, write_store};
+use crate::raw::{RawBytes, RawFile, RawMmap};
+use crate::ser::{MetaBuf, MetaCursor};
+use crate::volume::VolumeStore;
+use crate::StoreError;
+
+/// Which real-read backend an opened store fetches payload through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Positioned `pread`s on the file descriptor.
+    File,
+    /// A read-only mmap of the whole file.
+    Mmap,
+}
+
+/// Options for [`open`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpenOptions {
+    /// Payload backend.
+    pub backend: Backend,
+    /// Buffer-pool capacity in model blocks, per volume.
+    pub pool_blocks: usize,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            backend: Backend::File,
+            pool_blocks: 1024,
+        }
+    }
+}
+
+/// An index family that can round-trip through a store file.
+///
+/// The contract: `from_parts(write_meta(i), disks(i))` answers every
+/// query — `query`, `cardinality_hint`, conjunctive plans — identically
+/// to `i`, with identical [`psi_io::IoStats`] charges. Payload lives in
+/// the disks (saved verbatim, block by block); everything else the index
+/// holds in memory goes through the metadata buffer.
+pub trait PersistIndex: Sized {
+    /// Family tag recorded in the superblock (checked at open).
+    const TAG: &'static str;
+
+    /// Serializes the memory-resident state.
+    fn write_meta(&self, out: &mut MetaBuf);
+
+    /// The disks holding payload, in a fixed order (`from_parts` receives
+    /// reopened disks in the same order).
+    fn disks(&self) -> Vec<&Disk>;
+
+    /// Reconstructs the index from decoded metadata plus reopened disks.
+    fn from_parts(meta: &mut MetaCursor, disks: Vec<Disk>) -> Result<Self, StoreError>;
+}
+
+/// Pops the single volume a one-disk family expects from an opened
+/// store's disks (the shared [`PersistIndex::from_parts`] prologue of
+/// every single-volume family).
+pub fn single_volume(mut disks: Vec<Disk>, family: &str) -> Result<Disk, StoreError> {
+    match (disks.pop(), disks.is_empty()) {
+        (Some(d), true) => Ok(d),
+        _ => Err(StoreError::Meta {
+            what: format!("{family} index expects exactly one volume"),
+        }),
+    }
+}
+
+/// Validates a serialized extent id against a reopened disk's extent
+/// table (the shared bounds check of every `from_parts`
+/// implementation).
+pub fn check_extent(disk: &Disk, id: u32, what: &str) -> Result<psi_io::ExtentId, StoreError> {
+    if id as usize >= disk.num_extents() {
+        return Err(StoreError::Meta {
+            what: format!("{what} extent {id} out of range"),
+        });
+    }
+    Ok(psi_io::ExtentId(id))
+}
+
+/// Statistics returned by [`save`].
+#[derive(Debug, Clone, Copy)]
+pub struct SaveReport {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Number of volumes written.
+    pub volumes: usize,
+}
+
+/// Saves an index to `path`.
+///
+/// All extents must be resident (true for every built index; an opened,
+/// file-backed index must promote its disks first) — otherwise
+/// [`StoreError::NotResident`].
+pub fn save<I: PersistIndex>(index: &I, path: impl AsRef<Path>) -> Result<SaveReport, StoreError> {
+    let mut meta = MetaBuf::new();
+    index.write_meta(&mut meta);
+    let disks = index.disks();
+    let file_bytes = write_store(path.as_ref(), I::TAG, meta.bytes(), &disks)?;
+    Ok(SaveReport {
+        file_bytes,
+        volumes: disks.len(),
+    })
+}
+
+/// An opened index plus handles onto its real-read machinery.
+#[derive(Debug)]
+pub struct Opened<I> {
+    /// The reconstructed index.
+    pub index: I,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    fetches: Rc<Cell<u64>>,
+    pools: Vec<Rc<BufferPool>>,
+}
+
+impl<I> Opened<I> {
+    /// Real payload blocks fetched since open, across all volumes —
+    /// the number the cold-cache validation compares against the
+    /// simulated [`psi_io::IoStats`] charge.
+    pub fn real_fetches(&self) -> u64 {
+        self.fetches.get()
+    }
+
+    /// Summed buffer-pool counters across volumes.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for p in &self.pools {
+            let s = p.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+}
+
+/// Opens the store at `path` as index family `I`.
+///
+/// The superblock, extent table and metadata region are read and
+/// verified now; payload pages are fetched lazily, one model block at a
+/// time, through a per-volume pinning buffer pool of
+/// `opts.pool_blocks` frames.
+pub fn open<I: PersistIndex>(
+    path: impl AsRef<Path>,
+    opts: &OpenOptions,
+) -> Result<Opened<I>, StoreError> {
+    if opts.pool_blocks == 0 {
+        return Err(StoreError::InvalidOptions {
+            what: "pool_blocks must be at least 1".into(),
+        });
+    }
+    let (file, header) = read_header(path.as_ref())?;
+    if header.tag != I::TAG {
+        return Err(StoreError::WrongFamily {
+            expected: I::TAG.into(),
+            found: header.tag,
+        });
+    }
+    let raw: Rc<dyn RawBytes> = match opts.backend {
+        Backend::File => Rc::new(RawFile::new(file)),
+        Backend::Mmap => Rc::new(RawMmap::new(&file)?),
+    };
+    let fetches = Rc::new(Cell::new(0u64));
+    let mut disks = Vec::with_capacity(header.volumes.len());
+    let mut pools = Vec::with_capacity(header.volumes.len());
+    for (v, desc) in header.volumes.iter().enumerate() {
+        let stored: Vec<StoredExtent> = desc
+            .extents
+            .iter()
+            .map(|e| StoredExtent {
+                bit_len: e.bit_len,
+                freed: e.freed,
+            })
+            .collect();
+        let store: Rc<dyn BlockStore> = Rc::new(VolumeStore::new(
+            Rc::clone(&raw),
+            Rc::clone(&fetches),
+            desc.clone(),
+            v,
+        ));
+        let pool = Rc::new(BufferPool::new(
+            store,
+            opts.pool_blocks,
+            desc.config.block_bits,
+        ));
+        disks.push(Disk::from_stored(desc.config, &stored, Rc::clone(&pool)));
+        pools.push(pool);
+    }
+    let mut cursor = MetaCursor::new(&header.meta);
+    let index = I::from_parts(&mut cursor, disks)?;
+    Ok(Opened {
+        index,
+        file_bytes: header.file_bytes,
+        fetches,
+        pools,
+    })
+}

@@ -1,0 +1,199 @@
+//! Positioned-read sources for payload pages: a plain file descriptor
+//! and an mmap'd region.
+
+use std::fs::File;
+
+use crate::StoreError;
+
+/// A source of positioned byte reads over an immutable store file.
+pub trait RawBytes: std::fmt::Debug {
+    /// Fills `out` from byte offset `off`.
+    fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError>;
+
+    /// Backend name (`"file"` / `"mmap"`).
+    fn kind(&self) -> &'static str;
+}
+
+/// File-descriptor backend: every block fetch is a positioned `pread`.
+#[derive(Debug)]
+pub struct RawFile {
+    file: File,
+}
+
+impl RawFile {
+    /// Wraps an open store file.
+    pub fn new(file: File) -> Self {
+        RawFile { file }
+    }
+}
+
+impl RawBytes for RawFile {
+    #[cfg(unix)]
+    fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(out, off).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::Truncated {
+                    what: format!("payload read at byte {off}"),
+                }
+            } else {
+                StoreError::Io(e)
+            }
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(out).map_err(StoreError::Io)
+    }
+
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+}
+
+/// Mmap backend: the whole store file mapped read-only; block fetches
+/// copy out of the mapping (and still verify their page checksum).
+///
+/// On unix this is a real `mmap(2)` through a local FFI declaration (the
+/// build environment vendors no `libc` crate; the symbols come from the
+/// C library `std` already links). Elsewhere it degrades to a one-shot
+/// full-file preload with identical semantics.
+#[derive(Debug)]
+pub struct RawMmap {
+    inner: MmapInner,
+}
+
+#[cfg(unix)]
+#[derive(Debug)]
+struct MmapInner {
+    ptr: *const u8,
+    len: usize,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+impl RawMmap {
+    /// Maps the whole file read-only.
+    pub fn new(file: &File) -> Result<Self, StoreError> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(StoreError::Truncated {
+                what: "empty file".into(),
+            });
+        }
+        // SAFETY: mapping `len` bytes of an open fd read-only/private; the
+        // pointer is checked against MAP_FAILED and unmapped in Drop.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(StoreError::Io(std::io::Error::last_os_error()));
+        }
+        Ok(RawMmap {
+            inner: MmapInner {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapInner {
+    fn drop(&mut self) {
+        // SAFETY: this mapping was created by mmap in RawMmap::new.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(unix)]
+impl RawBytes for RawMmap {
+    fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        let off = off as usize;
+        if off + out.len() > self.inner.len {
+            return Err(StoreError::Truncated {
+                what: format!("mmap read at byte {off}"),
+            });
+        }
+        // SAFETY: bounds checked against the mapping length above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.inner.ptr.add(off), out.as_mut_ptr(), out.len());
+        }
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "mmap"
+    }
+}
+
+#[cfg(not(unix))]
+#[derive(Debug)]
+struct MmapInner {
+    bytes: Vec<u8>,
+}
+
+#[cfg(not(unix))]
+impl RawMmap {
+    /// Preloads the whole file (mmap fallback for non-unix targets).
+    pub fn new(file: &File) -> Result<Self, StoreError> {
+        use std::io::Read;
+        let mut bytes = Vec::new();
+        let mut f = file;
+        f.read_to_end(&mut bytes)?;
+        Ok(RawMmap {
+            inner: MmapInner { bytes },
+        })
+    }
+}
+
+#[cfg(not(unix))]
+impl RawBytes for RawMmap {
+    fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        let off = off as usize;
+        if off + out.len() > self.inner.bytes.len() {
+            return Err(StoreError::Truncated {
+                what: format!("preload read at byte {off}"),
+            });
+        }
+        out.copy_from_slice(&self.inner.bytes[off..off + out.len()]);
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "mmap"
+    }
+}

@@ -1,0 +1,89 @@
+//! One volume of an opened store, shaped as a [`BlockStore`]: the
+//! bridge between the buffer pool's fetches and the raw file/mmap bytes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use psi_io::{BlockStore, BlockStoreError, ExtentId};
+
+use crate::format::VolumeDesc;
+use crate::raw::RawBytes;
+use crate::sum::fnv1a64;
+
+/// Serves one volume's payload pages out of a shared raw byte source,
+/// verifying each page's checksum and counting every real fetch into a
+/// store-wide shared counter.
+#[derive(Debug)]
+pub struct VolumeStore {
+    raw: Rc<dyn RawBytes>,
+    /// Fetch counter shared across all volumes of one opened store.
+    fetches: Rc<Cell<u64>>,
+    desc: VolumeDesc,
+    volume: usize,
+}
+
+impl VolumeStore {
+    /// Wraps volume `volume` of an opened store.
+    pub fn new(
+        raw: Rc<dyn RawBytes>,
+        fetches: Rc<Cell<u64>>,
+        desc: VolumeDesc,
+        volume: usize,
+    ) -> Self {
+        VolumeStore {
+            raw,
+            fetches,
+            desc,
+            volume,
+        }
+    }
+}
+
+impl BlockStore for VolumeStore {
+    fn read_block(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        let fail = |message: String| BlockStoreError { message };
+        let e = self
+            .desc
+            .extents
+            .get(ext.0 as usize)
+            .ok_or_else(|| fail(format!("volume {} has no extent {}", self.volume, ext.0)))?;
+        let blocks = self.desc.config.blocks_for_bits(e.bit_len);
+        if e.file_off == u64::MAX || block >= blocks {
+            return Err(fail(format!(
+                "extent {} block {block} out of range ({} blocks)",
+                ext.0, blocks
+            )));
+        }
+        let page_bytes = self.desc.page_bytes() as usize;
+        let mut page = vec![0u8; page_bytes];
+        self.raw
+            .read_at(e.file_off + block * page_bytes as u64, &mut page)
+            .map_err(|err| fail(format!("extent {} block {block}: {err}", ext.0)))?;
+        let data = page_bytes - 8;
+        let want = u64::from_le_bytes(page[data..].try_into().expect("8 bytes"));
+        if fnv1a64(&page[..data]) != want {
+            return Err(fail(format!(
+                "checksum mismatch in extent {} block {block}",
+                ext.0
+            )));
+        }
+        for (slot, chunk) in out.iter_mut().zip(page[..data].chunks_exact(8)) {
+            *slot = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        self.fetches.set(self.fetches.get() + 1);
+        Ok(())
+    }
+
+    fn fetches(&self) -> u64 {
+        self.fetches.get()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.raw.kind()
+    }
+}

@@ -40,6 +40,10 @@
 //!   binned/multi-resolution/range-encoded/interval-encoded bitmap
 //!   indexes: the paper's entire related-work spectrum, measured under
 //!   the same I/O model.
+//! * [`store`] — the persistent storage subsystem: save/open every
+//!   index family to an on-disk store file (checksummed pages), read it
+//!   back through a pinning buffer pool over file or mmap backends, and
+//!   check the simulated block charges against real reads.
 //! * [`query`] — the multi-attribute conjunctive engine: a [`Predicate`]
 //!   algebra over [`workloads::Table`]s, executed against one index per
 //!   attribute with a selectivity-ordered intersection planner (the
@@ -49,10 +53,10 @@
 //! * [`workloads`] — deterministic generators for every experiment.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of all thirteen experiments (E1–E13).
+//! paper-vs-measured record of all fourteen experiments (E1–E14).
 
 pub use psi_api::{
-    check_range, naive_query, AppendIndex, DynamicIndex, RidSet, SecondaryIndex, Symbol,
+    check_range, naive_query, AppendIndex, DynamicIndex, HasDisk, RidSet, SecondaryIndex, Symbol,
 };
 pub use psi_core::{
     ApproxResult, ApproximateIndex, BufferedBitmapIndex, BufferedIndex, DeletedPositionMap, Engine,
@@ -84,6 +88,11 @@ pub mod workloads {
 /// Multi-attribute conjunctive queries (predicate algebra + planner).
 pub mod query {
     pub use psi_query::*;
+}
+
+/// Persistent storage: on-disk format, file/mmap backends, buffer pool.
+pub mod store {
+    pub use psi_store::*;
 }
 
 /// Core structures and substrates (hash families, weight-balanced trees).

@@ -1,0 +1,310 @@
+//! Phase 2 of the cross-process persistence suite: reopen every family's
+//! store file and replay the cross-index consistency suite against the
+//! reopened indexes — bit-identical `RidSet`s, identical `IoStats`,
+//! identical cardinality hints, and (cold cache) real block fetches equal
+//! to the simulated charge.
+//!
+//! When run standalone the files are (re)created in-process; the CI
+//! persistence job runs `persistence_save` in a separate process first
+//! and pins `PSI_PERSIST_DIR`, making this a true restart test.
+
+mod persist_common;
+
+use persist_common::*;
+use psi::store::{open, Backend, OpenOptions, Opened, PersistIndex};
+use psi::{IndexedTable, IoSession, OptimalIndex, Predicate, SecondaryIndex};
+
+fn opts(backend: Backend, pool_blocks: usize) -> OpenOptions {
+    OpenOptions {
+        backend,
+        pool_blocks,
+    }
+}
+
+fn reopen<I: PersistIndex>(backend: Backend, pool_blocks: usize) -> Opened<I> {
+    open::<I>(family_path(I::TAG), &opts(backend, pool_blocks)).expect("open family")
+}
+
+/// Replays the query grid on a reopened index against the in-process
+/// reference: identical results, identical simulated I/O, identical
+/// hints and space; cold-cache real fetches equal to the charge.
+fn replay<I: PersistIndex + SecondaryIndex>(reference: &I) {
+    ensure_saved();
+    for backend in [Backend::File, Backend::Mmap] {
+        let opened = reopen::<I>(backend, 4096);
+        assert_eq!(opened.index.len(), reference.len(), "{}", I::TAG);
+        assert_eq!(opened.index.sigma(), reference.sigma(), "{}", I::TAG);
+        assert_eq!(
+            opened.index.space_bits(),
+            reference.space_bits(),
+            "{} space must survive the round-trip",
+            I::TAG
+        );
+        for (lo, hi) in grid(reference.sigma()) {
+            let io_ref = IoSession::new();
+            let io_open = IoSession::new();
+            let want = reference.query(lo, hi, &io_ref);
+            let got = opened.index.query(lo, hi, &io_open);
+            assert_eq!(got, want, "{} [{lo},{hi}] {backend:?} result", I::TAG);
+            assert_eq!(
+                io_ref.stats(),
+                io_open.stats(),
+                "{} [{lo},{hi}] {backend:?} io",
+                I::TAG
+            );
+            assert_eq!(
+                reference.cardinality_hint(lo, hi),
+                opened.index.cardinality_hint(lo, hi),
+                "{} [{lo},{hi}] hint",
+                I::TAG
+            );
+        }
+    }
+    // Cold-cache validation: on a fresh open with a pool large enough to
+    // hold the working set, the first query's real fetches equal its
+    // simulated read charge; replaying it warm fetches nothing new.
+    let cold = reopen::<I>(Backend::File, 1 << 16);
+    let sigma = reference.sigma();
+    let (lo, hi) = (sigma / 4, sigma - 1 - sigma / 4);
+    let io = IoSession::new();
+    let _ = cold.index.query(lo, hi, &io);
+    assert_eq!(
+        cold.real_fetches(),
+        io.stats().reads,
+        "{}: cold real fetches must equal the simulated charge",
+        I::TAG
+    );
+    let warm = IoSession::new();
+    let _ = cold.index.query(lo, hi, &warm);
+    assert_eq!(
+        cold.real_fetches(),
+        io.stats().reads,
+        "{}: warm replay must fetch nothing",
+        I::TAG
+    );
+    assert_eq!(
+        warm.stats(),
+        io.stats(),
+        "{}: the model charge is cache-oblivious",
+        I::TAG
+    );
+}
+
+#[test]
+fn optimal_replays_identically() {
+    replay(&build_optimal());
+}
+
+#[test]
+fn uniform_tree_replays_identically() {
+    replay(&build_uniform_tree());
+}
+
+#[test]
+fn semi_dynamic_replays_identically() {
+    replay(&build_semi_dynamic());
+}
+
+#[test]
+fn fully_dynamic_replays_identically() {
+    replay(&build_fully_dynamic());
+}
+
+#[test]
+fn buffered_bitmap_replays_identically() {
+    replay(&build_buffered_bitmap());
+}
+
+#[test]
+fn position_list_replays_identically() {
+    replay(&build_position_list());
+}
+
+#[test]
+fn uncompressed_replays_identically() {
+    replay(&build_uncompressed());
+}
+
+#[test]
+fn compressed_scan_replays_identically() {
+    replay(&build_compressed_scan());
+}
+
+#[test]
+fn binned_replays_identically() {
+    replay(&build_binned());
+}
+
+#[test]
+fn multires_replays_identically() {
+    replay(&build_multires());
+}
+
+#[test]
+fn range_encoded_replays_identically() {
+    replay(&build_range_encoded());
+}
+
+#[test]
+fn interval_encoded_replays_identically() {
+    replay(&build_interval_encoded());
+}
+
+/// Reopened queries agree with the naive scan (not only with the
+/// reference implementation) — the original consistency oracle.
+#[test]
+fn reopened_indexes_agree_with_naive_scan() {
+    ensure_saved();
+    let (symbols, sigma) = base_workload();
+    let opened = reopen::<OptimalIndex>(Backend::File, 4096);
+    let opened_ut = reopen::<psi::UniformTreeIndex>(Backend::Mmap, 4096);
+    for (lo, hi) in grid(sigma) {
+        let want = psi::naive_query(&symbols, lo, hi).to_vec();
+        let io = IoSession::new();
+        assert_eq!(opened.index.query(lo, hi, &io).to_vec(), want);
+        let io = IoSession::new();
+        assert_eq!(opened_ut.index.query(lo, hi, &io).to_vec(), want);
+    }
+    // Dynamic families: the reopened state reflects the whole
+    // append/change/delete history, checked against scans of the final
+    // strings (∞ markers never match a range query).
+    let (appended, _) = semi_dynamic_workload();
+    let opened_sd = reopen::<psi::SemiDynamicIndex>(Backend::File, 4096);
+    let (marked, _) = fully_dynamic_workload();
+    let opened_fd = reopen::<psi::FullyDynamicIndex>(Backend::File, 4096);
+    for (lo, hi) in grid(sigma) {
+        let io = IoSession::new();
+        assert_eq!(
+            opened_sd.index.query(lo, hi, &io).to_vec(),
+            psi::naive_query(&appended, lo, hi).to_vec(),
+            "semi_dynamic [{lo},{hi}] post-append history"
+        );
+        let io = IoSession::new();
+        assert_eq!(
+            opened_fd.index.query(lo, hi, &io).to_vec(),
+            psi::naive_query(&marked, lo, hi).to_vec(),
+            "fully_dynamic [{lo},{hi}] post-change/delete history"
+        );
+    }
+}
+
+/// The conjunctive path over reopened per-column indexes: identical rows
+/// and identical summed I/O to a freshly built indexed table.
+#[test]
+fn conjunctive_plans_replay_identically() {
+    ensure_saved();
+    let table = conjunctive_table();
+    let reference = IndexedTable::build(&table, |s, g| Box::new(OptimalIndex::build(s, g, cfg())));
+    let mut columns = Vec::new();
+    for col in &table.columns {
+        let opened = open::<OptimalIndex>(
+            suite_dir().join(format!("col_{}.psi", col.name)),
+            &opts(Backend::File, 4096),
+        )
+        .expect("open column");
+        columns.push(psi::query::IndexedColumn {
+            name: col.name.clone(),
+            sigma: col.sigma,
+            index: Box::new(opened.index),
+        });
+    }
+    let reopened = IndexedTable::from_columns(columns);
+    let predicates = [
+        Predicate::and([
+            Predicate::point("marital_status", 1),
+            Predicate::point("sex", 0),
+            Predicate::range("age", 30, 35),
+        ]),
+        Predicate::and([
+            Predicate::not(Predicate::point("marital_status", 0)),
+            Predicate::range("age", 0, 90),
+        ]),
+        Predicate::and([
+            Predicate::range("age", 60, 127),
+            Predicate::not(Predicate::range("age", 80, 127)),
+            Predicate::point("sex", 1),
+        ]),
+    ];
+    for predicate in &predicates {
+        let want = reference.execute(predicate).expect("reference execute");
+        let got = reopened.execute(predicate).expect("reopened execute");
+        assert_eq!(got.rows, want.rows, "{predicate:?} rows");
+        assert_eq!(got.io, want.io, "{predicate:?} io");
+        assert_eq!(
+            got.rows.to_vec(),
+            predicate.naive_rows(&table),
+            "{predicate:?} vs table scan"
+        );
+    }
+}
+
+/// Pool-size sweep: real fetches fall monotonically as the pool grows,
+/// and a warm oversized pool serves the whole replay without fetching.
+#[test]
+fn pool_size_sweep_controls_real_reads() {
+    ensure_saved();
+    let sweep = [4usize, 16, 64, 4096];
+    let mut fetches = Vec::new();
+    for &cap in &sweep {
+        let opened = reopen::<OptimalIndex>(Backend::File, cap);
+        let sigma = opened.index.sigma();
+        // Two passes over the grid: the second pass only hits when the
+        // pool can hold the touched blocks.
+        for _ in 0..2 {
+            for (lo, hi) in grid(sigma) {
+                let io = IoSession::new();
+                let _ = opened.index.query(lo, hi, &io);
+            }
+        }
+        let stats = opened.pool_stats();
+        assert_eq!(
+            stats.misses,
+            opened.real_fetches(),
+            "every miss is one real fetch"
+        );
+        fetches.push(opened.real_fetches());
+    }
+    for pair in fetches.windows(2) {
+        assert!(
+            pair[1] <= pair[0],
+            "fetches must not grow with pool size: {fetches:?}"
+        );
+    }
+    // The oversized pool caches everything: the second pass is free, so
+    // total fetches are at most the distinct blocks of one pass — which
+    // the smallest pool must exceed (it evicts and refetches).
+    assert!(
+        fetches[0] > *fetches.last().unwrap(),
+        "a tiny pool must thrash: {fetches:?}"
+    );
+}
+
+/// Regression: a mostly-unused alphabet produces catalog entries with
+/// absent first/last positions (42-byte encodings); the metadata length
+/// bound must accept them or the file saves fine and can never be
+/// reopened.
+#[test]
+fn sparse_alphabet_catalog_roundtrips() {
+    let symbols: Vec<u32> = (0..4096u32).map(|i| (i % 8) * 31).collect();
+    let idx = psi::baselines::CompressedScanIndex::build(&symbols, 256, cfg());
+    let path = suite_dir().join("sparse_alphabet.psi");
+    psi::store::save(&idx, &path).expect("save");
+    let opened = open::<psi::baselines::CompressedScanIndex>(&path, &opts(Backend::File, 1024))
+        .expect("a sparse alphabet must reopen");
+    let io = IoSession::new();
+    assert_eq!(
+        opened.index.query(0, 255, &io).to_vec(),
+        (0..4096u64).collect::<Vec<_>>()
+    );
+}
+
+/// Regression: unusable open options surface as a typed error, never a
+/// panic (the open path's documented contract).
+#[test]
+fn zero_capacity_pool_is_a_typed_error() {
+    ensure_saved();
+    assert!(matches!(
+        open::<OptimalIndex>(family_path("optimal"), &opts(Backend::File, 0)),
+        Err(psi::store::StoreError::InvalidOptions { .. })
+    ));
+}

@@ -1,0 +1,20 @@
+//! Phase 1 of the cross-process persistence suite: build every index
+//! family (with dynamic histories where supported) and save one store
+//! file per family. The CI persistence job runs this binary first, then
+//! `persistence_open` in a fresh process against the same directory.
+
+mod persist_common;
+
+#[test]
+fn save_all_families_and_scrub() {
+    let tags = persist_common::save_all();
+    assert!(tags.len() >= 12);
+    // Every file opens structurally and every payload page checksums.
+    for entry in std::fs::read_dir(persist_common::suite_dir()).expect("dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("psi") {
+            psi::store::format::scrub(&path)
+                .unwrap_or_else(|e| panic!("{} fails scrub: {e}", path.display()));
+        }
+    }
+}
