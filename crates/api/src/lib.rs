@@ -21,7 +21,15 @@ pub use rid::RidSet;
 pub type Symbol = u32;
 
 /// A static secondary index over a string `x ∈ Σⁿ`.
-pub trait SecondaryIndex {
+///
+/// The read path is **shared-state**: `query`/`query_measured` take
+/// `&self`, and the trait requires `Send + Sync`, so one opened index —
+/// typically behind an `Arc` — serves any number of query threads
+/// concurrently. Each thread brings its own per-query [`IoSession`];
+/// everything the index itself holds is either immutable after
+/// construction or guarded (the sharded buffer pool, `OnceLock` skip
+/// directories).
+pub trait SecondaryIndex: Send + Sync {
     /// Length `n` of the indexed string.
     fn len(&self) -> u64;
 

@@ -1,0 +1,23 @@
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        // CI smoke mode: `--threads N` caps the sweep (powers of two up
+        // to N), keeping the job short on small runners.
+        Some("--threads") => {
+            let max: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("usage: e15_concurrent [--threads N]");
+                std::process::exit(2);
+            });
+            let sweep: Vec<usize> = (0..)
+                .map(|i| 1usize << i)
+                .take_while(|&t| t <= max.max(1))
+                .collect();
+            psi_bench::e15_sweep(&sweep);
+        }
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: e15_concurrent [--threads N]");
+            std::process::exit(2);
+        }
+        None => psi_bench::e15(),
+    }
+}

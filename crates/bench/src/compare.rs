@@ -2,27 +2,47 @@
 //!
 //! `compare_bench BEFORE.json AFTER.json` joins two `psi-bench/1`
 //! snapshots by benchmark name and reports per-row speedups, flagging
-//! regressions beyond [`REGRESSION_THRESHOLD`]. Report-only by default
-//! (exit 0 even with regressions — CI wall-clock is noisy); `--strict`
-//! makes regressions fail the process. The parser is deliberately tiny:
-//! it reads exactly the schema `jsonout` emits, one result per line.
+//! regressions beyond [`REGRESSION_THRESHOLD`]. Rows carrying a `qps`
+//! field (the E15 `concurrent/*` throughput rows) are diffed with
+//! higher-is-better direction — a QPS *drop* beyond the threshold is
+//! the regression. Report-only by default (exit 0 even with regressions
+//! — CI wall-clock is noisy); `--strict` makes regressions fail the
+//! process. The parser is deliberately tiny: it reads exactly the schema
+//! `jsonout` emits, one result per line.
 
 /// Relative slowdown that counts as a regression (ISSUE 2's 15%).
 pub const REGRESSION_THRESHOLD: f64 = 0.15;
 
-/// Parses a `psi-bench/1` snapshot into `(bench, ns_per_iter)` rows.
+/// One parsed snapshot row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Median wall-clock ns/iter (lower is better).
+    pub ns_per_iter: f64,
+    /// Queries/second when the row is a throughput row (higher is
+    /// better); `None` otherwise.
+    pub qps: Option<f64>,
+}
+
+/// Parses a `psi-bench/1` snapshot into [`Row`]s.
 ///
-/// Tolerant of unknown keys; rows without both fields are skipped.
-pub fn parse(json: &str) -> Vec<(String, f64)> {
+/// Tolerant of unknown keys; rows without both mandatory fields are
+/// skipped.
+pub fn parse(json: &str) -> Vec<Row> {
     let mut out = Vec::new();
     for line in json.lines() {
-        let Some(name) = field_str(line, "\"bench\":") else {
+        let Some(bench) = field_str(line, "\"bench\":") else {
             continue;
         };
-        let Some(ns) = field_num(line, "\"ns_per_iter\":") else {
+        let Some(ns_per_iter) = field_num(line, "\"ns_per_iter\":") else {
             continue;
         };
-        out.push((name, ns));
+        out.push(Row {
+            bench,
+            ns_per_iter,
+            qps: field_num(line, "\"qps\":"),
+        });
     }
     out
 }
@@ -47,34 +67,54 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
 pub struct Delta {
     /// Benchmark name.
     pub bench: String,
-    /// ns/iter in the baseline snapshot.
+    /// Compared metric in the baseline snapshot (ns/iter, or QPS for
+    /// throughput rows).
     pub before: f64,
-    /// ns/iter in the new snapshot.
+    /// The same metric in the new snapshot.
     pub after: f64,
+    /// Whether a larger `after` is an improvement (QPS rows) rather
+    /// than a slowdown (ns rows).
+    pub higher_is_better: bool,
 }
 
 impl Delta {
-    /// Relative change (`after/before − 1`; negative is faster).
+    /// Relative change (`after/before − 1`). For ns rows negative is
+    /// faster; for QPS rows positive is faster.
     pub fn change(&self) -> f64 {
         self.after / self.before - 1.0
     }
 
-    /// Whether this row regressed beyond `threshold`.
+    /// Whether this row regressed beyond `threshold` in its metric's
+    /// direction.
     pub fn regressed(&self, threshold: f64) -> bool {
-        self.change() > threshold
+        if self.higher_is_better {
+            self.change() < -threshold
+        } else {
+            self.change() > threshold
+        }
     }
 }
 
-/// Joins two parsed snapshots by name (order of the baseline).
-pub fn join(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<Delta> {
+/// Joins two parsed snapshots by name (order of the baseline). A row is
+/// compared by QPS when **both** sides carry it, by ns/iter otherwise.
+pub fn join(before: &[Row], after: &[Row]) -> Vec<Delta> {
     before
         .iter()
-        .filter_map(|(name, b)| {
-            let (_, a) = after.iter().find(|(n, _)| n == name)?;
-            Some(Delta {
-                bench: name.clone(),
-                before: *b,
-                after: *a,
+        .filter_map(|b| {
+            let a = after.iter().find(|r| r.bench == b.bench)?;
+            Some(match (b.qps, a.qps) {
+                (Some(bq), Some(aq)) => Delta {
+                    bench: b.bench.clone(),
+                    before: bq,
+                    after: aq,
+                    higher_is_better: true,
+                },
+                _ => Delta {
+                    bench: b.bench.clone(),
+                    before: b.ns_per_iter,
+                    after: a.ns_per_iter,
+                    higher_is_better: false,
+                },
             })
         })
         .collect()
@@ -84,7 +124,7 @@ pub fn join(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<Delta> {
 pub fn report(deltas: &[Delta], threshold: f64) -> Vec<String> {
     println!(
         "{:<42} {:>14} {:>14} {:>9}",
-        "bench", "before ns", "after ns", "change"
+        "bench", "before", "after", "change"
     );
     println!("{}", "-".repeat(82));
     let mut regressions = Vec::new();
@@ -95,11 +135,12 @@ pub fn report(deltas: &[Delta], threshold: f64) -> Vec<String> {
         } else {
             ""
         };
+        let unit = if d.higher_is_better { "qps" } else { "ns" };
         println!(
-            "{:<42} {:>14.1} {:>14.1} {:>+8.1}%{}",
+            "{:<42} {:>14} {:>14} {:>+8.1}%{}",
             d.bench,
-            d.before,
-            d.after,
+            format!("{:.1} {unit}", d.before),
+            format!("{:.1} {unit}", d.after),
             100.0 * d.change(),
             flag
         );
@@ -175,26 +216,55 @@ mod tests {
   "results": [
     {"bench": "decode/x", "ns_per_iter": 100.0, "per_element_ns": 1.00},
     {"bench": "merge/y", "ns_per_iter": 2000.5},
-    {"bench": "query/z_w128", "ns_per_iter": 3.5e6}
+    {"bench": "query/z_w128", "ns_per_iter": 3.5e6},
+    {"bench": "concurrent/qps_optimal_file_t8", "ns_per_iter": 2000.0, "qps": 500000.0}
   ]
 }"#;
+
+    fn row(bench: &str, ns: f64) -> Row {
+        Row {
+            bench: bench.to_string(),
+            ns_per_iter: ns,
+            qps: None,
+        }
+    }
+
+    fn qps_row(bench: &str, qps: f64) -> Row {
+        Row {
+            bench: bench.to_string(),
+            ns_per_iter: 1e9 / qps,
+            qps: Some(qps),
+        }
+    }
 
     #[test]
     fn parses_the_emitted_schema() {
         let rows = parse(SNAPSHOT);
-        assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], ("decode/x".to_string(), 100.0));
-        assert_eq!(rows[1].1, 2000.5);
-        assert_eq!(rows[2].1, 3.5e6);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], row("decode/x", 100.0));
+        assert_eq!(rows[1].ns_per_iter, 2000.5);
+        assert_eq!(rows[2].ns_per_iter, 3.5e6);
+        assert_eq!(rows[3].qps, Some(500000.0));
         // Round-trips what jsonout emits.
-        let emitted = crate::jsonout::to_json(&[crate::jsonout::JsonResult {
-            bench: "a/b".into(),
-            ns_per_iter: 42.5,
-            elements: 7,
-            space_bits: 99,
-            file_bytes: 1000,
-        }]);
-        assert_eq!(parse(&emitted), vec![("a/b".to_string(), 42.5)]);
+        let emitted = crate::jsonout::to_json(&[
+            crate::jsonout::JsonResult {
+                bench: "a/b".into(),
+                ns_per_iter: 42.5,
+                elements: 7,
+                space_bits: 99,
+                file_bytes: 1000,
+                ..Default::default()
+            },
+            crate::jsonout::JsonResult {
+                bench: "concurrent/qps_c_t4".into(),
+                ns_per_iter: 4000.0,
+                qps: 250_000.0,
+                ..Default::default()
+            },
+        ]);
+        let parsed = parse(&emitted);
+        assert_eq!(parsed[0], row("a/b", 42.5));
+        assert_eq!(parsed[1].qps, Some(250_000.0));
     }
 
     #[test]
@@ -218,16 +288,32 @@ mod tests {
 
     #[test]
     fn join_flags_regressions_beyond_threshold() {
-        let before = vec![
-            ("a".to_string(), 100.0),
-            ("b".to_string(), 100.0),
-            ("gone".to_string(), 5.0),
-        ];
-        let after = vec![("a".to_string(), 114.0), ("b".to_string(), 116.0)];
+        let before = vec![row("a", 100.0), row("b", 100.0), row("gone", 5.0)];
+        let after = vec![row("a", 114.0), row("b", 116.0)];
         let deltas = join(&before, &after);
         assert_eq!(deltas.len(), 2);
         assert!(!deltas[0].regressed(REGRESSION_THRESHOLD));
         assert!(deltas[1].regressed(REGRESSION_THRESHOLD));
         assert!((deltas[1].change() - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qps_rows_regress_on_drops_not_gains() {
+        let before = vec![qps_row("concurrent/qps_t8", 100_000.0), row("plain", 10.0)];
+        // QPS up 30%: an improvement, never a regression.
+        let up = join(&before, &[qps_row("concurrent/qps_t8", 130_000.0)]);
+        assert!(up[0].higher_is_better);
+        assert!(!up[0].regressed(REGRESSION_THRESHOLD));
+        assert!((up[0].change() - 0.30).abs() < 1e-9);
+        // QPS down 30%: flagged.
+        let down = join(&before, &[qps_row("concurrent/qps_t8", 70_000.0)]);
+        assert!(down[0].regressed(REGRESSION_THRESHOLD));
+        // A QPS row in the baseline joined against a plain row compares
+        // by ns (schema drift tolerance).
+        let drifted = join(
+            &before,
+            &[row("concurrent/qps_t8", 9_000.0), row("plain", 10.0)],
+        );
+        assert!(!drifted[0].higher_is_better);
     }
 }

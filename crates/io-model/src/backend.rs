@@ -44,7 +44,11 @@ impl std::error::Error for BlockStoreError {}
 /// Implementations count every fetch they perform ([`Self::fetches`]);
 /// the experiment harnesses compare that count against the simulated
 /// [`crate::IoStats`] charge (equal on a cold pool, `≤` on a warm one).
-pub trait BlockStore: std::fmt::Debug {
+///
+/// Backends are `Send + Sync`: the sharded [`crate::BufferPool`] calls
+/// `read_block` from whichever query thread takes the miss, so fetch
+/// counters must be atomic and the byte source shareable.
+pub trait BlockStore: std::fmt::Debug + Send + Sync {
     /// Reads block `block` of extent `ext` into `out` (exactly
     /// `block_bits / 64` words, MSB-first bit order within each word).
     /// Words past the extent's last valid bit must be zero-filled.
@@ -67,7 +71,7 @@ pub trait BlockStore: std::fmt::Debug {
 pub struct MemStore {
     extents: Vec<Vec<u64>>,
     block_words: usize,
-    fetches: std::cell::Cell<u64>,
+    fetches: std::sync::atomic::AtomicU64,
 }
 
 impl MemStore {
@@ -83,7 +87,7 @@ impl MemStore {
         MemStore {
             extents,
             block_words: (disk.block_bits() / 64) as usize,
-            fetches: std::cell::Cell::new(0),
+            fetches: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -105,12 +109,13 @@ impl BlockStore for MemStore {
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = words.get(start + i).copied().unwrap_or(0);
         }
-        self.fetches.set(self.fetches.get() + 1);
+        self.fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
     fn fetches(&self) -> u64 {
-        self.fetches.get()
+        self.fetches.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn kind(&self) -> &'static str {

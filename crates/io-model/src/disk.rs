@@ -1,9 +1,9 @@
 //! The simulated block device.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::cell::RefCell;
+use std::sync::Arc;
 
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, PinnedBlock};
 use crate::session::IoSession;
 use crate::IoConfig;
 
@@ -61,13 +61,19 @@ impl Default for Extent {
 /// extent occupies is `ceil(bit_len / B)`, so partially-filled tail blocks
 /// are visible both in space accounting and in I/O accounting, exactly as in
 /// the paper's model ("the minimum amount of data read is 1 block", §1.2).
+///
+/// A `Disk` is `Sync`: the read path (`reader`, `charge_read_span`) takes
+/// `&self`, so one disk behind an `Arc` serves any number of query
+/// threads, each with its own per-query [`IoSession`]. Mutation (`alloc`,
+/// `writer`, `promote`, …) still requires `&mut self` — exclusive by
+/// construction.
 #[derive(Debug)]
 pub struct Disk {
     config: IoConfig,
     extents: Vec<Extent>,
     /// Buffer pool fronting a real backend; `None` for the fully
     /// resident, in-RAM disk (the default).
-    pool: Option<Rc<BufferPool>>,
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Disk {
@@ -84,7 +90,7 @@ impl Disk {
     /// on demand through `pool`. Extents are recreated with the same ids
     /// (indices) they were saved with; none of them is resident until a
     /// writer promotes it.
-    pub fn from_stored(config: IoConfig, extents: &[StoredExtent], pool: Rc<BufferPool>) -> Self {
+    pub fn from_stored(config: IoConfig, extents: &[StoredExtent], pool: Arc<BufferPool>) -> Self {
         Disk {
             config,
             extents: extents
@@ -101,7 +107,7 @@ impl Disk {
     }
 
     /// The buffer pool, when this disk reads through one.
-    pub fn pool(&self) -> Option<&Rc<BufferPool>> {
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
         self.pool.as_ref()
     }
 
@@ -307,7 +313,7 @@ impl Disk {
         DiskReader {
             words: &e.words,
             pool,
-            pinned: Cell::new(PIN_NONE),
+            pinned: RefCell::new(None),
             bit_len: e.bit_len,
             ext,
             pos: bit_off,
@@ -365,9 +371,6 @@ impl Disk {
     }
 }
 
-/// Sentinel for "no block pinned" in a pooled reader.
-const PIN_NONE: (u64, u32) = (u64::MAX, u32::MAX);
-
 /// A bit-granular reading cursor over one extent.
 ///
 /// Bits are MSB-first within 64-bit words. Each word access charges the
@@ -377,16 +380,18 @@ const PIN_NONE: (u64, u32) = (u64::MAX, u32::MAX);
 /// Over a resident extent the cursor reads the RAM image directly. Over a
 /// non-resident extent (an opened store) every word access goes through
 /// the disk's [`BufferPool`]: the cursor keeps its current block **pinned**
-/// (so concurrent cursors cannot evict it mid-decode), moving the pin as
-/// it crosses block boundaries and releasing it on drop. The charges are
-/// identical in both modes; only the pooled mode turns them into real
-/// fetches.
+/// (so concurrent cursors — on this thread or any other — cannot evict it
+/// mid-decode), moving the pin as it crosses block boundaries and
+/// releasing it on drop. Word reads of the pinned block go straight
+/// through the [`PinnedBlock`] handle without taking any pool lock. The
+/// charges are identical in both modes; only the pooled mode turns them
+/// into real fetches.
 #[derive(Debug)]
 pub struct DiskReader<'a> {
     words: &'a [u64],
     pool: Option<&'a BufferPool>,
-    /// Pooled mode: the currently pinned `(block, frame)`.
-    pinned: Cell<(u64, u32)>,
+    /// Pooled mode: the currently pinned block and its frame handle.
+    pinned: RefCell<Option<(u64, PinnedBlock)>>,
     bit_len: u64,
     ext: ExtentId,
     pos: u64,
@@ -398,9 +403,8 @@ pub struct DiskReader<'a> {
 impl Drop for DiskReader<'_> {
     fn drop(&mut self) {
         if let Some(pool) = self.pool {
-            let (block, frame) = self.pinned.get();
-            if block != PIN_NONE.0 {
-                pool.unpin_frame(frame);
+            if let Some((_, pinned)) = self.pinned.get_mut().take() {
+                pool.unpin(pinned);
             }
         }
     }
@@ -438,18 +442,20 @@ impl<'a> DiskReader<'a> {
             .pool
             .expect("word index out of bounds on resident extent");
         let block = word_idx * 64 / self.block_bits;
-        let (pinned_block, frame) = self.pinned.get();
-        let frame = if pinned_block == block {
-            frame
-        } else {
-            if pinned_block != PIN_NONE.0 {
-                pool.unpin_frame(frame);
+        let word_in_block = (word_idx - block * (self.block_bits / 64)) as usize;
+        let mut pinned = self.pinned.borrow_mut();
+        match pinned.as_ref() {
+            Some((b, handle)) if *b == block => handle.word(word_in_block),
+            _ => {
+                if let Some((_, old)) = pinned.take() {
+                    pool.unpin(old);
+                }
+                let handle = pool.pin(self.ext, block);
+                let word = handle.word(word_in_block);
+                *pinned = Some((block, handle));
+                word
             }
-            let frame = pool.pin(self.ext, block);
-            self.pinned.set((block, frame));
-            frame
-        };
-        pool.frame_word(frame, (word_idx - block * (self.block_bits / 64)) as usize)
+        }
     }
 
     /// Current bit position.

@@ -36,8 +36,29 @@ mod session;
 
 pub use backend::{BlockStore, BlockStoreError, MemStore};
 pub use disk::{Disk, DiskReader, DiskWriter, DiskWriterAt, ExtentId, StoredExtent};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{
+    BufferPool, PinnedBlock, PoolError, PoolStats, DEFAULT_POOL_SHARDS, GROWTH_CEILING,
+};
 pub use session::{IoSession, IoStats};
+
+// The concurrent read path rests on these bounds: a shared `Arc<Disk>`
+// (hence `BufferPool` and every `BlockStore`) must be usable from any
+// query thread. Compile-time proof, so a stray `Rc`/`RefCell` can never
+// silently sneak back into the shared layers. `IoSession` is the one
+// deliberate exception: per-query state, `Send` (created wherever, run
+// by the worker that owns the query) but not `Sync` — its per-code
+// counters are too hot for atomics (see `session.rs`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Disk>();
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<MemStore>();
+    assert_send_sync::<IoStats>();
+    assert_send_sync::<PoolStats>();
+    assert_send_sync::<PinnedBlock>();
+    assert_send::<IoSession>();
+};
 
 /// Default block size in bits: 8192 bits = 1 KiB blocks.
 ///

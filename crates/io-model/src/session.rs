@@ -65,6 +65,19 @@ struct SessionInner {
 /// Sessions use interior mutability so that several [`DiskReader`]s can
 /// charge the same session concurrently during k-way merges.
 ///
+/// # Concurrency model
+///
+/// A session is **per-query state**: the thread that runs a query
+/// creates one next to the shared `Arc<Disk>`, drives the whole query
+/// under it, and reads the stats — sessions are deliberately never
+/// shared *between* threads, which is why the hot counters can stay
+/// plain `RefCell` instead of atomics (the per-decoded-code
+/// `add_bits_read` call is too hot to pay an atomic RMW on). The type
+/// is `Send` (move it to the thread that runs the query) but not
+/// `Sync`; everything that *is* shared between query threads — the
+/// `Disk`, the sharded `BufferPool`, the backends — is `Sync`, enforced
+/// by compile-time asserts in this crate's root.
+///
 /// [`DiskReader`]: crate::DiskReader
 #[derive(Debug)]
 pub struct IoSession {
@@ -257,6 +270,22 @@ mod tests {
         assert_eq!(s.take_stats().reads, 1);
         s.charge_read(EXT, 0); // no longer resident after reset
         assert_eq!(s.stats().reads, 1);
+    }
+
+    #[test]
+    fn sessions_move_to_the_thread_that_runs_the_query() {
+        // Per-query sessions are `Send`: created wherever, driven by the
+        // worker thread that owns the query.
+        let s = IoSession::new();
+        let s = std::thread::spawn(move || {
+            s.charge_read(EXT, 0);
+            s.add_bits_read(64);
+            s
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(s.stats().reads, 1);
+        assert_eq!(s.stats().bits_read, 64);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Multi-threaded batch execution of conjunctive queries.
+//!
+//! The per-query read path is shared-state (`&self` all the way down, see
+//! `psi_api::SecondaryIndex`), so throughput over a batch of queries is a
+//! scheduling problem, not a locking one. [`IndexedTable::execute_batch`]
+//! runs a slice of normalized conjunctions on a scoped thread pool
+//! (`std::thread::scope` — no extra dependencies, no detached threads):
+//!
+//! * the batch is **grouped by lead attribute** before being handed to
+//!   the pool — queries whose most selective condition probes the same
+//!   index run back to back, so on a pooled (file/mmap) backend their
+//!   block fetches hit the same buffer-pool shards and frames instead of
+//!   ping-ponging the clock across every index in the table;
+//! * workers claim queries off a shared atomic cursor (work stealing in
+//!   its simplest form), so a straggler query cannot idle the pool;
+//! * results land in their input slots — the output is **identical, in
+//!   order and in content, to running the queries sequentially**, which
+//!   the workspace test `tests/concurrent_read.rs`
+//!   (`batch_executor_matches_sequential_for_every_family`) pins for
+//!   every index family.
+//!
+//! Per-query I/O accounting is untouched: each query still runs each of
+//! its conditions under a fresh `psi_io::IoSession`, so a batched
+//! query's reported cost equals its standalone cost exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::exec::{IndexedTable, QueryOutcome};
+use crate::predicate::ConjunctiveQuery;
+use crate::QueryError;
+
+/// Execution order for a batch: query indices sorted (stably) so queries
+/// sharing a lead attribute are adjacent. The lead attribute is the
+/// attribute of the query's first condition — for planned executions the
+/// planner probes every condition anyway, but the *first* condition is
+/// known without planning and correlates with which index the query was
+/// written against.
+pub fn grouped_order(queries: &[ConjunctiveQuery]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..queries.len()).collect();
+    order.sort_by(|&a, &b| {
+        let lead = |i: usize| queries[i].conditions.first().map(|c| c.attr.as_str());
+        lead(a).cmp(&lead(b))
+    });
+    order
+}
+
+impl IndexedTable {
+    /// Executes every query of `batch` and returns the outcomes in input
+    /// order, using up to `threads` worker threads (clamped to the batch
+    /// size; `0` means [`std::thread::available_parallelism`]).
+    ///
+    /// Results are bit-identical to calling
+    /// [`IndexedTable::execute_conjunctive`] on each query in a loop —
+    /// queries never observe each other — and each outcome's `io` is the
+    /// same as its standalone cost. The first error (unknown attribute)
+    /// is returned after the whole batch has been attempted.
+    pub fn execute_batch(
+        &self,
+        batch: &[ConjunctiveQuery],
+        threads: usize,
+    ) -> Result<Vec<QueryOutcome>, QueryError> {
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(batch.len().max(1));
+        if threads <= 1 {
+            // Run the whole batch before sequencing errors, mirroring
+            // the parallel path (which attempts every query): pool
+            // warmth and fetch counts must not depend on thread count.
+            let outcomes: Vec<Result<QueryOutcome, QueryError>> =
+                batch.iter().map(|q| self.execute_conjunctive(q)).collect();
+            return outcomes.into_iter().collect();
+        }
+        let order = grouped_order(batch);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Result<QueryOutcome, QueryError>>> =
+            (0..batch.len()).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&qi) = order.get(k) else { break };
+                    let outcome = self.execute_conjunctive(&batch[qi]);
+                    assert!(slots[qi].set(outcome).is_ok(), "slot written once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use psi_api::{naive_query, RidSet, SecondaryIndex, Symbol};
+    use psi_io::IoSession;
+
+    struct ScanIndex {
+        data: Vec<Symbol>,
+        sigma: u32,
+    }
+
+    impl SecondaryIndex for ScanIndex {
+        fn len(&self) -> u64 {
+            self.data.len() as u64
+        }
+        fn sigma(&self) -> Symbol {
+            self.sigma
+        }
+        fn space_bits(&self) -> u64 {
+            0
+        }
+        fn query(&self, lo: Symbol, hi: Symbol, _io: &IoSession) -> RidSet {
+            naive_query(&self.data, lo, hi)
+        }
+    }
+
+    fn table() -> IndexedTable {
+        let data_a: Vec<Symbol> = (0..512u32).map(|i| i % 7).collect();
+        let data_b: Vec<Symbol> = (0..512u32).map(|i| (i * 31) % 13).collect();
+        IndexedTable::from_columns(vec![
+            crate::exec::IndexedColumn {
+                name: "a".into(),
+                sigma: 7,
+                index: Box::new(ScanIndex {
+                    data: data_a,
+                    sigma: 7,
+                }),
+            },
+            crate::exec::IndexedColumn {
+                name: "b".into(),
+                sigma: 13,
+                index: Box::new(ScanIndex {
+                    data: data_b,
+                    sigma: 13,
+                }),
+            },
+        ])
+    }
+
+    fn batch() -> Vec<ConjunctiveQuery> {
+        let mut qs = Vec::new();
+        for v in 0..7u32 {
+            qs.push(Predicate::point("a", v).normalize().unwrap());
+            qs.push(Predicate::point("b", v).normalize().unwrap());
+            qs.push(
+                Predicate::and([Predicate::point("a", v), Predicate::range("b", 0, 5)])
+                    .normalize()
+                    .unwrap(),
+            );
+        }
+        qs
+    }
+
+    #[test]
+    fn grouped_order_clusters_lead_attributes() {
+        let qs = batch();
+        let order = grouped_order(&qs);
+        assert_eq!(order.len(), qs.len());
+        // All "a"-lead queries come before all "b"-lead ones, and the
+        // order is a permutation.
+        let leads: Vec<&str> = order
+            .iter()
+            .map(|&i| qs[i].conditions[0].attr.as_str())
+            .collect();
+        let first_b = leads.iter().position(|&l| l == "b").unwrap();
+        assert!(leads[..first_b].iter().all(|&l| l == "a"));
+        assert!(leads[first_b..].iter().all(|&l| l == "b"));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..qs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_matches_sequential_at_every_thread_count() {
+        let t = table();
+        let qs = batch();
+        let sequential: Vec<_> = qs
+            .iter()
+            .map(|q| t.execute_conjunctive(q).unwrap())
+            .collect();
+        for threads in [1, 2, 3, 8, 0] {
+            let parallel = t.execute_batch(&qs, threads).unwrap();
+            assert_eq!(parallel.len(), sequential.len());
+            for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                assert_eq!(p.rows.to_vec(), s.rows.to_vec(), "query {i} rows");
+                assert_eq!(p.io, s.io, "query {i} io");
+                assert_eq!(p.plan.order, s.plan.order, "query {i} plan");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_errors() {
+        let t = table();
+        let qs = vec![
+            Predicate::point("a", 1).normalize().unwrap(),
+            Predicate::point("missing", 1).normalize().unwrap(),
+        ];
+        let err = t.execute_batch(&qs, 2).unwrap_err();
+        assert_eq!(err, QueryError::UnknownAttribute("missing".into()));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let t = table();
+        assert!(t.execute_batch(&[], 4).unwrap().is_empty());
+    }
+}

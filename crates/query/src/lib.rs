@@ -60,10 +60,12 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod exec;
 mod plan;
 mod predicate;
 
+pub use batch::grouped_order;
 pub use exec::{IndexedColumn, IndexedTable, QueryOutcome};
 pub use plan::{plan_conjunction, CombineStrategy, Plan, PROBE_RATIO, SCAN_MIN_FRACTION};
 pub use predicate::{AttrCondition, ConjunctiveQuery, Predicate, Symbol};

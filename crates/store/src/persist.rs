@@ -1,9 +1,9 @@
 //! Save/open entry points and the [`PersistIndex`] trait every index
 //! family implements.
 
-use std::cell::Cell;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use psi_io::{BlockStore, BufferPool, Disk, PoolStats, StoredExtent};
 
@@ -112,14 +112,19 @@ pub fn save<I: PersistIndex>(index: &I, path: impl AsRef<Path>) -> Result<SaveRe
 }
 
 /// An opened index plus handles onto its real-read machinery.
+///
+/// `Opened<I>` is `Send + Sync` whenever `I` is (every persisted family
+/// is): put it behind an `Arc` and query it from as many threads as you
+/// like — each thread brings its own per-query [`psi_io::IoSession`],
+/// the sharded per-volume buffer pools handle the rest.
 #[derive(Debug)]
 pub struct Opened<I> {
     /// The reconstructed index.
     pub index: I,
     /// Total file size in bytes.
     pub file_bytes: u64,
-    fetches: Rc<Cell<u64>>,
-    pools: Vec<Rc<BufferPool>>,
+    fetches: Arc<AtomicU64>,
+    pools: Vec<Arc<BufferPool>>,
 }
 
 impl<I> Opened<I> {
@@ -127,19 +132,15 @@ impl<I> Opened<I> {
     /// the number the cold-cache validation compares against the
     /// simulated [`psi_io::IoStats`] charge.
     pub fn real_fetches(&self) -> u64 {
-        self.fetches.get()
+        self.fetches.load(Ordering::Relaxed)
     }
 
-    /// Summed buffer-pool counters across volumes.
+    /// Summed buffer-pool counters across volumes (hits, misses,
+    /// evictions, and pinned-growth events past the capacity target).
     pub fn pool_stats(&self) -> PoolStats {
-        let mut total = PoolStats::default();
-        for p in &self.pools {
-            let s = p.stats();
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.evictions += s.evictions;
-        }
-        total
+        self.pools
+            .iter()
+            .fold(PoolStats::default(), |acc, p| acc.merged(&p.stats()))
     }
 }
 
@@ -165,11 +166,11 @@ pub fn open<I: PersistIndex>(
             found: header.tag,
         });
     }
-    let raw: Rc<dyn RawBytes> = match opts.backend {
-        Backend::File => Rc::new(RawFile::new(file)),
-        Backend::Mmap => Rc::new(RawMmap::new(&file)?),
+    let raw: Arc<dyn RawBytes> = match opts.backend {
+        Backend::File => Arc::new(RawFile::new(file)),
+        Backend::Mmap => Arc::new(RawMmap::new(&file)?),
     };
-    let fetches = Rc::new(Cell::new(0u64));
+    let fetches = Arc::new(AtomicU64::new(0));
     let mut disks = Vec::with_capacity(header.volumes.len());
     let mut pools = Vec::with_capacity(header.volumes.len());
     for (v, desc) in header.volumes.iter().enumerate() {
@@ -181,18 +182,18 @@ pub fn open<I: PersistIndex>(
                 freed: e.freed,
             })
             .collect();
-        let store: Rc<dyn BlockStore> = Rc::new(VolumeStore::new(
-            Rc::clone(&raw),
-            Rc::clone(&fetches),
+        let store: Arc<dyn BlockStore> = Arc::new(VolumeStore::new(
+            Arc::clone(&raw),
+            Arc::clone(&fetches),
             desc.clone(),
             v,
         ));
-        let pool = Rc::new(BufferPool::new(
+        let pool = Arc::new(BufferPool::new(
             store,
             opts.pool_blocks,
             desc.config.block_bits,
         ));
-        disks.push(Disk::from_stored(desc.config, &stored, Rc::clone(&pool)));
+        disks.push(Disk::from_stored(desc.config, &stored, Arc::clone(&pool)));
         pools.push(pool);
     }
     let mut cursor = MetaCursor::new(&header.meta);

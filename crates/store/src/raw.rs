@@ -6,7 +6,13 @@ use std::fs::File;
 use crate::StoreError;
 
 /// A source of positioned byte reads over an immutable store file.
-pub trait RawBytes: std::fmt::Debug {
+///
+/// `Send + Sync`: one raw source is shared by every volume's
+/// [`psi_io::BlockStore`] and fetched through from any query thread (the
+/// sharded buffer pool fetches under per-shard locks, so concurrent
+/// `read_at` calls are the norm — both backends are positioned reads
+/// with no seek state).
+pub trait RawBytes: std::fmt::Debug + Send + Sync {
     /// Fills `out` from byte offset `off`.
     fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError>;
 
@@ -18,12 +24,20 @@ pub trait RawBytes: std::fmt::Debug {
 #[derive(Debug)]
 pub struct RawFile {
     file: File,
+    /// Targets without positioned reads fall back to seek+read, which
+    /// must be serialized — per file, not process-wide.
+    #[cfg(not(unix))]
+    seek_lock: std::sync::Mutex<()>,
 }
 
 impl RawFile {
     /// Wraps an open store file.
     pub fn new(file: File) -> Self {
-        RawFile { file }
+        RawFile {
+            file,
+            #[cfg(not(unix))]
+            seek_lock: std::sync::Mutex::new(()),
+        }
     }
 }
 
@@ -45,6 +59,10 @@ impl RawBytes for RawFile {
     #[cfg(not(unix))]
     fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError> {
         use std::io::{Read, Seek, SeekFrom};
+        // No positioned read on this target: serialize the seek+read pair
+        // so concurrent fetches cannot interleave on this file's cursor
+        // (independent stores keep fetching in parallel).
+        let _guard = self.seek_lock.lock().expect("seek lock");
         let mut f = &self.file;
         f.seek(SeekFrom::Start(off))?;
         f.read_exact(out).map_err(StoreError::Io)
@@ -73,6 +91,16 @@ struct MmapInner {
     ptr: *const u8,
     len: usize,
 }
+
+// SAFETY: the mapping is created PROT_READ/MAP_PRIVATE and never remapped
+// or written through; `ptr`/`len` are immutable after construction, so
+// concurrent `read_at` calls from any thread only perform overlapping
+// reads of read-only memory. `munmap` runs in `Drop`, which takes `&mut`
+// — exclusive by construction.
+#[cfg(unix)]
+unsafe impl Send for MmapInner {}
+#[cfg(unix)]
+unsafe impl Sync for MmapInner {}
 
 #[cfg(unix)]
 mod sys {

@@ -1,8 +1,8 @@
 //! One volume of an opened store, shaped as a [`BlockStore`]: the
 //! bridge between the buffer pool's fetches and the raw file/mmap bytes.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use psi_io::{BlockStore, BlockStoreError, ExtentId};
 
@@ -12,12 +12,13 @@ use crate::sum::fnv1a64;
 
 /// Serves one volume's payload pages out of a shared raw byte source,
 /// verifying each page's checksum and counting every real fetch into a
-/// store-wide shared counter.
+/// store-wide shared atomic counter (fetches arrive from whichever query
+/// thread takes the pool miss).
 #[derive(Debug)]
 pub struct VolumeStore {
-    raw: Rc<dyn RawBytes>,
+    raw: Arc<dyn RawBytes>,
     /// Fetch counter shared across all volumes of one opened store.
-    fetches: Rc<Cell<u64>>,
+    fetches: Arc<AtomicU64>,
     desc: VolumeDesc,
     volume: usize,
 }
@@ -25,8 +26,8 @@ pub struct VolumeStore {
 impl VolumeStore {
     /// Wraps volume `volume` of an opened store.
     pub fn new(
-        raw: Rc<dyn RawBytes>,
-        fetches: Rc<Cell<u64>>,
+        raw: Arc<dyn RawBytes>,
+        fetches: Arc<AtomicU64>,
         desc: VolumeDesc,
         volume: usize,
     ) -> Self {
@@ -75,12 +76,12 @@ impl BlockStore for VolumeStore {
         for (slot, chunk) in out.iter_mut().zip(page[..data].chunks_exact(8)) {
             *slot = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
         }
-        self.fetches.set(self.fetches.get() + 1);
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn fetches(&self) -> u64 {
-        self.fetches.get()
+        self.fetches.load(Ordering::Relaxed)
     }
 
     fn kind(&self) -> &'static str {

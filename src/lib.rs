@@ -53,7 +53,7 @@
 //! * [`workloads`] — deterministic generators for every experiment.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of all fourteen experiments (E1–E14).
+//! paper-vs-measured record of all fifteen experiments (E1–E15).
 
 pub use psi_api::{
     check_range, naive_query, AppendIndex, DynamicIndex, HasDisk, RidSet, SecondaryIndex, Symbol,
@@ -99,3 +99,31 @@ pub mod store {
 pub mod core {
     pub use psi_core::*;
 }
+
+// Shared-state read path: every index family (and an opened store around
+// any of them) is `Send + Sync`, so `Arc<Index>` + per-thread
+// `IoSession`s is all a multi-threaded query server needs. Checked at
+// compile time — an interior-mutability regression in any layer
+// (io-model, store, core, baselines) fails the build here, not in a
+// flaky stress test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OptimalIndex>();
+    assert_send_sync::<UniformTreeIndex>();
+    assert_send_sync::<ApproximateIndex>();
+    assert_send_sync::<SemiDynamicIndex>();
+    assert_send_sync::<BufferedIndex>();
+    assert_send_sync::<BufferedBitmapIndex>();
+    assert_send_sync::<FullyDynamicIndex>();
+    assert_send_sync::<baselines::PositionListIndex>();
+    assert_send_sync::<baselines::UncompressedBitmapIndex>();
+    assert_send_sync::<baselines::CompressedScanIndex>();
+    assert_send_sync::<baselines::BinnedBitmapIndex>();
+    assert_send_sync::<baselines::MultiResolutionIndex>();
+    assert_send_sync::<baselines::RangeEncodedIndex>();
+    assert_send_sync::<baselines::IntervalEncodedIndex>();
+    assert_send_sync::<store::Opened<OptimalIndex>>();
+    assert_send_sync::<RidSet>();
+    assert_send_sync::<IndexedTable>();
+    assert_send_sync::<Box<dyn SecondaryIndex>>();
+};
