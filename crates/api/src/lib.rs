@@ -95,6 +95,66 @@ pub trait DynamicIndex: AppendIndex {
     fn change(&mut self, pos: u64, symbol: Symbol, io: &IoSession);
 }
 
+/// One mutation against a dynamic index, in the vocabulary shared by the
+/// durable write path (`psi-wal` journals `MutOp`s before they touch RAM
+/// and replays them at recovery) and any future replication layer.
+///
+/// The three operations are exactly the dynamic trait surface:
+/// [`AppendIndex::append`], [`DynamicIndex::change`], and deletion via
+/// the paper's reserved `∞` character (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutOp {
+    /// Append `symbol` at position `n`.
+    Append {
+        /// The appended character.
+        symbol: Symbol,
+    },
+    /// Change the character at `pos` to `symbol`.
+    Change {
+        /// Target position (`< n`).
+        pos: u64,
+        /// The new character.
+        symbol: Symbol,
+    },
+    /// Delete the character at `pos` (a change to `∞`).
+    Delete {
+        /// Target position (`< n`).
+        pos: u64,
+    },
+}
+
+/// Why a [`MutOp`] could not be applied to an index.
+///
+/// Replay paths (crash recovery) must never panic on a log whose records
+/// are internally valid but inapplicable to the index at hand — a
+/// mismatched checkpoint, an out-of-range position, an append-only
+/// family asked to replay a change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyError {
+    /// What was wrong (op, position, family).
+    pub what: String,
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inapplicable operation: {}", self.what)
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// A dynamic index that can apply journaled [`MutOp`]s — the replay
+/// surface of the durable write path.
+///
+/// Implementations validate before mutating (position in range, symbol
+/// in alphabet, op supported by the family) and return [`ApplyError`]
+/// instead of panicking, so recovery can surface a typed error on any
+/// log/checkpoint mismatch.
+pub trait ApplyOp {
+    /// Applies one operation, charging I/O to `io`.
+    fn apply_op(&mut self, op: &MutOp, io: &IoSession) -> Result<(), ApplyError>;
+}
+
 /// Read access to the simulated disk backing an index.
 ///
 /// One trait replaces the per-family "simulated disk (for inspection)"

@@ -1,0 +1,13 @@
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        // CI smoke mode: a short workload and reduced grids, keeping the
+        // durability job fast on small runners.
+        Some("--smoke") => psi_bench::e16_run(800, &[1, 64], &[0, 400]),
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: e16_durability [--smoke]");
+            std::process::exit(2);
+        }
+        None => psi_bench::e16(),
+    }
+}

@@ -446,6 +446,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                 &OpenOptions {
                     backend,
                     pool_blocks: 1 << 16,
+                    retry: None,
                 },
             )
             .expect("open");
@@ -487,6 +488,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                 &OpenOptions {
                     backend,
                     pool_blocks: 1 << 16,
+                    retry: None,
                 },
             )
             .expect("open");
@@ -528,6 +530,154 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                     ..Default::default()
                 });
             }
+        }
+    }
+
+    // --- durability (E16): group-commit latency, incremental checkpoint
+    // bytes, recovery time. All plain lower-is-better ns rows; the two
+    // checkpoint rows also carry `file_bytes` = bytes written per
+    // checkpoint so the incremental-vs-full gap is diffable.
+    {
+        use psi_api::MutOp;
+        use psi_wal::{recover, Durable, DurableOptions};
+
+        let root = std::env::temp_dir().join("psi_bench_json_durable");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("bench durable dir");
+        let dsigma = 64u32;
+        let io = IoSession::untracked();
+
+        // Group commit: journal `b` appends + one sync, reported per op.
+        for b in [1usize, 8, 64] {
+            let dir = root.join(format!("commit_b{b}"));
+            let idx = psi_core::SemiDynamicIndex::new(dsigma, IoConfig::default());
+            let mut d = Durable::create(
+                &dir,
+                idx,
+                DurableOptions {
+                    group_commit_ops: usize::MAX,
+                    ..DurableOptions::default()
+                },
+            )
+            .expect("create durable");
+            let mut x = 0u32;
+            let ns_batch = measure(|| {
+                for _ in 0..b {
+                    x = x.wrapping_mul(2_654_435_761).wrapping_add(1);
+                    d.apply(
+                        &MutOp::Append {
+                            symbol: (x >> 16) & (dsigma - 1),
+                        },
+                        &io,
+                    )
+                    .expect("apply");
+                }
+                d.commit().expect("commit")
+            });
+            let bench = format!("durability/group_commit_b{b}");
+            let ns = ns_batch / b as f64;
+            println!("{bench:<40} {ns:>14.1} ns/iter");
+            results.push(JsonResult {
+                bench,
+                ns_per_iter: ns,
+                ..Default::default()
+            });
+        }
+
+        // Incremental checkpoint of a sparse dirty set (2 of 64 extents)
+        // vs a full rewrite of the same volume. `file_bytes` records the
+        // bytes each variant writes per checkpoint, so the gap is
+        // diffable alongside the latency.
+        let farm_path = root.join("farm.ck");
+        let mut farm = crate::farm_build(64, 2000);
+        let (mut cp, created) =
+            psi_store::CheckpointFile::create(&farm_path, &farm, &[], 1).expect("farm create");
+        let mut salt = 0u64;
+        let mut inc_bytes = 0u64;
+        let ns_inc = measure(|| {
+            salt = salt.wrapping_add(0x9E37_79B9);
+            crate::farm_rewrite(&mut farm, 3, salt);
+            crate::farm_rewrite(&mut farm, 40, salt ^ 0x5555);
+            let report = cp.update(&farm, &[]).expect("farm update");
+            // Dead space from relocation compacts every ~32 rounds; the
+            // steady-state incremental cost is the minimum.
+            if !report.compacted {
+                inc_bytes = if inc_bytes == 0 {
+                    report.bytes_written
+                } else {
+                    inc_bytes.min(report.bytes_written)
+                };
+            }
+            report.bytes_written
+        });
+        println!(
+            "{:<40} {ns_inc:>14.1} ns/iter",
+            "durability/checkpoint_incremental_2of64"
+        );
+        results.push(JsonResult {
+            bench: "durability/checkpoint_incremental_2of64".into(),
+            ns_per_iter: ns_inc,
+            file_bytes: inc_bytes,
+            ..Default::default()
+        });
+        let full_path = root.join("farm_full.ck");
+        let mut full_bytes = created.bytes_written;
+        let ns_full = measure(|| {
+            let (_, report) = psi_store::CheckpointFile::create(&full_path, &farm, &[], 1)
+                .expect("farm full create");
+            full_bytes = report.bytes_written;
+            full_bytes
+        });
+        assert!(
+            inc_bytes * 4 < full_bytes,
+            "sparse checkpoint must write a fraction of the full save"
+        );
+        println!(
+            "{:<40} {ns_full:>14.1} ns/iter",
+            "durability/checkpoint_full_save"
+        );
+        results.push(JsonResult {
+            bench: "durability/checkpoint_full_save".into(),
+            ns_per_iter: ns_full,
+            file_bytes: full_bytes,
+            ..Default::default()
+        });
+
+        // Recovery: checkpoint-only open vs a 1000-op committed tail.
+        let n = 1usize << 13;
+        let s = psi_workloads::zipf(n, dsigma, 1.1, 77);
+        for tail in [0usize, 1000] {
+            let dir = root.join(format!("recover_t{tail}"));
+            let idx = psi_core::FullyDynamicIndex::build(&s, dsigma, IoConfig::default());
+            let mut d =
+                Durable::create(&dir, idx, DurableOptions::default()).expect("create durable");
+            for k in 0..tail {
+                d.apply(
+                    &MutOp::Change {
+                        pos: ((k * 48_271) % n) as u64,
+                        symbol: (k as u32).wrapping_mul(69_621) >> 7 & (dsigma - 1),
+                    },
+                    &io,
+                )
+                .expect("apply");
+            }
+            d.commit().expect("commit");
+            drop(d);
+            let ns = measure(|| {
+                let (rd, report) =
+                    recover::<psi_core::FullyDynamicIndex>(&dir, DurableOptions::default())
+                        .expect("recover");
+                assert_eq!(report.replayed, tail);
+                drop(rd);
+                report.epoch
+            });
+            let bench = format!("durability/recover_tail_{tail}");
+            println!("{bench:<40} {ns:>14.1} ns/iter");
+            results.push(JsonResult {
+                bench,
+                ns_per_iter: ns,
+                ..Default::default()
+            });
         }
     }
     results

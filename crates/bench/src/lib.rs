@@ -760,6 +760,7 @@ pub fn e14() {
                 &OpenOptions {
                     backend,
                     pool_blocks: 1 << 16,
+                    retry: None,
                 },
             )
             .expect("open");
@@ -794,6 +795,7 @@ pub fn e14() {
                 &OpenOptions {
                     backend,
                     pool_blocks: 1 << 16,
+                    retry: None,
                 },
             )
             .expect("open");
@@ -848,6 +850,7 @@ pool sweep (optimal, two passes over 6 ranges, File backend):"
             &OpenOptions {
                 backend: Backend::File,
                 pool_blocks: cap,
+                retry: None,
             },
         )
         .expect("open");
@@ -955,6 +958,7 @@ where
     let opts = psi_store::OpenOptions {
         backend,
         pool_blocks: 1 << 16,
+        retry: None,
     };
     let queries = e15_workload(sigma);
     // Distinct-block union of the workload's charges: one shared session
@@ -1152,6 +1156,251 @@ pub fn e15_sweep(threads: &[usize]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// E16 — the durable write path
+
+/// Minimal many-extent single-volume family for measuring extent-granular
+/// checkpoint cost below the real index families (whose dirty sets are
+/// coarse: the semi-dynamic engine keeps all node records in one tree
+/// extent, and the fully dynamic family's meta carries its O(n) routing
+/// state).
+pub struct ExtentFarm {
+    /// The payload volume; each extent is independently rewritable.
+    pub disk: psi_io::Disk,
+}
+
+impl psi_store::PersistIndex for ExtentFarm {
+    const TAG: &'static str = "bench_extent_farm";
+
+    fn write_meta(&self, _out: &mut psi_store::MetaBuf) {}
+
+    fn disks(&self) -> Vec<&psi_io::Disk> {
+        vec![&self.disk]
+    }
+
+    fn from_parts(
+        _meta: &mut psi_store::MetaCursor,
+        disks: Vec<psi_io::Disk>,
+    ) -> Result<Self, psi_store::StoreError> {
+        Ok(ExtentFarm {
+            disk: psi_store::single_volume(disks, "extent farm")?,
+        })
+    }
+}
+
+/// Builds an [`ExtentFarm`] of `extents` extents, `writes` 48-bit values
+/// each.
+pub fn farm_build(extents: usize, writes: usize) -> ExtentFarm {
+    let mut disk = psi_io::Disk::new(IoConfig::with_block_bits(256));
+    let io = IoSession::untracked();
+    for i in 0..extents {
+        let ext = disk.alloc();
+        let mut w = disk.writer(ext, &io);
+        for j in 0..writes {
+            w.write_bits((i as u64) << 32 | j as u64, 48);
+        }
+    }
+    ExtentFarm { disk }
+}
+
+/// Rewrites extent `i` of the farm in place, dirtying exactly it.
+pub fn farm_rewrite(farm: &mut ExtentFarm, i: usize, salt: u64) {
+    let io = IoSession::untracked();
+    let ext = psi_io::ExtentId(i as u32);
+    let words = farm.disk.extent_words(ext).len();
+    farm.disk.truncate(ext, 0);
+    let mut w = farm.disk.writer(ext, &io);
+    for j in 0..(words * 64 / 48) {
+        w.write_bits(
+            (salt ^ ((i as u64) << 32 | j as u64)) & 0xFFFF_FFFF_FFFF,
+            48,
+        );
+    }
+}
+
+/// E16 — psi-wal: group commit amortizes the sync, incremental
+/// checkpoints write (roughly) the dirty set, recovery time scales with
+/// the log tail. Full-size run.
+pub fn e16() {
+    e16_run(6_000, &[1, 8, 64, 256], &[0, 1_000, 4_000]);
+}
+
+/// [`e16`] with explicit sizes (the CI smoke run shrinks all three).
+pub fn e16_run(ops: usize, batches: &[usize], tails: &[usize]) {
+    use psi_api::MutOp;
+    use psi_wal::{recover, Durable, DurableOptions};
+
+    head(
+        "E16",
+        "durable write path: group commit amortizes fsync; incremental checkpoint < full save; recovery ~ tail length",
+    );
+    let sigma = 64u32;
+    let root = std::env::temp_dir().join("psi_bench_durable");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench durable dir");
+    let cfg = IoConfig::default();
+    let io = IoSession::untracked();
+
+    // --- group-commit latency vs batch size -----------------------------
+    // One write + one sync per batch: per-op latency must fall (or at
+    // worst flatten) as the batch grows.
+    hdr(&["batch", "ops", "commits", "ns/op", "vs batch=1"]);
+    let mut per_op = Vec::new();
+    for &batch in batches {
+        let dir = root.join(format!("commit_b{batch}"));
+        let idx = SemiDynamicIndex::new(sigma, cfg);
+        let mut d = Durable::create(
+            &dir,
+            idx,
+            DurableOptions {
+                group_commit_ops: batch,
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create durable");
+        let start = std::time::Instant::now();
+        for i in 0..ops {
+            d.apply(
+                &MutOp::Append {
+                    symbol: (i as u32 * 2_654_435_761) >> 16 & (sigma - 1),
+                },
+                &io,
+            )
+            .expect("apply");
+        }
+        d.commit().expect("commit");
+        let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+        let commits = d.wal_commits();
+        per_op.push(ns);
+        row(&[
+            batch.to_string(),
+            ops.to_string(),
+            commits.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.2}x", ns / per_op[0]),
+        ]);
+    }
+    if batches.len() > 1 {
+        assert!(
+            per_op.last().unwrap() < per_op.first().unwrap(),
+            "group commit must amortize the per-op sync cost"
+        );
+    }
+
+    // --- incremental checkpoint vs full save ----------------------------
+    // (a) Real family: the checkpoint floor. With an empty dirty set a
+    // checkpoint writes only extent table + meta + superblock slot; the
+    // burst rounds then show the engine's actual dirty granularity (the
+    // semi-dynamic engine keeps all node records in one tree extent, so
+    // even a tiny burst dirties most of the payload, and relocated dead
+    // space compacts every other round).
+    let n = 1usize << 14;
+    let s = wl::zipf(n, sigma, 1.1, 77);
+    let dir = root.join("ckpt");
+    let mut idx = SemiDynamicIndex::new(sigma, cfg);
+    for &sym in &s {
+        idx.append(sym, &io);
+    }
+    let mut d = Durable::create(&dir, idx, DurableOptions::default()).expect("create durable");
+    let full_bytes = std::fs::metadata(dir.join(psi_wal::CHECKPOINT_FILE))
+        .expect("checkpoint meta")
+        .len();
+    hdr(&["burst", "ckpt bytes", "full bytes", "ratio", "compacted"]);
+    for &burst in &[0usize, 4, 4] {
+        for i in 0..burst {
+            d.apply(
+                &MutOp::Append {
+                    symbol: (i as u32 * 40_503) >> 4 & (sigma - 1),
+                },
+                &io,
+            )
+            .expect("apply");
+        }
+        let report = d.checkpoint().expect("checkpoint");
+        if burst == 0 {
+            assert!(
+                report.bytes_written < full_bytes,
+                "an empty dirty set must checkpoint in fewer bytes than a \
+                 full save ({} vs {full_bytes})",
+                report.bytes_written
+            );
+        }
+        row(&[
+            burst.to_string(),
+            report.bytes_written.to_string(),
+            full_bytes.to_string(),
+            f(report.bytes_written as f64 / full_bytes as f64),
+            report.compacted.to_string(),
+        ]);
+    }
+    drop(d);
+
+    // (b) Extent-granular cost, isolated on a many-extent volume: 2 of
+    // 64 dirty extents checkpoint in a fraction of the full save.
+    hdr(&[
+        "dirty extents",
+        "ckpt bytes",
+        "full bytes",
+        "ratio",
+        "verdict",
+    ]);
+    let mut farm = farm_build(64, 2000);
+    let farm_path = root.join("farm.ck");
+    let (mut cp, created) =
+        psi_store::CheckpointFile::create(&farm_path, &farm, &[], 1).expect("farm create");
+    for &dirty in &[2usize, 8] {
+        for k in 0..dirty {
+            farm_rewrite(&mut farm, k * 63 / dirty.max(1), 0x9E37 + k as u64);
+        }
+        let report = cp.update(&farm, &[]).expect("farm update");
+        assert!(
+            report.bytes_written * 4 < created.bytes_written,
+            "a sparse dirty set must checkpoint in a fraction of the full save \
+             ({} vs {})",
+            report.bytes_written,
+            created.bytes_written
+        );
+        row(&[
+            dirty.to_string(),
+            report.bytes_written.to_string(),
+            created.bytes_written.to_string(),
+            f(report.bytes_written as f64 / created.bytes_written as f64),
+            "ok".into(),
+        ]);
+    }
+
+    // --- recovery time vs log tail length -------------------------------
+    hdr(&["tail ops", "replayed", "recover ms", "verdict"]);
+    for &tail in tails {
+        let dir = root.join(format!("recover_t{tail}"));
+        let idx = FullyDynamicIndex::build(&s, sigma, cfg);
+        let mut d = Durable::create(&dir, idx, DurableOptions::default()).expect("create durable");
+        for i in 0..tail {
+            d.apply(
+                &MutOp::Change {
+                    pos: ((i * 48_271) % n) as u64,
+                    symbol: (i as u32).wrapping_mul(69_621) >> 7 & (sigma - 1),
+                },
+                &io,
+            )
+            .expect("apply");
+        }
+        d.commit().expect("commit");
+        drop(d);
+        let start = std::time::Instant::now();
+        let (_, report) =
+            recover::<FullyDynamicIndex>(&dir, DurableOptions::default()).expect("recover");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.replayed, tail, "the whole committed tail replays");
+        row(&[
+            tail.to_string(),
+            report.replayed.to_string(),
+            format!("{ms:.2}"),
+            "ok".into(),
+        ]);
+    }
+}
+
 /// Runs every experiment in order.
 pub fn all() {
     e01();
@@ -1169,4 +1418,5 @@ pub fn all() {
     e13();
     e14();
     e15();
+    e16();
 }

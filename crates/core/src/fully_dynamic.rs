@@ -497,6 +497,47 @@ impl DynamicIndex for FullyDynamicIndex {
     }
 }
 
+impl psi_api::ApplyOp for FullyDynamicIndex {
+    fn apply_op(&mut self, op: &psi_api::MutOp, io: &IoSession) -> Result<(), psi_api::ApplyError> {
+        // Validate before mutating: replay must surface a typed error on a
+        // log/checkpoint mismatch, never panic.
+        match *op {
+            psi_api::MutOp::Append { symbol } => {
+                if symbol >= self.sigma {
+                    return Err(psi_api::ApplyError {
+                        what: format!("append symbol {symbol} outside alphabet {}", self.sigma),
+                    });
+                }
+                self.append(symbol, io);
+                Ok(())
+            }
+            psi_api::MutOp::Change { pos, symbol } => {
+                if pos >= self.string.len() as u64 {
+                    return Err(psi_api::ApplyError {
+                        what: format!("change at {pos} beyond length {}", self.string.len()),
+                    });
+                }
+                if symbol >= self.sigma {
+                    return Err(psi_api::ApplyError {
+                        what: format!("change symbol {symbol} outside alphabet {}", self.sigma),
+                    });
+                }
+                self.change(pos, symbol, io);
+                Ok(())
+            }
+            psi_api::MutOp::Delete { pos } => {
+                if pos >= self.string.len() as u64 {
+                    return Err(psi_api::ApplyError {
+                        what: format!("delete at {pos} beyond length {}", self.string.len()),
+                    });
+                }
+                self.delete(pos, io);
+                Ok(())
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Persistence (psi-store)
 

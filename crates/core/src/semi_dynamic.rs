@@ -101,6 +101,29 @@ impl AppendIndex for SemiDynamicIndex {
     }
 }
 
+impl psi_api::ApplyOp for SemiDynamicIndex {
+    fn apply_op(&mut self, op: &psi_api::MutOp, io: &IoSession) -> Result<(), psi_api::ApplyError> {
+        match *op {
+            psi_api::MutOp::Append { symbol } => {
+                if symbol >= self.sigma() {
+                    return Err(psi_api::ApplyError {
+                        what: format!("append symbol {symbol} outside alphabet {}", self.sigma()),
+                    });
+                }
+                self.append(symbol, io);
+                Ok(())
+            }
+            // Semi-dynamic is append-only: a change/delete in the log means
+            // it was written by a different family.
+            psi_api::MutOp::Change { pos, .. } | psi_api::MutOp::Delete { pos } => {
+                Err(psi_api::ApplyError {
+                    what: format!("semi-dynamic index cannot replay change/delete at {pos}"),
+                })
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Persistence (psi-store)
 

@@ -20,15 +20,67 @@
 
 use crate::disk::ExtentId;
 
+/// Whether an I/O failure is worth retrying.
+///
+/// The taxonomy every layer above the backends shares: the retry policy
+/// in [`crate::fault`] retries [`ErrorClass::Transient`] failures with
+/// backoff and surfaces [`ErrorClass::Permanent`] ones immediately as
+/// typed errors (mirroring the `PoolError::Exhausted` precedent of
+/// structured, matchable failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The same operation may succeed if repeated (interrupted syscall,
+    /// momentary resource pressure, injected flake).
+    Transient,
+    /// Retrying cannot help (corrupt page, missing extent, bad length).
+    Permanent,
+}
+
+/// Maps an OS error kind onto the retry taxonomy.
+///
+/// `Interrupted` (EINTR), `WouldBlock`, and `TimedOut` are the kinds a
+/// repeat of the same positioned read can cure; everything else —
+/// `NotFound`, `PermissionDenied`, `UnexpectedEof`, … — is permanent.
+pub fn classify_io(kind: std::io::ErrorKind) -> ErrorClass {
+    use std::io::ErrorKind as K;
+    match kind {
+        K::Interrupted | K::WouldBlock | K::TimedOut => ErrorClass::Transient,
+        _ => ErrorClass::Permanent,
+    }
+}
+
 /// Error surfaced by a backend fetch (corrupt page, short read).
 ///
 /// Open-time validation in `psi-store` returns typed errors; a fetch
 /// failure *during* an operation means the file changed or rotted after
-/// open, and the pool surfaces it as a panic with this message.
+/// open (permanent), or the OS flaked on a read (transient). The buffer
+/// pool retries nothing itself — it surfaces the error through
+/// `PoolError::Fetch` and lets [`crate::fault::RetryStore`] or the
+/// caller decide, guided by [`BlockStoreError::class`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockStoreError {
     /// Human-readable description (extent, block, cause).
     pub message: String,
+    /// Retryability of this failure.
+    pub class: ErrorClass,
+}
+
+impl BlockStoreError {
+    /// A failure that retrying cannot cure.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        BlockStoreError {
+            message: message.into(),
+            class: ErrorClass::Permanent,
+        }
+    }
+
+    /// A failure worth retrying.
+    pub fn transient(message: impl Into<String>) -> Self {
+        BlockStoreError {
+            message: message.into(),
+            class: ErrorClass::Transient,
+        }
+    }
 }
 
 impl std::fmt::Display for BlockStoreError {
@@ -99,12 +151,9 @@ impl BlockStore for MemStore {
         block: u64,
         out: &mut [u64],
     ) -> Result<(), BlockStoreError> {
-        let words = self
-            .extents
-            .get(ext.0 as usize)
-            .ok_or_else(|| BlockStoreError {
-                message: format!("mem store has no extent {}", ext.0),
-            })?;
+        let words = self.extents.get(ext.0 as usize).ok_or_else(|| {
+            BlockStoreError::permanent(format!("mem store has no extent {}", ext.0))
+        })?;
         let start = block as usize * self.block_words;
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = words.get(start + i).copied().unwrap_or(0);

@@ -1,7 +1,8 @@
 //! The simulated block device.
 
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
 use crate::pool::{BufferPool, PinnedBlock};
 use crate::session::IoSession;
@@ -74,6 +75,12 @@ pub struct Disk {
     /// Buffer pool fronting a real backend; `None` for the fully
     /// resident, in-RAM disk (the default).
     pool: Option<Arc<BufferPool>>,
+    /// Extents mutated since the last [`Disk::clear_dirty`] — the
+    /// incremental-checkpoint cursor. Behind a mutex so checkpointing,
+    /// which reaches disks through `&Disk` (the `PersistIndex::disks`
+    /// surface), can clear it without a `&mut` threading change through
+    /// every index family.
+    dirty: Mutex<HashSet<u32>>,
 }
 
 impl Disk {
@@ -83,6 +90,7 @@ impl Disk {
             config,
             extents: Vec::new(),
             pool: None,
+            dirty: Mutex::new(HashSet::new()),
         }
     }
 
@@ -103,7 +111,38 @@ impl Disk {
                 })
                 .collect(),
             pool: Some(pool),
+            // An opened disk starts clean: its file image is the
+            // checkpoint baseline.
+            dirty: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Marks an extent dirty (mutated since the last checkpoint).
+    ///
+    /// Takes `&self`: recovery replay and the save path reach disks
+    /// through shared references.
+    pub fn mark_dirty(&self, ext: ExtentId) {
+        self.dirty.lock().unwrap().insert(ext.0);
+    }
+
+    /// Whether an extent was mutated since the last [`Disk::clear_dirty`].
+    pub fn is_dirty(&self, ext: ExtentId) -> bool {
+        self.dirty.lock().unwrap().contains(&ext.0)
+    }
+
+    /// Extents mutated since the last [`Disk::clear_dirty`], ascending.
+    /// This is what an incremental checkpoint flushes; everything else
+    /// is byte-identical to the previous checkpoint.
+    pub fn dirty_extents(&self) -> Vec<ExtentId> {
+        let mut ids: Vec<u32> = self.dirty.lock().unwrap().iter().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(ExtentId).collect()
+    }
+
+    /// Resets the dirty set — called after a checkpoint has durably
+    /// written every dirty extent.
+    pub fn clear_dirty(&self) {
+        self.dirty.lock().unwrap().clear();
     }
 
     /// The buffer pool, when this disk reads through one.
@@ -218,11 +257,13 @@ impl Disk {
     pub fn alloc(&mut self) -> ExtentId {
         let id = ExtentId(u32::try_from(self.extents.len()).expect("extent ids exhausted"));
         self.extents.push(Extent::default());
+        self.mark_dirty(id);
         id
     }
 
     /// Releases an extent's storage. The id remains valid but empty.
     pub fn free(&mut self, ext: ExtentId) {
+        self.mark_dirty(ext);
         let e = &mut self.extents[ext.0 as usize];
         e.words = Vec::new();
         e.bit_len = 0;
@@ -267,6 +308,7 @@ impl Disk {
 
     /// Truncates an extent to `bit_len` bits (must not exceed current).
     pub fn truncate(&mut self, ext: ExtentId, bit_len: u64) {
+        self.mark_dirty(ext);
         self.promote(ext);
         let e = &mut self.extents[ext.0 as usize];
         assert!(bit_len <= e.bit_len, "truncate beyond extent length");
@@ -328,6 +370,7 @@ impl Disk {
     /// on opened stores are in-memory overlays; the file is immutable
     /// until the index is saved again).
     pub fn writer<'a>(&'a mut self, ext: ExtentId, session: &'a IoSession) -> DiskWriter<'a> {
+        self.mark_dirty(ext);
         self.promote(ext);
         let block_bits = self.config.block_bits;
         let e = &mut self.extents[ext.0 as usize];
@@ -351,6 +394,7 @@ impl Disk {
         bit_off: u64,
         session: &'a IoSession,
     ) -> DiskWriterAt<'a> {
+        self.mark_dirty(ext);
         self.promote(ext);
         let block_bits = self.config.block_bits;
         let e = &mut self.extents[ext.0 as usize];

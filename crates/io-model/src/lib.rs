@@ -31,11 +31,13 @@
 mod backend;
 pub mod cost;
 mod disk;
+pub mod fault;
 mod pool;
 mod session;
 
-pub use backend::{BlockStore, BlockStoreError, MemStore};
+pub use backend::{classify_io, BlockStore, BlockStoreError, ErrorClass, MemStore};
 pub use disk::{Disk, DiskReader, DiskWriter, DiskWriterAt, ExtentId, StoredExtent};
+pub use fault::{retry_transient, Fault, FaultyStore, RetryPolicy, RetryStore};
 pub use pool::{
     BufferPool, PinnedBlock, PoolError, PoolStats, DEFAULT_POOL_SHARDS, GROWTH_CEILING,
 };
@@ -54,6 +56,8 @@ const _: () = {
     assert_send_sync::<Disk>();
     assert_send_sync::<BufferPool>();
     assert_send_sync::<MemStore>();
+    assert_send_sync::<FaultyStore<MemStore>>();
+    assert_send_sync::<RetryStore<MemStore>>();
     assert_send_sync::<IoStats>();
     assert_send_sync::<PoolStats>();
     assert_send_sync::<PinnedBlock>();

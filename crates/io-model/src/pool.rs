@@ -101,6 +101,14 @@ pub enum PoolError {
         /// The pool-wide hard frame ceiling.
         hard_frames: usize,
     },
+    /// The backend fetch for a missed block failed. The frame is left
+    /// empty and evictable; [`crate::BlockStoreError::class`] on the
+    /// source says whether retrying the same pin can succeed (transient
+    /// OS flake) or not (the file changed or rotted after open).
+    Fetch {
+        /// The backend's error, with its retry classification.
+        source: crate::BlockStoreError,
+    },
 }
 
 impl std::fmt::Display for PoolError {
@@ -116,6 +124,7 @@ impl std::fmt::Display for PoolError {
                  and the hard ceiling of {hard_frames} frames is reached \
                  ({frames} allocated)"
             ),
+            PoolError::Fetch { source } => write!(f, "block fetch failed after open: {source}"),
         }
     }
 }
@@ -352,10 +361,6 @@ impl BufferPool {
             });
         }
         let idx = self.acquire_frame(si, &mut shard)?;
-        // Counted only after a frame is secured: a pin rejected at the
-        // hard ceiling is not a miss (no fetch happens), keeping
-        // `misses == fetches` exact even across exhaustion events.
-        shard.stats.misses += 1;
         // The fetch happens under this shard's lock only: a racing thread
         // wanting the same block waits and then hits; threads on other
         // shards are unaffected. An evicted victim's buffer is refilled
@@ -369,9 +374,20 @@ impl BufferPool {
         let buf = Arc::get_mut(&mut data).expect("uniquely owned buffer");
         if let Err(e) = self.store.read_block(ext, block, buf) {
             // The file was validated at open; a failing fetch afterwards
-            // means it changed or rotted underneath us.
-            panic!("block fetch failed after open: {e}");
+            // means it changed or rotted underneath us — or the OS flaked.
+            // Leave the frame empty and evictable; the caller classifies
+            // the error (retry transient, surface permanent).
+            let f = &mut shard.frames[idx as usize];
+            f.key = NO_KEY;
+            f.data = Arc::from(Vec::new());
+            f.pins = 0;
+            f.referenced = false;
+            return Err(PoolError::Fetch { source: e });
         }
+        // Counted only after the fetch succeeds: a rejected or failed pin
+        // is not a miss, keeping `misses == fetches` exact across both
+        // exhaustion and fetch-failure events.
+        shard.stats.misses += 1;
         let f = &mut shard.frames[idx as usize];
         f.key = key;
         f.data = Arc::clone(&data);
@@ -568,6 +584,34 @@ mod tests {
     }
 
     #[test]
+    fn failed_fetch_is_typed_and_frame_is_reusable() {
+        // Fetch 0 fails permanently, fetch 1 (the retry) succeeds: the
+        // error is typed (not a panic), carries the backend's class, and
+        // the frame it briefly held is reusable afterwards.
+        let mut disk = Disk::new(IoConfig::with_block_bits(128));
+        let ext = disk.alloc();
+        let io = IoSession::untracked();
+        disk.writer(ext, &io).write_bits(7, 64);
+        let faulty =
+            crate::FaultyStore::new(MemStore::from_disk(&disk), [(0, crate::Fault::Permanent)]);
+        let pool = BufferPool::with_shards(Arc::new(faulty), 4, 16, 1, 128);
+        let err = pool.try_pin(EXT, 0).expect_err("injected fault");
+        match &err {
+            PoolError::Fetch { source } => {
+                assert_eq!(source.class, crate::ErrorClass::Permanent);
+            }
+            other => panic!("expected Fetch, got {other}"),
+        }
+        // A failed pin is not a miss and leaves no pinned frame behind.
+        assert_eq!(pool.stats().misses, 0);
+        // The schedule is spent: the same pin now succeeds.
+        let b = pool.try_pin(EXT, 0).expect("fault schedule spent");
+        assert_eq!(b.word(0), 7);
+        pool.unpin(b);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
     fn clock_evicts_unpinned_in_order() {
         let pool = pool1(8, 2);
         for blk in 0..4 {
@@ -634,6 +678,7 @@ mod tests {
             } => {
                 assert_eq!((frames, hard_frames), (8, 8));
             }
+            other => panic!("expected Exhausted, got {other}"),
         }
         for f in held {
             pool.unpin(f);

@@ -3,11 +3,23 @@
 
 use std::fmt;
 
+use psi_io::ErrorClass;
+
 /// Everything that can go wrong saving or opening a store file.
 #[derive(Debug)]
 pub enum StoreError {
-    /// An underlying filesystem error.
-    Io(std::io::Error),
+    /// An underlying filesystem error, classified for retryability:
+    /// [`ErrorClass::Transient`] failures (interrupted syscall, momentary
+    /// pressure) are worth repeating under a `RetryPolicy`;
+    /// [`ErrorClass::Permanent`] ones are not. Mirrors the
+    /// `PoolError::Exhausted` precedent of structured, matchable failure
+    /// instead of a lumped passthrough.
+    Io {
+        /// Whether retrying the same operation can succeed.
+        class: ErrorClass,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
     /// The file does not start with the `PSISTOR1` magic.
     BadMagic,
     /// The file's format version is not one this build reads.
@@ -49,10 +61,28 @@ pub enum StoreError {
     },
 }
 
+impl StoreError {
+    /// Retry classification of this error: only a transient I/O failure
+    /// is worth repeating — every structural error (bad magic, checksum
+    /// mismatch, truncation, …) is permanent by nature.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            StoreError::Io { class, .. } => *class,
+            _ => ErrorClass::Permanent,
+        }
+    }
+}
+
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Io { class, source } => {
+                let kind = match class {
+                    ErrorClass::Transient => "transient",
+                    ErrorClass::Permanent => "permanent",
+                };
+                write!(f, "{kind} i/o error: {source}")
+            }
             StoreError::BadMagic => write!(f, "not a psi-store file (bad magic)"),
             StoreError::BadVersion { found } => {
                 write!(f, "unsupported store version {found}")
@@ -77,7 +107,7 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StoreError::Io(e) => Some(e),
+            StoreError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -85,6 +115,9 @@ impl std::error::Error for StoreError {
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
-        StoreError::Io(e)
+        StoreError::Io {
+            class: psi_io::classify_io(e.kind()),
+            source: e,
+        }
     }
 }

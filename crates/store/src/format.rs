@@ -86,7 +86,7 @@ pub struct StoreHeader {
 }
 
 /// Serializes the volume/extent table.
-fn encode_table(volumes: &[VolumeDesc]) -> Vec<u8> {
+pub(crate) fn encode_table(volumes: &[VolumeDesc]) -> Vec<u8> {
     let mut b = MetaBuf::new();
     for v in volumes {
         b.put_u64(v.config.block_bits);
@@ -102,7 +102,7 @@ fn encode_table(volumes: &[VolumeDesc]) -> Vec<u8> {
 }
 
 /// Parses the volume/extent table (`volume_count` from the superblock).
-fn decode_table(bytes: &[u8], volume_count: u32) -> Result<Vec<VolumeDesc>, StoreError> {
+pub(crate) fn decode_table(bytes: &[u8], volume_count: u32) -> Result<Vec<VolumeDesc>, StoreError> {
     let mut c = MetaCursor::new(bytes);
     let mut volumes = Vec::new();
     for _ in 0..volume_count {
@@ -134,12 +134,12 @@ fn decode_table(bytes: &[u8], volume_count: u32) -> Result<Vec<VolumeDesc>, Stor
 }
 
 /// Number of metadata pages a region of `len` bytes occupies.
-fn meta_pages(len: usize) -> u64 {
+pub(crate) fn meta_pages(len: usize) -> u64 {
     (len.div_ceil(META_PAGE_PAYLOAD).max(1)) as u64
 }
 
 /// Writes a region as checksummed metadata pages.
-fn write_paged(out: &mut impl Write, bytes: &[u8]) -> Result<(), StoreError> {
+pub(crate) fn write_paged(out: &mut impl Write, bytes: &[u8]) -> Result<(), StoreError> {
     let pages = meta_pages(bytes.len()) as usize;
     for p in 0..pages {
         let mut page = [0u8; META_PAGE];
@@ -156,7 +156,12 @@ fn write_paged(out: &mut impl Write, bytes: &[u8]) -> Result<(), StoreError> {
 }
 
 /// Reads and verifies a paged region of logical length `len`.
-fn read_paged(file: &mut File, off: u64, len: usize, what: &str) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn read_paged(
+    file: &mut File,
+    off: u64,
+    len: usize,
+    what: &str,
+) -> Result<Vec<u8>, StoreError> {
     file.seek(SeekFrom::Start(off))?;
     let pages = meta_pages(len) as usize;
     let mut out = Vec::with_capacity(len);
@@ -175,17 +180,44 @@ fn read_paged(file: &mut File, off: u64, len: usize, what: &str) -> Result<Vec<u
     Ok(out)
 }
 
-fn map_eof(e: std::io::Error, what: &str) -> StoreError {
+pub(crate) fn map_eof(e: std::io::Error, what: &str) -> StoreError {
     if e.kind() == std::io::ErrorKind::UnexpectedEof {
         StoreError::Truncated { what: what.into() }
     } else {
-        StoreError::Io(e)
+        StoreError::from(e)
     }
+}
+
+/// Writes one extent's payload as `blocks` checksummed pages (one page
+/// per model block of `block_bits` bits, words LE, 8-byte FNV trailer).
+pub(crate) fn write_extent_pages(
+    out: &mut impl Write,
+    words: &[u64],
+    blocks: u64,
+    block_bits: u64,
+) -> Result<(), StoreError> {
+    let block_words = (block_bits / 64) as usize;
+    let mut page = vec![0u8; (block_bits / 8 + 8) as usize];
+    for blk in 0..blocks as usize {
+        let start = blk * block_words;
+        for (w, chunk) in page[..block_words * 8].chunks_exact_mut(8).enumerate() {
+            let word = words.get(start + w).copied().unwrap_or(0);
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        let sum = fnv1a64(&page[..block_words * 8]);
+        let sum_at = block_words * 8;
+        page[sum_at..sum_at + 8].copy_from_slice(&sum.to_le_bytes());
+        out.write_all(&page)?;
+    }
+    Ok(())
 }
 
 /// Builds the volume descriptors for a set of resident disks, assigning
 /// payload offsets sequentially from `payload_off`.
-fn plan_volumes(disks: &[&Disk], payload_off: u64) -> Result<(Vec<VolumeDesc>, u64), StoreError> {
+pub(crate) fn plan_volumes(
+    disks: &[&Disk],
+    payload_off: u64,
+) -> Result<(Vec<VolumeDesc>, u64), StoreError> {
     let mut off = payload_off;
     let mut volumes = Vec::with_capacity(disks.len());
     for disk in disks {
@@ -262,23 +294,10 @@ pub fn write_store(
     write_paged(&mut out, meta)?;
     // Payload: one checksummed page per model block, in extent order.
     for disk in disks {
-        let block_words = (disk.block_bits() / 64) as usize;
-        let mut page = vec![0u8; (disk.block_bits() / 8 + 8) as usize];
         for i in 0..disk.num_extents() {
             let ext = ExtentId(i as u32);
-            let words = disk.extent_words(ext);
             let blocks = disk.config().blocks_for_bits(disk.extent_bits(ext));
-            for blk in 0..blocks as usize {
-                let start = blk * block_words;
-                for (w, chunk) in page[..block_words * 8].chunks_exact_mut(8).enumerate() {
-                    let word = words.get(start + w).copied().unwrap_or(0);
-                    chunk.copy_from_slice(&word.to_le_bytes());
-                }
-                let sum = fnv1a64(&page[..block_words * 8]);
-                let sum_at = block_words * 8;
-                page[sum_at..sum_at + 8].copy_from_slice(&sum.to_le_bytes());
-                out.write_all(&page)?;
-            }
+            write_extent_pages(&mut out, disk.extent_words(ext), blocks, disk.block_bits())?;
         }
     }
     out.flush()?;

@@ -19,13 +19,18 @@
 //! * [`save`]/[`open`] round-trips for every [`PersistIndex`] family: an
 //!   opened index answers `query`, `cardinality_hint` and conjunctive
 //!   plans identically — bit-identical `RidSet`s, identical `IoStats` —
-//!   to the index it was saved from.
+//!   to the index it was saved from;
+//! * **incremental checkpoints** ([`checkpoint`]) — a dual-superblock
+//!   format-v2 file that absorbs updates by appending only dirty extents
+//!   and flipping an epoch-stamped slot, the durable-write-path half of
+//!   psi-wal's checkpoint + log-replay recovery.
 //!
 //! Open-time validation returns typed [`StoreError`]s (bad magic, bad
 //! version, checksum mismatch, truncation, wrong family) — never panics.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod error;
 pub mod format;
 mod persist;
@@ -34,9 +39,13 @@ pub mod ser;
 mod sum;
 mod volume;
 
+pub use checkpoint::{
+    checkpoint_epoch, open_checkpoint, CheckpointFile, CheckpointReport, VERSION_CHECKPOINT,
+};
 pub use error::StoreError;
 pub use persist::{
-    check_extent, open, save, single_volume, Backend, OpenOptions, Opened, PersistIndex, SaveReport,
+    check_extent, open, save, single_volume, sweep_stale_tmp, Backend, OpenOptions, Opened,
+    PersistIndex, SaveReport,
 };
 pub use ser::{MetaBuf, MetaCursor};
 pub use sum::fnv1a64;

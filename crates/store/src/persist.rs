@@ -29,6 +29,10 @@ pub struct OpenOptions {
     pub backend: Backend,
     /// Buffer-pool capacity in model blocks, per volume.
     pub pool_blocks: usize,
+    /// When set, every payload fetch retries transient OS failures under
+    /// this policy before surfacing; permanent failures (checksum
+    /// mismatch, missing extent) surface immediately either way.
+    pub retry: Option<psi_io::RetryPolicy>,
 }
 
 impl Default for OpenOptions {
@@ -36,6 +40,7 @@ impl Default for OpenOptions {
         OpenOptions {
             backend: Backend::File,
             pool_blocks: 1024,
+            retry: None,
         }
     }
 }
@@ -144,6 +149,19 @@ impl<I> Opened<I> {
     }
 }
 
+/// Removes the stale `<path>.tmp` sibling an interrupted atomic save
+/// leaves behind (the process died between temp-file create and rename).
+/// The temp file is garbage by construction — the rename never happened,
+/// so `path` still holds the previous complete store — and sweeping it
+/// on open keeps dead multi-gigabyte files from accumulating.
+pub fn sweep_stale_tmp(path: &Path) {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    // Best effort: a racing sweep or permission problem must not turn a
+    // readable store into an open error.
+    let _ = std::fs::remove_file(std::path::PathBuf::from(tmp));
+}
+
 /// Opens the store at `path` as index family `I`.
 ///
 /// The superblock, extent table and metadata region are read and
@@ -159,6 +177,7 @@ pub fn open<I: PersistIndex>(
             what: "pool_blocks must be at least 1".into(),
         });
     }
+    sweep_stale_tmp(path.as_ref());
     let (file, header) = read_header(path.as_ref())?;
     if header.tag != I::TAG {
         return Err(StoreError::WrongFamily {
@@ -166,14 +185,28 @@ pub fn open<I: PersistIndex>(
             found: header.tag,
         });
     }
+    build_opened(file, &header.volumes, &header.meta, header.file_bytes, opts)
+}
+
+/// Builds an [`Opened`] index from an already-validated header: wires a
+/// [`VolumeStore`] (optionally retry-wrapped) and buffer pool per
+/// volume, reconstructs the disks non-resident, and decodes the family
+/// metadata. Shared by [`open`] and the checkpoint open path.
+pub(crate) fn build_opened<I: PersistIndex>(
+    file: std::fs::File,
+    volumes: &[crate::format::VolumeDesc],
+    meta: &[u8],
+    file_bytes: u64,
+    opts: &OpenOptions,
+) -> Result<Opened<I>, StoreError> {
     let raw: Arc<dyn RawBytes> = match opts.backend {
         Backend::File => Arc::new(RawFile::new(file)),
         Backend::Mmap => Arc::new(RawMmap::new(&file)?),
     };
     let fetches = Arc::new(AtomicU64::new(0));
-    let mut disks = Vec::with_capacity(header.volumes.len());
-    let mut pools = Vec::with_capacity(header.volumes.len());
-    for (v, desc) in header.volumes.iter().enumerate() {
+    let mut disks = Vec::with_capacity(volumes.len());
+    let mut pools = Vec::with_capacity(volumes.len());
+    for (v, desc) in volumes.iter().enumerate() {
         let stored: Vec<StoredExtent> = desc
             .extents
             .iter()
@@ -182,12 +215,11 @@ pub fn open<I: PersistIndex>(
                 freed: e.freed,
             })
             .collect();
-        let store: Arc<dyn BlockStore> = Arc::new(VolumeStore::new(
-            Arc::clone(&raw),
-            Arc::clone(&fetches),
-            desc.clone(),
-            v,
-        ));
+        let volume = VolumeStore::new(Arc::clone(&raw), Arc::clone(&fetches), desc.clone(), v);
+        let store: Arc<dyn BlockStore> = match opts.retry {
+            Some(policy) => Arc::new(psi_io::RetryStore::new(volume, policy)),
+            None => Arc::new(volume),
+        };
         let pool = Arc::new(BufferPool::new(
             store,
             opts.pool_blocks,
@@ -196,11 +228,11 @@ pub fn open<I: PersistIndex>(
         disks.push(Disk::from_stored(desc.config, &stored, Arc::clone(&pool)));
         pools.push(pool);
     }
-    let mut cursor = MetaCursor::new(&header.meta);
+    let mut cursor = MetaCursor::new(meta);
     let index = I::from_parts(&mut cursor, disks)?;
     Ok(Opened {
         index,
-        file_bytes: header.file_bytes,
+        file_bytes,
         fetches,
         pools,
     })

@@ -51,7 +51,7 @@ impl RawBytes for RawFile {
                     what: format!("payload read at byte {off}"),
                 }
             } else {
-                StoreError::Io(e)
+                StoreError::from(e)
             }
         })
     }
@@ -65,7 +65,7 @@ impl RawBytes for RawFile {
         let _guard = self.seek_lock.lock().expect("seek lock");
         let mut f = &self.file;
         f.seek(SeekFrom::Start(off))?;
-        f.read_exact(out).map_err(StoreError::Io)
+        f.read_exact(out).map_err(StoreError::from)
     }
 
     fn kind(&self) -> &'static str {
@@ -146,7 +146,7 @@ impl RawMmap {
             )
         };
         if ptr as isize == -1 {
-            return Err(StoreError::Io(std::io::Error::last_os_error()));
+            return Err(StoreError::from(std::io::Error::last_os_error()));
         }
         Ok(RawMmap {
             inner: MmapInner {

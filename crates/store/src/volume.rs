@@ -47,15 +47,15 @@ impl BlockStore for VolumeStore {
         block: u64,
         out: &mut [u64],
     ) -> Result<(), BlockStoreError> {
-        let fail = |message: String| BlockStoreError { message };
-        let e = self
-            .desc
-            .extents
-            .get(ext.0 as usize)
-            .ok_or_else(|| fail(format!("volume {} has no extent {}", self.volume, ext.0)))?;
+        // Structural failures (missing extent, range, checksum) are
+        // permanent: retrying the same read cannot change the file. OS
+        // read failures carry their own classification.
+        let e = self.desc.extents.get(ext.0 as usize).ok_or_else(|| {
+            BlockStoreError::permanent(format!("volume {} has no extent {}", self.volume, ext.0))
+        })?;
         let blocks = self.desc.config.blocks_for_bits(e.bit_len);
         if e.file_off == u64::MAX || block >= blocks {
-            return Err(fail(format!(
+            return Err(BlockStoreError::permanent(format!(
                 "extent {} block {block} out of range ({} blocks)",
                 ext.0, blocks
             )));
@@ -64,11 +64,14 @@ impl BlockStore for VolumeStore {
         let mut page = vec![0u8; page_bytes];
         self.raw
             .read_at(e.file_off + block * page_bytes as u64, &mut page)
-            .map_err(|err| fail(format!("extent {} block {block}: {err}", ext.0)))?;
+            .map_err(|err| BlockStoreError {
+                message: format!("extent {} block {block}: {err}", ext.0),
+                class: err.class(),
+            })?;
         let data = page_bytes - 8;
         let want = u64::from_le_bytes(page[data..].try_into().expect("8 bytes"));
         if fnv1a64(&page[..data]) != want {
-            return Err(fail(format!(
+            return Err(BlockStoreError::permanent(format!(
                 "checksum mismatch in extent {} block {block}",
                 ext.0
             )));

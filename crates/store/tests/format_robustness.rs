@@ -170,10 +170,16 @@ fn corrupt_payload_page_passes_open_but_fails_the_scrub() {
 
 #[test]
 fn missing_file_is_io_error() {
+    // A missing file is a permanent failure: retrying cannot create it.
+    let err = read_header(std::path::Path::new("/nonexistent/psi.store")).unwrap_err();
     assert!(matches!(
-        read_header(std::path::Path::new("/nonexistent/psi.store")),
-        Err(StoreError::Io(_))
+        err,
+        StoreError::Io {
+            class: psi_io::ErrorClass::Permanent,
+            ..
+        }
     ));
+    assert_eq!(err.class(), psi_io::ErrorClass::Permanent);
 }
 
 #[test]

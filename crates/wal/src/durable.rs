@@ -1,0 +1,296 @@
+//! The durable handle: a dynamic index whose mutations are journaled to
+//! a WAL before acknowledgement, checkpointed incrementally, and
+//! recovered by checkpoint-open + log replay.
+
+use std::path::{Path, PathBuf};
+
+use psi_api::{ApplyOp, MutOp};
+use psi_io::IoSession;
+use psi_store::{
+    checkpoint_epoch, open_checkpoint, CheckpointFile, CheckpointReport, OpenOptions, PersistIndex,
+};
+
+use crate::record::scan_wal;
+use crate::writer::WalWriter;
+use crate::WalError;
+
+/// File name of the checkpoint inside a durable directory.
+pub const CHECKPOINT_FILE: &str = "index.ck";
+
+/// Log file name for checkpoint `epoch` inside a durable directory.
+pub fn wal_file_name(epoch: u64) -> String {
+    format!("wal-{epoch:016x}")
+}
+
+/// Options for [`Durable::create`] and [`recover`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Group-commit watermark: [`Durable::apply`] auto-commits once this
+    /// many operations are buffered. `1` commits (syncs) every
+    /// operation; larger values amortize the sync over the group.
+    pub group_commit_ops: usize,
+    /// When set, [`Durable::commit`] triggers an automatic checkpoint
+    /// once the log exceeds this many bytes, bounding replay time.
+    pub checkpoint_wal_bytes: Option<u64>,
+    /// How the checkpoint file is opened during recovery.
+    pub open: OpenOptions,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            group_commit_ops: 64,
+            checkpoint_wal_bytes: None,
+            open: OpenOptions::default(),
+        }
+    }
+}
+
+/// What [`recover`] found and did.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverReport {
+    /// Checkpoint epoch recovery started from.
+    pub epoch: u64,
+    /// Sequence number the checkpoint had already absorbed.
+    pub checkpoint_seq: u64,
+    /// Log-tail operations replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Whether the log tail was truncated at a torn/corrupt record.
+    pub log_truncated: bool,
+}
+
+/// A dynamic [`SecondaryIndex`](psi_api::SecondaryIndex) with a durable
+/// write path.
+///
+/// Every mutation is journaled ([`apply`](Self::apply)) before being
+/// acknowledged; [`commit`](Self::commit) group-syncs the journal;
+/// [`checkpoint`](Self::checkpoint) absorbs the log into the incremental
+/// checkpoint file and starts a fresh log; [`recover`] rebuilds the
+/// exact acknowledged state (possibly more — never less) after a crash
+/// at **any** byte of any of those steps.
+#[derive(Debug)]
+pub struct Durable<I> {
+    dir: PathBuf,
+    index: I,
+    cp: CheckpointFile,
+    wal: WalWriter,
+    opts: DurableOptions,
+}
+
+impl<I: PersistIndex + ApplyOp> Durable<I> {
+    /// Makes a freshly built (fully resident) index durable in directory
+    /// `dir`: writes checkpoint epoch 1 and an empty log for it.
+    pub fn create(dir: impl AsRef<Path>, index: I, opts: DurableOptions) -> Result<Self, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let (cp, _) =
+            CheckpointFile::create(dir.join(CHECKPOINT_FILE), &index, &0u64.to_le_bytes(), 1)?;
+        let wal = WalWriter::create(dir.join(wal_file_name(cp.epoch())), cp.epoch(), 1)?;
+        let durable = Durable {
+            dir,
+            index,
+            cp,
+            wal,
+            opts,
+        };
+        durable.sweep_stale_wals();
+        Ok(durable)
+    }
+
+    /// Journals one operation and applies it to the in-memory index.
+    /// Returns its sequence number. The operation is **acknowledged**
+    /// (durable) only once a later [`commit`](Self::commit) returns —
+    /// including the automatic one this call issues when the buffered
+    /// group reaches `group_commit_ops`.
+    ///
+    /// An inapplicable operation (out-of-range position, symbol outside
+    /// the alphabet) is rejected *before* it is journaled — the log only
+    /// ever holds operations that replay cleanly.
+    pub fn apply(&mut self, op: &MutOp, io: &IoSession) -> Result<u64, WalError> {
+        self.index.apply_op(op, io)?;
+        let seq = self.wal.append(op);
+        if self.wal.pending() >= self.opts.group_commit_ops.max(1) {
+            self.commit()?;
+        }
+        Ok(seq)
+    }
+
+    /// Group-commits every journaled-but-unacknowledged operation (one
+    /// write + one sync for the whole group) and returns the highest
+    /// acknowledged sequence number. Auto-checkpoints afterwards when
+    /// the log has outgrown `checkpoint_wal_bytes`.
+    pub fn commit(&mut self) -> Result<u64, WalError> {
+        let acked = self.wal.commit()?;
+        if let Some(limit) = self.opts.checkpoint_wal_bytes {
+            if self.wal.bytes() > limit {
+                self.checkpoint()?;
+            }
+        }
+        Ok(acked)
+    }
+
+    /// Absorbs the log into the checkpoint and starts a fresh, empty
+    /// one: commit the log, incrementally checkpoint the index (only
+    /// dirty extents are written) stamped with the next epoch, create
+    /// the next epoch's log, then delete the old log.
+    ///
+    /// Crash-ordering: the new checkpoint's slot flip is the commit
+    /// point. Before it, recovery uses the old checkpoint + old log
+    /// (complete); after it, the new checkpoint alone already covers
+    /// every acknowledged operation, whether or not the new log or the
+    /// deletions happened.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, WalError> {
+        self.wal.commit()?;
+        let applied = self.wal.next_seq() - 1;
+        let report = self.cp.update(&self.index, &applied.to_le_bytes())?;
+        let epoch = self.cp.epoch();
+        self.wal = WalWriter::create(
+            self.dir.join(wal_file_name(epoch)),
+            epoch,
+            self.wal.next_seq(),
+        )?;
+        self.sweep_stale_wals();
+        Ok(report)
+    }
+
+    /// Deletes log files of other epochs (left by a crash inside the
+    /// checkpoint protocol). Best-effort: they are unreferenced — the
+    /// live checkpoint's epoch names the only log recovery reads.
+    fn sweep_stale_wals(&self) {
+        let keep = wal_file_name(self.wal.epoch());
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("wal-") && name != keep {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
+    /// The underlying index, for queries. Mutations must go through
+    /// [`apply`](Self::apply) — hence no `&mut` access.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Highest acknowledged (guaranteed-durable) sequence number.
+    pub fn acked_seq(&self) -> u64 {
+        self.wal.acked_seq()
+    }
+
+    /// Sequence number of the last applied (possibly unacknowledged)
+    /// operation.
+    pub fn last_seq(&self) -> u64 {
+        self.wal.next_seq() - 1
+    }
+
+    /// Committed size of the current log in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// Group commits completed on the current log.
+    pub fn wal_commits(&self) -> u64 {
+        self.wal.commits()
+    }
+
+    /// Current checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.cp.epoch()
+    }
+
+    /// Directory this handle persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arms the log writer's crash hook (see
+    /// [`WalWriter::set_crash_after_bytes`]). Testing only.
+    #[doc(hidden)]
+    pub fn set_crash_after_bytes(&mut self, total_bytes: u64) {
+        self.wal.set_crash_after_bytes(total_bytes);
+    }
+}
+
+impl<I> Drop for Durable<I> {
+    fn drop(&mut self) {
+        // Friendly, not load-bearing: ack what was applied. Correctness
+        // never depends on drop running (that is the whole point).
+        let _ = self.wal.commit();
+    }
+}
+
+/// Recovers the durable index in `dir` after a crash (or clean
+/// shutdown): opens the live checkpoint (whichever superblock slot
+/// committed last), replays the intact prefix of its log on top —
+/// truncating, never erroring, at the first torn or corrupt record —
+/// and returns a handle ready for new operations.
+pub fn recover<I: PersistIndex + ApplyOp>(
+    dir: impl AsRef<Path>,
+    opts: DurableOptions,
+) -> Result<(Durable<I>, RecoverReport), WalError> {
+    let dir = dir.as_ref().to_path_buf();
+    let ck_path = dir.join(CHECKPOINT_FILE);
+    let (opened, extra) = open_checkpoint::<I>(&ck_path, &opts.open)?;
+    let epoch = checkpoint_epoch(&ck_path)?;
+    if extra.len() != 8 {
+        return Err(WalError::Recovery {
+            what: format!(
+                "checkpoint sequence watermark is {} bytes, expected 8",
+                extra.len()
+            ),
+        });
+    }
+    let checkpoint_seq = u64::from_le_bytes(extra[..8].try_into().expect("8 bytes"));
+    let mut index = opened.index;
+
+    // Replay the log tail. A missing or headerless log means the crash
+    // hit between checkpoint commit and log creation: the checkpoint
+    // alone is complete.
+    let wal_path = dir.join(wal_file_name(epoch));
+    let io = IoSession::untracked();
+    let (replayed, log_truncated, valid_bytes, next_seq) =
+        match scan_wal(&wal_path, checkpoint_seq + 1).map_err(WalError::from)? {
+            Some(tail) if tail.epoch == epoch => {
+                let n = tail.ops.len();
+                for (seq, op) in &tail.ops {
+                    index.apply_op(op, &io).map_err(|e| WalError::Recovery {
+                        what: format!("journaled operation {seq} does not replay: {e}"),
+                    })?;
+                }
+                (
+                    n,
+                    tail.truncated,
+                    Some(tail.valid_bytes),
+                    checkpoint_seq + n as u64 + 1,
+                )
+            }
+            // Wrong-epoch header: a stale log — ignore it entirely.
+            Some(_) | None => (0, false, None, checkpoint_seq + 1),
+        };
+
+    let cp = CheckpointFile::attach(&ck_path)?;
+    let wal = match valid_bytes {
+        Some(bytes) => WalWriter::resume(&wal_path, epoch, bytes, next_seq)?,
+        None => WalWriter::create(&wal_path, epoch, next_seq)?,
+    };
+    let durable = Durable {
+        dir,
+        index,
+        cp,
+        wal,
+        opts,
+    };
+    durable.sweep_stale_wals();
+    Ok((
+        durable,
+        RecoverReport {
+            epoch,
+            checkpoint_seq,
+            replayed,
+            log_truncated,
+        },
+    ))
+}

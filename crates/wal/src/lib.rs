@@ -1,0 +1,124 @@
+//! # psi-wal — the durable write path
+//!
+//! Makes the dynamic index families crash-safe without giving up their
+//! update bounds: mutations are journaled to a **write-ahead log**
+//! ([`record`]) before acknowledgement, synced in **group commits**
+//! ([`WalWriter`]), folded into an **incremental checkpoint**
+//! (`psi_store::checkpoint` — only dirty extents are written) at a
+//! chosen cadence, and **recovered** ([`recover`]) by opening the live
+//! checkpoint and replaying the log's intact prefix.
+//!
+//! The recovery contract, enforced by the kill-at-every-offset harness
+//! in this crate's tests:
+//!
+//! * **Never lose an acknowledged operation.** An operation is
+//!   acknowledged when a commit covering it returns; after a crash at
+//!   any byte offset of any file, recovery reproduces at least the
+//!   acknowledged prefix (possibly a longer one — the OS may flush
+//!   uncommitted writes on its own).
+//! * **Never panic on a torn tail.** The log scan stops — does not
+//!   error — at the first record with a bad length, bad checksum, or
+//!   non-consecutive sequence number; the checkpoint opens through
+//!   whichever of its two superblock slots committed last.
+//! * **Replay is exact.** A recovered index answers queries identically
+//!   to one that applied the same operations in memory.
+
+#![warn(missing_docs)]
+
+mod durable;
+pub mod record;
+mod writer;
+
+use psi_io::ErrorClass;
+
+pub use durable::{
+    recover, wal_file_name, Durable, DurableOptions, RecoverReport, CHECKPOINT_FILE,
+};
+pub use record::{scan_bytes, scan_wal, WalTail, MAX_RECORD_BODY, WAL_HEADER_BYTES, WAL_MAGIC};
+pub use writer::WalWriter;
+
+/// Everything that can go wrong on the durable write path.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem error on the log itself, classified for
+    /// retryability like every I/O failure in the workspace.
+    Io {
+        /// Whether retrying the same operation can succeed.
+        class: ErrorClass,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The checkpoint half failed (open, update, or attach).
+    Store(psi_store::StoreError),
+    /// The operation cannot apply to the current index state (rejected
+    /// before journaling — the log never holds such operations).
+    Apply(psi_api::ApplyError),
+    /// The recovery invariants are violated in a way no torn write can
+    /// produce (malformed sequence watermark, a journaled operation that
+    /// does not replay): not recoverable by truncation.
+    Recovery {
+        /// What recovery found.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { class, source } => {
+                let kind = match class {
+                    ErrorClass::Transient => "transient",
+                    ErrorClass::Permanent => "permanent",
+                };
+                write!(f, "{kind} i/o error on log: {source}")
+            }
+            WalError::Store(e) => write!(f, "checkpoint error: {e}"),
+            WalError::Apply(e) => write!(f, "{e}"),
+            WalError::Recovery { what } => write!(f, "recovery invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            WalError::Store(e) => Some(e),
+            WalError::Apply(e) => Some(e),
+            WalError::Recovery { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io {
+            class: psi_io::classify_io(e.kind()),
+            source: e,
+        }
+    }
+}
+
+impl From<psi_store::StoreError> for WalError {
+    fn from(e: psi_store::StoreError) -> Self {
+        WalError::Store(e)
+    }
+}
+
+impl From<psi_api::ApplyError> for WalError {
+    fn from(e: psi_api::ApplyError) -> Self {
+        WalError::Apply(e)
+    }
+}
+
+impl WalError {
+    /// Retry classification: only a transient I/O failure (directly or
+    /// inside the checkpoint) is worth repeating.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            WalError::Io { class, .. } => *class,
+            WalError::Store(e) => e.class(),
+            WalError::Apply(_) | WalError::Recovery { .. } => ErrorClass::Permanent,
+        }
+    }
+}

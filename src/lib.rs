@@ -44,6 +44,10 @@
 //!   index family to an on-disk store file (checksummed pages), read it
 //!   back through a pinning buffer pool over file or mmap backends, and
 //!   check the simulated block charges against real reads.
+//! * [`wal`] — the durable write path: a checksummed write-ahead log
+//!   with group commit journals every mutation before it touches RAM,
+//!   incremental checkpoints flush only dirty extents into the store
+//!   file, and `recover()` replays the log tail after a crash.
 //! * [`query`] — the multi-attribute conjunctive engine: a [`Predicate`]
 //!   algebra over [`workloads::Table`]s, executed against one index per
 //!   attribute with a selectivity-ordered intersection planner (the
@@ -56,7 +60,8 @@
 //! paper-vs-measured record of all fifteen experiments (E1–E15).
 
 pub use psi_api::{
-    check_range, naive_query, AppendIndex, DynamicIndex, HasDisk, RidSet, SecondaryIndex, Symbol,
+    check_range, naive_query, AppendIndex, ApplyError, ApplyOp, DynamicIndex, HasDisk, MutOp,
+    RidSet, SecondaryIndex, Symbol,
 };
 pub use psi_core::{
     ApproxResult, ApproximateIndex, BufferedBitmapIndex, BufferedIndex, DeletedPositionMap, Engine,
@@ -93,6 +98,11 @@ pub mod query {
 /// Persistent storage: on-disk format, file/mmap backends, buffer pool.
 pub mod store {
     pub use psi_store::*;
+}
+
+/// Durable write path: write-ahead log, group commit, crash recovery.
+pub mod wal {
+    pub use psi_wal::*;
 }
 
 /// Core structures and substrates (hash families, weight-balanced trees).

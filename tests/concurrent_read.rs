@@ -81,6 +81,7 @@ where
         let opts = OpenOptions {
             backend,
             pool_blocks: 1 << 16,
+            retry: None,
         };
         let union = {
             let opened = open::<I>(&path, &opts).expect("open");
@@ -181,6 +182,7 @@ fn racing_cold_queries_do_the_work_once_and_charge_alike() {
                 &OpenOptions {
                     backend,
                     pool_blocks: 1 << 16,
+                    retry: None,
                 },
             )
             .expect("open"),

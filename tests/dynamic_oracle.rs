@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use psi::{AppendIndex, DynamicIndex, IoConfig, IoSession, SecondaryIndex};
+use psi::{AppendIndex, DynamicIndex, IoConfig, IoSession, MutOp, SecondaryIndex};
 
 const SIGMA: u32 = 8;
 
@@ -58,6 +58,14 @@ impl Oracle {
 
     fn delete(&mut self, pos: u64) {
         self.change(pos, SIGMA);
+    }
+
+    fn apply_mut_op(&mut self, op: &MutOp) {
+        match *op {
+            MutOp::Append { symbol } => self.append(symbol),
+            MutOp::Change { pos, symbol } => self.change(pos, symbol),
+            MutOp::Delete { pos } => self.delete(pos),
+        }
     }
 
     fn expected(&self, lo: u32, hi: u32) -> Vec<u64> {
@@ -151,6 +159,68 @@ proptest! {
         for lo in (0..SIGMA).step_by(2) {
             for hi in lo..SIGMA {
                 check_queries(&idx, &oracle, lo, hi - lo);
+            }
+        }
+    }
+
+    // Durability round-trips mid-workload: run the same fully dynamic
+    // interleaving through the WAL-journaled handle, and every k-th
+    // operation checkpoint + drop + recover from disk. Replay must
+    // continue the history exactly — the recovered index agrees with the
+    // oracle both right after each reopen and at the end.
+    #[test]
+    fn fully_dynamic_history_survives_checkpoint_and_reopen(
+        initial in proptest::collection::vec(0u32..SIGMA, 1..60),
+        ops in proptest::collection::vec(
+            (0u32..100, any::<proptest::sample::Index>(), 0u32..SIGMA),
+            1..100,
+        ),
+        every in 7usize..23,
+    ) {
+        let dir = std::env::temp_dir()
+            .join("psi_dynamic_oracle")
+            .join("ckpt_reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let idx = psi::FullyDynamicIndex::build(&initial, SIGMA, cfg());
+        let mut oracle = Oracle::from_symbols(&initial);
+        let mut durable = psi::wal::Durable::create(
+            &dir,
+            idx,
+            psi::wal::DurableOptions { group_commit_ops: 8, ..Default::default() },
+        )
+        .expect("create durable");
+        let io = IoSession::untracked();
+        for (k, (kind, pos, sym)) in ops.iter().enumerate() {
+            let len = oracle.mirror.len();
+            let op = match kind {
+                0..=39 => MutOp::Append { symbol: *sym },
+                40..=69 => MutOp::Change { pos: pos.index(len) as u64, symbol: *sym },
+                _ => MutOp::Delete { pos: pos.index(len) as u64 },
+            };
+            durable.apply(&op, &io).expect("apply");
+            oracle.apply_mut_op(&op);
+            if (k + 1) % every == 0 {
+                durable.checkpoint().expect("checkpoint");
+                drop(durable);
+                let (recovered, report) =
+                    psi::wal::recover::<psi::FullyDynamicIndex>(&dir, Default::default())
+                        .expect("recover");
+                prop_assert_eq!(report.replayed, 0, "checkpoint absorbed the log");
+                durable = recovered;
+                check_queries(durable.index(), &oracle, 0, SIGMA - 1);
+                check_queries(durable.index(), &oracle, (k as u32) % SIGMA, 2);
+            }
+        }
+        // One final crash-shaped reopen (no checkpoint first): the
+        // committed log tail replays on top of the last checkpoint.
+        durable.commit().expect("commit");
+        drop(durable);
+        let (recovered, _) =
+            psi::wal::recover::<psi::FullyDynamicIndex>(&dir, Default::default())
+                .expect("final recover");
+        for lo in (0..SIGMA).step_by(2) {
+            for hi in lo..SIGMA {
+                check_queries(recovered.index(), &oracle, lo, hi - lo);
             }
         }
     }

@@ -18,6 +18,7 @@ fn opts(backend: Backend, pool_blocks: usize) -> OpenOptions {
     OpenOptions {
         backend,
         pool_blocks,
+        retry: None,
     }
 }
 
