@@ -14,6 +14,7 @@ use psi_io::{Disk, IoSession, IoStats};
 
 mod rid;
 
+pub use psi_io::ReadError;
 pub use rid::RidSet;
 
 /// Symbols are dense character codes in `[0, σ)`; the paper's ordered
@@ -61,6 +62,36 @@ pub trait SecondaryIndex: Send + Sync {
     fn query_measured(&self, lo: Symbol, hi: Symbol) -> (RidSet, IoStats) {
         let io = IoSession::new();
         let result = self.query(lo, hi, &io);
+        let stats = io.stats();
+        (result, stats)
+    }
+
+    /// Fallible form of [`Self::query`]: a real-read failure (transient
+    /// exhausted retries, missing page, checksum mismatch) surfaces as a
+    /// typed [`ReadError`] instead of a panic.
+    ///
+    /// The default wraps the infallible `query` in
+    /// [`psi_io::catch_read`], converting the structured abort every
+    /// pooled decode path raises into the session's recorded fault —
+    /// implementations keep their panic-free hot path and codegen
+    /// untouched, callers that can degrade (quarantine + table-scan
+    /// fallback) get a `Result`. Range-validation panics (`lo > hi`,
+    /// `hi ≥ σ`) are caller bugs and still panic.
+    ///
+    /// [`Self::cardinality_hint`] needs no fallible variant: by contract
+    /// it reads only memory-resident metadata and charges no I/O, so it
+    /// has no real read to fail.
+    fn try_query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> Result<RidSet, ReadError> {
+        psi_io::catch_read(io, || self.query(lo, hi, io))
+    }
+
+    /// Fallible form of [`Self::query_measured`]: the I/O statistics are
+    /// returned even when the query fails — the charges and retries up
+    /// to the fault are exactly what degraded-mode accounting needs.
+    #[allow(clippy::type_complexity)]
+    fn try_query_measured(&self, lo: Symbol, hi: Symbol) -> (Result<RidSet, ReadError>, IoStats) {
+        let io = IoSession::new();
+        let result = self.try_query(lo, hi, &io);
         let stats = io.stats();
         (result, stats)
     }

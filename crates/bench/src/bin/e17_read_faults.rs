@@ -1,0 +1,10 @@
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("--smoke") => psi_bench::e17_run(1 << 13, 800),
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: e17_read_faults [--smoke]");
+            std::process::exit(2);
+        }
+        None => psi_bench::e17(),
+    }
+}

@@ -447,6 +447,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                     backend,
                     pool_blocks: 1 << 16,
                     retry: None,
+                    verify: true,
                 },
             )
             .expect("open");
@@ -489,6 +490,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                     backend,
                     pool_blocks: 1 << 16,
                     retry: None,
+                    verify: true,
                 },
             )
             .expect("open");
@@ -679,6 +681,136 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                 ..Default::default()
             });
         }
+    }
+
+    // --- read faults (E17): verified-fetch cold cost vs raw, and the
+    // degraded (quarantined, table-scan fallback) conjunctive plan vs
+    // healthy and rebuilt. Cold rows follow the E15 single-pass
+    // discipline (a cold pool cannot be re-measured); the plan rows are
+    // measure()d steady state.
+    {
+        use psi_query::{IndexedColumn, IndexedTable, Predicate};
+        use psi_store::{open, save, Backend, OpenOptions};
+
+        let root = std::env::temp_dir().join("psi_bench_json_read_faults");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("bench read-faults dir");
+        let rn = 1usize << 15;
+        let rsigma = 256u32;
+        let s = psi_workloads::zipf(rn, rsigma, 1.0, 21);
+        let idx = psi_core::OptimalIndex::build(&s, rsigma, IoConfig::default());
+        let path = root.join("verified.psi");
+        save(&idx, &path).expect("save optimal");
+        let queries: Vec<(u32, u32)> = (0..16).map(|i| (i * 16, i * 16 + 15)).collect();
+        let mut fetch_counts = Vec::new();
+        for (mode, verify) in [("raw", false), ("verified", true)] {
+            let opened = open::<psi_core::OptimalIndex>(
+                &path,
+                &OpenOptions {
+                    backend: Backend::File,
+                    pool_blocks: 1 << 16,
+                    retry: None,
+                    verify,
+                },
+            )
+            .expect("open optimal");
+            let start = std::time::Instant::now();
+            for &(lo, hi) in &queries {
+                let io = IoSession::new();
+                let _ = opened.index.query(lo, hi, &io);
+            }
+            let blocks = opened.real_fetches();
+            let cold_ns = start.elapsed().as_nanos() as f64 / blocks as f64;
+            fetch_counts.push(blocks);
+            let bench = format!("read_faults/cold_block_{mode}");
+            println!("{bench:<40} {cold_ns:>14.1} ns/iter ({blocks} real reads)");
+            results.push(JsonResult {
+                bench,
+                ns_per_iter: cold_ns,
+                real_reads: blocks,
+                ..Default::default()
+            });
+        }
+        assert_eq!(
+            fetch_counts[0], fetch_counts[1],
+            "verification must not change cold fetch counts"
+        );
+
+        // Healthy plan, degraded plan (age column corrupted on disk,
+        // quarantined at first touch), and the rebuilt plan.
+        let table = psi_workloads::people_table(2_000, 7);
+        let predicate = Predicate::and([
+            Predicate::point("marital_status", 1),
+            Predicate::point("sex", 0),
+            Predicate::range("age", 30, 35),
+        ]);
+        let want = predicate.naive_rows(&table);
+        let healthy = IndexedTable::build(&table, |sy, g| {
+            Box::new(psi_core::OptimalIndex::build(sy, g, IoConfig::default()))
+                as Box<dyn SecondaryIndex>
+        });
+        for col in &table.columns {
+            save(
+                &psi_core::OptimalIndex::build(&col.data, col.sigma, IoConfig::default()),
+                root.join(format!("col_{}.psi", col.name)),
+            )
+            .expect("save column");
+        }
+        crate::corrupt_store_payload(&root.join("col_age.psi"));
+        let columns = table
+            .columns
+            .iter()
+            .map(|col| IndexedColumn {
+                name: col.name.clone(),
+                sigma: col.sigma,
+                index: Box::new(
+                    open::<psi_core::OptimalIndex>(
+                        &root.join(format!("col_{}.psi", col.name)),
+                        &OpenOptions {
+                            backend: Backend::File,
+                            pool_blocks: 1 << 14,
+                            retry: None,
+                            verify: true,
+                        },
+                    )
+                    .expect("open column")
+                    .index,
+                ) as Box<dyn SecondaryIndex>,
+            })
+            .collect();
+        let mut degraded = IndexedTable::from_columns(columns);
+        for col in &table.columns {
+            degraded
+                .attach_column_data(&col.name, col.data.clone())
+                .expect("attach source");
+        }
+        let tripped = degraded.execute(&predicate).expect("degraded execute");
+        assert_eq!(tripped.rows.to_vec(), want, "degraded rows must stay exact");
+        assert!(
+            !tripped.degraded.is_empty(),
+            "corrupted column must degrade the plan"
+        );
+        let mut plan_row = |label: &str, t: &IndexedTable| {
+            let ns = measure(|| t.execute(&predicate).expect("execute").io.reads);
+            let out = t.execute(&predicate).expect("execute");
+            assert_eq!(out.rows.to_vec(), want, "{label} rows must stay exact");
+            let bench = format!("read_faults/conjunctive_{label}");
+            println!("{bench:<40} {ns:>14.1} ns/iter ({} io reads)", out.io.reads);
+            results.push(JsonResult {
+                bench,
+                ns_per_iter: ns,
+                ..Default::default()
+            });
+        };
+        plan_row("healthy", &healthy);
+        plan_row("degraded", &degraded);
+        degraded
+            .rebuild_attribute("age", |sy, g| {
+                Box::new(psi_core::OptimalIndex::build(sy, g, IoConfig::default()))
+                    as Box<dyn SecondaryIndex>
+            })
+            .expect("rebuild");
+        plan_row("rebuilt", &degraded);
     }
     results
 }

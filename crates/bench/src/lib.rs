@@ -761,6 +761,7 @@ pub fn e14() {
                     backend,
                     pool_blocks: 1 << 16,
                     retry: None,
+                    verify: true,
                 },
             )
             .expect("open");
@@ -796,6 +797,7 @@ pub fn e14() {
                     backend,
                     pool_blocks: 1 << 16,
                     retry: None,
+                    verify: true,
                 },
             )
             .expect("open");
@@ -851,6 +853,7 @@ pool sweep (optimal, two passes over 6 ranges, File backend):"
                 backend: Backend::File,
                 pool_blocks: cap,
                 retry: None,
+                verify: true,
             },
         )
         .expect("open");
@@ -959,6 +962,7 @@ where
         backend,
         pool_blocks: 1 << 16,
         retry: None,
+        verify: true,
     };
     let queries = e15_workload(sigma);
     // Distinct-block union of the workload's charges: one shared session
@@ -1401,6 +1405,226 @@ pub fn e16_run(ops: usize, batches: &[usize], tails: &[usize]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// E17 — the fault-tolerant read path
+
+/// Flips one payload byte in every block of every live extent of the
+/// store file at `path` (header and metadata pages untouched, so the file
+/// still opens), guaranteeing that any verified payload fetch detects the
+/// damage. Returns the number of blocks corrupted.
+pub fn corrupt_store_payload(path: &std::path::Path) -> u64 {
+    use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+    let (_, header) = psi_store::format::read_header(path).expect("read store header");
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .expect("open store file for corruption");
+    let mut corrupted = 0;
+    for volume in &header.volumes {
+        let page = volume.page_bytes();
+        for ext in &volume.extents {
+            if ext.freed || ext.file_off == u64::MAX {
+                continue;
+            }
+            let blocks = ext.bit_len.div_ceil(volume.config.block_bits).max(1);
+            for b in 0..blocks {
+                let off = ext.file_off + b * page + 3;
+                let mut byte = [0u8; 1];
+                file.seek(SeekFrom::Start(off)).expect("seek");
+                file.read_exact(&mut byte).expect("read payload byte");
+                byte[0] ^= 0xFF;
+                file.seek(SeekFrom::Start(off)).expect("seek back");
+                file.write_all(&byte).expect("flip payload byte");
+                corrupted += 1;
+            }
+        }
+    }
+    file.sync_all().expect("sync corruption");
+    corrupted
+}
+
+/// E17 — the fault-tolerant read path: verified fetches are
+/// charge-identical to raw ones (the checksum runs only at cold
+/// fault-in, never on warm hits), a quarantined attribute degrades to an
+/// exact table-scan fallback, and an online rebuild returns the plan to
+/// healthy cost. Full-size run.
+pub fn e17() {
+    e17_run(1 << 16, 4_000);
+}
+
+/// [`e17`] with explicit sizes (the CI smoke run shrinks both).
+pub fn e17_run(n: usize, people: usize) {
+    use psi_query::{IndexedColumn, IndexedTable, Predicate};
+    use psi_store::{open, save, Backend, OpenOptions};
+
+    head(
+        "E17",
+        "fault-tolerant reads: verified fetch charge-identical to raw, checksum only at cold fault-in; degraded plan exact; rebuild restores healthy cost",
+    );
+    let root = std::env::temp_dir().join("psi_bench_read_faults");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench read-faults dir");
+    let cfg = IoConfig::default();
+
+    // --- verified-fetch cold cost, ns/block, vs raw ---------------------
+    // Simulated charges and real fetch counts must be bit-identical in
+    // both modes; the checksum may only show up as cold wall-clock.
+    let sigma = 256u32;
+    let s = wl::zipf(n, sigma, 1.0, 21);
+    let idx = OptimalIndex::build(&s, sigma, cfg);
+    let path = root.join("verified.psi");
+    save(&idx, &path).expect("save optimal");
+    let queries: Vec<(u32, u32)> = (0..16).map(|i| (i * 16, i * 16 + 15)).collect();
+
+    hdr(&["mode", "cold ns/blk", "blocks", "charges", "warm fetches"]);
+    let mut per_mode = Vec::new();
+    for (mode, verify) in [("raw", false), ("verified", true)] {
+        let rounds = 4u32;
+        let mut ns_total = 0f64;
+        let mut fetches = 0u64;
+        let mut charges = 0u64;
+        let mut warm_new = 0u64;
+        for _ in 0..rounds {
+            let opened = open::<OptimalIndex>(
+                &path,
+                &OpenOptions {
+                    backend: Backend::File,
+                    pool_blocks: 1 << 16,
+                    retry: None,
+                    verify,
+                },
+            )
+            .expect("open optimal");
+            let start = std::time::Instant::now();
+            for &(lo, hi) in &queries {
+                let io = IoSession::new();
+                let _ = opened.index.query(lo, hi, &io);
+                charges += io.stats().reads;
+            }
+            ns_total += start.elapsed().as_nanos() as f64;
+            fetches += opened.real_fetches();
+            // Warm replay: every block is pooled, nothing re-verifies.
+            let before = opened.real_fetches();
+            for &(lo, hi) in &queries {
+                let io = IoSession::new();
+                let _ = opened.index.query(lo, hi, &io);
+            }
+            warm_new += opened.real_fetches() - before;
+        }
+        per_mode.push((fetches, charges, warm_new));
+        row(&[
+            mode.to_string(),
+            f(ns_total / fetches as f64),
+            (fetches / u64::from(rounds)).to_string(),
+            (charges / u64::from(rounds) / 2).to_string(),
+            warm_new.to_string(),
+        ]);
+    }
+    assert_eq!(
+        (per_mode[0].0, per_mode[0].1),
+        (per_mode[1].0, per_mode[1].1),
+        "verification must not change fetch counts or simulated charges"
+    );
+    assert_eq!(
+        per_mode[0].2 + per_mode[1].2,
+        0,
+        "warm hits must never fault (or re-verify) anything"
+    );
+
+    // --- degraded vs healthy conjunctive plan ---------------------------
+    let table = wl::people_table(people, 7);
+    let predicate = Predicate::and([
+        Predicate::point("marital_status", 1),
+        Predicate::point("sex", 0),
+        Predicate::range("age", 30, 35),
+    ]);
+    let want = predicate.naive_rows(&table);
+    let healthy = IndexedTable::build(&table, |sy, g| {
+        Box::new(OptimalIndex::build(sy, g, cfg)) as Box<dyn SecondaryIndex>
+    });
+    for col in &table.columns {
+        save(
+            &OptimalIndex::build(&col.data, col.sigma, cfg),
+            root.join(format!("col_{}.psi", col.name)),
+        )
+        .expect("save column");
+    }
+    corrupt_store_payload(&root.join("col_age.psi"));
+    let columns = table
+        .columns
+        .iter()
+        .map(|col| IndexedColumn {
+            name: col.name.clone(),
+            sigma: col.sigma,
+            index: Box::new(
+                open::<OptimalIndex>(
+                    &root.join(format!("col_{}.psi", col.name)),
+                    &OpenOptions {
+                        backend: Backend::File,
+                        pool_blocks: 1 << 14,
+                        retry: None,
+                        verify: true,
+                    },
+                )
+                .expect("open column")
+                .index,
+            ) as Box<dyn SecondaryIndex>,
+        })
+        .collect();
+    let mut degraded = IndexedTable::from_columns(columns);
+    for col in &table.columns {
+        degraded
+            .attach_column_data(&col.name, col.data.clone())
+            .expect("attach source");
+    }
+    // First execution trips the verified fetch and quarantines the age
+    // extent; the steady state below plans around it up front.
+    let tripped = degraded.execute(&predicate).expect("degraded execute");
+    assert_eq!(tripped.rows.to_vec(), want, "degraded rows must stay exact");
+    assert!(
+        tripped.degraded.contains(&"age".to_string()),
+        "corrupted column must degrade"
+    );
+
+    hdr(&["plan", "io reads", "ns/query", "degraded", "rows"]);
+    let healthy_out = healthy.execute(&predicate).expect("healthy execute");
+    let bench_plan = |label: &str, t: &IndexedTable| {
+        let rounds = 20u32;
+        let start = std::time::Instant::now();
+        let mut out = None;
+        for _ in 0..rounds {
+            out = Some(t.execute(&predicate).expect("execute"));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(rounds);
+        let out = out.expect("ran");
+        assert_eq!(out.rows.to_vec(), want, "{label} rows must stay exact");
+        row(&[
+            label.to_string(),
+            out.io.reads.to_string(),
+            format!("{ns:.0}"),
+            out.degraded.len().to_string(),
+            out.rows.cardinality().to_string(),
+        ]);
+        out
+    };
+    bench_plan("healthy", &healthy);
+    bench_plan("degraded", &degraded);
+
+    // --- online rebuild restores healthy cost ---------------------------
+    degraded
+        .rebuild_attribute("age", |sy, g| {
+            Box::new(OptimalIndex::build(sy, g, cfg)) as Box<dyn SecondaryIndex>
+        })
+        .expect("rebuild");
+    let rebuilt = bench_plan("rebuilt", &degraded);
+    assert!(rebuilt.degraded.is_empty(), "rebuild must clear quarantine");
+    assert_eq!(
+        rebuilt.io, healthy_out.io,
+        "post-rebuild I/O must equal the healthy baseline"
+    );
+}
+
 /// Runs every experiment in order.
 pub fn all() {
     e01();
@@ -1419,4 +1643,5 @@ pub fn all() {
     e14();
     e15();
     e16();
+    e17();
 }

@@ -32,8 +32,14 @@ pub enum ErrorClass {
     /// The same operation may succeed if repeated (interrupted syscall,
     /// momentary resource pressure, injected flake).
     Transient,
-    /// Retrying cannot help (corrupt page, missing extent, bad length).
+    /// Retrying cannot help (missing extent, bad length, lost file).
     Permanent,
+    /// The bytes came back but fail their integrity check (FNV-1a page
+    /// trailer mismatch, torn read). Not retryable either, but kept
+    /// distinct from [`ErrorClass::Permanent`] because the *remedy*
+    /// differs: corrupt extents are quarantined and rebuilt from source
+    /// data, while permanent failures indicate the store itself is gone.
+    Corrupt,
 }
 
 /// Maps an OS error kind onto the retry taxonomy.
@@ -81,6 +87,15 @@ impl BlockStoreError {
             class: ErrorClass::Transient,
         }
     }
+
+    /// An integrity-check failure: the read succeeded but the bytes are
+    /// wrong. Quarantine-and-rebuild territory, not retry territory.
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        BlockStoreError {
+            message: message.into(),
+            class: ErrorClass::Corrupt,
+        }
+    }
 }
 
 impl std::fmt::Display for BlockStoreError {
@@ -107,11 +122,62 @@ pub trait BlockStore: std::fmt::Debug + Send + Sync {
     fn read_block(&self, ext: ExtentId, block: u64, out: &mut [u64])
         -> Result<(), BlockStoreError>;
 
+    /// Like [`Self::read_block`], but additionally verifies whatever
+    /// end-to-end integrity check the backend carries (psi-store's
+    /// FNV-1a page trailer), reporting a mismatch as
+    /// [`ErrorClass::Corrupt`].
+    ///
+    /// The default delegates to `read_block`: backends without a
+    /// integrity trailer (RAM snapshots) have nothing extra to check.
+    /// Wrapper stores must forward this method so verification reaches
+    /// the volume layer; the [`crate::BufferPool`] calls it on fault-in
+    /// when its verify mode is on — never on warm hits.
+    fn read_block_verified(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        self.read_block(ext, block, out)
+    }
+
     /// Number of real block fetches performed so far.
     fn fetches(&self) -> u64;
 
     /// Backend name for diagnostics (`"mem"`, `"file"`, `"mmap"`).
     fn kind(&self) -> &'static str;
+}
+
+/// Shared handles are stores too: lets a test hold onto a fault
+/// injector while the layer above (retry wrapper, buffer pool) owns the
+/// same store through an `Arc`. Forwards both read paths so a verified
+/// fetch still reaches the inner backend's trailer check.
+impl<S: BlockStore + ?Sized> BlockStore for std::sync::Arc<S> {
+    fn read_block(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        (**self).read_block(ext, block, out)
+    }
+
+    fn read_block_verified(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        (**self).read_block_verified(ext, block, out)
+    }
+
+    fn fetches(&self) -> u64 {
+        (**self).fetches()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
 }
 
 /// The in-RAM backend: a frozen snapshot of a resident [`crate::Disk`]'s

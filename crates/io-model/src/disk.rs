@@ -183,10 +183,24 @@ impl Disk {
     /// making `words` authoritative again (writers call this; reads of a
     /// resident extent no longer consult the pool). Each loaded block
     /// counts as a real fetch.
+    ///
+    /// # Panics
+    /// Panics when a block fetch fails — mutating a store whose pages
+    /// cannot be read is not recoverable in place. Fallible callers
+    /// (scrub/repair paths) use [`Self::try_promote`].
     pub fn promote(&mut self, ext: ExtentId) {
+        if let Err(err) = self.try_promote(ext) {
+            panic!("promoting extent {}: {err}", ext.0);
+        }
+    }
+
+    /// Fallible [`Self::promote`]: on a failed fetch the extent stays
+    /// non-resident (no partial promotion) and the typed failure names
+    /// the block that could not be read.
+    pub fn try_promote(&mut self, ext: ExtentId) -> Result<(), crate::ReadError> {
         let e = &mut self.extents[ext.0 as usize];
         if e.resident {
-            return;
+            return Ok(());
         }
         let pool = self
             .pool
@@ -197,10 +211,14 @@ impl Disk {
         let mut words = vec![0u64; (e.bit_len as usize).div_ceil(64)];
         let mut buf = vec![0u64; block_words];
         for blk in 0..blocks {
-            match pool.store().read_block(ext, blk, &mut buf) {
-                Ok(()) => {}
-                Err(err) => panic!("promoting extent {}: {err}", ext.0),
-            }
+            pool.store()
+                .read_block(ext, blk, &mut buf)
+                .map_err(|err| crate::ReadError {
+                    class: err.class,
+                    extent: ext,
+                    block: blk,
+                    message: err.message,
+                })?;
             let start = blk as usize * block_words;
             let end = (start + block_words).min(words.len());
             words[start..end].copy_from_slice(&buf[..end - start]);
@@ -208,6 +226,7 @@ impl Disk {
         pool.forget_extent(ext);
         e.words = words;
         e.resident = true;
+        Ok(())
     }
 
     /// Promotes every extent (a full load; used before re-saving an
@@ -235,10 +254,17 @@ impl Disk {
         for blk in first..=last {
             io.charge_read(ext, blk);
             if !e.resident && blk < stored {
-                self.pool
+                let pool = self
+                    .pool
                     .as_ref()
-                    .expect("non-resident extent needs a pool")
-                    .touch(ext, blk);
+                    .expect("non-resident extent needs a pool");
+                // Retry transients under the session budget; a fetch
+                // that still fails raises a structured read abort
+                // (typed error under `catch_read`, panic outside it).
+                match crate::error::pin_retrying(pool, ext, blk, io) {
+                    Ok(pinned) => pool.unpin(pinned),
+                    Err(e) => crate::error::abort_read(io, e),
+                }
             }
         }
     }
@@ -480,6 +506,12 @@ impl<'a> DiskReader<'a> {
     /// The non-resident path of [`Self::word`]: reads through the buffer
     /// pool, keeping the current block pinned and moving the pin as the
     /// cursor crosses block boundaries.
+    ///
+    /// A fetch that fails after the session's transient-retry budget
+    /// raises a structured read abort: under a [`crate::catch_read`]
+    /// frame it becomes `Err(ReadError)` at the `try_query` boundary;
+    /// outside one it panics with the full message (the historical
+    /// behaviour of the infallible API).
     #[cold]
     fn pooled_word(&self, word_idx: u64) -> u64 {
         let pool = self
@@ -494,7 +526,15 @@ impl<'a> DiskReader<'a> {
                 if let Some((_, old)) = pinned.take() {
                     pool.unpin(old);
                 }
-                let handle = pool.pin(self.ext, block);
+                let handle = match crate::error::pin_retrying(pool, self.ext, block, self.session) {
+                    Ok(handle) => handle,
+                    Err(e) => {
+                        // Release the borrow before unwinding: the
+                        // reader's Drop re-borrows `pinned` to unpin.
+                        drop(pinned);
+                        crate::error::abort_read(self.session, e)
+                    }
+                };
                 let word = handle.word(word_in_block);
                 *pinned = Some((block, handle));
                 word

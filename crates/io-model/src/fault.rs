@@ -74,6 +74,18 @@ impl<S: BlockStore> FaultyStore<S> {
     }
 }
 
+impl<S: BlockStore> FaultyStore<S> {
+    /// Consults (and consumes) the schedule for the next fetch ordinal.
+    fn next_fault(&self) -> (u64, Option<Fault>) {
+        let ordinal = self.attempts.fetch_add(1, Ordering::SeqCst);
+        let fault = self.schedule.lock().unwrap().remove(&ordinal);
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        (ordinal, fault)
+    }
+}
+
 impl<S: BlockStore> BlockStore for FaultyStore<S> {
     fn read_block(
         &self,
@@ -81,26 +93,18 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
         block: u64,
         out: &mut [u64],
     ) -> Result<(), BlockStoreError> {
-        let ordinal = self.attempts.fetch_add(1, Ordering::SeqCst);
-        let fault = self.schedule.lock().unwrap().remove(&ordinal);
+        let (ordinal, fault) = self.next_fault();
         match fault {
             None => self.inner.read_block(ext, block, out),
-            Some(Fault::Transient) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                Err(BlockStoreError::transient(format!(
-                    "injected transient fault at fetch {ordinal} (extent {}, block {block})",
-                    ext.0
-                )))
-            }
-            Some(Fault::Permanent) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                Err(BlockStoreError::permanent(format!(
-                    "injected permanent fault at fetch {ordinal} (extent {}, block {block})",
-                    ext.0
-                )))
-            }
+            Some(Fault::Transient) => Err(BlockStoreError::transient(format!(
+                "injected transient fault at fetch {ordinal} (extent {}, block {block})",
+                ext.0
+            ))),
+            Some(Fault::Permanent) => Err(BlockStoreError::permanent(format!(
+                "injected permanent fault at fetch {ordinal} (extent {}, block {block})",
+                ext.0
+            ))),
             Some(Fault::ShortRead { words }) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
                 self.inner.read_block(ext, block, out)?;
                 // Corrupt the tail the way a torn positioned read would:
                 // the delivered prefix is real, the rest is garbage.
@@ -109,6 +113,34 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
                 }
                 Ok(())
             }
+        }
+    }
+
+    fn read_block_verified(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        let (ordinal, fault) = self.next_fault();
+        match fault {
+            None => self.inner.read_block_verified(ext, block, out),
+            Some(Fault::Transient) => Err(BlockStoreError::transient(format!(
+                "injected transient fault at fetch {ordinal} (extent {}, block {block})",
+                ext.0
+            ))),
+            Some(Fault::Permanent) => Err(BlockStoreError::permanent(format!(
+                "injected permanent fault at fetch {ordinal} (extent {}, block {block})",
+                ext.0
+            ))),
+            // On the verified path a torn read *is caught* by the layer
+            // this method models — surface it as corruption rather than
+            // silently delivering a mangled page.
+            Some(Fault::ShortRead { words }) => Err(BlockStoreError::corrupt(format!(
+                "injected torn read ({words} good words) at fetch {ordinal} \
+                 (extent {}, block {block})",
+                ext.0
+            ))),
         }
     }
 
@@ -144,15 +176,30 @@ impl Default for RetryPolicy {
 }
 
 /// Runs `op` under `policy`: transient failures retry with exponential
-/// backoff until the attempt budget runs out, permanent failures (and
-/// the last transient one) surface unchanged.
+/// backoff until the attempt budget runs out; permanent and corrupt
+/// failures (and the last transient one) surface unchanged.
 ///
 /// Shared by [`RetryStore`] (read path) and the WAL writer (append
 /// path), so both sides of the durable write path classify and retry
-/// identically.
+/// identically. Backoff sleeps on the real clock; tests that need
+/// determinism inject a recording sleeper via [`retry_transient_with`].
 pub fn retry_transient<T, E>(
     policy: RetryPolicy,
     classify: impl Fn(&E) -> ErrorClass,
+    op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    retry_transient_with(policy, classify, std::thread::sleep, op)
+}
+
+/// [`retry_transient`] with an injectable backoff sleeper.
+///
+/// The sleeper receives each computed backoff delay (`base_delay * 2^k`)
+/// *instead of* the wall clock being consulted, so tests can script and
+/// assert the exact backoff sequence without ever sleeping.
+pub fn retry_transient_with<T, E>(
+    policy: RetryPolicy,
+    classify: impl Fn(&E) -> ErrorClass,
+    mut sleep: impl FnMut(Duration),
     mut op: impl FnMut() -> Result<T, E>,
 ) -> Result<T, E> {
     let attempts = policy.max_attempts.max(1);
@@ -162,12 +209,14 @@ pub fn retry_transient<T, E>(
         match op() {
             Ok(v) => return Ok(v),
             Err(e) => {
-                if classify(&e) == ErrorClass::Permanent {
+                // Only transient failures are worth another attempt;
+                // permanent *and corrupt* ones surface immediately.
+                if classify(&e) != ErrorClass::Transient {
                     return Err(e);
                 }
                 last = Some(e);
                 if attempt + 1 < attempts && !delay.is_zero() {
-                    std::thread::sleep(delay);
+                    sleep(delay);
                     delay = delay.saturating_mul(2);
                 }
             }
@@ -176,26 +225,49 @@ pub fn retry_transient<T, E>(
     Err(last.expect("at least one attempt"))
 }
 
+/// How a [`RetryStore`] spends its backoff delays.
+type Sleeper = Box<dyn Fn(Duration) + Send + Sync>;
+
 /// Retry-with-backoff wrapper around any [`BlockStore`].
 ///
 /// Transient fetch failures are retried per [`RetryPolicy`]; permanent
-/// ones pass through immediately. [`Self::retries`] counts the extra
-/// attempts, so tests can assert a scripted flake cost exactly the
-/// expected number of re-reads.
-#[derive(Debug)]
+/// and corrupt ones pass through immediately. [`Self::retries`] counts
+/// the extra attempts, so tests can assert a scripted flake cost exactly
+/// the expected number of re-reads. The backoff sleeper is injectable
+/// ([`Self::with_sleeper`]) so tests never touch the wall clock.
 pub struct RetryStore<S> {
     inner: S,
     policy: RetryPolicy,
     retries: AtomicU64,
+    sleeper: Sleeper,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for RetryStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryStore")
+            .field("inner", &self.inner)
+            .field("policy", &self.policy)
+            .field("retries", &self.retries)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<S: BlockStore> RetryStore<S> {
-    /// Wraps `inner` with `policy`.
+    /// Wraps `inner` with `policy`, backing off on the real clock.
     pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        Self::with_sleeper(inner, policy, Box::new(std::thread::sleep))
+    }
+
+    /// Wraps `inner` with `policy` and a custom backoff sleeper.
+    ///
+    /// Tests pass a recording closure (no wall-clock sleeps, scripted
+    /// delays become assertable data); production uses [`Self::new`].
+    pub fn with_sleeper(inner: S, policy: RetryPolicy, sleeper: Sleeper) -> Self {
         RetryStore {
             inner,
             policy,
             retries: AtomicU64::new(0),
+            sleeper,
         }
     }
 
@@ -208,6 +280,25 @@ impl<S: BlockStore> RetryStore<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    fn run_with_retry(
+        &self,
+        mut op: impl FnMut() -> Result<(), BlockStoreError>,
+    ) -> Result<(), BlockStoreError> {
+        let mut first = true;
+        retry_transient_with(
+            self.policy,
+            |e: &BlockStoreError| e.class,
+            |d| (self.sleeper)(d),
+            || {
+                if !first {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                first = false;
+                op()
+            },
+        )
+    }
 }
 
 impl<S: BlockStore> BlockStore for RetryStore<S> {
@@ -217,18 +308,16 @@ impl<S: BlockStore> BlockStore for RetryStore<S> {
         block: u64,
         out: &mut [u64],
     ) -> Result<(), BlockStoreError> {
-        let mut first = true;
-        retry_transient(
-            self.policy,
-            |e: &BlockStoreError| e.class,
-            || {
-                if !first {
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                }
-                first = false;
-                self.inner.read_block(ext, block, out)
-            },
-        )
+        self.run_with_retry(|| self.inner.read_block(ext, block, out))
+    }
+
+    fn read_block_verified(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        self.run_with_retry(|| self.inner.read_block_verified(ext, block, out))
     }
 
     fn fetches(&self) -> u64 {
@@ -333,6 +422,81 @@ mod tests {
         assert_eq!(crate::classify_io(K::TimedOut), ErrorClass::Transient);
         assert_eq!(crate::classify_io(K::NotFound), ErrorClass::Permanent);
         assert_eq!(crate::classify_io(K::UnexpectedEof), ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn injected_sleeper_records_exponential_backoff_without_sleeping() {
+        // Three consecutive transient faults under a 4-attempt budget:
+        // the injected sleeper sees the exact doubling sequence and no
+        // wall-clock time passes.
+        let faulty = FaultyStore::new(
+            store_with_one_extent(),
+            (0..3).map(|i| (i, Fault::Transient)),
+        );
+        let slept = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let recorder = std::sync::Arc::clone(&slept);
+        let retry = RetryStore::with_sleeper(
+            faulty,
+            RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_millis(10),
+            },
+            Box::new(move |d| recorder.lock().unwrap().push(d)),
+        );
+        let started = std::time::Instant::now();
+        let mut buf = vec![0u64; 2];
+        retry.read_block(ExtentId(0), 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![1, 2]);
+        assert_eq!(retry.retries(), 3);
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40)
+            ]
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(10),
+            "no wall-clock sleeps"
+        );
+    }
+
+    #[test]
+    fn corrupt_errors_are_not_retried() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::ZERO,
+        };
+        let mut calls = 0;
+        let out: Result<(), BlockStoreError> = retry_transient(
+            policy,
+            |e: &BlockStoreError| e.class,
+            || {
+                calls += 1;
+                Err(BlockStoreError::corrupt("trailer mismatch"))
+            },
+        );
+        assert_eq!(out.unwrap_err().class, ErrorClass::Corrupt);
+        assert_eq!(calls, 1, "corruption is quarantined, not retried");
+    }
+
+    #[test]
+    fn verified_reads_pass_through_schedule_and_report_torn_reads_corrupt() {
+        let faulty = FaultyStore::new(
+            store_with_one_extent(),
+            [(0, Fault::ShortRead { words: 1 })],
+        );
+        let mut buf = vec![0u64; 2];
+        let err = faulty
+            .read_block_verified(ExtentId(0), 0, &mut buf)
+            .unwrap_err();
+        assert_eq!(err.class, ErrorClass::Corrupt);
+        // Schedule spent: the next verified read is clean.
+        faulty
+            .read_block_verified(ExtentId(0), 0, &mut buf)
+            .unwrap();
+        assert_eq!(buf, vec![1, 2]);
     }
 
     #[test]

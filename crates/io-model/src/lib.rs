@@ -31,16 +31,22 @@
 mod backend;
 pub mod cost;
 mod disk;
+mod error;
 pub mod fault;
 mod pool;
+mod scrub;
 mod session;
 
 pub use backend::{classify_io, BlockStore, BlockStoreError, ErrorClass, MemStore};
 pub use disk::{Disk, DiskReader, DiskWriter, DiskWriterAt, ExtentId, StoredExtent};
-pub use fault::{retry_transient, Fault, FaultyStore, RetryPolicy, RetryStore};
+pub use error::{abort_read, catch_read, pin_retrying, ReadError};
+pub use fault::{
+    retry_transient, retry_transient_with, Fault, FaultyStore, RetryPolicy, RetryStore,
+};
 pub use pool::{
     BufferPool, PinnedBlock, PoolError, PoolStats, DEFAULT_POOL_SHARDS, GROWTH_CEILING,
 };
+pub use scrub::{ScrubReport, Scrubber};
 pub use session::{IoSession, IoStats};
 
 // The concurrent read path rests on these bounds: a shared `Arc<Disk>`
@@ -61,6 +67,8 @@ const _: () = {
     assert_send_sync::<IoStats>();
     assert_send_sync::<PoolStats>();
     assert_send_sync::<PinnedBlock>();
+    assert_send_sync::<ReadError>();
+    assert_send_sync::<Scrubber>();
     assert_send::<IoSession>();
 };
 

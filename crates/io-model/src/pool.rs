@@ -104,10 +104,19 @@ pub enum PoolError {
     /// The backend fetch for a missed block failed. The frame is left
     /// empty and evictable; [`crate::BlockStoreError::class`] on the
     /// source says whether retrying the same pin can succeed (transient
-    /// OS flake) or not (the file changed or rotted after open).
+    /// OS flake), cannot (the file vanished after open), or found
+    /// corruption (verified fetch caught a bad page trailer).
     Fetch {
         /// The backend's error, with its retry classification.
         source: crate::BlockStoreError,
+    },
+    /// The target shard's lock is poisoned: a thread panicked while
+    /// mutating that shard's frame table, so its state cannot be
+    /// trusted. Surfaced as a typed error so one crashed query degrades
+    /// service instead of cascading panics through every later pin.
+    Poisoned {
+        /// Shard whose lock is poisoned.
+        shard: usize,
     },
 }
 
@@ -125,6 +134,11 @@ impl std::fmt::Display for PoolError {
                  ({frames} allocated)"
             ),
             PoolError::Fetch { source } => write!(f, "block fetch failed after open: {source}"),
+            PoolError::Poisoned { shard } => write!(
+                f,
+                "buffer pool shard {shard} is poisoned (a thread panicked \
+                 while updating its frame table)"
+            ),
         }
     }
 }
@@ -187,6 +201,10 @@ pub struct BufferPool {
     /// ceiling is enforced against. Grows on allocation; shrinks when
     /// `unpin` releases trailing over-target frames back to the budget.
     frames_total: AtomicUsize,
+    /// When set, misses fetch via [`BlockStore::read_block_verified`]
+    /// so each faulted-in page passes its integrity trailer. Warm hits
+    /// never re-verify — they never reach the backend at all.
+    verify: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -273,7 +291,20 @@ impl BufferPool {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             cap_per_shard,
             frames_total: AtomicUsize::new(0),
+            verify: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Turns verified fetches on or off: with `on`, every miss fetches
+    /// through [`BlockStore::read_block_verified`], so pages are
+    /// integrity-checked exactly once — on fault-in, never on warm hits.
+    pub fn set_verify(&self, on: bool) {
+        self.verify.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether misses use verified fetches.
+    pub fn verify(&self) -> bool {
+        self.verify.load(Ordering::Relaxed)
     }
 
     /// The backend this pool fetches from.
@@ -300,18 +331,22 @@ impl BufferPool {
     }
 
     /// Number of currently allocated frames across all shards.
+    ///
+    /// Diagnostics stay available on a poisoned shard (its counters are
+    /// plain data — the panic cannot have left them torn mid-word).
     pub fn resident(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("pool shard lock").frames.len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).frames.len())
             .sum()
     }
 
-    /// Hit/miss/eviction/growth counters, summed over shards.
+    /// Hit/miss/eviction/growth counters, summed over shards (poison
+    /// tolerant, like [`Self::resident`]).
     pub fn stats(&self) -> PoolStats {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("pool shard lock").stats)
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).stats)
             .fold(PoolStats::default(), |acc, s| acc.merged(&s))
     }
 
@@ -347,7 +382,12 @@ impl BufferPool {
     pub fn try_pin(&self, ext: ExtentId, block: u64) -> Result<PinnedBlock, PoolError> {
         let key = (ext, block);
         let si = self.shard_of(ext, block);
-        let mut shard = self.shards[si].lock().expect("pool shard lock");
+        // A poisoned shard (a thread panicked mid-mutation) surfaces as
+        // a typed error: its frame table may be inconsistent, and a
+        // cascade of panics from every later query helps nobody.
+        let mut shard = self.shards[si]
+            .lock()
+            .map_err(|_| PoolError::Poisoned { shard: si })?;
         if let Some(&idx) = shard.map.get(&key) {
             let f = &mut shard.frames[idx as usize];
             f.pins += 1;
@@ -372,7 +412,12 @@ impl BufferPool {
             _ => data = vec![0u64; self.block_words].into(),
         }
         let buf = Arc::get_mut(&mut data).expect("uniquely owned buffer");
-        if let Err(e) = self.store.read_block(ext, block, buf) {
+        let fetched = if self.verify() {
+            self.store.read_block_verified(ext, block, buf)
+        } else {
+            self.store.read_block(ext, block, buf)
+        };
+        if let Err(e) = fetched {
             // The file was validated at open; a failing fetch afterwards
             // means it changed or rotted underneath us — or the OS flaked.
             // Leave the frame empty and evictable; the caller classifies
@@ -412,9 +457,12 @@ impl BufferPool {
     /// `DiskReader` drop), so a spike can never *permanently* starve
     /// other shards.
     pub fn unpin(&self, block: PinnedBlock) {
+        // Poison tolerant: unpin runs from reader drops, often *during*
+        // an unwind — panicking here would escalate to an abort. The pin
+        // decrement is safe on a poisoned shard (plain counter).
         let mut shard = self.shards[block.shard as usize]
             .lock()
-            .expect("pool shard lock");
+            .unwrap_or_else(|e| e.into_inner());
         let f = &mut shard.frames[block.frame as usize];
         debug_assert!(f.pins > 0, "unpin of unpinned frame");
         f.pins -= 1;
@@ -433,9 +481,20 @@ impl BufferPool {
     /// Ensures block `block` of `ext` is resident (fetching on miss)
     /// without holding a pin — used when a *charge* must drive a fetch
     /// even though no payload word is read (directory-record charges).
+    ///
+    /// # Panics
+    /// Panics like [`Self::pin`] on failure; fallible callers use
+    /// [`Self::try_touch`].
     pub fn touch(&self, ext: ExtentId, block: u64) {
         let pinned = self.pin(ext, block);
         self.unpin(pinned);
+    }
+
+    /// Fallible [`Self::touch`].
+    pub fn try_touch(&self, ext: ExtentId, block: u64) -> Result<(), PoolError> {
+        let pinned = self.try_pin(ext, block)?;
+        self.unpin(pinned);
+        Ok(())
     }
 
     /// Drops any frames belonging to `ext` (called when the owning disk
@@ -446,7 +505,7 @@ impl BufferPool {
     /// Panics if one of those frames is still pinned by a live reader.
     pub fn forget_extent(&self, ext: ExtentId) {
         for shard in self.shards.iter() {
-            let mut shard = shard.lock().expect("pool shard lock");
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
             let stale: Vec<(ExtentId, u64)> = shard
                 .map
                 .keys()
@@ -778,6 +837,84 @@ mod tests {
         }
         assert!(pool.fetches() > before, "capacity 16 < 32 working set");
         assert!(pool.fetches() <= before + 32);
+    }
+
+    #[test]
+    fn poisoned_shard_is_a_typed_error_not_a_cascade_panic() {
+        let pool = pool1(4, 4);
+        let held = pool.pin(EXT, 0);
+        // Poison the single shard: panic while holding its lock.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.shards[0].lock().unwrap();
+            panic!("simulated crash while mutating the shard");
+        }));
+        assert!(poison.is_err());
+        // Pins fail typed, not by panicking.
+        assert_eq!(
+            pool.try_pin(EXT, 1).expect_err("poisoned shard"),
+            PoolError::Poisoned { shard: 0 }
+        );
+        // Diagnostics and unpin still work (unpin often runs mid-unwind).
+        assert_eq!(pool.resident(), 1);
+        assert_eq!(pool.stats().misses, 1);
+        pool.unpin(held);
+    }
+
+    #[test]
+    fn verify_mode_uses_verified_fetches_on_miss_only() {
+        // A store whose verified path always reports corruption: with
+        // verify off the pin succeeds; with verify on the *miss* fails
+        // Corrupt, while an already-warm block keeps hitting.
+        #[derive(Debug)]
+        struct AlwaysCorrupt(MemStore);
+        impl BlockStore for AlwaysCorrupt {
+            fn read_block(
+                &self,
+                ext: ExtentId,
+                block: u64,
+                out: &mut [u64],
+            ) -> Result<(), crate::BlockStoreError> {
+                self.0.read_block(ext, block, out)
+            }
+            fn read_block_verified(
+                &self,
+                _ext: ExtentId,
+                _block: u64,
+                _out: &mut [u64],
+            ) -> Result<(), crate::BlockStoreError> {
+                Err(crate::BlockStoreError::corrupt("trailer mismatch"))
+            }
+            fn fetches(&self) -> u64 {
+                self.0.fetches()
+            }
+            fn kind(&self) -> &'static str {
+                "always-corrupt"
+            }
+        }
+        let mut disk = Disk::new(IoConfig::with_block_bits(128));
+        let ext = disk.alloc();
+        let io = IoSession::untracked();
+        disk.writer(ext, &io).write_bits(9, 64);
+        let store = Arc::new(AlwaysCorrupt(MemStore::from_disk(&disk)));
+        let pool = BufferPool::with_shards(store, 4, 16, 1, 128);
+
+        // Unverified miss: block 0 faults in fine.
+        let warm = pool.pin(EXT, 0);
+        pool.set_verify(true);
+        // Warm hit under verify: served from the frame, no verification,
+        // no fetch.
+        let again = pool.pin(EXT, 0);
+        assert_eq!(again.word(0), 9);
+        pool.unpin(again);
+        assert_eq!(pool.fetches(), 1);
+        // Cold miss under verify: the corrupt trailer surfaces typed.
+        match pool.try_pin(EXT, 1) {
+            Err(PoolError::Fetch { source }) => {
+                assert_eq!(source.class, crate::ErrorClass::Corrupt);
+            }
+            other => panic!("expected corrupt fetch, got {other:?}"),
+        }
+        pool.unpin(warm);
     }
 
     #[test]

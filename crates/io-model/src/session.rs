@@ -21,6 +21,10 @@ pub struct IoStats {
     pub bits_read: u64,
     /// Total bits produced by writers.
     pub bits_written: u64,
+    /// Pooled fetches re-attempted after a transient fault, under the
+    /// session's [`crate::RetryPolicy`] budget. Zero on a healthy store;
+    /// benches report this as retries/query.
+    pub retries: u64,
 }
 
 impl IoStats {
@@ -36,6 +40,7 @@ impl IoStats {
             writes: self.writes + other.writes,
             bits_read: self.bits_read + other.bits_read,
             bits_written: self.bits_written + other.bits_written,
+            retries: self.retries + other.retries,
         }
     }
 }
@@ -52,6 +57,11 @@ struct SessionInner {
     fifo: VecDeque<BlockAddr>,
     mem_blocks: Option<usize>,
     tracking: bool,
+    /// Retry budget for transient pooled-fetch faults (None = no retry).
+    retry: Option<crate::RetryPolicy>,
+    /// The typed read failure recorded by an in-flight structured abort
+    /// (see [`crate::catch_read`]); taken by the catch frame.
+    fault: Option<crate::ReadError>,
 }
 
 /// An I/O accounting scope for one logical operation.
@@ -186,6 +196,7 @@ impl IoSession {
         inner.stats = IoStats::default();
         inner.resident.clear();
         inner.fifo.clear();
+        inner.fault = None;
     }
 
     /// Returns the counters and resets the session (convenience for
@@ -199,6 +210,39 @@ impl IoSession {
     /// Whether this session is recording I/Os.
     pub fn is_tracking(&self) -> bool {
         self.inner.borrow().tracking
+    }
+
+    /// Arms a per-session retry budget: pooled fetches that fail
+    /// transiently during queries under this session are re-pinned up to
+    /// `policy.max_attempts` times (immediately — backoff belongs to the
+    /// store-level [`crate::RetryStore`]) before the failure surfaces as
+    /// a [`crate::ReadError`]. Returns `self` for builder-style use.
+    pub fn with_retry(self, policy: crate::RetryPolicy) -> Self {
+        self.inner.borrow_mut().retry = Some(policy);
+        self
+    }
+
+    /// The armed per-session retry budget, if any.
+    pub fn retry_policy(&self) -> Option<crate::RetryPolicy> {
+        self.inner.borrow().retry
+    }
+
+    /// Counts `n` transient-fault retries into [`IoStats::retries`].
+    /// Counted even on untracked sessions: a retry is an operational
+    /// event, not a cost-model charge.
+    pub fn add_retries(&self, n: u64) {
+        self.inner.borrow_mut().stats.retries += n;
+    }
+
+    /// Records the typed failure a structured read abort is about to
+    /// unwind with. The matching [`crate::catch_read`] frame takes it.
+    pub(crate) fn set_fault(&self, err: crate::ReadError) {
+        self.inner.borrow_mut().fault = Some(err);
+    }
+
+    /// Takes the recorded read failure, if any.
+    pub(crate) fn take_fault(&self) -> Option<crate::ReadError> {
+        self.inner.borrow_mut().fault.take()
     }
 }
 
@@ -295,12 +339,14 @@ mod tests {
             writes: 2,
             bits_read: 3,
             bits_written: 4,
+            retries: 5,
         };
         let b = IoStats {
             reads: 10,
             writes: 20,
             bits_read: 30,
             bits_written: 40,
+            retries: 50,
         };
         let m = a.merged(&b);
         assert_eq!(
@@ -309,7 +355,8 @@ mod tests {
                 reads: 11,
                 writes: 22,
                 bits_read: 33,
-                bits_written: 44
+                bits_written: 44,
+                retries: 55,
             }
         );
     }

@@ -11,9 +11,12 @@
 //! I/O is identical by construction; `tests/io_parity.rs` asserts it the
 //! way PR 2's forced-heap replay pins the merge planner.
 
-use psi_api::{RidSet, SecondaryIndex, Symbol};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+
+use psi_api::{naive_query, RidSet, SecondaryIndex, Symbol};
 use psi_bits::GapBitmap;
-use psi_io::{IoSession, IoStats};
+use psi_io::{ErrorClass, IoSession, IoStats};
 use psi_workloads::Table;
 
 use crate::plan::{plan_conjunction, CombineStrategy, Plan};
@@ -53,13 +56,33 @@ pub struct QueryOutcome {
     /// under its own fresh session, exactly like a standalone
     /// [`SecondaryIndex::query_measured`] call).
     pub io: IoStats,
+    /// Attributes answered by the degraded table-scan fallback instead of
+    /// their index — either already quarantined at plan time or
+    /// quarantined mid-query by a verified-fetch corruption. Empty on a
+    /// healthy read path.
+    pub degraded: Vec<String>,
 }
 
 /// A multi-attribute table with one secondary index per column.
+///
+/// Beyond the per-attribute indexes, the table carries the fault-tolerant
+/// read path's state: optional **source columns** (the dictionary-encoded
+/// values each index was built from — the scan-fallback and rebuild
+/// substrate) and the **extent quarantine** (per-attribute sets of extent
+/// ids whose pages failed checksum verification). A corrupt fetch
+/// quarantines its extent and degrades that attribute to a table scan;
+/// [`IndexedTable::rebuild_attribute`] restores the index path.
 #[derive(Debug)]
 pub struct IndexedTable {
     n: u64,
     columns: Vec<IndexedColumn>,
+    /// Source values per attribute, where attached ([`IndexedTable::build`]
+    /// captures them; [`IndexedTable::from_columns`] starts empty).
+    sources: HashMap<String, Vec<Symbol>>,
+    /// Quarantined extent ids per attribute. A non-empty set takes the
+    /// whole attribute off its index: one corrupt extent means the
+    /// volume's integrity is in question until rebuilt.
+    quarantine: Mutex<HashMap<String, BTreeSet<u32>>>,
 }
 
 impl IndexedTable {
@@ -72,7 +95,7 @@ impl IndexedTable {
         F: FnMut(&[Symbol], u32) -> Box<dyn SecondaryIndex>,
     {
         let n = table.rows() as u64;
-        let columns = table
+        let columns: Vec<IndexedColumn> = table
             .columns
             .iter()
             .map(|c| {
@@ -85,16 +108,54 @@ impl IndexedTable {
                 }
             })
             .collect();
-        IndexedTable { n, columns }
+        // Keep the source values: they are the substrate of the degraded
+        // scan fallback and of `rebuild_attribute`.
+        let sources = table
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.data.clone()))
+            .collect();
+        IndexedTable {
+            n,
+            columns,
+            sources,
+            quarantine: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Wraps pre-built per-attribute indexes (all of the same length).
+    ///
+    /// No source columns are attached: a corrupt fetch on such a table
+    /// surfaces as [`QueryError::Read`] instead of degrading, until
+    /// [`IndexedTable::attach_column_data`] supplies the values.
     pub fn from_columns(columns: Vec<IndexedColumn>) -> IndexedTable {
         let n = columns.first().map_or(0, |c| c.index.len());
         for c in &columns {
             assert_eq!(c.index.len(), n, "index length mismatch on {}", c.name);
         }
-        IndexedTable { n, columns }
+        IndexedTable {
+            n,
+            columns,
+            sources: HashMap::new(),
+            quarantine: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attaches (or replaces) the source values of one attribute,
+    /// enabling the scan fallback and [`IndexedTable::rebuild_attribute`]
+    /// for tables assembled via [`IndexedTable::from_columns`].
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the table's row count.
+    pub fn attach_column_data(&mut self, attr: &str, data: Vec<Symbol>) -> Result<(), QueryError> {
+        self.column(attr)?;
+        assert_eq!(
+            data.len() as u64,
+            self.n,
+            "source column length mismatch on {attr}"
+        );
+        self.sources.insert(attr.to_string(), data);
+        Ok(())
     }
 
     /// Number of rows.
@@ -112,6 +173,44 @@ impl IndexedTable {
             .iter()
             .find(|c| c.name == name)
             .ok_or_else(|| QueryError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The quarantine map, tolerating a poisoned lock: quarantine state
+    /// is a plain set of ids, valid under any interleaving, and the read
+    /// path must keep degrading even after a panicked peer thread.
+    fn quarantine_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, BTreeSet<u32>>> {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Marks one extent of `attr`'s index as corrupt. Until
+    /// [`IndexedTable::rebuild_attribute`] clears it, every query
+    /// touching `attr` degrades to the table-scan fallback. Fed by the
+    /// executor itself (on a corrupt fetch) and by scrubber reports.
+    pub fn quarantine_extent(&self, attr: &str, extent: u32) -> Result<(), QueryError> {
+        self.column(attr)?;
+        self.quarantine_lock()
+            .entry(attr.to_string())
+            .or_default()
+            .insert(extent);
+        Ok(())
+    }
+
+    /// Quarantined extent ids of one attribute, ascending (empty when
+    /// healthy or unknown).
+    pub fn quarantined_extents(&self, attr: &str) -> Vec<u32> {
+        self.quarantine_lock()
+            .get(attr)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `attr` currently has quarantined extents.
+    pub fn is_quarantined(&self, attr: &str) -> bool {
+        self.quarantine_lock()
+            .get(attr)
+            .is_some_and(|s| !s.is_empty())
     }
 
     /// Clamps a condition's range to the column's alphabet; `None` when
@@ -160,11 +259,34 @@ impl IndexedTable {
     }
 
     /// Plans and executes an already-normalized conjunction.
+    ///
+    /// The planner consults the quarantine: conditions on healthy indexes
+    /// keep their ascending-estimate order and run *first* (cheap index
+    /// filters shrink the candidate set), quarantined attributes sort
+    /// last and are answered by the table-scan fallback. The plan's
+    /// degradation is reported in [`QueryOutcome::degraded`].
     pub fn execute_conjunctive(
         &self,
         query: &ConjunctiveQuery,
     ) -> Result<QueryOutcome, QueryError> {
-        let plan = self.plan_query(query)?;
+        let mut plan = self.plan_query(query)?;
+        // Re-sort by (quarantined, estimate, index): a stable refinement
+        // of the healthy order that pushes degraded conditions to the
+        // back without touching the Plan shape.
+        let estimates: HashMap<usize, u64> = plan
+            .order
+            .iter()
+            .zip(&plan.estimates)
+            .map(|(&i, &z)| (i, z))
+            .collect();
+        plan.order.sort_by_key(|&i| {
+            (
+                self.is_quarantined(&query.conditions[i].attr),
+                estimates[&i],
+                i,
+            )
+        });
+        plan.estimates = plan.order.iter().map(|&i| estimates[&i]).collect();
         self.run(query, plan)
     }
 
@@ -202,17 +324,61 @@ impl IndexedTable {
         self.run(query, plan)
     }
 
+    /// Answers one condition by scanning its attached source column —
+    /// the degraded path for quarantined attributes. Charges no
+    /// simulated I/O (the scan reads table memory, not index payload).
+    fn scan_condition(
+        &self,
+        col: &IndexedColumn,
+        cond: &AttrCondition,
+    ) -> Result<RidSet, QueryError> {
+        let data = self
+            .sources
+            .get(&col.name)
+            .ok_or_else(|| QueryError::Quarantined(col.name.clone()))?;
+        let base = match Self::clamp(col, cond) {
+            None => RidSet::from_positions(GapBitmap::empty(self.n)),
+            Some((lo, hi)) => naive_query(data, lo, hi),
+        };
+        Ok(if cond.negated { base.negate() } else { base })
+    }
+
     /// Runs one condition's index query under a fresh session, returning
-    /// the (possibly negated) compressed result and the session stats.
-    fn eval_condition(&self, cond: &AttrCondition) -> Result<(RidSet, IoStats), QueryError> {
+    /// the (possibly negated) compressed result, the session stats, and
+    /// whether the condition was answered degraded.
+    ///
+    /// Fault handling, per [`ErrorClass`]: a corrupt fetch quarantines
+    /// its extent and retries the condition as a table scan (the error
+    /// surfaces only if no source column is attached); transient and
+    /// permanent failures propagate as [`QueryError::Read`] — by the
+    /// time they reach here the per-session retry budget is spent, and
+    /// no rebuild would change the outcome.
+    fn eval_condition(&self, cond: &AttrCondition) -> Result<(RidSet, IoStats, bool), QueryError> {
         let col = self.column(&cond.attr)?;
+        if self.is_quarantined(&cond.attr) {
+            let rows = self.scan_condition(col, cond)?;
+            return Ok((rows, IoStats::default(), true));
+        }
         let io = IoSession::new();
         let base = match Self::clamp(col, cond) {
             None => RidSet::from_positions(GapBitmap::empty(self.n)),
-            Some((lo, hi)) => col.index.query(lo, hi, &io),
+            Some((lo, hi)) => match col.index.try_query(lo, hi, &io) {
+                Ok(rows) => rows,
+                Err(e) if e.class == ErrorClass::Corrupt => {
+                    self.quarantine_lock()
+                        .entry(cond.attr.clone())
+                        .or_default()
+                        .insert(e.extent.0);
+                    let rows = self
+                        .scan_condition(col, cond)
+                        .map_err(|_| QueryError::Read(e))?;
+                    return Ok((rows, io.stats(), true));
+                }
+                Err(e) => return Err(QueryError::Read(e)),
+            },
         };
         let rows = if cond.negated { base.negate() } else { base };
-        Ok((rows, io.stats()))
+        Ok((rows, io.stats(), false))
     }
 
     fn run(&self, query: &ConjunctiveQuery, plan: Plan) -> Result<QueryOutcome, QueryError> {
@@ -223,15 +389,22 @@ impl IndexedTable {
                 rows: RidSet::from_complement(GapBitmap::empty(self.n)),
                 plan,
                 io: IoStats::default(),
+                degraded: Vec::new(),
             });
         }
         let mut io = IoStats::default();
+        let mut degraded = Vec::new();
         let mut results = Vec::with_capacity(plan.order.len());
         for &i in &plan.order {
-            let (rows, stats) = self.eval_condition(&query.conditions[i])?;
+            let cond = &query.conditions[i];
+            let (rows, stats, fell_back) = self.eval_condition(cond)?;
             io = io.merged(&stats);
+            if fell_back && !degraded.contains(&cond.attr) {
+                degraded.push(cond.attr.clone());
+            }
             results.push(rows);
         }
+        degraded.sort();
         let rows = match plan.strategy {
             CombineStrategy::Gallop => {
                 let mut iter = results.into_iter();
@@ -241,7 +414,41 @@ impl IndexedTable {
             CombineStrategy::Probe => probe_combine(&results, self.n),
             CombineStrategy::Scan => coscan_combine(&results, self.n),
         };
-        Ok(QueryOutcome { rows, plan, io })
+        Ok(QueryOutcome {
+            rows,
+            plan,
+            io,
+            degraded,
+        })
+    }
+
+    /// Rebuilds one attribute's index from its attached source column
+    /// and clears the attribute's quarantine — the online repair that
+    /// restores the index path after corruption.
+    ///
+    /// The swap is atomic at the table level: queries either see the old
+    /// (quarantined, scan-degraded) index or the fresh one, never a
+    /// partial rebuild. `build_index` receives the source values and the
+    /// column's alphabet, exactly like [`IndexedTable::build`]'s hook.
+    pub fn rebuild_attribute<F>(&mut self, attr: &str, build_index: F) -> Result<(), QueryError>
+    where
+        F: FnOnce(&[Symbol], u32) -> Box<dyn SecondaryIndex>,
+    {
+        let n = self.n;
+        let col = self
+            .columns
+            .iter_mut()
+            .find(|c| c.name == attr)
+            .ok_or_else(|| QueryError::UnknownAttribute(attr.to_string()))?;
+        let data = self
+            .sources
+            .get(attr)
+            .ok_or_else(|| QueryError::Quarantined(attr.to_string()))?;
+        let fresh = build_index(data, col.sigma);
+        assert_eq!(fresh.len(), n, "rebuilt index length mismatch on {attr}");
+        col.index = fresh;
+        self.quarantine_lock().remove(attr);
+        Ok(())
     }
 }
 
@@ -454,6 +661,157 @@ mod tests {
         let t = indexed(&[("a", 2, vec![0, 1])]);
         let err = t.execute(&Predicate::point("missing", 0)).unwrap_err();
         assert_eq!(err, QueryError::UnknownAttribute("missing".into()));
+    }
+
+    /// An index whose reads fail with a scripted [`psi_api::ReadError`]
+    /// until `healthy` flips — the unit-level stand-in for a store whose
+    /// verified fetches detect corruption.
+    struct FailingIndex {
+        inner: ScanIndex,
+        error: psi_api::ReadError,
+        healthy: std::sync::atomic::AtomicBool,
+    }
+
+    impl SecondaryIndex for FailingIndex {
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn sigma(&self) -> Symbol {
+            self.inner.sigma()
+        }
+        fn space_bits(&self) -> u64 {
+            0
+        }
+        fn query(&self, lo: Symbol, hi: Symbol, io: &IoSession) -> RidSet {
+            self.inner.query(lo, hi, io)
+        }
+        fn try_query(
+            &self,
+            lo: Symbol,
+            hi: Symbol,
+            io: &IoSession,
+        ) -> Result<RidSet, psi_api::ReadError> {
+            if self.healthy.load(std::sync::atomic::Ordering::Relaxed) {
+                Ok(self.inner.query(lo, hi, io))
+            } else {
+                Err(self.error.clone())
+            }
+        }
+    }
+
+    fn failing_table(class: ErrorClass) -> (IndexedTable, Vec<Symbol>, Vec<Symbol>) {
+        let data_a: Vec<Symbol> = vec![0, 1, 2, 3, 1, 2, 0, 1];
+        let data_b: Vec<Symbol> = vec![2, 2, 1, 0, 0, 2, 1, 2];
+        let table = IndexedTable::from_columns(vec![
+            IndexedColumn {
+                name: "a".into(),
+                sigma: 4,
+                index: Box::new(FailingIndex {
+                    inner: ScanIndex {
+                        data: data_a.clone(),
+                        sigma: 4,
+                    },
+                    error: psi_api::ReadError {
+                        class,
+                        extent: psi_io::ExtentId(7),
+                        block: 3,
+                        message: "scripted fault".into(),
+                    },
+                    healthy: std::sync::atomic::AtomicBool::new(false),
+                }),
+            },
+            IndexedColumn {
+                name: "b".into(),
+                sigma: 3,
+                index: Box::new(ScanIndex {
+                    data: data_b.clone(),
+                    sigma: 3,
+                }),
+            },
+        ]);
+        (table, data_a, data_b)
+    }
+
+    #[test]
+    fn corrupt_fetch_quarantines_and_degrades_to_scan() {
+        let (mut t, data_a, _) = failing_table(ErrorClass::Corrupt);
+        t.attach_column_data("a", data_a).unwrap();
+        let q = Predicate::and([Predicate::range("a", 1, 2), Predicate::point("b", 2)])
+            .normalize()
+            .unwrap();
+        let out = t.execute_conjunctive(&q).expect("degrades, not errors");
+        assert_eq!(out.rows.to_vec(), vec![1, 5, 7]);
+        assert_eq!(out.degraded, vec!["a".to_string()]);
+        assert_eq!(t.quarantined_extents("a"), vec![7]);
+        // The quarantine now reorders planning: the healthy "b" condition
+        // filters first even though "a" estimates smaller.
+        let out2 = t.execute_conjunctive(&q).unwrap();
+        assert_eq!(out2.plan.order, vec![1, 0]);
+        assert_eq!(out2.rows.to_vec(), vec![1, 5, 7]);
+        assert_eq!(out2.degraded, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn corrupt_fetch_without_sources_is_a_typed_error() {
+        let (t, _, _) = failing_table(ErrorClass::Corrupt);
+        let err = t.execute(&Predicate::point("a", 1)).unwrap_err();
+        match err {
+            QueryError::Read(e) => assert_eq!(e.class, ErrorClass::Corrupt),
+            other => panic!("expected Read error, got {other:?}"),
+        }
+        // The extent was still quarantined; a later query hits the
+        // quarantine first and reports the missing fallback.
+        assert_eq!(t.quarantined_extents("a"), vec![7]);
+        assert_eq!(
+            t.execute(&Predicate::point("a", 1)).unwrap_err(),
+            QueryError::Quarantined("a".into())
+        );
+    }
+
+    #[test]
+    fn transient_and_permanent_faults_propagate_without_quarantine() {
+        for class in [ErrorClass::Transient, ErrorClass::Permanent] {
+            let (mut t, data_a, _) = failing_table(class);
+            t.attach_column_data("a", data_a).unwrap();
+            let err = t.execute(&Predicate::point("a", 1)).unwrap_err();
+            match err {
+                QueryError::Read(e) => assert_eq!(e.class, class),
+                other => panic!("expected Read error, got {other:?}"),
+            }
+            // Only corruption quarantines: these faults are not the
+            // index's fault, so no degradation state is left behind.
+            assert!(!t.is_quarantined("a"));
+        }
+    }
+
+    #[test]
+    fn rebuild_attribute_restores_the_index_path() {
+        let (mut t, data_a, _) = failing_table(ErrorClass::Corrupt);
+        t.attach_column_data("a", data_a.clone()).unwrap();
+        let q = Predicate::range("a", 1, 2).normalize().unwrap();
+        let degraded = t.execute_conjunctive(&q).unwrap();
+        assert_eq!(degraded.degraded, vec!["a".to_string()]);
+        assert!(t.is_quarantined("a"));
+        t.rebuild_attribute("a", |symbols, sigma| {
+            Box::new(ScanIndex {
+                data: symbols.to_vec(),
+                sigma,
+            })
+        })
+        .unwrap();
+        assert!(!t.is_quarantined("a"));
+        let healthy = t.execute_conjunctive(&q).unwrap();
+        assert_eq!(healthy.rows.to_vec(), degraded.rows.to_vec());
+        assert!(healthy.degraded.is_empty());
+        // Rebuilding an unknown attribute is typed.
+        assert_eq!(
+            t.rebuild_attribute("zzz", |s, sigma| Box::new(ScanIndex {
+                data: s.to_vec(),
+                sigma
+            }))
+            .unwrap_err(),
+            QueryError::UnknownAttribute("zzz".into())
+        );
     }
 
     #[test]

@@ -78,6 +78,15 @@ pub enum QueryError {
     NotConjunctive,
     /// A predicate names an attribute the indexed table does not have.
     UnknownAttribute(String),
+    /// A real block read failed under an index query and the executor
+    /// could not degrade around it (the fault was transient-exhausted or
+    /// permanent, or it was corruption on an attribute with no attached
+    /// source column to scan instead).
+    Read(psi_io::ReadError),
+    /// The named attribute's index has quarantined extents and no source
+    /// column data is attached, so neither the index path nor the
+    /// table-scan fallback can answer for it.
+    Quarantined(String),
 }
 
 impl std::fmt::Display for QueryError {
@@ -90,8 +99,22 @@ impl std::fmt::Display for QueryError {
                 )
             }
             QueryError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            QueryError::Read(e) => write!(f, "index read failed: {e}"),
+            QueryError::Quarantined(a) => {
+                write!(
+                    f,
+                    "attribute `{a}` is quarantined and has no source data for scan fallback"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Read(e) => Some(e),
+            _ => None,
+        }
+    }
+}

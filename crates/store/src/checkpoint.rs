@@ -696,7 +696,7 @@ pub fn open_checkpoint<I: PersistIndex>(
             ),
         });
     }
-    let opened = build_opened(file, &volumes, meta, state.file_bytes, opts)?;
+    let opened = build_opened(file, &volumes, meta, state.file_bytes, opts, None)?;
     Ok((opened, extra.to_vec()))
 }
 

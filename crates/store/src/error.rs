@@ -63,11 +63,14 @@ pub enum StoreError {
 
 impl StoreError {
     /// Retry classification of this error: only a transient I/O failure
-    /// is worth repeating — every structural error (bad magic, checksum
-    /// mismatch, truncation, …) is permanent by nature.
+    /// is worth repeating. A checksum mismatch is [`ErrorClass::Corrupt`]
+    /// — quarantine-and-rebuild territory, never retried — and every
+    /// other structural error (bad magic, truncation, …) is permanent by
+    /// nature.
     pub fn class(&self) -> ErrorClass {
         match self {
             StoreError::Io { class, .. } => *class,
+            StoreError::Corrupt { .. } => ErrorClass::Corrupt,
             _ => ErrorClass::Permanent,
         }
     }
@@ -80,6 +83,7 @@ impl fmt::Display for StoreError {
                 let kind = match class {
                     ErrorClass::Transient => "transient",
                     ErrorClass::Permanent => "permanent",
+                    ErrorClass::Corrupt => "corrupt",
                 };
                 write!(f, "{kind} i/o error: {source}")
             }

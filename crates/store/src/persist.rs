@@ -30,9 +30,16 @@ pub struct OpenOptions {
     /// Buffer-pool capacity in model blocks, per volume.
     pub pool_blocks: usize,
     /// When set, every payload fetch retries transient OS failures under
-    /// this policy before surfacing; permanent failures (checksum
-    /// mismatch, missing extent) surface immediately either way.
+    /// this policy before surfacing; permanent and corrupt failures
+    /// (missing extent, checksum mismatch) surface immediately either way.
     pub retry: Option<psi_io::RetryPolicy>,
+    /// Verified fetches: when `true` (the default) every payload page is
+    /// checked against its FNV-1a trailer as the buffer pool faults it
+    /// in — never on warm hits — and a mismatch surfaces as
+    /// [`psi_io::ErrorClass::Corrupt`]. Turning it off skips the
+    /// checksum on fetch (the E17 overhead ablation; open-time
+    /// validation of superblock/meta pages still happens).
+    pub verify: bool,
 }
 
 impl Default for OpenOptions {
@@ -41,6 +48,7 @@ impl Default for OpenOptions {
             backend: Backend::File,
             pool_blocks: 1024,
             retry: None,
+            verify: true,
         }
     }
 }
@@ -172,6 +180,24 @@ pub fn open<I: PersistIndex>(
     path: impl AsRef<Path>,
     opts: &OpenOptions,
 ) -> Result<Opened<I>, StoreError> {
+    open_with_wrap(path, opts, None)
+}
+
+/// Per-volume store wrapper: receives each volume's fetch chain (the
+/// [`VolumeStore`], before any retry wrapper) plus the volume index and
+/// returns the store the buffer pool should fetch through. Fault
+/// injection hooks in here — tests wrap real file volumes in
+/// [`psi_io::FaultyStore`] to script failures against the production
+/// open path.
+pub type StoreWrap<'a> = &'a dyn Fn(Arc<dyn BlockStore>, usize) -> Arc<dyn BlockStore>;
+
+/// [`open`] with a per-volume store wrapper interposed between the
+/// volume reader and the retry/pool layers (testing and fault drills).
+pub fn open_with_wrap<I: PersistIndex>(
+    path: impl AsRef<Path>,
+    opts: &OpenOptions,
+    wrap: Option<StoreWrap<'_>>,
+) -> Result<Opened<I>, StoreError> {
     if opts.pool_blocks == 0 {
         return Err(StoreError::InvalidOptions {
             what: "pool_blocks must be at least 1".into(),
@@ -185,19 +211,28 @@ pub fn open<I: PersistIndex>(
             found: header.tag,
         });
     }
-    build_opened(file, &header.volumes, &header.meta, header.file_bytes, opts)
+    build_opened(
+        file,
+        &header.volumes,
+        &header.meta,
+        header.file_bytes,
+        opts,
+        wrap,
+    )
 }
 
 /// Builds an [`Opened`] index from an already-validated header: wires a
-/// [`VolumeStore`] (optionally retry-wrapped) and buffer pool per
-/// volume, reconstructs the disks non-resident, and decodes the family
-/// metadata. Shared by [`open`] and the checkpoint open path.
+/// [`VolumeStore`] (optionally wrapped, optionally retry-wrapped) and
+/// buffer pool per volume, reconstructs the disks non-resident, and
+/// decodes the family metadata. Shared by [`open`] and the checkpoint
+/// open path.
 pub(crate) fn build_opened<I: PersistIndex>(
     file: std::fs::File,
     volumes: &[crate::format::VolumeDesc],
     meta: &[u8],
     file_bytes: u64,
     opts: &OpenOptions,
+    wrap: Option<StoreWrap<'_>>,
 ) -> Result<Opened<I>, StoreError> {
     let raw: Arc<dyn RawBytes> = match opts.backend {
         Backend::File => Arc::new(RawFile::new(file)),
@@ -215,16 +250,26 @@ pub(crate) fn build_opened<I: PersistIndex>(
                 freed: e.freed,
             })
             .collect();
-        let volume = VolumeStore::new(Arc::clone(&raw), Arc::clone(&fetches), desc.clone(), v);
+        let volume: Arc<dyn BlockStore> = Arc::new(VolumeStore::new(
+            Arc::clone(&raw),
+            Arc::clone(&fetches),
+            desc.clone(),
+            v,
+        ));
+        let volume = match wrap {
+            Some(w) => w(volume, v),
+            None => volume,
+        };
         let store: Arc<dyn BlockStore> = match opts.retry {
             Some(policy) => Arc::new(psi_io::RetryStore::new(volume, policy)),
-            None => Arc::new(volume),
+            None => volume,
         };
         let pool = Arc::new(BufferPool::new(
             store,
             opts.pool_blocks,
             desc.config.block_bits,
         ));
+        pool.set_verify(opts.verify);
         disks.push(Disk::from_stored(desc.config, &stored, Arc::clone(&pool)));
         pools.push(pool);
     }

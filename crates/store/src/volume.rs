@@ -40,16 +40,21 @@ impl VolumeStore {
     }
 }
 
-impl BlockStore for VolumeStore {
-    fn read_block(
+impl VolumeStore {
+    /// Shared body of the raw/verified reads: fetches the page, decodes
+    /// its words, and — when `verify` — checks the FNV-1a trailer,
+    /// classifying a mismatch as [`psi_io::ErrorClass::Corrupt`].
+    fn read_page(
         &self,
         ext: ExtentId,
         block: u64,
         out: &mut [u64],
+        verify: bool,
     ) -> Result<(), BlockStoreError> {
-        // Structural failures (missing extent, range, checksum) are
+        // Structural failures (missing extent, out-of-range block) are
         // permanent: retrying the same read cannot change the file. OS
-        // read failures carry their own classification.
+        // read failures carry their own classification; a trailer
+        // mismatch is corruption — quarantine-and-rebuild territory.
         let e = self.desc.extents.get(ext.0 as usize).ok_or_else(|| {
             BlockStoreError::permanent(format!("volume {} has no extent {}", self.volume, ext.0))
         })?;
@@ -69,18 +74,40 @@ impl BlockStore for VolumeStore {
                 class: err.class(),
             })?;
         let data = page_bytes - 8;
-        let want = u64::from_le_bytes(page[data..].try_into().expect("8 bytes"));
-        if fnv1a64(&page[..data]) != want {
-            return Err(BlockStoreError::permanent(format!(
-                "checksum mismatch in extent {} block {block}",
-                ext.0
-            )));
+        if verify {
+            let want = u64::from_le_bytes(page[data..].try_into().expect("8 bytes"));
+            if fnv1a64(&page[..data]) != want {
+                return Err(BlockStoreError::corrupt(format!(
+                    "checksum mismatch in extent {} block {block}",
+                    ext.0
+                )));
+            }
         }
         for (slot, chunk) in out.iter_mut().zip(page[..data].chunks_exact(8)) {
             *slot = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
         }
         self.fetches.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+}
+
+impl BlockStore for VolumeStore {
+    fn read_block(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        self.read_page(ext, block, out, false)
+    }
+
+    fn read_block_verified(
+        &self,
+        ext: ExtentId,
+        block: u64,
+        out: &mut [u64],
+    ) -> Result<(), BlockStoreError> {
+        self.read_page(ext, block, out, true)
     }
 
     fn fetches(&self) -> u64 {

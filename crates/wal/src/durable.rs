@@ -214,6 +214,22 @@ impl<I: PersistIndex + ApplyOp> Durable<I> {
     }
 }
 
+impl<I: psi_api::SecondaryIndex> Durable<I> {
+    /// Fallible read straight off the durable handle: delegates to the
+    /// index's [`psi_api::SecondaryIndex::try_query`], so a real-read
+    /// failure under the recovered (file-backed) checkpoint surfaces as
+    /// a typed [`psi_api::ReadError`] instead of a panic — the durable
+    /// write path and the fault-tolerant read path meet here.
+    pub fn try_query(
+        &self,
+        lo: psi_api::Symbol,
+        hi: psi_api::Symbol,
+        io: &IoSession,
+    ) -> Result<psi_api::RidSet, psi_api::ReadError> {
+        self.index.try_query(lo, hi, io)
+    }
+}
+
 impl<I> Drop for Durable<I> {
     fn drop(&mut self) {
         // Friendly, not load-bearing: ack what was applied. Correctness

@@ -69,6 +69,7 @@ impl std::fmt::Display for WalError {
                 let kind = match class {
                     ErrorClass::Transient => "transient",
                     ErrorClass::Permanent => "permanent",
+                    ErrorClass::Corrupt => "corrupt",
                 };
                 write!(f, "{kind} i/o error on log: {source}")
             }

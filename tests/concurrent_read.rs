@@ -82,6 +82,7 @@ where
             backend,
             pool_blocks: 1 << 16,
             retry: None,
+            verify: true,
         };
         let union = {
             let opened = open::<I>(&path, &opts).expect("open");
@@ -183,6 +184,7 @@ fn racing_cold_queries_do_the_work_once_and_charge_alike() {
                     backend,
                     pool_blocks: 1 << 16,
                     retry: None,
+                    verify: true,
                 },
             )
             .expect("open"),

@@ -19,6 +19,7 @@ fn opts(backend: Backend, pool_blocks: usize) -> OpenOptions {
         backend,
         pool_blocks,
         retry: None,
+        verify: true,
     }
 }
 

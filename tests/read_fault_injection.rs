@@ -1,0 +1,382 @@
+//! Read-path fault injection across the whole index spectrum.
+//!
+//! Every index family is saved to a real store file and reopened with a
+//! [`FaultyStore`] spliced between the volume reader and the buffer pool
+//! (through the production `open_with_wrap` hook, exactly where a flaky
+//! disk would sit). Scripted schedules of transient faults, permanent
+//! faults and torn reads are swept over point, range and conjunctive
+//! queries: the invariant is **correct results or a typed error, never a
+//! panic** — and when corruption degrades an attribute, quarantine plus
+//! [`psi::IndexedTable::rebuild_attribute`] restores bit-identical
+//! `RidSet`s.
+//!
+//! The proptests honor `PSI_READ_FAULT_SEED` (default 1) so CI can run a
+//! seed matrix over different deterministic workloads.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use psi::baselines::*;
+use psi::io::{Fault, FaultyStore, RetryPolicy};
+use psi::query::{IndexedColumn, QueryError};
+use psi::store::{open_with_wrap, Backend, OpenOptions, PersistIndex, StoreWrap};
+use psi::workloads::{ColumnSpec, Dist, Table};
+use psi::{
+    naive_query, FullyDynamicIndex, IndexedTable, IoConfig, IoSession, OptimalIndex, Predicate,
+    SecondaryIndex, SemiDynamicIndex, UniformTreeIndex,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn cfg() -> IoConfig {
+    IoConfig::with_block_bits(512)
+}
+
+/// Workload seed mixed in from the environment (CI sweeps it).
+fn env_seed() -> u64 {
+    std::env::var("PSI_READ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Payload backend from `PSI_READ_FAULT_BACKEND` (`file` / `mmap`; the
+/// CI matrix sweeps both), falling back to the test's default.
+fn env_backend(default: Backend) -> Backend {
+    match std::env::var("PSI_READ_FAULT_BACKEND").as_deref() {
+        Ok("mmap") => Backend::Mmap,
+        Ok("file") => Backend::File,
+        _ => default,
+    }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("psi_read_faults").join(name);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+type BuildFn = fn(&[u32], u32) -> Box<dyn SecondaryIndex>;
+type SaveFn = fn(&[u32], u32, &Path);
+type OpenFn = fn(&Path, &OpenOptions, Option<StoreWrap>) -> Box<dyn SecondaryIndex>;
+
+fn save_index<I: PersistIndex>(index: &I, path: &Path) {
+    psi::store::save(index, path).expect("save index");
+}
+
+fn open_index<I: PersistIndex + SecondaryIndex + 'static>(
+    path: &Path,
+    opts: &OpenOptions,
+    wrap: Option<StoreWrap>,
+) -> Box<dyn SecondaryIndex> {
+    Box::new(
+        open_with_wrap::<I>(path, opts, wrap)
+            .expect("open index")
+            .index,
+    )
+}
+
+/// Every index family, behind uniform build/save/open signatures.
+fn families() -> Vec<(&'static str, BuildFn, SaveFn, OpenFn)> {
+    vec![
+        (
+            "optimal",
+            |s, g| Box::new(OptimalIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&OptimalIndex::build(s, g, cfg()), p),
+            open_index::<OptimalIndex>,
+        ),
+        (
+            "uniform_tree",
+            |s, g| Box::new(UniformTreeIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&UniformTreeIndex::build(s, g, cfg()), p),
+            open_index::<UniformTreeIndex>,
+        ),
+        (
+            "semi_dynamic",
+            |s, g| Box::new(SemiDynamicIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&SemiDynamicIndex::build(s, g, cfg()), p),
+            open_index::<SemiDynamicIndex>,
+        ),
+        (
+            "fully_dynamic",
+            |s, g| Box::new(FullyDynamicIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&FullyDynamicIndex::build(s, g, cfg()), p),
+            open_index::<FullyDynamicIndex>,
+        ),
+        (
+            "buffered_bitmap",
+            |s, g| Box::new(psi::BufferedBitmapIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&psi::BufferedBitmapIndex::build(s, g, cfg()), p),
+            open_index::<psi::BufferedBitmapIndex>,
+        ),
+        (
+            "position_list",
+            |s, g| Box::new(PositionListIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&PositionListIndex::build(s, g, cfg()), p),
+            open_index::<PositionListIndex>,
+        ),
+        (
+            "uncompressed",
+            |s, g| Box::new(UncompressedBitmapIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&UncompressedBitmapIndex::build(s, g, cfg()), p),
+            open_index::<UncompressedBitmapIndex>,
+        ),
+        (
+            "compressed_scan",
+            |s, g| Box::new(CompressedScanIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&CompressedScanIndex::build(s, g, cfg()), p),
+            open_index::<CompressedScanIndex>,
+        ),
+        (
+            "binned_w4",
+            |s, g| Box::new(BinnedBitmapIndex::build(s, g, 4, cfg())),
+            |s, g, p| save_index(&BinnedBitmapIndex::build(s, g, 4, cfg()), p),
+            open_index::<BinnedBitmapIndex>,
+        ),
+        (
+            "multires_w4",
+            |s, g| Box::new(MultiResolutionIndex::build(s, g, 4, cfg())),
+            |s, g, p| save_index(&MultiResolutionIndex::build(s, g, 4, cfg()), p),
+            open_index::<MultiResolutionIndex>,
+        ),
+        (
+            "range_encoded",
+            |s, g| Box::new(RangeEncodedIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&RangeEncodedIndex::build(s, g, cfg()), p),
+            open_index::<RangeEncodedIndex>,
+        ),
+        (
+            "interval_encoded",
+            |s, g| Box::new(IntervalEncodedIndex::build(s, g, cfg())),
+            |s, g, p| save_index(&IntervalEncodedIndex::build(s, g, cfg()), p),
+            open_index::<IntervalEncodedIndex>,
+        ),
+    ]
+}
+
+/// Derives a random table (2–3 columns, mixed distributions) from a seed.
+fn random_table(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_cols = rng.gen_range(2..=3usize);
+    let specs: Vec<ColumnSpec> = (0..num_cols)
+        .map(|i| ColumnSpec {
+            name: format!("c{i}"),
+            sigma: rng.gen_range(2..10),
+            dist: match rng.gen_range(0..3u32) {
+                0 => Dist::Uniform,
+                1 => Dist::Zipf(1.2),
+                _ => Dist::Runs(4.0),
+            },
+        })
+        .collect();
+    Table::generate(n, &specs, rng.gen())
+}
+
+/// Derives a random conjunctive predicate over `table`'s columns.
+fn random_predicate(table: &Table, seed: u64) -> Predicate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut terms = Vec::new();
+    for col in &table.columns {
+        let leaf = if rng.gen_bool(0.4) {
+            Predicate::point(&col.name, rng.gen_range(0..col.sigma))
+        } else {
+            let lo = rng.gen_range(0..col.sigma);
+            let hi = (lo + rng.gen_range(0..col.sigma)).min(col.sigma - 1);
+            Predicate::range(&col.name, lo, hi)
+        };
+        terms.push(if rng.gen_bool(0.25) {
+            Predicate::not(leaf)
+        } else {
+            leaf
+        });
+    }
+    Predicate::and(terms)
+}
+
+/// Decodes a proptest-generated schedule into per-ordinal faults.
+fn decode_schedule(raw: &[(u64, u8)]) -> Vec<(u64, Fault)> {
+    raw.iter()
+        .map(|&(ordinal, kind)| {
+            let fault = match kind % 3 {
+                0 => Fault::Transient,
+                1 => Fault::Permanent,
+                _ => Fault::ShortRead {
+                    words: (ordinal % 7) as usize,
+                },
+            };
+            (ordinal, fault)
+        })
+        .collect()
+}
+
+/// Opens every column of `table` from `dir` as family `name`, splicing a
+/// fresh fault injector (with `schedule`) under each column's pool.
+fn open_faulty_columns(
+    dir: &Path,
+    name: &str,
+    table: &Table,
+    open: OpenFn,
+    opts: &OpenOptions,
+    schedule: &[(u64, Fault)],
+) -> IndexedTable {
+    let columns = table
+        .columns
+        .iter()
+        .map(|col| {
+            let wrap_fn = |store: Arc<dyn psi::io::BlockStore>, _v: usize| {
+                Arc::new(FaultyStore::new(store, schedule.iter().copied()))
+                    as Arc<dyn psi::io::BlockStore>
+            };
+            let path = dir.join(format!("{name}_{}.psi", col.name));
+            IndexedColumn {
+                name: col.name.clone(),
+                sigma: col.sigma,
+                index: open(&path, opts, Some(&wrap_fn)),
+            }
+        })
+        .collect();
+    let mut indexed = IndexedTable::from_columns(columns);
+    for col in &table.columns {
+        indexed
+            .attach_column_data(&col.name, col.data.clone())
+            .expect("attach source");
+    }
+    indexed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The sweep: every family, point + range + conjunctive queries under
+    // a scripted fault schedule. Outcomes are exactly correct rows (the
+    // faults missed, were retried away, or were degraded around) or a
+    // typed error — never a panic, never wrong rows.
+    #[test]
+    fn every_family_survives_scripted_read_faults(
+        n in 24usize..80,
+        table_seed in any::<u64>(),
+        pred_seed in any::<u64>(),
+        raw_schedule in proptest::collection::vec((0u64..28, 0u8..6), 0..6),
+        with_retry in any::<bool>(),
+    ) {
+        let table = random_table(n, table_seed ^ env_seed());
+        let predicate = random_predicate(&table, pred_seed);
+        let want = predicate.naive_rows(&table);
+        let schedule = decode_schedule(&raw_schedule);
+        let opts = OpenOptions {
+            backend: env_backend(Backend::File),
+            pool_blocks: 64,
+            // Zero-delay policy: injected flakes retry instantly, the
+            // test never touches the wall clock.
+            retry: with_retry.then_some(RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::ZERO,
+            }),
+            verify: true,
+        };
+        let dir = test_dir("sweep");
+        for (name, build, save, open) in families() {
+            for col in &table.columns {
+                save(&col.data, col.sigma, &dir.join(format!("{name}_{}.psi", col.name)));
+            }
+            // Point and range queries straight on one faulty column.
+            let col0 = &table.columns[0];
+            let single = open_faulty_columns(&dir, name, &table, open, &opts, &schedule);
+            let idx = &single.columns()[0].index;
+            for (lo, hi) in [(0u32, 0u32), (0, col0.sigma - 1), (col0.sigma / 2, col0.sigma - 1)] {
+                let io = IoSession::new();
+                match idx.try_query(lo, hi, &io) {
+                    Ok(rows) => prop_assert_eq!(
+                        rows.to_vec(),
+                        naive_query(&col0.data, lo, hi).to_vec(),
+                        "{} [{},{}] wrong rows", name, lo, hi
+                    ),
+                    Err(e) => prop_assert!(
+                        !e.message.is_empty(),
+                        "{} [{},{}] untyped failure", name, lo, hi
+                    ),
+                }
+            }
+            // The conjunctive path, with degraded fallback available.
+            let mut faulty = open_faulty_columns(&dir, name, &table, open, &opts, &schedule);
+            match faulty.execute(&predicate) {
+                Ok(out) => {
+                    prop_assert_eq!(
+                        out.rows.to_vec(), want.clone(),
+                        "{} conjunctive wrong rows (degraded: {:?})", name, out.degraded
+                    );
+                    if !out.degraded.is_empty() {
+                        // Quarantine + rebuild must restore the index
+                        // path bit-identically.
+                        for attr in out.degraded.clone() {
+                            prop_assert!(faulty.is_quarantined(&attr), "{}: degraded attr not quarantined", name);
+                            faulty.rebuild_attribute(&attr, build).expect("rebuild");
+                            prop_assert!(!faulty.is_quarantined(&attr), "{}: rebuild left quarantine", name);
+                        }
+                        match faulty.execute(&predicate) {
+                            Ok(after) => {
+                                prop_assert_eq!(
+                                    after.rows.to_vec(),
+                                    out.rows.to_vec(),
+                                    "{} post-rebuild rows",
+                                    name
+                                );
+                            }
+                            Err(QueryError::Read(_)) => {} // another scripted fault fired
+                            Err(other) => prop_assert!(false, "{}: unexpected error {other:?}", name),
+                        }
+                    }
+                }
+                Err(QueryError::Read(e)) => prop_assert!(
+                    !e.message.is_empty(),
+                    "{} conjunctive untyped failure", name
+                ),
+                Err(other) => prop_assert!(false, "{}: unexpected error class {other:?}", name),
+            }
+        }
+    }
+}
+
+/// A dense transient barrage with retry enabled is fully absorbed: every
+/// family answers every grid query with the exact reference rows and no
+/// error, because the per-fetch retry outlasts any single flake.
+#[test]
+fn retry_absorbs_transient_barrage_for_every_family() {
+    let table = random_table(60, 77 ^ env_seed());
+    let dir = test_dir("barrage");
+    let schedule: Vec<(u64, Fault)> = (0..200).map(|i| (i * 2, Fault::Transient)).collect();
+    let opts = OpenOptions {
+        backend: env_backend(Backend::Mmap),
+        pool_blocks: 64,
+        retry: Some(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+        }),
+        verify: true,
+    };
+    for (name, _, save, open) in families() {
+        for col in &table.columns {
+            save(
+                &col.data,
+                col.sigma,
+                &dir.join(format!("{name}_{}.psi", col.name)),
+            );
+        }
+        let faulty = open_faulty_columns(&dir, name, &table, open, &opts, &schedule);
+        for (ci, col) in table.columns.iter().enumerate() {
+            let idx = &faulty.columns()[ci].index;
+            let io = IoSession::new();
+            let got = idx
+                .try_query(0, col.sigma - 1, &io)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", col.name));
+            assert_eq!(
+                got.to_vec(),
+                naive_query(&col.data, 0, col.sigma - 1).to_vec(),
+                "{name}/{} full-range rows",
+                col.name
+            );
+        }
+    }
+}
