@@ -812,6 +812,12 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             .expect("rebuild");
         plan_row("rebuilt", &degraded);
     }
+
+    // --- serve (E18): open-loop completion-latency percentiles and shed
+    // rate against a live server. Single-run tail order statistics are
+    // noisy; `compare` holds the p999/shed rows to its wider TAIL bar.
+    results.extend(crate::e18());
+
     results
 }
 
@@ -878,14 +884,20 @@ pub fn next_bench_path() -> String {
     "BENCH_overflow.json".to_string()
 }
 
+/// Writes an arbitrary result set as a `psi-bench/1` snapshot (used by
+/// `all_experiments --json` and the `e18_serve` latency run).
+pub fn write_snapshot(path: &str, results: &[JsonResult]) {
+    let json = to_json(results);
+    let mut f = std::fs::File::create(path).expect("create bench json");
+    f.write_all(json.as_bytes()).expect("write bench json");
+    println!("\nwrote {} results to {path}", results.len());
+}
+
 /// Entry point for `all_experiments --json [PATH]`.
 pub fn emit_json(path: Option<String>) {
     let results = run_microbenches();
     let path = path.unwrap_or_else(next_bench_path);
-    let json = to_json(&results);
-    let mut f = std::fs::File::create(&path).expect("create bench json");
-    f.write_all(json.as_bytes()).expect("write bench json");
-    println!("\nwrote {} results to {path}", results.len());
+    write_snapshot(&path, &results);
 }
 
 #[cfg(test)]

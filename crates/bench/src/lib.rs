@@ -1625,6 +1625,184 @@ pub fn e17_run(n: usize, people: usize) {
     );
 }
 
+/// E18 — psi-serve under open-loop load: a live server behind the wire
+/// protocol, Poisson arrivals at fixed offered rates, completion-time
+/// percentiles measured against the *scheduled* arrival (so queueing
+/// delay counts), and the typed shed rate from admission control.
+/// Full-size run; returns the snapshot rows for `BENCH_NNNN.json`.
+///
+/// On one core the honest claim is latency under load *shaping*, not
+/// thread scaling: admission control bounds the queue, so the tail grows
+/// with offered load until shedding kicks in instead of growing without
+/// bound.
+pub fn e18() -> Vec<jsonout::JsonResult> {
+    e18_run(4_000, &[500, 2_000, 8_000], 3.0)
+}
+
+/// [`e18`] with explicit sizes (the CI smoke run shrinks all three).
+///
+/// Emitted rows, all diffed lower-is-better by `compare_bench`:
+/// `serve/open_loop/q{qps}/p50|p99|p999` (completion latency in ns) and
+/// `serve/open_loop/q{qps}/shed_permille` (requests shed per thousand,
+/// in `ns_per_iter`'s slot — a rate, not a time, but lower is better in
+/// the same way).
+pub fn e18_run(people: usize, qps_targets: &[u64], seconds: f64) -> Vec<jsonout::JsonResult> {
+    use psi_query::{ConjunctiveQuery, IndexedTable, Predicate};
+    use psi_serve::wire::ErrorCode;
+    use psi_serve::{Client, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    head(
+        "E18",
+        "psi-serve open-loop: Poisson arrivals at fixed offered QPS; p50/p99/p999 completion latency and typed shed rate",
+    );
+    let cfg = IoConfig::default();
+    let table = wl::people_table(people, 7);
+    let indexed = IndexedTable::build(&table, |sy, g| {
+        Box::new(OptimalIndex::build(sy, g, cfg)) as Box<dyn SecondaryIndex>
+    });
+    let server = Server::serve(
+        Arc::new(indexed),
+        ServeConfig {
+            batch_window: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = server.addr().expect("tcp addr");
+
+    // Deterministic query mix: selective age ranges, sex+age
+    // conjunctions, and broad marital-status points.
+    let mut rng = StdRng::seed_from_u64(18);
+    let pool: Vec<ConjunctiveQuery> = (0..256)
+        .map(|_| {
+            let p = match rng.gen_range(0..3u32) {
+                0 => {
+                    let lo = rng.gen_range(0..120u32);
+                    Predicate::range("age", lo, (lo + rng.gen_range(0..8u32)).min(127))
+                }
+                1 => Predicate::and([
+                    Predicate::point("sex", rng.gen_range(0..2u32)),
+                    Predicate::range("age", 30, 35),
+                ]),
+                _ => Predicate::point("marital_status", rng.gen_range(0..4u32)),
+            };
+            p.normalize().expect("normalize")
+        })
+        .collect();
+
+    hdr(&[
+        "offered qps",
+        "sent",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "shed o/oo",
+    ]);
+    let mut out = Vec::new();
+    let mut total_sent = 0u64;
+    for &qps in qps_targets {
+        let n = ((qps as f64) * seconds).round().max(1.0) as usize;
+        total_sent += n as u64;
+        // Open-loop Poisson arrivals: exponential inter-arrival gaps at
+        // rate `qps`, fixed up front so a slow server cannot slow the
+        // arrival process down (that would be closed-loop coordination).
+        let mut gap_rng = StdRng::seed_from_u64(qps ^ 0x5EED);
+        let mut t = 0.0f64;
+        let schedule: Arc<Vec<Duration>> = Arc::new(
+            (0..n)
+                .map(|_| {
+                    let u: f64 = gap_rng.gen_range(1e-12..1.0);
+                    t += -u.ln() / qps as f64;
+                    Duration::from_secs_f64(t)
+                })
+                .collect(),
+        );
+        let (mut tx, mut rx) = Client::connect(addr).expect("connect").split();
+        let start = Instant::now();
+        let sender = std::thread::spawn({
+            let schedule = Arc::clone(&schedule);
+            let pool = pool.clone();
+            move || {
+                for (i, due) in schedule.iter().enumerate() {
+                    loop {
+                        let now = start.elapsed();
+                        if now >= *due {
+                            break;
+                        }
+                        // Sleep the bulk, spin the last stretch — a 1 ms
+                        // oversleep at 8 kqps is 8 requests of skew.
+                        match (*due - now).checked_sub(Duration::from_micros(300)) {
+                            Some(bulk) => std::thread::sleep(bulk),
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    tx.send(i as u64, &pool[i % pool.len()]).expect("send");
+                }
+            }
+        });
+        let mut latencies_ns: Vec<f64> = Vec::with_capacity(n);
+        let mut shed = 0u64;
+        let mut unexpected = 0u64;
+        for _ in 0..n {
+            let resp = rx
+                .recv()
+                .expect("recv")
+                .expect("server closed with requests outstanding");
+            let done = start.elapsed();
+            let due = schedule[usize::try_from(resp.id).expect("id fits")];
+            match &resp.body {
+                Ok(_) => latencies_ns.push(done.saturating_sub(due).as_nanos() as f64),
+                Err(e) if e.code == ErrorCode::Overloaded => shed += 1,
+                Err(_) => unexpected += 1,
+            }
+        }
+        sender.join().expect("sender thread");
+        assert_eq!(unexpected, 0, "only Overloaded errors are expected");
+        latencies_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |q: f64| -> f64 {
+            if latencies_ns.is_empty() {
+                return 0.0;
+            }
+            latencies_ns[((latencies_ns.len() - 1) as f64 * q).round() as usize]
+        };
+        let (p50, p99, p999) = (pct(0.50), pct(0.99), pct(0.999));
+        let shed_permille = 1000.0 * shed as f64 / n as f64;
+        row(&[
+            qps.to_string(),
+            n.to_string(),
+            f(p50 / 1e3),
+            f(p99 / 1e3),
+            f(p999 / 1e3),
+            f(shed_permille),
+        ]);
+        for (tag, v) in [("p50", p50), ("p99", p99), ("p999", p999)] {
+            out.push(jsonout::JsonResult {
+                bench: format!("serve/open_loop/q{qps}/{tag}"),
+                ns_per_iter: v,
+                ..Default::default()
+            });
+        }
+        out.push(jsonout::JsonResult {
+            bench: format!("serve/open_loop/q{qps}/shed_permille"),
+            ns_per_iter: shed_permille,
+            ..Default::default()
+        });
+    }
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.admitted + stats.shed,
+        total_sent,
+        "every request must be admitted or shed"
+    );
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "load generator speaks the protocol"
+    );
+    out
+}
+
 /// Runs every experiment in order.
 pub fn all() {
     e01();
@@ -1644,4 +1822,5 @@ pub fn all() {
     e15();
     e16();
     e17();
+    e18();
 }

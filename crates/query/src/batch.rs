@@ -23,6 +23,7 @@
 //! its conditions under a fresh `psi_io::IoSession`, so a batched
 //! query's reported cost equals its standalone cost exactly.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -46,32 +47,50 @@ pub fn grouped_order(queries: &[ConjunctiveQuery]) -> Vec<usize> {
 }
 
 impl IndexedTable {
-    /// Executes every query of `batch` and returns the outcomes in input
-    /// order, using up to `threads` worker threads (clamped to the batch
-    /// size; `0` means [`std::thread::available_parallelism`]).
+    /// Runs one query with its failure contained to its own result: a
+    /// typed error comes back as `Err`, and an unwind escaping the query
+    /// (an index bug, or a read abort raised outside its catch frame) is
+    /// caught and reported as [`QueryError::Panicked`] instead of killing
+    /// the calling worker thread.
+    fn settle_query(&self, query: &ConjunctiveQuery) -> Result<QueryOutcome, QueryError> {
+        match catch_unwind(AssertUnwindSafe(|| self.execute_conjunctive(query))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(QueryError::Panicked(msg))
+            }
+        }
+    }
+
+    /// Executes every query of `batch` and returns one settled result per
+    /// query, in input order, using up to `threads` worker threads
+    /// (clamped to the batch size; `0` means
+    /// [`std::thread::available_parallelism`]).
     ///
-    /// Results are bit-identical to calling
-    /// [`IndexedTable::execute_conjunctive`] on each query in a loop —
-    /// queries never observe each other — and each outcome's `io` is the
-    /// same as its standalone cost. The first error (unknown attribute)
-    /// is returned after the whole batch has been attempted.
-    pub fn execute_batch(
+    /// Failures stay in their own slot: a query that hits a pool-budget
+    /// exhaustion, a failed block read, an unknown attribute — or even a
+    /// panic inside an index implementation — yields `Err` in *its* slot
+    /// while every sibling query still returns its correct rows. This is
+    /// the batch entry point for callers (such as a network server) that
+    /// must answer each request independently.
+    pub fn execute_batch_settled(
         &self,
         batch: &[ConjunctiveQuery],
         threads: usize,
-    ) -> Result<Vec<QueryOutcome>, QueryError> {
+    ) -> Vec<Result<QueryOutcome, QueryError>> {
         let threads = match threads {
             0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
             t => t,
         }
         .min(batch.len().max(1));
         if threads <= 1 {
-            // Run the whole batch before sequencing errors, mirroring
-            // the parallel path (which attempts every query): pool
+            // Same claim order as the parallel path attempts: pool
             // warmth and fetch counts must not depend on thread count.
-            let outcomes: Vec<Result<QueryOutcome, QueryError>> =
-                batch.iter().map(|q| self.execute_conjunctive(q)).collect();
-            return outcomes.into_iter().collect();
+            return batch.iter().map(|q| self.settle_query(q)).collect();
         }
         let order = grouped_order(batch);
         let cursor = AtomicUsize::new(0);
@@ -82,7 +101,7 @@ impl IndexedTable {
                 scope.spawn(|| loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&qi) = order.get(k) else { break };
-                    let outcome = self.execute_conjunctive(&batch[qi]);
+                    let outcome = self.settle_query(&batch[qi]);
                     assert!(slots[qi].set(outcome).is_ok(), "slot written once");
                 });
             }
@@ -90,6 +109,27 @@ impl IndexedTable {
         slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Executes every query of `batch` and returns the outcomes in input
+    /// order, using up to `threads` worker threads (clamped to the batch
+    /// size; `0` means [`std::thread::available_parallelism`]).
+    ///
+    /// Results are bit-identical to calling
+    /// [`IndexedTable::execute_conjunctive`] on each query in a loop —
+    /// queries never observe each other — and each outcome's `io` is the
+    /// same as its standalone cost. The whole batch is always attempted;
+    /// on failure the first error *in input order* is returned. Callers
+    /// that need the surviving sibling outcomes (one settled result per
+    /// query) should use [`IndexedTable::execute_batch_settled`].
+    pub fn execute_batch(
+        &self,
+        batch: &[ConjunctiveQuery],
+        threads: usize,
+    ) -> Result<Vec<QueryOutcome>, QueryError> {
+        self.execute_batch_settled(batch, threads)
+            .into_iter()
             .collect()
     }
 }
@@ -205,6 +245,71 @@ mod tests {
         ];
         let err = t.execute_batch(&qs, 2).unwrap_err();
         assert_eq!(err, QueryError::UnknownAttribute("missing".into()));
+    }
+
+    /// A panicking index implementation must not kill the worker thread
+    /// or poison the batch: its query settles to `Err(Panicked)` and the
+    /// sibling queries still return their correct rows — at every thread
+    /// count.
+    struct PanicIndex;
+
+    impl SecondaryIndex for PanicIndex {
+        fn len(&self) -> u64 {
+            512
+        }
+        fn sigma(&self) -> Symbol {
+            3
+        }
+        fn space_bits(&self) -> u64 {
+            0
+        }
+        fn query(&self, _lo: Symbol, _hi: Symbol, _io: &IoSession) -> RidSet {
+            panic!("boom: injected index bug")
+        }
+    }
+
+    #[test]
+    fn settled_batch_isolates_panics_to_their_slot() {
+        let data_a: Vec<Symbol> = (0..512u32).map(|i| i % 7).collect();
+        let t = IndexedTable::from_columns(vec![
+            crate::exec::IndexedColumn {
+                name: "a".into(),
+                sigma: 7,
+                index: Box::new(ScanIndex {
+                    data: data_a.clone(),
+                    sigma: 7,
+                }),
+            },
+            crate::exec::IndexedColumn {
+                name: "boom".into(),
+                sigma: 3,
+                index: Box::new(PanicIndex),
+            },
+        ]);
+        let qs = vec![
+            Predicate::point("a", 2).normalize().unwrap(),
+            Predicate::point("boom", 1).normalize().unwrap(),
+            Predicate::range("a", 3, 5).normalize().unwrap(),
+        ];
+        let direct_first = naive_query(&data_a, 2, 2).to_vec();
+        let direct_last = naive_query(&data_a, 3, 5).to_vec();
+        for threads in [1, 2, 3, 0] {
+            let settled = t.execute_batch_settled(&qs, threads);
+            assert_eq!(settled.len(), 3, "{threads} threads");
+            let ok0 = settled[0].as_ref().expect("sibling before survives");
+            assert_eq!(ok0.rows.to_vec(), direct_first, "{threads} threads");
+            match &settled[1] {
+                Err(QueryError::Panicked(msg)) => {
+                    assert!(msg.contains("boom"), "payload preserved, got: {msg}")
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+            let ok2 = settled[2].as_ref().expect("sibling after survives");
+            assert_eq!(ok2.rows.to_vec(), direct_last, "{threads} threads");
+        }
+        // The aggregate API reports the first error in input order.
+        let err = t.execute_batch(&qs, 2).unwrap_err();
+        assert!(matches!(err, QueryError::Panicked(_)), "got {err:?}");
     }
 
     #[test]

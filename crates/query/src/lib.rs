@@ -87,6 +87,11 @@ pub enum QueryError {
     /// column data is attached, so neither the index path nor the
     /// table-scan fallback can answer for it.
     Quarantined(String),
+    /// The query's execution panicked (a bug in an index implementation,
+    /// or a read abort raised outside its catch frame). Batch execution
+    /// contains the unwind to the offending query's result slot; the
+    /// payload message is preserved here.
+    Panicked(String),
 }
 
 impl std::fmt::Display for QueryError {
@@ -106,6 +111,7 @@ impl std::fmt::Display for QueryError {
                     "attribute `{a}` is quarantined and has no source data for scan fallback"
                 )
             }
+            QueryError::Panicked(msg) => write!(f, "query execution panicked: {msg}"),
         }
     }
 }

@@ -115,10 +115,21 @@ impl Predicate {
     /// logical *false*, which the flat form cannot express (an empty
     /// condition list means *all rows*). This engine evaluates
     /// conjunctions only.
+    ///
+    /// Repeated conditions on one attribute are collapsed: the
+    /// conjunction of positive ranges on the same attribute is exactly
+    /// their intersection, so `a ∈ [0,5] ∧ a ∈ [3,9]` normalizes to the
+    /// single condition `a ∈ [3,5]` — one index probe, not two. An empty
+    /// intersection is kept as a single `lo > hi` condition (the
+    /// executor answers it as the empty set without touching the index).
+    /// Negated conditions exclude a range each, so distinct ones cannot
+    /// merge into one interval; only exact duplicates are deduplicated.
     pub fn normalize(&self) -> Result<ConjunctiveQuery, QueryError> {
         let mut conditions = Vec::new();
         self.normalize_into(false, &mut conditions)?;
-        Ok(ConjunctiveQuery { conditions })
+        Ok(ConjunctiveQuery {
+            conditions: merge_same_attribute(conditions),
+        })
     }
 
     fn normalize_into(
@@ -157,6 +168,32 @@ impl Predicate {
             }
         }
     }
+}
+
+/// Collapses repeated conditions on one attribute, preserving first-
+/// occurrence order: positive ranges intersect into one condition
+/// (`lo = max`, `hi = min` — `lo > hi` when the intersection is empty,
+/// which stays empty under further merging), and negated conditions
+/// deduplicate exact repeats but otherwise stay separate (each excludes
+/// its own interval; their conjunction is not an interval).
+fn merge_same_attribute(conditions: Vec<AttrCondition>) -> Vec<AttrCondition> {
+    let mut out: Vec<AttrCondition> = Vec::with_capacity(conditions.len());
+    for cond in conditions {
+        if cond.negated {
+            if !out.contains(&cond) {
+                out.push(cond);
+            }
+            continue;
+        }
+        match out.iter_mut().find(|c| !c.negated && c.attr == cond.attr) {
+            Some(prev) => {
+                prev.lo = prev.lo.max(cond.lo);
+                prev.hi = prev.hi.min(cond.hi);
+            }
+            None => out.push(cond),
+        }
+    }
+    out
 }
 
 /// One flattened conjunct: a (possibly negated) inclusive range on one
@@ -250,12 +287,107 @@ mod tests {
     }
 
     #[test]
-    fn nested_conjunctions_flatten() {
+    fn nested_conjunctions_flatten_and_merge_per_attribute() {
         let p = Predicate::and([
             Predicate::and([Predicate::point("x", 0), Predicate::point("y", 1)]),
             Predicate::range("x", 0, 3),
         ]);
-        assert_eq!(p.normalize().unwrap().len(), 3);
+        // The two x-conditions intersect into one: x = 0 ∧ x ∈ [0,3] is
+        // just x = 0.
+        let q = p.normalize().unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.conditions[0],
+            AttrCondition {
+                attr: "x".into(),
+                lo: 0,
+                hi: 0,
+                negated: false
+            }
+        );
+        assert_eq!(q.conditions[1].attr, "y");
+    }
+
+    #[test]
+    fn same_attribute_conditions_intersect() {
+        // Range ∧ Range.
+        let q = Predicate::and([Predicate::range("x", 0, 5), Predicate::range("x", 3, 9)])
+            .normalize()
+            .unwrap();
+        assert_eq!(
+            q.conditions,
+            vec![AttrCondition {
+                attr: "x".into(),
+                lo: 3,
+                hi: 5,
+                negated: false
+            }]
+        );
+        // Point ∧ Range, point inside.
+        let q = Predicate::and([Predicate::point("x", 2), Predicate::range("x", 1, 3)])
+            .normalize()
+            .unwrap();
+        assert_eq!(
+            q.conditions,
+            vec![AttrCondition {
+                attr: "x".into(),
+                lo: 2,
+                hi: 2,
+                negated: false
+            }]
+        );
+        // Disjoint ranges: one empty condition (lo > hi), not two probes.
+        let q = Predicate::and([Predicate::range("x", 0, 1), Predicate::range("x", 3, 3)])
+            .normalize()
+            .unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.conditions[0].lo > q.conditions[0].hi,
+            "empty intersection"
+        );
+        // Emptiness is sticky under further merging.
+        let q = Predicate::and([
+            Predicate::range("x", 0, 1),
+            Predicate::range("x", 3, 3),
+            Predicate::range("x", 0, 9),
+        ])
+        .normalize()
+        .unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(q.conditions[0].lo > q.conditions[0].hi);
+        // The merged form answers rows identically to the tree.
+        let t = table();
+        let p = Predicate::and([Predicate::range("x", 1, 3), Predicate::range("x", 2, 9)]);
+        assert_eq!(p.naive_rows(&t), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn negated_conditions_dedupe_but_do_not_merge() {
+        // Two distinct negated ranges exclude different intervals: both
+        // conditions survive (their conjunction is not one interval).
+        let p = Predicate::and([
+            Predicate::not(Predicate::point("x", 0)),
+            Predicate::not(Predicate::point("x", 3)),
+        ]);
+        let q = p.normalize().unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(p.naive_rows(&table()), vec![1, 2, 4, 5]);
+        // An exact duplicate negation is one condition.
+        let q = Predicate::and([
+            Predicate::not(Predicate::point("x", 0)),
+            Predicate::not(Predicate::point("x", 0)),
+        ])
+        .normalize()
+        .unwrap();
+        assert_eq!(q.len(), 1);
+        // Positive and negated conditions on one attribute never merge.
+        let q = Predicate::and([
+            Predicate::range("x", 0, 2),
+            Predicate::not(Predicate::point("x", 1)),
+        ])
+        .normalize()
+        .unwrap();
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -110,6 +110,19 @@ fn random_predicate(table: &Table, seed: u64) -> Predicate {
             leaf
         });
     }
+    // Sometimes constrain an already-constrained column again (positive
+    // point or range, possibly disjoint from the first): exercises the
+    // same-attribute intersection in `normalize`, including empty merges.
+    if rng.gen_bool(0.4) {
+        let col = &table.columns[rng.gen_range(0..table.columns.len())];
+        let lo = rng.gen_range(0..col.sigma);
+        let hi = if rng.gen_bool(0.4) {
+            lo
+        } else {
+            (lo + rng.gen_range(0..col.sigma)).min(col.sigma - 1)
+        };
+        terms.push(Predicate::range(&col.name, lo, hi));
+    }
     Predicate::and(terms)
 }
 

@@ -105,6 +105,55 @@ fn every_strategy_charges_identical_io() {
     }
 }
 
+/// Repeated conditions on one attribute collapse to their intersection
+/// at normalize time, so the executed plan probes that attribute's index
+/// once and charges exactly what the pre-intersected single-condition
+/// predicate charges — never a second probe.
+#[test]
+fn collapsed_same_attribute_conditions_charge_single_probe_io() {
+    let table = people_table(20_000, 7);
+    let doubled = Predicate::and([
+        Predicate::range("age", 28, 40),
+        Predicate::point("sex", 0),
+        Predicate::range("age", 30, 35),
+    ]);
+    let single = Predicate::and([Predicate::range("age", 30, 35), Predicate::point("sex", 0)]);
+    let q = doubled.normalize().unwrap();
+    assert_eq!(q.len(), 2, "same-attribute conditions must collapse");
+    for (name, build) in families() {
+        let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+        let got = indexed.execute(&doubled).unwrap();
+        assert_eq!(got.rows.to_vec(), doubled.naive_rows(&table), "{name} rows");
+        let want = indexed.execute(&single).unwrap();
+        assert_eq!(
+            got.io, want.io,
+            "{name}: the collapsed plan must charge the single-condition cost"
+        );
+    }
+    // A conjunction whose same-attribute conditions are disjoint merges
+    // into one empty condition: answered without touching that index.
+    let impossible = Predicate::and([
+        Predicate::range("age", 20, 25),
+        Predicate::range("age", 50, 60),
+        Predicate::point("sex", 0),
+    ]);
+    let (indexed_name, build) = families().remove(0);
+    let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+    let got = indexed.execute(&impossible).unwrap();
+    assert!(
+        got.rows.is_empty(),
+        "{indexed_name}: disjoint ranges match nothing"
+    );
+    assert_eq!(got.rows.to_vec(), impossible.naive_rows(&table));
+    let sex_only = Predicate::point("sex", 0);
+    let sex_cost = indexed.execute(&sex_only).unwrap();
+    assert_eq!(
+        got.io, sex_cost.io,
+        "the empty merged condition must charge nothing on top of the \
+         surviving condition"
+    );
+}
+
 /// Large single-cover conditions lift their persisted skip directory, and
 /// those probe reads are charged through the conjunctive path: the
 /// condition's bits read strictly exceed the verbatim payload (result

@@ -1,0 +1,138 @@
+//! A minimal pipelined client for the psi-serve wire protocol.
+//!
+//! [`Client::send`] and [`Client::recv`] are independent, so a caller
+//! can keep many requests in flight (open-loop load generation needs
+//! this). Responses arrive in *server* order, not send order — match
+//! them by id. [`Client::call`] is the simple one-in-one-out helper.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use psi_query::ConjunctiveQuery;
+
+use crate::wire::{
+    decode_response, encode_request, read_frame_blocking, write_frame, FrameIn, Response,
+    MAX_FRAME_BYTES,
+};
+
+enum Half {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Half {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Half::Tcp(s) => s.read(buf),
+            Half::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Half {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Half::Tcp(s) => s.write(buf),
+            Half::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Half::Tcp(s) => s.flush(),
+            Half::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The sending half of a split client (see [`Client::split`]).
+pub struct Sender {
+    w: BufWriter<Half>,
+}
+
+impl Sender {
+    /// Encodes and sends one request frame.
+    pub fn send(&mut self, id: u64, query: &ConjunctiveQuery) -> io::Result<()> {
+        write_frame(&mut self.w, &encode_request(id, query))
+    }
+}
+
+/// The receiving half of a split client.
+pub struct Receiver {
+    r: BufReader<Half>,
+}
+
+impl Receiver {
+    /// Blocks for the next response; `None` once the server closed the
+    /// stream cleanly.
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        match read_frame_blocking(&mut self.r, MAX_FRAME_BYTES)? {
+            FrameIn::Closed => Ok(None),
+            FrameIn::TooLarge(len) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server response frame of {len} bytes"),
+            )),
+            FrameIn::Payload(p) => decode_response(&p)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+}
+
+/// A connected psi-serve client.
+pub struct Client {
+    sender: Sender,
+    receiver: Receiver,
+}
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let r = stream.try_clone()?;
+        Ok(Self::from_halves(Half::Tcp(stream), Half::Tcp(r)))
+    }
+
+    /// Connects over a unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let r = stream.try_clone()?;
+        Ok(Self::from_halves(Half::Unix(stream), Half::Unix(r)))
+    }
+
+    fn from_halves(w: Half, r: Half) -> Client {
+        Client {
+            sender: Sender {
+                w: BufWriter::new(w),
+            },
+            receiver: Receiver {
+                r: BufReader::new(r),
+            },
+        }
+    }
+
+    /// Sends one request without waiting (pipelining).
+    pub fn send(&mut self, id: u64, query: &ConjunctiveQuery) -> io::Result<()> {
+        self.sender.send(id, query)
+    }
+
+    /// Blocks for the next response (any in-flight id).
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        self.receiver.recv()
+    }
+
+    /// One-in-one-out convenience: send, then read the next response.
+    pub fn call(&mut self, id: u64, query: &ConjunctiveQuery) -> io::Result<Response> {
+        self.send(id, query)?;
+        self.recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Splits into independently owned sender/receiver halves, so one
+    /// thread can drive arrivals while another collects completions.
+    pub fn split(self) -> (Sender, Receiver) {
+        (self.sender, self.receiver)
+    }
+}

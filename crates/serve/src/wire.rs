@@ -1,0 +1,461 @@
+//! The psi-serve wire format: length-prefixed binary frames whose
+//! payloads are encoded with the store's bounds-checked [`MetaBuf`] /
+//! [`MetaCursor`] primitives.
+//!
+//! ```text
+//! frame     := len:u32le | payload (len bytes, len ≤ max_frame_bytes)
+//! request   := 0x01 | id:u64 | n:u64 | n × condition
+//! condition := attr:str | lo:u32 | hi:u32 | negated:bool
+//! rows      := 0x02 | id:u64 | rids:vec<u64> | blocks_read:u64 | degraded:bool
+//! error     := 0x03 | id:u64 | code:u8 | message:str
+//! str       := len:u64 | bytes   (length-prefixed UTF-8, like MetaBuf)
+//! ```
+//!
+//! Every decoder path returns a typed error — a malformed frame can
+//! never panic the server, and a frame longer than the negotiated cap is
+//! rejected *before* any allocation. Requests and responses carry a
+//! caller-chosen `id`; responses may come back in any order (the server
+//! batches per tick), so the id is the only correlation.
+
+use std::io::{self, Read, Write};
+
+use psi_query::{AttrCondition, ConjunctiveQuery, QueryError, QueryOutcome};
+use psi_store::{MetaBuf, MetaCursor};
+
+/// Default cap on a single frame's payload, requests and responses alike
+/// (a response listing every row of a large result can be sizeable).
+pub const MAX_FRAME_BYTES: u32 = 8 << 20;
+
+/// Message tag: a conjunctive query request.
+pub const MSG_QUERY: u8 = 0x01;
+/// Message tag: a successful response carrying result rows.
+pub const MSG_ROWS: u8 = 0x02;
+/// Message tag: a typed failure response.
+pub const MSG_ERROR: u8 = 0x03;
+
+/// Request id used for an error response when the offending frame was
+/// too malformed to yield the real id.
+pub const UNKNOWN_ID: u64 = u64::MAX;
+
+/// Typed failure codes carried by [`MSG_ERROR`] responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame did not decode (bad tag, truncated payload,
+    /// non-UTF-8 attribute, trailing garbage).
+    Protocol = 1,
+    /// Admission control shed the request: the server's in-flight budget
+    /// (global or per-connection) was full. Retry after backoff.
+    Overloaded = 2,
+    /// The query names an attribute the served table does not have.
+    UnknownAttribute = 3,
+    /// A block read failed with a transient fault (pool frame budget
+    /// exhausted, injected flake). Retryable.
+    ReadTransient = 4,
+    /// A block read failed permanently.
+    ReadPermanent = 5,
+    /// A block read came back corrupt and no fallback could answer.
+    ReadCorrupt = 6,
+    /// The attribute is quarantined with no scan fallback.
+    Quarantined = 7,
+    /// Query execution panicked server-side (contained to this request).
+    Panicked = 8,
+    /// The predicate was not a conjunction of per-attribute conditions.
+    NotConjunctive = 9,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Overloaded,
+            3 => ErrorCode::UnknownAttribute,
+            4 => ErrorCode::ReadTransient,
+            5 => ErrorCode::ReadPermanent,
+            6 => ErrorCode::ReadCorrupt,
+            7 => ErrorCode::Quarantined,
+            8 => ErrorCode::Panicked,
+            9 => ErrorCode::NotConjunctive,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed failure response as seen on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Failure taxonomy — drives the client's remedy.
+    pub code: ErrorCode,
+    /// Human-readable cause from the failing layer.
+    pub message: String,
+}
+
+impl WireError {
+    /// A protocol (malformed frame) error.
+    pub fn protocol(message: impl Into<String>) -> WireError {
+        WireError {
+            code: ErrorCode::Protocol,
+            message: message.into(),
+        }
+    }
+
+    /// The admission-control shed response.
+    pub fn overloaded() -> WireError {
+        WireError {
+            code: ErrorCode::Overloaded,
+            message: "server overloaded: in-flight budget full".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<&QueryError> for WireError {
+    fn from(e: &QueryError) -> WireError {
+        let code = match e {
+            QueryError::NotConjunctive => ErrorCode::NotConjunctive,
+            QueryError::UnknownAttribute(_) => ErrorCode::UnknownAttribute,
+            QueryError::Read(r) => match r.class {
+                psi_io::ErrorClass::Transient => ErrorCode::ReadTransient,
+                psi_io::ErrorClass::Permanent => ErrorCode::ReadPermanent,
+                psi_io::ErrorClass::Corrupt => ErrorCode::ReadCorrupt,
+            },
+            QueryError::Quarantined(_) => ErrorCode::Quarantined,
+            QueryError::Panicked(_) => ErrorCode::Panicked,
+        };
+        WireError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id (or [`UNKNOWN_ID`]).
+    pub id: u64,
+    /// Rows or a typed failure.
+    pub body: Result<RowsReply, WireError>,
+}
+
+/// The payload of a successful response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowsReply {
+    /// Matching row ids, ascending.
+    pub rows: Vec<u64>,
+    /// Simulated blocks charged server-side (the paper's I/O measure).
+    pub blocks_read: u64,
+    /// Whether any attribute was answered by a degraded (scan) path.
+    pub degraded: bool,
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Outcome of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameIn {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The frame declared a payload larger than `max_frame_bytes`; the
+    /// stream cannot be resynchronized and must be closed after the
+    /// typed error response.
+    TooLarge(u32),
+}
+
+/// Reads one frame. `fill` must behave like `read_exact` but may return
+/// `Ok(false)` for clean EOF *before the first byte* (mid-frame EOF is an
+/// error). The indirection lets the server thread poll a shutdown flag
+/// between reads; plain blocking callers use [`read_frame_blocking`].
+pub fn read_frame(
+    mut fill: impl FnMut(&mut [u8], bool) -> io::Result<bool>,
+    max_frame_bytes: u32,
+) -> io::Result<FrameIn> {
+    let mut len4 = [0u8; 4];
+    if !fill(&mut len4, true)? {
+        return Ok(FrameIn::Closed);
+    }
+    let len = u32::from_le_bytes(len4);
+    if len > max_frame_bytes {
+        return Ok(FrameIn::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    fill(&mut payload, false)?;
+    Ok(FrameIn::Payload(payload))
+}
+
+/// [`read_frame`] over a plain blocking reader (the client side).
+pub fn read_frame_blocking(r: &mut impl Read, max_frame_bytes: u32) -> io::Result<FrameIn> {
+    read_frame(
+        |buf, eof_ok| match r.read_exact(buf) {
+            Ok(()) => Ok(true),
+            Err(e) if eof_ok && e.kind() == io::ErrorKind::UnexpectedEof => Ok(false),
+            Err(e) => Err(e),
+        },
+        max_frame_bytes,
+    )
+}
+
+// -------------------------------------------------------------- requests
+
+/// Encodes a query request payload.
+pub fn encode_request(id: u64, query: &ConjunctiveQuery) -> Vec<u8> {
+    let mut b = MetaBuf::new();
+    b.put_u8(MSG_QUERY);
+    b.put_u64(id);
+    b.put_len(query.conditions.len());
+    for c in &query.conditions {
+        b.put_str(&c.attr);
+        b.put_u32(c.lo);
+        b.put_u32(c.hi);
+        b.put_bool(c.negated);
+    }
+    b.bytes().to_vec()
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen correlation id.
+    pub id: u64,
+    /// The conditions to execute (already in conjunctive normal form —
+    /// the server re-normalizes nothing).
+    pub query: ConjunctiveQuery,
+}
+
+/// Decodes a request payload. On failure the error carries the request
+/// id if the header got far enough to yield one ([`UNKNOWN_ID`] else),
+/// so the server can still answer the offending request specifically.
+pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, WireError)> {
+    let mut c = MetaCursor::new(payload);
+    let proto = |what: &str, e: psi_store::StoreError| WireError::protocol(format!("{what}: {e}"));
+    let tag = c
+        .get_u8()
+        .map_err(|e| (UNKNOWN_ID, proto("request tag", e)))?;
+    if tag != MSG_QUERY {
+        return Err((
+            UNKNOWN_ID,
+            WireError::protocol(format!("unexpected message tag {tag:#04x}")),
+        ));
+    }
+    let id = c
+        .get_u64()
+        .map_err(|e| (UNKNOWN_ID, proto("request id", e)))?;
+    let fail = |w: WireError| (id, w);
+    let n = c
+        .get_len(13) // minimum encoded condition: 8 (attr len) + 4 + 1
+        .map_err(|e| fail(proto("condition count", e)))?;
+    let mut conditions = Vec::with_capacity(n);
+    for i in 0..n {
+        let what = format!("condition {i}");
+        let attr = c.get_str().map_err(|e| fail(proto(&what, e)))?;
+        let lo = c.get_u32().map_err(|e| fail(proto(&what, e)))?;
+        let hi = c.get_u32().map_err(|e| fail(proto(&what, e)))?;
+        let negated = c.get_bool().map_err(|e| fail(proto(&what, e)))?;
+        conditions.push(AttrCondition {
+            attr,
+            lo,
+            hi,
+            negated,
+        });
+    }
+    if c.remaining() != 0 {
+        return Err((
+            id,
+            WireError::protocol(format!("{} trailing bytes after request", c.remaining())),
+        ));
+    }
+    Ok(Request {
+        id,
+        query: ConjunctiveQuery { conditions },
+    })
+}
+
+// ------------------------------------------------------------- responses
+
+/// Encodes a rows response from an executed outcome.
+pub fn encode_rows(id: u64, outcome: &QueryOutcome) -> Vec<u8> {
+    let mut b = MetaBuf::new();
+    b.put_u8(MSG_ROWS);
+    b.put_u64(id);
+    b.put_vec_u64(&outcome.rows.to_vec());
+    b.put_u64(outcome.io.reads);
+    b.put_bool(!outcome.degraded.is_empty());
+    b.bytes().to_vec()
+}
+
+/// Encodes a typed error response.
+pub fn encode_error(id: u64, err: &WireError) -> Vec<u8> {
+    let mut b = MetaBuf::new();
+    b.put_u8(MSG_ERROR);
+    b.put_u64(id);
+    b.put_u8(err.code as u8);
+    b.put_str(&err.message);
+    b.bytes().to_vec()
+}
+
+/// Decodes a response payload (the client side). Malformed responses are
+/// a protocol error — the server never produces them, so the stream is
+/// unusable.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = MetaCursor::new(payload);
+    let proto = |what: &str, e: psi_store::StoreError| WireError::protocol(format!("{what}: {e}"));
+    let tag = c.get_u8().map_err(|e| proto("response tag", e))?;
+    let id = c.get_u64().map_err(|e| proto("response id", e))?;
+    let body = match tag {
+        MSG_ROWS => {
+            let rows = c.get_vec_u64().map_err(|e| proto("rows", e))?;
+            let blocks_read = c.get_u64().map_err(|e| proto("blocks_read", e))?;
+            let degraded = c.get_bool().map_err(|e| proto("degraded flag", e))?;
+            Ok(RowsReply {
+                rows,
+                blocks_read,
+                degraded,
+            })
+        }
+        MSG_ERROR => {
+            let code = c.get_u8().map_err(|e| proto("error code", e))?;
+            let code = ErrorCode::from_u8(code)
+                .ok_or_else(|| WireError::protocol(format!("unknown error code {code}")))?;
+            let message = c.get_str().map_err(|e| proto("error message", e))?;
+            Err(WireError { code, message })
+        }
+        other => {
+            return Err(WireError::protocol(format!(
+                "unexpected response tag {other:#04x}"
+            )))
+        }
+    };
+    if c.remaining() != 0 {
+        return Err(WireError::protocol(format!(
+            "{} trailing bytes after response",
+            c.remaining()
+        )));
+    }
+    Ok(Response { id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            conditions: vec![
+                AttrCondition {
+                    attr: "age".into(),
+                    lo: 30,
+                    hi: 35,
+                    negated: false,
+                },
+                AttrCondition {
+                    attr: "sex".into(),
+                    lo: 1,
+                    hi: 1,
+                    negated: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let q = query();
+        let req = decode_request(&encode_request(77, &q)).expect("roundtrip");
+        assert_eq!(req.id, 77);
+        assert_eq!(req.query, q);
+    }
+
+    #[test]
+    fn truncated_request_is_typed_with_recovered_id() {
+        let full = encode_request(42, &query());
+        for cut in 0..full.len() {
+            match decode_request(&full[..cut]) {
+                Ok(_) => assert_eq!(cut, full.len()),
+                Err((id, e)) => {
+                    assert_eq!(e.code, ErrorCode::Protocol, "cut at {cut}");
+                    // Once tag + id are present the id must be recovered.
+                    if cut >= 9 {
+                        assert_eq!(id, 42, "cut at {cut}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut full = encode_request(7, &query());
+        full.push(0);
+        let (id, e) = decode_request(&full).expect_err("trailing byte");
+        assert_eq!(id, 7);
+        assert_eq!(e.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let e = WireError::overloaded();
+        let resp = decode_response(&encode_error(9, &e)).expect("decode");
+        assert_eq!(resp.id, 9);
+        assert_eq!(resp.body, Err(e));
+    }
+
+    #[test]
+    fn every_error_code_roundtrips() {
+        for code in 1..=9u8 {
+            let c = ErrorCode::from_u8(code).expect("code");
+            assert_eq!(c as u8, code);
+            let resp = decode_response(&encode_error(
+                1,
+                &WireError {
+                    code: c,
+                    message: "m".into(),
+                },
+            ))
+            .expect("decode");
+            assert_eq!(resp.body.unwrap_err().code, c);
+        }
+        assert!(ErrorCode::from_u8(0).is_none());
+        assert!(ErrorCode::from_u8(10).is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_reported_before_allocation() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let got = read_frame_blocking(&mut buf.as_slice(), MAX_FRAME_BYTES).expect("read");
+        assert!(matches!(got, FrameIn::TooLarge(len) if len == u32::MAX));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_eof_is_error() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame_blocking(&mut { empty }, MAX_FRAME_BYTES).expect("eof"),
+            FrameIn::Closed
+        ));
+        let mut partial: Vec<u8> = Vec::new();
+        partial.extend_from_slice(&8u32.to_le_bytes());
+        partial.extend_from_slice(&[1, 2, 3]); // 3 of 8 payload bytes
+        let err = read_frame_blocking(&mut partial.as_slice(), MAX_FRAME_BYTES)
+            .expect_err("mid-frame eof");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -707,3 +707,32 @@ pub fn checkpoint_epoch(path: impl AsRef<Path>) -> Result<u64, StoreError> {
     let (state, _) = read_slots(&mut file)?;
     Ok(state.epoch)
 }
+
+/// Reads the epoch of **every** valid superblock slot (0, 1 or 2
+/// entries, newest first, deduplicated).
+///
+/// [`checkpoint_epoch`] answers "which checkpoint wins today" — but a
+/// slot flip is only durable once its page survives a crash, and a torn
+/// write tears it *after* the flipping process has moved on. Anything
+/// that garbage-collects state referenced by the superblock (the durable
+/// write path's stale-log sweep) must therefore treat every epoch still
+/// present in a decodable slot as live: if the newest slot later reads
+/// back torn, recovery falls back to the other slot and replays *its*
+/// log.
+pub fn checkpoint_slot_epochs(path: impl AsRef<Path>) -> Result<Vec<u64>, StoreError> {
+    let mut file = File::open(path.as_ref())?;
+    let mut pages = [[0u8; META_PAGE]; 2];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut pages[0])
+        .map_err(|e| map_eof(e, "checkpoint superblock slot A"))?;
+    file.read_exact(&mut pages[1])
+        .map_err(|e| map_eof(e, "checkpoint superblock slot B"))?;
+    let mut epochs: Vec<u64> = pages
+        .iter()
+        .filter_map(decode_slot)
+        .map(|s| s.epoch)
+        .collect();
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    epochs.dedup();
+    Ok(epochs)
+}

@@ -40,7 +40,8 @@ mod sum;
 mod volume;
 
 pub use checkpoint::{
-    checkpoint_epoch, open_checkpoint, CheckpointFile, CheckpointReport, VERSION_CHECKPOINT,
+    checkpoint_epoch, checkpoint_slot_epochs, open_checkpoint, CheckpointFile, CheckpointReport,
+    VERSION_CHECKPOINT,
 };
 pub use error::StoreError;
 pub use persist::{

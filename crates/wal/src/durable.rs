@@ -153,16 +153,24 @@ impl<I: PersistIndex + ApplyOp> Durable<I> {
         Ok(report)
     }
 
-    /// Deletes log files of other epochs (left by a crash inside the
-    /// checkpoint protocol). Best-effort: they are unreferenced — the
-    /// live checkpoint's epoch names the only log recovery reads.
+    /// Deletes log files no superblock slot can name (left by a crash
+    /// inside the checkpoint protocol). Best-effort: the kept set is the
+    /// current log **plus the log of every epoch still present in a
+    /// decodable checkpoint slot** — if the newest slot's flip write
+    /// turns out torn on disk, recovery falls back to the other slot and
+    /// must find *its* log intact, so that log is live state, not trash.
+    /// (Each checkpoint retires the two-epochs-old slot, so at most one
+    /// extra log survives per sweep.)
     fn sweep_stale_wals(&self) {
-        let keep = wal_file_name(self.wal.epoch());
+        let mut keep = vec![wal_file_name(self.wal.epoch())];
+        if let Ok(epochs) = psi_store::checkpoint_slot_epochs(self.dir.join(CHECKPOINT_FILE)) {
+            keep.extend(epochs.into_iter().map(wal_file_name));
+        }
         if let Ok(entries) = std::fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let name = name.to_string_lossy();
-                if name.starts_with("wal-") && name != keep {
+                if name.starts_with("wal-") && !keep.iter().any(|k| *k == name) {
                     let _ = std::fs::remove_file(entry.path());
                 }
             }

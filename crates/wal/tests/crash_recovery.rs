@@ -546,6 +546,21 @@ fn torn_slot_flip_falls_back_to_previous_epoch_and_replays() {
     assert!(new_epoch > old_epoch);
     drop(d);
 
+    // The checkpoint's stale-log sweep must have spared the old epoch's
+    // log: its epoch is still named by a decodable superblock slot, and
+    // if the flip write below turns out torn, that log is the only
+    // recovery source. (The sweep used to delete it — this test then
+    // needed to write the saved bytes back by hand to recover at all.)
+    assert!(
+        dir.join(wal_file_name(old_epoch)).exists(),
+        "sweep deleted the log of a still-decodable superblock slot"
+    );
+    assert_eq!(
+        std::fs::read(dir.join(wal_file_name(old_epoch))).expect("old log"),
+        old_wal,
+        "surviving old log must be byte-identical, not rewritten"
+    );
+
     // Byte surgery: the crash happened mid slot-flip — the new slot is
     // torn (checksum dead), the new log was never created, the old log
     // never deleted.
@@ -555,7 +570,6 @@ fn torn_slot_flip_falls_back_to_previous_epoch_and_replays() {
     bytes[slot_off + 64] ^= 0xFF;
     std::fs::write(&ck, &bytes).expect("tear slot");
     std::fs::remove_file(dir.join(wal_file_name(new_epoch))).expect("drop new log");
-    std::fs::write(dir.join(wal_file_name(old_epoch)), &old_wal).expect("restore old log");
 
     let (rd, report) =
         recover::<FullyDynamicIndex>(&dir, DurableOptions::default()).expect("recover");

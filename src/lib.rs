@@ -105,6 +105,11 @@ pub mod wal {
     pub use psi_wal::*;
 }
 
+/// Network front-end: wire protocol, batched server, admission control.
+pub mod serve {
+    pub use psi_serve::*;
+}
+
 /// Core structures and substrates (hash families, weight-balanced trees).
 pub mod core {
     pub use psi_core::*;
