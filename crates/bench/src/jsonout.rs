@@ -818,6 +818,11 @@ pub fn run_microbenches() -> Vec<JsonResult> {
     // noisy; `compare` holds the p999/shed rows to its wider TAIL bar.
     results.extend(crate::e18());
 
+    // --- observability (E19): instrumented-vs-stripped serve throughput
+    // and tails, plus the WAL's group-commit histograms. The `obs/*`
+    // latency-percentile rows are likewise held to the TAIL bar.
+    results.extend(crate::e19());
+
     results
 }
 

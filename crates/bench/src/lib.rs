@@ -1803,6 +1803,308 @@ pub fn e18_run(people: usize, qps_targets: &[u64], seconds: f64) -> Vec<jsonout:
     out
 }
 
+/// E19 — observability overhead: the always-on psi-obs instrumentation
+/// measured against itself. Two arms on the E18 serve workload — metrics
+/// recording on (the shipped default) vs. off (`psi_obs::set_enabled`,
+/// same binary, same tables) — comparing warm-path closed-loop QPS and
+/// open-loop p50/p99; then a durable-write run publishing the WAL's
+/// group-commit batch-size and fsync-latency histograms. Full-size run;
+/// returns the `obs/*` snapshot rows for `BENCH_NNNN.json`.
+pub fn e19() -> Vec<jsonout::JsonResult> {
+    e19_run(4_000, 2_000, 2.5)
+}
+
+/// [`e19`] with explicit sizes (the CI smoke run shrinks all three).
+///
+/// Emitted rows: `obs/serve/{arm}/qps` (closed-loop throughput, diffed
+/// higher-is-better), `obs/serve/{arm}/p50|p99` (open-loop completion
+/// latency, ns), and `obs/wal/fsync_ns/p50|p99` + `obs/wal/commit_batch/mean`
+/// from the durable-write run. The histogram-derived `obs/*` rows are
+/// held to `compare_bench`'s wider TAIL_THRESHOLD.
+///
+/// The gate: instrumented best-of-N closed-loop QPS within 20% of
+/// stripped (both arms alternate trials against one shared server, so
+/// machine-wide noise cancels) — far looser than the ~0% a quiet
+/// machine shows, but tight enough to catch an accidental
+/// per-decoded-word instrument (the 15-30% class of mistake this
+/// workspace's I/O-session design note warns about). The open-loop p99
+/// is gated only against egregious blowup; `compare_bench` tracks it
+/// across PRs at the TAIL bar.
+pub fn e19_run(people: usize, qps: u64, seconds: f64) -> Vec<jsonout::JsonResult> {
+    use psi_query::{ConjunctiveQuery, IndexedTable, Predicate};
+    use psi_serve::wire::ErrorCode;
+    use psi_serve::{Client, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    head(
+        "E19",
+        "observability overhead: metrics-on vs metrics-off on the E18 serve workload (same binary); WAL fsync/batch histograms from a durable-write run",
+    );
+    let cfg = IoConfig::default();
+    let table = wl::people_table(people, 7);
+    let mut rng = StdRng::seed_from_u64(19);
+    let pool: Vec<ConjunctiveQuery> = (0..256)
+        .map(|_| {
+            let p = match rng.gen_range(0..3u32) {
+                0 => {
+                    let lo = rng.gen_range(0..120u32);
+                    Predicate::range("age", lo, (lo + rng.gen_range(0..8u32)).min(127))
+                }
+                1 => Predicate::and([
+                    Predicate::point("sex", rng.gen_range(0..2u32)),
+                    Predicate::range("age", 30, 35),
+                ]),
+                _ => Predicate::point("marital_status", rng.gen_range(0..4u32)),
+            };
+            p.normalize().expect("normalize")
+        })
+        .collect();
+
+    // One server hosts both arms: `psi_obs::set_enabled` gates every
+    // record call at runtime, so toggling it between passes compares the
+    // arms on identical threads, caches, and index state — separate
+    // servers would measure placement luck as "overhead".
+    let indexed = IndexedTable::build(&table, |sy, g| {
+        Box::new(OptimalIndex::build(sy, g, cfg)) as Box<dyn SecondaryIndex>
+    });
+    let server = Server::serve(
+        Arc::new(indexed),
+        ServeConfig {
+            batch_window: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = server.addr().expect("tcp addr");
+
+    // --- closed-loop warm path: a pipelined window kept under the
+    // per-connection admission cap (a shed here would be a bug, not load
+    // shaping), measuring completions/sec. The loop is a loopback
+    // ping-pong across four threads, so any single trial is at the mercy
+    // of the scheduler; the arms alternate over several trials and each
+    // keeps its best — paired best-of-N cancels the machine-wide noise
+    // that a one-shot A/B reads as fake overhead (of either sign).
+    let m = (((qps as f64) * seconds).round() as usize).max(20_000);
+    let closed_loop = |k: usize| -> f64 {
+        let mut client = Client::connect(addr).expect("connect");
+        let window = 32usize;
+        let start = Instant::now();
+        let (mut sent, mut done) = (0usize, 0usize);
+        while done < k {
+            while sent < k && sent - done < window {
+                client
+                    .send(sent as u64, &pool[sent % pool.len()])
+                    .expect("send");
+                sent += 1;
+            }
+            let resp = client.recv().expect("recv").expect("server closed");
+            assert!(
+                resp.body.is_ok(),
+                "closed loop under the admission cap must never shed"
+            );
+            done += 1;
+        }
+        k as f64 / start.elapsed().as_secs_f64()
+    };
+    // Same-shape warmup (batched pipelined rounds, not serial calls),
+    // discarded.
+    let _ = closed_loop(m / 4);
+    let mut best_qps = [0.0f64; 2];
+    for _trial in 0..3 {
+        for (a, on) in [(0usize, true), (1usize, false)] {
+            psi_obs::set_enabled(on);
+            best_qps[a] = best_qps[a].max(closed_loop(m));
+        }
+    }
+
+    hdr(&["arm", "closed qps", "p50 us", "p99 us", "shed o/oo"]);
+    let mut out = Vec::new();
+    // (closed-loop qps, open-loop p99 ns) per arm, instrumented first.
+    let mut arms = Vec::new();
+    for (a, (arm, on)) in [("instrumented", true), ("stripped", false)]
+        .into_iter()
+        .enumerate()
+    {
+        psi_obs::set_enabled(on);
+        let qps_closed = best_qps[a];
+
+        // --- open loop at the offered rate, as E18 runs it.
+        let n = ((qps as f64) * seconds).round().max(1.0) as usize;
+        let mut gap_rng = StdRng::seed_from_u64(qps ^ 0x0B5);
+        let mut t = 0.0f64;
+        let schedule: Arc<Vec<Duration>> = Arc::new(
+            (0..n)
+                .map(|_| {
+                    let u: f64 = gap_rng.gen_range(1e-12..1.0);
+                    t += -u.ln() / qps as f64;
+                    Duration::from_secs_f64(t)
+                })
+                .collect(),
+        );
+        let (mut tx, mut rx) = Client::connect(addr).expect("connect").split();
+        let start = Instant::now();
+        let sender = std::thread::spawn({
+            let schedule = Arc::clone(&schedule);
+            let pool = pool.clone();
+            move || {
+                for (i, due) in schedule.iter().enumerate() {
+                    loop {
+                        let now = start.elapsed();
+                        if now >= *due {
+                            break;
+                        }
+                        match (*due - now).checked_sub(Duration::from_micros(300)) {
+                            Some(bulk) => std::thread::sleep(bulk),
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    tx.send(i as u64, &pool[i % pool.len()]).expect("send");
+                }
+            }
+        });
+        let mut latencies_ns: Vec<f64> = Vec::with_capacity(n);
+        let mut shed = 0u64;
+        for _ in 0..n {
+            let resp = rx.recv().expect("recv").expect("server closed");
+            let done_at = start.elapsed();
+            let due = schedule[usize::try_from(resp.id).expect("id fits")];
+            match &resp.body {
+                Ok(_) => latencies_ns.push(done_at.saturating_sub(due).as_nanos() as f64),
+                Err(e) if e.code == ErrorCode::Overloaded => shed += 1,
+                Err(e) => panic!("unexpected error under open loop: {e}"),
+            }
+        }
+        sender.join().expect("sender");
+        latencies_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |q: f64| -> f64 {
+            if latencies_ns.is_empty() {
+                return 0.0;
+            }
+            latencies_ns[((latencies_ns.len() - 1) as f64 * q).round() as usize]
+        };
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        row(&[
+            arm.to_string(),
+            f(qps_closed),
+            f(p50 / 1e3),
+            f(p99 / 1e3),
+            f(1000.0 * shed as f64 / n as f64),
+        ]);
+        out.push(jsonout::JsonResult {
+            bench: format!("obs/serve/{arm}/qps"),
+            ns_per_iter: 1e9 / qps_closed,
+            qps: qps_closed,
+            ..Default::default()
+        });
+        for (tag, v) in [("p50", p50), ("p99", p99)] {
+            out.push(jsonout::JsonResult {
+                bench: format!("obs/serve/{arm}/{tag}"),
+                ns_per_iter: v,
+                ..Default::default()
+            });
+        }
+        arms.push((qps_closed, p99));
+    }
+    server.shutdown();
+    psi_obs::set_enabled(true);
+    let (qps_on, p99_on) = arms[0];
+    let (qps_off, p99_off) = arms[1];
+    let qps_overhead = qps_off / qps_on - 1.0;
+    println!(
+        "  overhead (instrumented vs stripped): qps {:+.1}%, p99 {:+.1}%",
+        100.0 * (qps_on / qps_off - 1.0),
+        100.0 * (p99_on / p99_off.max(1.0) - 1.0),
+    );
+    assert!(
+        qps_overhead < 0.20,
+        "metrics recording costs {:.1}% closed-loop throughput — per-event \
+         instruments must be noise, not a tax (is something recording per \
+         decoded word?)",
+        100.0 * qps_overhead
+    );
+    // The open-loop tail is a single-run order statistic (compare_bench
+    // tracks it across PRs at the TAIL bar); gate only the egregious.
+    assert!(
+        p99_on < p99_off.max(1.0) * 3.0 + 5_000_000.0,
+        "instrumented p99 {p99_on:.0}ns vs stripped {p99_off:.0}ns"
+    );
+
+    // --- WAL fsync/batch histograms from a durable-write run ------------
+    {
+        use psi_api::MutOp;
+        use psi_wal::{wal_metrics, Durable, DurableOptions};
+        let root = std::env::temp_dir().join("psi_bench_obs_wal");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("bench obs wal dir");
+        // Bench-harness reset: isolate this run's samples from whatever
+        // the process recorded earlier (the handles stay live).
+        let m = wal_metrics();
+        m.fsync_ns.reset();
+        m.commit_batch.reset();
+        let sigma = 64u32;
+        let io = IoSession::untracked();
+        let mut d = Durable::create(
+            root.join("wal"),
+            SemiDynamicIndex::new(sigma, cfg),
+            DurableOptions {
+                group_commit_ops: 32,
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create durable");
+        let ops = 2_048usize;
+        for i in 0..ops {
+            d.apply(
+                &MutOp::Append {
+                    symbol: (i as u32 * 2_654_435_761) >> 16 & (sigma - 1),
+                },
+                &io,
+            )
+            .expect("apply");
+        }
+        d.commit().expect("commit");
+        drop(d);
+        let fsync = m.fsync_ns.snapshot();
+        let batch = m.commit_batch.snapshot();
+        assert_eq!(
+            batch.count, fsync.count,
+            "one batch-size sample per group commit"
+        );
+        assert!(
+            batch.mean() >= 31.0,
+            "group commit of 32 must fill its batches (mean {:.1})",
+            batch.mean()
+        );
+        hdr(&["wal histogram", "n", "mean", "p50", "p99"]);
+        for (name, h) in [("fsync_ns", &fsync), ("commit_batch", &batch)] {
+            row(&[
+                name.to_string(),
+                h.count.to_string(),
+                f(h.mean()),
+                h.quantile(0.50).to_string(),
+                h.quantile(0.99).to_string(),
+            ]);
+        }
+        for (tag, v) in [
+            ("fsync_ns/p50", fsync.quantile(0.50)),
+            ("fsync_ns/p99", fsync.quantile(0.99)),
+        ] {
+            out.push(jsonout::JsonResult {
+                bench: format!("obs/wal/{tag}"),
+                ns_per_iter: v as f64,
+                ..Default::default()
+            });
+        }
+        out.push(jsonout::JsonResult {
+            bench: "obs/wal/commit_batch/mean".into(),
+            ns_per_iter: batch.mean(),
+            ..Default::default()
+        });
+    }
+    out
+}
+
 /// Runs every experiment in order.
 pub fn all() {
     e01();
@@ -1823,4 +2125,5 @@ pub fn all() {
     e16();
     e17();
     e18();
+    e19();
 }

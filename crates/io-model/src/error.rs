@@ -28,6 +28,7 @@ use std::sync::Once;
 
 use crate::backend::ErrorClass;
 use crate::disk::ExtentId;
+use crate::metrics::io_metrics;
 use crate::pool::{BufferPool, PinnedBlock, PoolError};
 use crate::session::IoSession;
 
@@ -164,12 +165,16 @@ pub fn pin_retrying(
     for attempt in 0..attempts {
         if attempt > 0 {
             io.add_retries(1);
+            io_metrics().retries_transient.inc();
         }
         match pool.try_pin(ext, block) {
             Ok(pin) => return Ok(pin),
             Err(e) => {
                 let err = ReadError::from_pool(ext, block, e);
                 if err.class != ErrorClass::Transient {
+                    if err.class == ErrorClass::Permanent {
+                        io_metrics().errors_permanent.inc();
+                    }
                     return Err(err);
                 }
                 last = Some(err);

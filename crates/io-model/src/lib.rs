@@ -33,6 +33,7 @@ pub mod cost;
 mod disk;
 mod error;
 pub mod fault;
+pub mod metrics;
 mod pool;
 mod scrub;
 mod session;
@@ -43,6 +44,7 @@ pub use error::{abort_read, catch_read, pin_retrying, ReadError};
 pub use fault::{
     retry_transient, retry_transient_with, Fault, FaultyStore, RetryPolicy, RetryStore,
 };
+pub use metrics::{io_metrics, IoMetrics};
 pub use pool::{
     BufferPool, PinnedBlock, PoolError, PoolStats, DEFAULT_POOL_SHARDS, GROWTH_CEILING,
 };

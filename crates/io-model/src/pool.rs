@@ -43,6 +43,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::backend::BlockStore;
 use crate::disk::ExtentId;
+use crate::metrics::io_metrics;
 
 /// Default number of shards (rounded down to the pool capacity when the
 /// pool is smaller than this).
@@ -394,6 +395,7 @@ impl BufferPool {
             f.referenced = true;
             let data = Arc::clone(&f.data);
             shard.stats.hits += 1;
+            io_metrics().pool_hits.inc();
             return Ok(PinnedBlock {
                 shard: si as u32,
                 frame: idx,
@@ -412,12 +414,19 @@ impl BufferPool {
             _ => data = vec![0u64; self.block_words].into(),
         }
         let buf = Arc::get_mut(&mut data).expect("uniquely owned buffer");
+        // `Instant::now` only when recording is on, so the stripped
+        // baseline (obs disabled) pays neither the clock read nor the
+        // histogram write on its miss path.
+        let fetch_start = psi_obs::enabled().then(std::time::Instant::now);
         let fetched = if self.verify() {
             self.store.read_block_verified(ext, block, buf)
         } else {
             self.store.read_block(ext, block, buf)
         };
         if let Err(e) = fetched {
+            if e.class == crate::ErrorClass::Corrupt {
+                io_metrics().pool_verify_failures.inc();
+            }
             // The file was validated at open; a failing fetch afterwards
             // means it changed or rotted underneath us — or the OS flaked.
             // Leave the frame empty and evictable; the caller classifies
@@ -433,6 +442,11 @@ impl BufferPool {
         // is not a miss, keeping `misses == fetches` exact across both
         // exhaustion and fetch-failure events.
         shard.stats.misses += 1;
+        let m = io_metrics();
+        m.pool_misses.inc();
+        if let Some(start) = fetch_start {
+            m.pool_fetch_ns.record_since(start);
+        }
         let f = &mut shard.frames[idx as usize];
         f.key = key;
         f.data = Arc::clone(&data);
@@ -561,6 +575,7 @@ impl BufferPool {
             let key = f.key;
             if shard.map.remove(&key).is_some() {
                 shard.stats.evictions += 1;
+                io_metrics().pool_evictions.inc();
             }
             // The victim's buffer stays in the frame: the caller refills
             // it in place (no per-miss allocation) unless a stale handle
@@ -573,6 +588,7 @@ impl BufferPool {
         // memory use, never which shard the block hashed to.
         if self.try_reserve_frame() {
             shard.stats.grown += 1;
+            io_metrics().pool_grown.inc();
             shard.frames.push(fresh());
             return Ok((shard.frames.len() - 1) as u32);
         }

@@ -16,6 +16,7 @@
 
 use crate::disk::{Disk, ExtentId};
 use crate::error::ReadError;
+use crate::metrics::io_metrics;
 
 /// Outcome of one bounded scrub tick.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,7 +94,12 @@ impl Scrubber {
                 let blk = self.next_block;
                 self.next_block += 1;
                 report.scanned += 1;
+                // Scrub progress and findings are visible in the metrics
+                // registry (they bypass the pool, so `PoolStats` can
+                // never account for them).
+                io_metrics().scrub_scanned.inc();
                 if let Err(e) = store.read_block_verified(ext, blk, &mut buf) {
+                    io_metrics().scrub_errors.inc();
                     report.errors.push(ReadError {
                         class: e.class,
                         extent: ext,

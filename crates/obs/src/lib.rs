@@ -1,0 +1,160 @@
+//! # psi-obs — always-on metrics for the psi workspace
+//!
+//! A dependency-free observability substrate sitting at the bottom of
+//! the crate graph so every layer (io-model, query, wal, serve) can
+//! instrument itself without cycles or feature flags:
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomic words.
+//! * [`Histogram`] — fixed-bucket log-scale (8 linear sub-buckets per
+//!   power of two), lock-free to record, mergeable, and
+//!   snapshot-consistent: every recorded op lands in exactly one
+//!   bucket, so a quiescent snapshot's total equals the number of
+//!   recorded ops bit-exactly (pinned by the concurrency proptest in
+//!   `tests/concurrency.rs`).
+//! * [`Registry`] — named get-or-create instrument handles. Handles are
+//!   `Arc`s resolved **once at construction** of the instrumented
+//!   component; the hot path then pays one relaxed atomic RMW per
+//!   event, never a name lookup or a lock.
+//! * [`Snapshot`] — a point-in-time, order-stable rendering of a
+//!   registry (plus any caller-injected entries such as per-server
+//!   counters or quarantine lists), with a human-readable [`Snapshot::render`].
+//! * [`RingLog`] — a bounded, overwrite-oldest ring for structured
+//!   records (the slow-query log in psi-serve).
+//!
+//! ## Hot-path contract
+//!
+//! Recording is gated on one process-global relaxed [`AtomicBool`]
+//! ([`set_enabled`]): with metrics on (the default) an event costs one
+//! relaxed load plus one relaxed `fetch_add`; with metrics off it costs
+//! the load alone. The gate exists so the E19 overhead experiment can
+//! measure instrumented-vs-stripped on the same binary — it is **not** a
+//! feature flag, and nothing in the workspace turns it off outside
+//! benchmarks. Per-word decode loops (see `psi_io::IoSession`'s
+//! deliberately non-atomic design note) are *not* instrumented here;
+//! instruments attach at per-event granularity only (a block fetch, a
+//! query completion, a commit), where a relaxed RMW is noise.
+
+mod hist;
+mod registry;
+mod ring;
+mod snapshot;
+
+pub use hist::{HistSnapshot, Histogram, BUCKETS};
+pub use registry::{Instrument, Registry};
+pub use ring::RingLog;
+pub use snapshot::{Snapshot, Value};
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// Process-global recording gate. `true` from process start.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns recording on or off process-wide. Off, every instrument's
+/// record methods become a single relaxed load. Reads (`get`,
+/// snapshots) are unaffected. Used by the E19 overhead harness; leave
+/// it on everywhere else.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotone event counter: one relaxed `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (bench/test harnesses only).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable signed level: one relaxed `AtomicI64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge (bench/test harnesses only).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    // The `set_enabled` gate is process-global, so toggling it would
+    // race with sibling unit tests recording concurrently; its test
+    // lives alone in `tests/enable_gate.rs` (own process).
+}

@@ -1,0 +1,173 @@
+//! The named-instrument registry.
+//!
+//! A [`Registry`] maps hierarchical names (`"pool/hits"`,
+//! `"wal/fsync_ns"`) to shared instruments. Resolution
+//! (`counter`/`gauge`/`histogram`) is get-or-create under a mutex and
+//! returns an `Arc` handle; instrumented components resolve their
+//! handles **once at construction** and the lock is never touched again
+//! on the hot path. [`Registry::global`] is the process-wide instance
+//! every psi layer records into; tests that need isolation construct
+//! their own.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::snapshot::{Snapshot, Value};
+use crate::{Counter, Gauge};
+
+/// One registered instrument (shared handle).
+#[derive(Debug, Clone)]
+pub enum Instrument {
+    /// Monotone counter.
+    Counter(Arc<Counter>),
+    /// Signed level.
+    Gauge(Arc<Gauge>),
+    /// Log-scale histogram.
+    Histogram(Arc<Histogram>),
+}
+
+/// A named-instrument registry. See the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The process-global registry every psi layer records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: Registry = Registry::new();
+        &GLOBAL
+    }
+
+    fn resolve<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Instrument,
+        pick: impl FnOnce(&Instrument) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert_with(make).clone();
+        pick(&entry).unwrap_or_else(|| {
+            panic!("instrument {name:?} already registered with a different kind")
+        })
+    }
+
+    /// Get-or-create the counter `name`. Panics if `name` is already a
+    /// gauge or histogram (an instrumentation bug, caught at
+    /// construction time, never on the hot path).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.resolve(
+            name,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get-or-create the gauge `name` (same kind rules as [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get-or-create the histogram `name` (same kind rules as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time [`Snapshot`] of every registered instrument,
+    /// sorted by name. Each instrument is read with relaxed loads (see
+    /// `Histogram::snapshot` for the consistency contract).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, inst) in map.iter() {
+            let value = match inst {
+                Instrument::Counter(c) => Value::Counter(c.get()),
+                Instrument::Gauge(g) => Value::Gauge(g.get()),
+                Instrument::Histogram(h) => Value::Histogram(h.snapshot()),
+            };
+            snap.set(name, value);
+        }
+        snap
+    }
+
+    /// Zeroes every registered instrument in place (handles stay
+    /// valid). Bench/test harnesses only.
+    pub fn reset(&self) {
+        let map = self.inner.lock().expect("registry poisoned");
+        for inst in map.values() {
+            match inst {
+                Instrument::Counter(c) => c.reset(),
+                Instrument::Gauge(g) => g.reset(),
+                Instrument::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x/hits");
+        let b = r.counter("x/hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x/hits").get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_sorted_and_reset() {
+        let r = Registry::new();
+        r.counter("b/count").add(5);
+        r.gauge("a/level").set(-2);
+        r.histogram("c/ns").record(100);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a/level", "b/count", "c/ns"]);
+        assert_eq!(s.counter("b/count"), Some(5));
+        assert_eq!(s.gauge("a/level"), Some(-2));
+        assert_eq!(s.histogram("c/ns").map(|h| h.count), Some(1));
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("b/count"), Some(0));
+        assert_eq!(s.histogram("c/ns").map(|h| h.count), Some(0));
+    }
+}

@@ -1,0 +1,100 @@
+//! A bounded, overwrite-oldest ring for structured records.
+//!
+//! The slow-query log's substrate: producers push under a short mutex
+//! (slow-path only — pushes happen at most once per *slow* query, never
+//! per event), the ring keeps the newest `capacity` records, and a
+//! counter remembers how many were evicted so the log is honest about
+//! truncation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded ring log. See the module docs.
+#[derive(Debug)]
+pub struct RingLog<T> {
+    cap: usize,
+    inner: Mutex<VecDeque<T>>,
+    dropped: AtomicU64,
+}
+
+impl<T: Clone> RingLog<T> {
+    /// A ring keeping the newest `capacity` records (`0` keeps none —
+    /// a disabled log).
+    pub fn new(capacity: usize) -> Self {
+        RingLog {
+            cap: capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: T) {
+        if self.cap == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut q = self.inner.lock().expect("ring poisoned");
+        if q.len() == self.cap {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner
+            .lock()
+            .expect("ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Records evicted (or refused by a zero-capacity ring) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum retained records.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Currently retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let r = RingLog::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.snapshot(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let r = RingLog::new(0);
+        r.push(1);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+}

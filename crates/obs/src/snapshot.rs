@@ -1,0 +1,167 @@
+//! Point-in-time snapshots and their text rendering.
+//!
+//! A [`Snapshot`] is the *transport* form of a registry: plain data,
+//! sorted by name, structurally comparable (`PartialEq`) so "the wire
+//! decoded what the server held" is one `assert_eq!`. Callers may
+//! inject entries the registry does not own — per-server admission
+//! counters, quarantined-extent lists — before shipping it; psi-serve's
+//! `STATS` op encodes exactly this structure over MetaBuf (the encoding
+//! lives with the wire format in psi-serve, keeping this crate
+//! dependency-free).
+
+use crate::hist::HistSnapshot;
+
+/// One snapshot entry value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram contents.
+    Histogram(HistSnapshot),
+    /// An injected list (e.g. quarantined extent ids per attribute).
+    List(Vec<u64>),
+}
+
+/// A point-in-time metrics snapshot: `(name, value)` sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Entries, ascending by name, at most one per name.
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// Inserts or replaces the entry `name`, keeping order.
+    pub fn set(&mut self, name: &str, value: Value) {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// The entry `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter total at `name` (`None` if absent or another kind).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            Value::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge level at `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            Value::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram at `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        match self.get(name)? {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// List at `name`.
+    pub fn list(&self, name: &str) -> Option<&[u64]> {
+        match self.get(name)? {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering: one aligned line per entry; histograms
+    /// show count/mean/p50/p90/p99/max-bound. This is what the psi
+    /// client prints for a `STATS` reply.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let width = self
+            .entries
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(12);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let _ = match value {
+                Value::Counter(v) => writeln!(out, "{name:<width$}  {v}"),
+                Value::Gauge(v) => writeln!(out, "{name:<width$}  {v} (gauge)"),
+                Value::Histogram(h) => writeln!(
+                    out,
+                    "{name:<width$}  n={} mean={:.0} p50={} p90={} p99={} max<={}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.quantile(1.0),
+                ),
+                Value::List(v) => writeln!(
+                    out,
+                    "{name:<width$}  [{}]",
+                    v.iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_keeps_sorted_and_replaces() {
+        let mut s = Snapshot::default();
+        s.set("b", Value::Counter(1));
+        s.set("a", Value::Gauge(-1));
+        s.set("c", Value::List(vec![3, 4]));
+        s.set("b", Value::Counter(9));
+        let names: Vec<&str> = s.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(s.counter("b"), Some(9));
+        assert_eq!(s.gauge("a"), Some(-1));
+        assert_eq!(s.list("c"), Some(&[3u64, 4][..]));
+        assert_eq!(s.counter("a"), None, "kind-checked accessor");
+        assert_eq!(s.get("zzz"), None);
+    }
+
+    #[test]
+    fn render_mentions_every_entry() {
+        let mut s = Snapshot::default();
+        s.set("pool/hits", Value::Counter(17));
+        s.set("serve/queue_depth", Value::Gauge(3));
+        let h = crate::Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        s.set("wal/fsync_ns", Value::Histogram(h.snapshot()));
+        s.set("quarantine/age", Value::List(vec![2, 5]));
+        let text = s.render();
+        for needle in [
+            "pool/hits",
+            "17",
+            "queue_depth",
+            "fsync_ns",
+            "n=3",
+            "[2, 5]",
+        ] {
+            assert!(text.contains(needle), "{needle:?} missing from:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Multi-threaded record-vs-snapshot properties (ISSUE 9 satellite):
+//! a histogram hammered from several threads never tears — every
+//! recorded op lands in exactly one bucket, a concurrent snapshot's
+//! total is monotone and bounded by the ops issued so far, and the
+//! quiescent snapshot's totals equal the recorded ops bit-exactly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use psi_obs::{Histogram, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // N threads each record a disjoint slice of `values`; after joining,
+    // the snapshot count equals the number of ops, the sum equals the
+    // value sum, and per-bucket counts match a sequential replay.
+    #[test]
+    fn quiescent_snapshot_equals_recorded_ops(
+        values in proptest::collection::vec(0u64..1u64 << 48, 1..4000),
+        threads in 2usize..6,
+    ) {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                let chunk: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                scope.spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64, "no op lost or double-counted");
+        prop_assert_eq!(
+            snap.sum,
+            values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+            "sum matches"
+        );
+        prop_assert_eq!(
+            snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+            snap.count,
+            "count is the bucket total"
+        );
+        // Bucket-exact against a sequential replay.
+        let seq = Histogram::new();
+        for &v in &values {
+            seq.record(v);
+        }
+        prop_assert_eq!(snap, seq.snapshot());
+    }
+
+    // Snapshots taken *while* recorders run: counts only grow (no torn
+    // or negative reads) and never exceed the ops issued.
+    #[test]
+    fn concurrent_snapshots_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..1u64 << 32, 64..2000),
+    ) {
+        let h = Arc::new(Histogram::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let total = values.len() as u64;
+        std::thread::scope(|scope| {
+            let recorder = {
+                let h = Arc::clone(&h);
+                let done = Arc::clone(&done);
+                let values = values.clone();
+                scope.spawn(move || {
+                    for v in values {
+                        h.record(v);
+                    }
+                    done.store(true, Ordering::Release);
+                })
+            };
+            let mut last = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = h.snapshot();
+                assert!(snap.count >= last, "snapshot count went backwards");
+                assert!(snap.count <= total, "snapshot count exceeds ops issued");
+                last = snap.count;
+            }
+            recorder.join().expect("recorder");
+        });
+        prop_assert_eq!(h.snapshot().count, total);
+    }
+}
+
+// Counters resolved through a shared registry from many threads: the
+// handles all alias one instrument and the total is exact.
+#[test]
+fn registry_counter_is_exact_across_threads() {
+    let r = Registry::new();
+    let per_thread = 10_000u64;
+    let threads = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let handle = r.counter("stress/total");
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    handle.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(r.counter("stress/total").get(), per_thread * threads);
+    assert_eq!(
+        r.snapshot().counter("stress/total"),
+        Some(per_thread * threads)
+    );
+}

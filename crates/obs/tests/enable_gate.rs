@@ -1,0 +1,34 @@
+//! The process-global recording gate, tested alone in its own binary:
+//! `psi_obs::set_enabled` races with any concurrently recording test,
+//! so no other test may share this process.
+
+use psi_obs::{set_enabled, Counter, Gauge, Histogram};
+
+#[test]
+fn disabling_gates_recording_but_not_reads() {
+    let c = Counter::new();
+    let g = Gauge::new();
+    let h = Histogram::new();
+    c.inc();
+    g.set(5);
+    h.record(100);
+
+    set_enabled(false);
+    c.add(100);
+    g.set(9);
+    g.add(3);
+    h.record(100);
+    assert_eq!(c.get(), 1, "counter records while disabled are dropped");
+    assert_eq!(g.get(), 5, "gauge writes while disabled are dropped");
+    assert_eq!(
+        h.snapshot().count,
+        1,
+        "histogram records while disabled are dropped"
+    );
+
+    set_enabled(true);
+    c.inc();
+    h.record(200);
+    assert_eq!(c.get(), 2);
+    assert_eq!(h.snapshot().count, 2);
+}

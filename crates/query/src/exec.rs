@@ -19,8 +19,10 @@ use psi_bits::GapBitmap;
 use psi_io::{ErrorClass, IoSession, IoStats};
 use psi_workloads::Table;
 
+use crate::metrics::query_metrics;
 use crate::plan::{plan_conjunction, CombineStrategy, Plan};
 use crate::predicate::{AttrCondition, ConjunctiveQuery, Predicate};
+use crate::trace::{CondTrace, PlanTrace};
 use crate::QueryError;
 
 /// One indexed attribute: the column's name and alphabet plus the
@@ -61,6 +63,10 @@ pub struct QueryOutcome {
     /// quarantined mid-query by a verified-fetch corruption. Empty on a
     /// healthy read path.
     pub degraded: Vec<String>,
+    /// The execution trace: per-condition estimates vs. actuals, blocks
+    /// read, timings (when metrics recording is on), and the combine
+    /// summary. Render with [`PlanTrace::render`].
+    pub trace: PlanTrace,
 }
 
 /// A multi-attribute table with one secondary index per column.
@@ -190,11 +196,29 @@ impl IndexedTable {
     /// executor itself (on a corrupt fetch) and by scrubber reports.
     pub fn quarantine_extent(&self, attr: &str, extent: u32) -> Result<(), QueryError> {
         self.column(attr)?;
-        self.quarantine_lock()
+        let fresh = self
+            .quarantine_lock()
             .entry(attr.to_string())
             .or_default()
             .insert(extent);
+        if fresh {
+            query_metrics().quarantine_events.inc();
+        }
         Ok(())
+    }
+
+    /// Every attribute with quarantined extents, with its extent ids
+    /// ascending — the registry-snapshot view of the quarantine that the
+    /// server's `STATS` op publishes.
+    pub fn quarantine_snapshot(&self) -> Vec<(String, Vec<u32>)> {
+        let map = self.quarantine_lock();
+        let mut out: Vec<(String, Vec<u32>)> = map
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(attr, s)| (attr.clone(), s.iter().copied().collect()))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Quarantined extent ids of one attribute, ascending (empty when
@@ -256,6 +280,14 @@ impl IndexedTable {
     pub fn execute(&self, predicate: &Predicate) -> Result<QueryOutcome, QueryError> {
         let query = predicate.normalize()?;
         self.execute_conjunctive(&query)
+    }
+
+    /// Executes `predicate` and renders its [`PlanTrace`] as an
+    /// `EXPLAIN ANALYZE`-style report: chosen strategy, per-condition
+    /// order with estimate vs. actual cardinality, blocks read, and
+    /// degradation flags.
+    pub fn explain(&self, predicate: &Predicate) -> Result<String, QueryError> {
+        Ok(self.execute(predicate)?.trace.render())
     }
 
     /// Plans and executes an already-normalized conjunction.
@@ -365,10 +397,14 @@ impl IndexedTable {
             Some((lo, hi)) => match col.index.try_query(lo, hi, &io) {
                 Ok(rows) => rows,
                 Err(e) if e.class == ErrorClass::Corrupt => {
-                    self.quarantine_lock()
+                    let fresh = self
+                        .quarantine_lock()
                         .entry(cond.attr.clone())
                         .or_default()
                         .insert(e.extent.0);
+                    if fresh {
+                        query_metrics().quarantine_events.inc();
+                    }
                     let rows = self
                         .scan_condition(col, cond)
                         .map_err(|_| QueryError::Read(e))?;
@@ -382,26 +418,54 @@ impl IndexedTable {
     }
 
     fn run(&self, query: &ConjunctiveQuery, plan: Plan) -> Result<QueryOutcome, QueryError> {
+        // Timings read the clock only while recording is enabled; the
+        // stripped path builds the trace with zero timestamps.
+        let t0 = psi_obs::enabled().then(std::time::Instant::now);
+        let m = query_metrics();
         // The empty conjunction matches every row: the complement of the
         // empty set, produced without touching any index.
         if query.is_empty() {
+            let rows = RidSet::from_complement(GapBitmap::empty(self.n));
+            let trace = PlanTrace {
+                strategy: plan.strategy,
+                conditions: Vec::new(),
+                result_rows: rows.cardinality(),
+                elapsed_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            };
+            m.executed.inc();
+            m.rows.record(trace.result_rows);
+            if let Some(t) = t0 {
+                m.latency_ns.record_since(t);
+            }
             return Ok(QueryOutcome {
-                rows: RidSet::from_complement(GapBitmap::empty(self.n)),
+                rows,
                 plan,
                 io: IoStats::default(),
                 degraded: Vec::new(),
+                trace,
             });
         }
         let mut io = IoStats::default();
         let mut degraded = Vec::new();
         let mut results = Vec::with_capacity(plan.order.len());
-        for &i in &plan.order {
+        let mut conditions = Vec::with_capacity(plan.order.len());
+        for (k, &i) in plan.order.iter().enumerate() {
             let cond = &query.conditions[i];
+            let c0 = t0.map(|_| std::time::Instant::now());
             let (rows, stats, fell_back) = self.eval_condition(cond)?;
             io = io.merged(&stats);
             if fell_back && !degraded.contains(&cond.attr) {
                 degraded.push(cond.attr.clone());
             }
+            conditions.push(CondTrace {
+                attr: cond.attr.clone(),
+                negated: cond.negated,
+                estimate: plan.estimates[k],
+                actual: rows.cardinality(),
+                blocks_read: stats.reads,
+                elapsed_ns: c0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                degraded: fell_back,
+            });
             results.push(rows);
         }
         degraded.sort();
@@ -414,11 +478,26 @@ impl IndexedTable {
             CombineStrategy::Probe => probe_combine(&results, self.n),
             CombineStrategy::Scan => coscan_combine(&results, self.n),
         };
+        let trace = PlanTrace {
+            strategy: plan.strategy,
+            conditions,
+            result_rows: rows.cardinality(),
+            elapsed_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        };
+        m.executed.inc();
+        m.rows.record(trace.result_rows);
+        if let Some(t) = t0 {
+            m.latency_ns.record_since(t);
+        }
+        if !degraded.is_empty() {
+            m.degraded.inc();
+        }
         Ok(QueryOutcome {
             rows,
             plan,
             io,
             degraded,
+            trace,
         })
     }
 
@@ -811,6 +890,57 @@ mod tests {
             }))
             .unwrap_err(),
             QueryError::UnknownAttribute("zzz".into())
+        );
+    }
+
+    #[test]
+    fn trace_records_estimates_actuals_and_explain_renders() {
+        let t = indexed(&[
+            ("a", 4, vec![0, 1, 2, 3, 1, 2, 0, 1]),
+            ("b", 3, vec![2, 2, 1, 0, 0, 2, 1, 2]),
+        ]);
+        let pred = Predicate::and([Predicate::range("a", 1, 2), Predicate::point("b", 2)]);
+        let q = pred.normalize().unwrap();
+        let out = t.execute_conjunctive(&q).unwrap();
+        assert_eq!(out.trace.strategy, out.plan.strategy);
+        assert_eq!(out.trace.conditions.len(), 2);
+        for (k, &i) in out.plan.order.iter().enumerate() {
+            let c = &out.trace.conditions[k];
+            assert_eq!(c.attr, q.conditions[i].attr, "trace in execution order");
+            assert_eq!(c.estimate, out.plan.estimates[k]);
+            // ScanIndex hints are exact, so estimate == actual here.
+            assert_eq!(c.actual, c.estimate);
+            assert!(!c.degraded);
+        }
+        assert_eq!(out.trace.result_rows, out.rows.cardinality());
+        assert!((out.trace.worst_misestimate() - 1.0).abs() < 1e-9);
+        let text = t.explain(&pred).unwrap();
+        assert!(text.contains("result: 3 row(s)"), "got: {text}");
+
+        // A degraded condition is flagged in its trace entry.
+        let (mut ft, data_a, _) = failing_table(ErrorClass::Corrupt);
+        ft.attach_column_data("a", data_a).unwrap();
+        let out = ft.execute_conjunctive(&q).unwrap();
+        let a_trace = out
+            .trace
+            .conditions
+            .iter()
+            .find(|c| c.attr == "a")
+            .expect("condition on a");
+        assert!(a_trace.degraded);
+    }
+
+    #[test]
+    fn quarantine_snapshot_lists_attrs_and_extents_sorted() {
+        let t = indexed(&[("a", 4, vec![0, 1, 2, 3]), ("b", 3, vec![2, 2, 1, 0])]);
+        assert!(t.quarantine_snapshot().is_empty());
+        t.quarantine_extent("b", 9).unwrap();
+        t.quarantine_extent("a", 5).unwrap();
+        t.quarantine_extent("a", 2).unwrap();
+        t.quarantine_extent("a", 5).unwrap(); // duplicate: no new event
+        assert_eq!(
+            t.quarantine_snapshot(),
+            vec![("a".to_string(), vec![2, 5]), ("b".to_string(), vec![9]),]
         );
     }
 

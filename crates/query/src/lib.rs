@@ -62,13 +62,17 @@
 
 mod batch;
 mod exec;
+pub mod metrics;
 mod plan;
 mod predicate;
+mod trace;
 
 pub use batch::grouped_order;
 pub use exec::{IndexedColumn, IndexedTable, QueryOutcome};
+pub use metrics::{query_metrics, QueryMetrics};
 pub use plan::{plan_conjunction, CombineStrategy, Plan, PROBE_RATIO, SCAN_MIN_FRACTION};
 pub use predicate::{AttrCondition, ConjunctiveQuery, Predicate, Symbol};
+pub use trace::{CondTrace, PlanTrace};
 
 /// Errors surfaced by normalization, planning and execution.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,44 @@
+//! The query executor's always-on instruments, resolved once from the
+//! global [`psi_obs::Registry`].
+//!
+//! Recording happens once per query (and once per quarantine event) —
+//! never inside the per-condition decode loops, which stay on the
+//! non-atomic per-session accounting.
+
+use std::sync::{Arc, OnceLock};
+
+use psi_obs::{Counter, Histogram, Registry};
+
+/// Shared instrument handles for the query layer.
+#[derive(Debug)]
+pub struct QueryMetrics {
+    /// `query/executed` — conjunctive executions completed (any outcome
+    /// that returned rows, including degraded ones).
+    pub executed: Arc<Counter>,
+    /// `query/latency_ns` — wall-clock execution latency per query.
+    pub latency_ns: Arc<Histogram>,
+    /// `query/rows` — result cardinality per query.
+    pub rows: Arc<Histogram>,
+    /// `query/degraded` — executions where at least one condition fell
+    /// back to the table scan.
+    pub degraded: Arc<Counter>,
+    /// `query/quarantine_events` — extents newly quarantined, whether by
+    /// a mid-query corrupt fetch or an explicit
+    /// [`crate::IndexedTable::quarantine_extent`] call (scrubber feed).
+    pub quarantine_events: Arc<Counter>,
+}
+
+/// The crate's instrument handles, resolved once per process.
+pub fn query_metrics() -> &'static QueryMetrics {
+    static METRICS: OnceLock<QueryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        QueryMetrics {
+            executed: r.counter("query/executed"),
+            latency_ns: r.histogram("query/latency_ns"),
+            rows: r.histogram("query/rows"),
+            degraded: r.counter("query/degraded"),
+            quarantine_events: r.counter("query/quarantine_events"),
+        }
+    })
+}

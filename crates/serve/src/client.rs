@@ -13,8 +13,8 @@ use std::path::Path;
 use psi_query::ConjunctiveQuery;
 
 use crate::wire::{
-    decode_response, encode_request, read_frame_blocking, write_frame, FrameIn, Response,
-    MAX_FRAME_BYTES,
+    decode_response, decode_stats_reply, encode_request, encode_stats_request, read_frame_blocking,
+    write_frame, FrameIn, Response, MAX_FRAME_BYTES,
 };
 
 enum Half {
@@ -128,6 +128,39 @@ impl Client {
         self.send(id, query)?;
         self.recv()?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Fetches the server's live metrics snapshot (the `STATS` op) and
+    /// returns it decoded; render it with [`psi_obs::Snapshot::render`].
+    ///
+    /// The reply is read as the *next* frame on this connection, so
+    /// call this only with no queries in flight here — the server
+    /// answers `STATS` inline from the reader thread while batched
+    /// query responses land in server order, and an interleaved rows
+    /// frame would be misread as a protocol error.
+    pub fn stats(&mut self, id: u64) -> io::Result<psi_obs::Snapshot> {
+        write_frame(&mut self.sender.w, &encode_stats_request(id))?;
+        match read_frame_blocking(&mut self.receiver.r, MAX_FRAME_BYTES)? {
+            FrameIn::Closed => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed",
+            )),
+            FrameIn::TooLarge(len) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server stats frame of {len} bytes"),
+            )),
+            FrameIn::Payload(p) => {
+                let (got, snap) = decode_stats_reply(&p)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                if got != id {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("stats reply for id {got}, expected {id}"),
+                    ));
+                }
+                Ok(snap)
+            }
+        }
     }
 
     /// Splits into independently owned sender/receiver halves, so one

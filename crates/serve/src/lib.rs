@@ -25,6 +25,15 @@
 //! * [`Client`] — a pipelined client: `send` and `recv` are
 //!   independent, responses correlate by id, and [`Client::split`]
 //!   gives separately owned halves for open-loop load generation.
+//! * **Live stats** — a `STATS` wire op ([`Client::stats`]) answered
+//!   inline by the connection's reader thread (it bypasses admission
+//!   control and batching, so a saturated server still answers its
+//!   operator) with a [`psi_obs::Snapshot`]: the global registry
+//!   (pool, planner, WAL, scrubber) plus this server's `serve/*`
+//!   counters, latency/occupancy histograms, per-connection totals,
+//!   and the served table's `quarantine/*` extent lists. Requests
+//!   slower than [`ServeConfig::slow_query_ns`] land in a bounded
+//!   [`SlowQuery`] ring log with their full plan trace.
 //!
 //! The contract the soak suite pins: **every request frame the server
 //! reads gets exactly one response** — rows, a typed error, or
@@ -38,4 +47,4 @@ mod server;
 pub mod wire;
 
 pub use client::{Client, Receiver, Sender};
-pub use server::{ServeConfig, ServeStats, Server};
+pub use server::{ConnStats, ServeConfig, ServeStats, Server, SlowQuery};

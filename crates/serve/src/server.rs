@@ -28,6 +28,7 @@
 //!   door. The server never holds more than
 //!   `max_inflight + connections` decoded requests.
 
+use std::collections::BTreeMap;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,7 +38,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use psi_query::{ConjunctiveQuery, IndexedTable};
+use psi_obs::{Gauge, Histogram, Registry, RingLog, Snapshot, Value};
+use psi_query::{ConjunctiveQuery, IndexedTable, PlanTrace};
 
 use crate::wire::{
     encode_error, encode_rows, read_frame, write_frame, FrameIn, WireError, UNKNOWN_ID,
@@ -57,6 +59,11 @@ pub struct ServeConfig {
     pub max_inflight_per_conn: usize,
     /// Largest accepted frame payload.
     pub max_frame_bytes: u32,
+    /// Admission-to-response latency (nanoseconds) at or above which a
+    /// request is recorded in the slow-query ring log.
+    pub slow_query_ns: u64,
+    /// Newest slow queries retained (`0` disables the ring).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +74,8 @@ impl Default for ServeConfig {
             max_inflight: 256,
             max_inflight_per_conn: 64,
             max_frame_bytes: crate::wire::MAX_FRAME_BYTES,
+            slow_query_ns: 50_000_000,
+            slow_log_capacity: 64,
         }
     }
 }
@@ -78,6 +87,8 @@ struct Counters {
     served_rows: AtomicU64,
     served_errors: AtomicU64,
     shed: AtomicU64,
+    shed_global: AtomicU64,
+    shed_conn: AtomicU64,
     protocol_errors: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
@@ -94,12 +105,58 @@ pub struct ServeStats {
     pub served_errors: u64,
     /// Requests shed with `Overloaded`.
     pub shed: u64,
+    /// Sheds caused by the global in-flight budget being full.
+    pub shed_global: u64,
+    /// Sheds caused by the offender's own per-connection cap
+    /// (`shed == shed_global + shed_conn`).
+    pub shed_conn: u64,
     /// Malformed frames answered with a protocol error.
     pub protocol_errors: u64,
     /// Ticks that executed at least one request.
     pub batches: u64,
     /// Largest single batch executed.
     pub max_batch: u64,
+}
+
+/// Per-connection admission totals (see [`Server::conn_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Requests from this connection shed with `Overloaded`.
+    pub shed: u64,
+    /// Responses (rows or typed error) served to this connection.
+    pub served: u64,
+}
+
+/// One slow request as retained by the ring log: everything needed to
+/// explain the latency after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Server-side connection id.
+    pub conn: u64,
+    /// Client-chosen request id.
+    pub id: u64,
+    /// Admission-to-response latency.
+    pub elapsed_ns: u64,
+    /// The executed plan — strategy, per-condition estimates vs.
+    /// actuals, per-stage timings, blocks read, degraded fallbacks —
+    /// when the request succeeded.
+    pub trace: Option<PlanTrace>,
+    /// The typed failure, when it did not.
+    pub error: Option<String>,
+}
+
+/// The serve layer's own instruments. Owned per server (not resolved
+/// from the global registry) so concurrent servers in one process —
+/// the test suite, for instance — never bleed into each other; they
+/// are injected into the [`Snapshot`] at `STATS` assembly instead.
+#[derive(Debug)]
+struct ServeObs {
+    /// Requests queued for the batcher right now.
+    queue_depth: Gauge,
+    /// Requests per executed batch.
+    batch_occupancy: Histogram,
+    /// Admission-to-response latency per served request.
+    request_ns: Histogram,
 }
 
 // ------------------------------------------------------------- transport
@@ -169,6 +226,9 @@ struct Pending {
     conn: u64,
     id: u64,
     query: ConjunctiveQuery,
+    /// Admission instant, for the request-latency histogram and the
+    /// slow-query log (`None` with recording disabled).
+    t0: Option<std::time::Instant>,
 }
 
 /// A connection's admission state.
@@ -203,6 +263,11 @@ struct Shared {
     inbox: Mutex<Inbox>,
     work: Condvar,
     counters: Counters,
+    obs: ServeObs,
+    /// Shed/served totals per connection id; outlives the connection
+    /// (the `Inbox` entry is removed once it drains).
+    per_conn: Mutex<BTreeMap<u64, ConnStats>>,
+    slow_log: RingLog<SlowQuery>,
 }
 
 impl Shared {
@@ -213,10 +278,64 @@ impl Shared {
             served_rows: c.served_rows.load(Ordering::Relaxed),
             served_errors: c.served_errors.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
+            shed_global: c.shed_global.load(Ordering::Relaxed),
+            shed_conn: c.shed_conn.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             max_batch: c.max_batch.load(Ordering::Relaxed),
         }
+    }
+
+    /// The full live-stats snapshot the `STATS` wire op ships: the
+    /// global registry (pool, planner, WAL, scrubber) plus this
+    /// server's own counters, gauges, histograms, per-connection
+    /// totals, and the served table's quarantined-extent lists.
+    fn snapshot(&self) -> Snapshot {
+        let mut snap = Registry::global().snapshot();
+        let s = self.stats();
+        snap.set("serve/admitted", Value::Counter(s.admitted));
+        snap.set("serve/served_rows", Value::Counter(s.served_rows));
+        snap.set("serve/served_errors", Value::Counter(s.served_errors));
+        snap.set("serve/shed", Value::Counter(s.shed));
+        snap.set("serve/shed_global", Value::Counter(s.shed_global));
+        snap.set("serve/shed_conn", Value::Counter(s.shed_conn));
+        snap.set("serve/protocol_errors", Value::Counter(s.protocol_errors));
+        snap.set("serve/batches", Value::Counter(s.batches));
+        snap.set("serve/max_batch", Value::Counter(s.max_batch));
+        snap.set(
+            "serve/queue_depth",
+            Value::Gauge(self.obs.queue_depth.get()),
+        );
+        snap.set(
+            "serve/batch_occupancy",
+            Value::Histogram(self.obs.batch_occupancy.snapshot()),
+        );
+        snap.set(
+            "serve/request_ns",
+            Value::Histogram(self.obs.request_ns.snapshot()),
+        );
+        snap.set(
+            "serve/slow_queries",
+            Value::Counter(self.slow_log.len() as u64),
+        );
+        snap.set(
+            "serve/slow_queries_evicted",
+            Value::Counter(self.slow_log.dropped()),
+        );
+        for (&conn, cs) in self.per_conn.lock().expect("per_conn").iter() {
+            snap.set(&format!("serve/conn/{conn}/shed"), Value::Counter(cs.shed));
+            snap.set(
+                &format!("serve/conn/{conn}/served"),
+                Value::Counter(cs.served),
+            );
+        }
+        for (attr, extents) in self.table.quarantine_snapshot() {
+            snap.set(
+                &format!("quarantine/{attr}"),
+                Value::List(extents.into_iter().map(u64::from).collect()),
+            );
+        }
+        snap
     }
 }
 
@@ -287,6 +406,13 @@ impl Server {
             inbox: Mutex::new(Inbox::default()),
             work: Condvar::new(),
             counters: Counters::default(),
+            obs: ServeObs {
+                queue_depth: Gauge::new(),
+                batch_occupancy: Histogram::new(),
+                request_ns: Histogram::new(),
+            },
+            per_conn: Mutex::new(BTreeMap::new()),
+            slow_log: RingLog::new(cfg.slow_log_capacity),
         });
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -321,6 +447,30 @@ impl Server {
     /// Current counter snapshot.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
+    }
+
+    /// The same live metrics snapshot a `STATS` wire request returns —
+    /// global registry plus this server's injected `serve/*` and
+    /// `quarantine/*` entries.
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.snapshot()
+    }
+
+    /// Shed/served totals per connection id, ascending. Entries survive
+    /// the connection closing.
+    pub fn conn_stats(&self) -> Vec<(u64, ConnStats)> {
+        self.shared
+            .per_conn
+            .lock()
+            .expect("per_conn")
+            .iter()
+            .map(|(&id, &cs)| (id, cs))
+            .collect()
+    }
+
+    /// The retained slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.slow_log.snapshot()
     }
 
     /// Stops accepting, drains admitted work, joins every thread, and
@@ -373,7 +523,13 @@ fn accept_loop(
     let mut next_conn: u64 = 1;
     loop {
         let stream = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            // Nodelay on the server side too: response frames are small,
+            // and Nagle + delayed ACK otherwise stalls a pipelined client
+            // ~40ms per round (E19's closed loop hit exactly that wall).
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
             Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
         };
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -486,6 +642,26 @@ fn connection_loop(conn_id: u64, stream: Stream, shared: Arc<Shared>) {
             }
             Err(_) => break,
         };
+        // STATS frames are answered inline, right here on the reader
+        // thread: they bypass admission control and batching, so a
+        // saturated (or even fully shedding) server still answers its
+        // operator.
+        if payload.first() == Some(&crate::wire::MSG_STATS) {
+            match crate::wire::decode_stats_request(&payload) {
+                Ok(id) => {
+                    let reply = crate::wire::encode_stats_reply(id, &shared.snapshot());
+                    send(&writer, &reply);
+                }
+                Err((id, err)) => {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    send(&writer, &encode_error(id, &err));
+                }
+            }
+            continue;
+        }
         match crate::wire::decode_request(&payload) {
             Ok(req) => admit(conn_id, req.id, req.query, &writer, &shared),
             Err((id, err)) => {
@@ -523,6 +699,7 @@ fn admit(
     writer: &Arc<Mutex<Stream>>,
     shared: &Shared,
 ) {
+    let t0 = psi_obs::enabled().then(std::time::Instant::now);
     let mut inbox = shared.inbox.lock().expect("inbox");
     let global_full = inbox.inflight >= shared.cfg.max_inflight;
     let Some(cs) = inbox.conns.get_mut(&conn_id) else {
@@ -531,6 +708,20 @@ fn admit(
     if global_full || cs.inflight >= shared.cfg.max_inflight_per_conn {
         drop(inbox);
         shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        // Causes are disjoint: the global budget is checked first, so a
+        // request over both caps is accounted a global shed.
+        if global_full {
+            shared.counters.shed_global.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.counters.shed_conn.fetch_add(1, Ordering::Relaxed);
+        }
+        shared
+            .per_conn
+            .lock()
+            .expect("per_conn")
+            .entry(conn_id)
+            .or_default()
+            .shed += 1;
         send(writer, &encode_error(id, &WireError::overloaded()));
         return;
     }
@@ -539,9 +730,11 @@ fn admit(
         conn: conn_id,
         id,
         query,
+        t0,
     });
     inbox.inflight += 1;
     inbox.queued += 1;
+    shared.obs.queue_depth.set(inbox.queued as i64);
     shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
     drop(inbox);
     shared.work.notify_one();
@@ -575,6 +768,7 @@ fn batch_loop(shared: Arc<Shared>) {
             inbox = guard;
         }
         let batch = drain_fair(&mut inbox, shared.cfg.batch_window);
+        shared.obs.queue_depth.set(inbox.queued as i64);
         let writers: Vec<Arc<Mutex<Stream>>> = batch
             .iter()
             .map(|p| Arc::clone(&inbox.conns[&p.conn].writer))
@@ -590,7 +784,9 @@ fn batch_loop(shared: Arc<Shared>) {
             .counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        shared.obs.batch_occupancy.record(batch.len() as u64);
 
+        let mut served_per_conn: HashMap<u64, u64> = HashMap::new();
         for ((p, result), writer) in batch.iter().zip(&settled).zip(&writers) {
             let payload = match result {
                 Ok(outcome) => {
@@ -606,6 +802,26 @@ fn batch_loop(shared: Arc<Shared>) {
                 }
             };
             send(writer, &payload);
+            *served_per_conn.entry(p.conn).or_default() += 1;
+            if let Some(t0) = p.t0 {
+                let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                shared.obs.request_ns.record(elapsed_ns);
+                if elapsed_ns >= shared.cfg.slow_query_ns {
+                    shared.slow_log.push(SlowQuery {
+                        conn: p.conn,
+                        id: p.id,
+                        elapsed_ns,
+                        trace: result.as_ref().ok().map(|o| o.trace.clone()),
+                        error: result.as_ref().err().map(|e| e.to_string()),
+                    });
+                }
+            }
+        }
+        if !served_per_conn.is_empty() {
+            let mut per_conn = shared.per_conn.lock().expect("per_conn");
+            for (conn, n) in served_per_conn {
+                per_conn.entry(conn).or_default().served += n;
+            }
         }
 
         // Release the in-flight budget only after the responses went out
@@ -672,6 +888,7 @@ mod tests {
             query: ConjunctiveQuery {
                 conditions: Vec::new(),
             },
+            t0: None,
         }
     }
 

@@ -8,6 +8,11 @@
 //! condition := attr:str | lo:u32 | hi:u32 | negated:bool
 //! rows      := 0x02 | id:u64 | rids:vec<u64> | blocks_read:u64 | degraded:bool
 //! error     := 0x03 | id:u64 | code:u8 | message:str
+//! stats     := 0x04 | id:u64
+//! statsrep  := 0x05 | id:u64 | n:u64 | n × entry
+//! entry     := name:str | kind:u8 | value        (kind 1 counter:u64,
+//!              2 gauge:i64, 3 histogram: count:u64 sum:u64 vec<(hi,n)>,
+//!              4 list: vec<u64>)
 //! str       := len:u64 | bytes   (length-prefixed UTF-8, like MetaBuf)
 //! ```
 //!
@@ -19,6 +24,7 @@
 
 use std::io::{self, Read, Write};
 
+use psi_obs::{HistSnapshot, Snapshot, Value};
 use psi_query::{AttrCondition, ConjunctiveQuery, QueryError, QueryOutcome};
 use psi_store::{MetaBuf, MetaCursor};
 
@@ -32,6 +38,12 @@ pub const MSG_QUERY: u8 = 0x01;
 pub const MSG_ROWS: u8 = 0x02;
 /// Message tag: a typed failure response.
 pub const MSG_ERROR: u8 = 0x03;
+/// Message tag: a live metrics-snapshot request. Answered inline by the
+/// connection's reader thread — it bypasses admission control and
+/// batching, so a saturated server still answers its operator.
+pub const MSG_STATS: u8 = 0x04;
+/// Message tag: the metrics-snapshot response.
+pub const MSG_STATS_REPLY: u8 = 0x05;
 
 /// Request id used for an error response when the offending frame was
 /// too malformed to yield the real id.
@@ -162,8 +174,13 @@ pub struct RowsReply {
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+    // One write for prefix + payload: the server writes frames straight
+    // to a nodelay socket, where a bare 4-byte length prefix would leave
+    // as its own TCP segment — two packets per response.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -352,6 +369,143 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     Ok(Response { id, body })
 }
 
+// ----------------------------------------------------------------- stats
+
+/// Encodes a metrics-snapshot request.
+pub fn encode_stats_request(id: u64) -> Vec<u8> {
+    let mut b = MetaBuf::new();
+    b.put_u8(MSG_STATS);
+    b.put_u64(id);
+    b.bytes().to_vec()
+}
+
+/// Decodes a metrics-snapshot request, returning its id.
+pub fn decode_stats_request(payload: &[u8]) -> Result<u64, (u64, WireError)> {
+    let mut c = MetaCursor::new(payload);
+    let proto = |what: &str, e: psi_store::StoreError| WireError::protocol(format!("{what}: {e}"));
+    let tag = c
+        .get_u8()
+        .map_err(|e| (UNKNOWN_ID, proto("stats tag", e)))?;
+    if tag != MSG_STATS {
+        return Err((
+            UNKNOWN_ID,
+            WireError::protocol(format!("unexpected message tag {tag:#04x}")),
+        ));
+    }
+    let id = c
+        .get_u64()
+        .map_err(|e| (UNKNOWN_ID, proto("stats id", e)))?;
+    if c.remaining() != 0 {
+        return Err((
+            id,
+            WireError::protocol(format!(
+                "{} trailing bytes after stats request",
+                c.remaining()
+            )),
+        ));
+    }
+    Ok(id)
+}
+
+/// Value-kind tags inside a stats reply.
+const VAL_COUNTER: u8 = 1;
+const VAL_GAUGE: u8 = 2;
+const VAL_HISTOGRAM: u8 = 3;
+const VAL_LIST: u8 = 4;
+
+/// Encodes a metrics-snapshot reply.
+pub fn encode_stats_reply(id: u64, snap: &Snapshot) -> Vec<u8> {
+    let mut b = MetaBuf::new();
+    b.put_u8(MSG_STATS_REPLY);
+    b.put_u64(id);
+    b.put_len(snap.entries.len());
+    for (name, value) in &snap.entries {
+        b.put_str(name);
+        match value {
+            Value::Counter(v) => {
+                b.put_u8(VAL_COUNTER);
+                b.put_u64(*v);
+            }
+            Value::Gauge(v) => {
+                b.put_u8(VAL_GAUGE);
+                b.put_u64(*v as u64);
+            }
+            Value::Histogram(h) => {
+                b.put_u8(VAL_HISTOGRAM);
+                b.put_u64(h.count);
+                b.put_u64(h.sum);
+                b.put_len(h.buckets.len());
+                for &(hi, n) in &h.buckets {
+                    b.put_u64(hi);
+                    b.put_u64(n);
+                }
+            }
+            Value::List(xs) => {
+                b.put_u8(VAL_LIST);
+                b.put_vec_u64(xs);
+            }
+        }
+    }
+    b.bytes().to_vec()
+}
+
+/// Decodes a metrics-snapshot reply into `(id, snapshot)`. The decoded
+/// snapshot compares structurally equal ([`Snapshot`] is `PartialEq`) to
+/// the one the server encoded — the wire round-trip test's contract.
+pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, Snapshot), WireError> {
+    let mut c = MetaCursor::new(payload);
+    let proto = |what: &str, e: psi_store::StoreError| WireError::protocol(format!("{what}: {e}"));
+    let tag = c.get_u8().map_err(|e| proto("stats reply tag", e))?;
+    if tag != MSG_STATS_REPLY {
+        return Err(WireError::protocol(format!(
+            "unexpected response tag {tag:#04x}"
+        )));
+    }
+    let id = c.get_u64().map_err(|e| proto("stats reply id", e))?;
+    // Minimum encoded entry: 8 (name len) + 1 (kind) + 8 (payload word).
+    let n = c.get_len(17).map_err(|e| proto("entry count", e))?;
+    let mut snap = Snapshot::default();
+    for i in 0..n {
+        let what = format!("entry {i}");
+        let name = c.get_str().map_err(|e| proto(&what, e))?;
+        let kind = c.get_u8().map_err(|e| proto(&what, e))?;
+        let value = match kind {
+            VAL_COUNTER => Value::Counter(c.get_u64().map_err(|e| proto(&what, e))?),
+            VAL_GAUGE => Value::Gauge(c.get_u64().map_err(|e| proto(&what, e))? as i64),
+            VAL_HISTOGRAM => {
+                let count = c.get_u64().map_err(|e| proto(&what, e))?;
+                let sum = c.get_u64().map_err(|e| proto(&what, e))?;
+                let m = c.get_len(16).map_err(|e| proto(&what, e))?;
+                let mut buckets = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let hi = c.get_u64().map_err(|e| proto(&what, e))?;
+                    let cnt = c.get_u64().map_err(|e| proto(&what, e))?;
+                    buckets.push((hi, cnt));
+                }
+                Value::Histogram(HistSnapshot {
+                    count,
+                    sum,
+                    buckets,
+                })
+            }
+            VAL_LIST => Value::List(c.get_vec_u64().map_err(|e| proto(&what, e))?),
+            other => {
+                return Err(WireError::protocol(format!(
+                    "unknown stats value kind {other} in {what}"
+                )))
+            }
+        };
+        snap.set(&name, value);
+    }
+    if c.remaining() != 0 {
+        return Err(WireError::protocol(format!(
+            "{} trailing bytes after stats reply",
+            c.remaining()
+        )));
+    }
+    Ok((id, snap))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +588,74 @@ mod tests {
         }
         assert!(ErrorCode::from_u8(0).is_none());
         assert!(ErrorCode::from_u8(10).is_none());
+    }
+
+    #[test]
+    fn stats_request_roundtrip_and_rejects_garbage() {
+        assert_eq!(decode_stats_request(&encode_stats_request(5)), Ok(5));
+        let mut full = encode_stats_request(5);
+        full.push(0);
+        let (id, e) = decode_stats_request(&full).expect_err("trailing byte");
+        assert_eq!(id, 5);
+        assert_eq!(e.code, ErrorCode::Protocol);
+        let (_, e) = decode_stats_request(&encode_request(1, &query())).expect_err("wrong tag");
+        assert_eq!(e.code, ErrorCode::Protocol);
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.set("pool/hits", Value::Counter(321));
+        snap.set("serve/queue_depth", Value::Gauge(-2));
+        let h = psi_obs::Histogram::new();
+        for v in [1u64, 900, 7, 1 << 40] {
+            h.record(v);
+        }
+        snap.set("wal/fsync_ns", Value::Histogram(h.snapshot()));
+        snap.set("quarantine/age", Value::List(vec![0, 17, 41]));
+        snap.set(
+            "serve/empty_hist",
+            Value::Histogram(HistSnapshot::default()),
+        );
+        snap
+    }
+
+    #[test]
+    fn stats_reply_roundtrips_every_value_kind() {
+        let snap = sample_snapshot();
+        let (id, got) = decode_stats_reply(&encode_stats_reply(88, &snap)).expect("decode");
+        assert_eq!(id, 88);
+        assert_eq!(got, snap, "decoded snapshot is structurally identical");
+    }
+
+    #[test]
+    fn truncated_stats_reply_is_typed_never_panics() {
+        let full = encode_stats_reply(3, &sample_snapshot());
+        for cut in 0..full.len() {
+            match decode_stats_reply(&full[..cut]) {
+                Ok(_) => assert_eq!(cut, full.len()),
+                Err(e) => assert_eq!(e.code, ErrorCode::Protocol, "cut at {cut}"),
+            }
+        }
+        let mut trailing = full.clone();
+        trailing.push(9);
+        assert_eq!(
+            decode_stats_reply(&trailing).expect_err("trailing").code,
+            ErrorCode::Protocol
+        );
+    }
+
+    #[test]
+    fn stats_reply_rejects_unknown_value_kind() {
+        let mut b = MetaBuf::new();
+        b.put_u8(MSG_STATS_REPLY);
+        b.put_u64(1);
+        b.put_len(1);
+        b.put_str("x");
+        b.put_u8(200); // not a known kind
+        b.put_u64(0);
+        let e = decode_stats_reply(b.bytes()).expect_err("bad kind");
+        assert_eq!(e.code, ErrorCode::Protocol);
+        assert!(e.message.contains("kind 200"), "{}", e.message);
     }
 
     #[test]

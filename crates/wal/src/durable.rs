@@ -143,6 +143,9 @@ impl<I: PersistIndex + ApplyOp> Durable<I> {
         self.wal.commit()?;
         let applied = self.wal.next_seq() - 1;
         let report = self.cp.update(&self.index, &applied.to_le_bytes())?;
+        let m = crate::metrics::wal_metrics();
+        m.checkpoints.inc();
+        m.checkpoint_bytes.add(report.bytes_written);
         let epoch = self.cp.epoch();
         self.wal = WalWriter::create(
             self.dir.join(wal_file_name(epoch)),
@@ -308,6 +311,9 @@ pub fn recover<I: PersistIndex + ApplyOp>(
         opts,
     };
     durable.sweep_stale_wals();
+    let m = crate::metrics::wal_metrics();
+    m.recoveries.inc();
+    m.replayed_ops.add(replayed as u64);
     Ok((
         durable,
         RecoverReport {

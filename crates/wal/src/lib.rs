@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod durable;
+pub mod metrics;
 pub mod record;
 mod writer;
 
@@ -34,6 +35,7 @@ use psi_io::ErrorClass;
 pub use durable::{
     recover, wal_file_name, Durable, DurableOptions, RecoverReport, CHECKPOINT_FILE,
 };
+pub use metrics::{wal_metrics, WalMetrics};
 pub use record::{scan_bytes, scan_wal, WalTail, MAX_RECORD_BODY, WAL_HEADER_BYTES, WAL_MAGIC};
 pub use writer::WalWriter;
 

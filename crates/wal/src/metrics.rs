@@ -1,0 +1,52 @@
+//! The durable write path's always-on instruments, resolved once from
+//! the global [`psi_obs::Registry`].
+//!
+//! Recording is per *durability event* — one histogram sample per group
+//! commit, one counter bump per checkpoint or recovery — never per
+//! journaled operation.
+
+use std::sync::{Arc, OnceLock};
+
+use psi_obs::{Counter, Histogram, Registry};
+
+/// Shared instrument handles for the WAL layer.
+#[derive(Debug)]
+pub struct WalMetrics {
+    /// `wal/commits` — group commits completed (each one write + one
+    /// fdatasync).
+    pub commits: Arc<Counter>,
+    /// `wal/commit_batch` — operations acknowledged per group commit
+    /// (the group-commit win is this histogram's mean syncs-saved).
+    pub commit_batch: Arc<Histogram>,
+    /// `wal/fsync_ns` — wall-clock latency of the commit's write+sync
+    /// pair.
+    pub fsync_ns: Arc<Histogram>,
+    /// `wal/checkpoints` — checkpoints completed.
+    pub checkpoints: Arc<Counter>,
+    /// `wal/checkpoint_bytes` — bytes physically written by checkpoints
+    /// (the incremental advantage keeps this proportional to dirty
+    /// extents, not index size).
+    pub checkpoint_bytes: Arc<Counter>,
+    /// `wal/recoveries` — successful crash recoveries.
+    pub recoveries: Arc<Counter>,
+    /// `wal/replayed_ops` — log-tail operations replayed on top of
+    /// checkpoints during recovery.
+    pub replayed_ops: Arc<Counter>,
+}
+
+/// The crate's instrument handles, resolved once per process.
+pub fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        WalMetrics {
+            commits: r.counter("wal/commits"),
+            commit_batch: r.histogram("wal/commit_batch"),
+            fsync_ns: r.histogram("wal/fsync_ns"),
+            checkpoints: r.counter("wal/checkpoints"),
+            checkpoint_bytes: r.counter("wal/checkpoint_bytes"),
+            recoveries: r.counter("wal/recoveries"),
+            replayed_ops: r.counter("wal/replayed_ops"),
+        }
+    })
+}

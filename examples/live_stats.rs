@@ -1,0 +1,83 @@
+//! Live observability tour: a running server interrogated over the wire.
+//!
+//! Starts a psi-serve server over a multi-attribute table, drives some
+//! queries at it, then asks the *server itself* what happened — the
+//! `STATS` wire op for the registry snapshot (pool, planner, server
+//! sections), `explain()` for a single query's plan trace, and the
+//! slow-query ring log with a deliberately slow threshold so real
+//! entries land in it.
+//!
+//! Run with: `cargo run --release --example live_stats`
+
+use std::sync::Arc;
+
+use psi::query::{IndexedTable, Predicate};
+use psi::serve::{Client, ServeConfig, Server};
+use psi::{IoConfig, OptimalIndex, SecondaryIndex};
+
+fn main() {
+    // A people table: age (128 values), sex (2), marital_status (4).
+    let table = psi::workloads::people_table(20_000, 7);
+    let cfg = IoConfig::default();
+    let indexed = IndexedTable::build(&table, |symbols, sigma| {
+        Box::new(OptimalIndex::build(symbols, sigma, cfg)) as Box<dyn SecondaryIndex>
+    });
+
+    // `explain()` before serving: the planner's own story for the
+    // paper's "married men of age 33" query (§1).
+    let married_men_33 = Predicate::and([
+        Predicate::point("sex", 1),
+        Predicate::point("age", 33),
+        Predicate::point("marital_status", 1),
+    ]);
+    println!("--- explain: married men of age 33 ---");
+    print!("{}", indexed.explain(&married_men_33).expect("explain"));
+
+    // Serve it, with a 100µs slow-query threshold so the ring log
+    // collects real traffic (production default is 50ms).
+    let server = Server::serve(
+        Arc::new(indexed),
+        ServeConfig {
+            slow_query_ns: 100_000,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = server.addr().expect("tcp addr");
+
+    let mut client = Client::connect(addr).expect("connect");
+    for id in 0..200u64 {
+        let q = match id % 3 {
+            0 => Predicate::range("age", (id % 100) as u32, (id % 100) as u32 + 10),
+            1 => married_men_33.clone(),
+            _ => Predicate::point("marital_status", (id % 4) as u32),
+        };
+        let resp = client
+            .call(id, &q.normalize().expect("normalize"))
+            .expect("call");
+        resp.body.expect("rows");
+    }
+
+    // The live snapshot, fetched over the same connection via the
+    // STATS op — what an operator's dashboard would poll.
+    let snapshot = client.stats(9_999).expect("stats");
+    println!("\n--- STATS (over the wire) ---");
+    print!("{}", snapshot.render());
+
+    // The slow-query ring: newest entries with their full plan traces.
+    let slow = server.slow_queries();
+    println!("--- slow-query log: {} entr(ies) ---", slow.len());
+    if let Some(sq) = slow.last() {
+        println!(
+            "conn={} id={} elapsed={}us",
+            sq.conn,
+            sq.id,
+            sq.elapsed_ns / 1_000
+        );
+        if let Some(trace) = &sq.trace {
+            print!("{}", trace.render());
+        }
+    }
+
+    server.shutdown();
+}

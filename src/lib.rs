@@ -54,6 +54,10 @@
 //!   paper's "married men of age 33", §1).
 //! * [`io`] — the simulated Aggarwal–Vitter block device and I/O
 //!   accounting sessions.
+//! * [`obs`] — always-on observability: a lock-free metrics registry
+//!   (pool, planner, WAL, scrubber, server), per-query plan traces with
+//!   an `explain()` surface, and the `STATS` wire op that serves a live
+//!   snapshot of it all.
 //! * [`workloads`] — deterministic generators for every experiment.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -108,6 +112,13 @@ pub mod wal {
 /// Network front-end: wire protocol, batched server, admission control.
 pub mod serve {
     pub use psi_serve::*;
+}
+
+/// Observability: the lock-free metrics registry every layer records
+/// into (counters, gauges, log-scale histograms), snapshots, and the
+/// bounded ring log behind the server's slow-query surface.
+pub mod obs {
+    pub use psi_obs::*;
 }
 
 /// Core structures and substrates (hash families, weight-balanced trees).
