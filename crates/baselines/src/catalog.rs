@@ -74,7 +74,10 @@ impl BitmapCatalog {
                         samples.push(SkipEntry {
                             pos: p,
                             bit_off: enc.bit_pos() - bit_off,
+                            occ: SkipEntry::OCC_SELF,
                         });
+                    } else if let Some(last) = samples.last_mut() {
+                        last.cover(p);
                     }
                     first_pos.get_or_insert(p);
                 }

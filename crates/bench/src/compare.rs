@@ -8,7 +8,11 @@
 //! the regression. The E18 `serve/open_loop/*` latency-percentile rows
 //! diff lower-is-better like any ns row, but their p999 and
 //! shed-permille entries are held to the wider [`TAIL_THRESHOLD`] (see
-//! [`threshold_for`]). Report-only by default (exit 0 even with regressions
+//! [`threshold_for`]). Rows carrying a `spread` field (the measured
+//! IQR/median of their sample set) additionally widen their own bar to
+//! twice that spread (see [`bar_for`]) — a reading cannot convict a
+//! delta smaller than its own wobble.
+//! Report-only by default (exit 0 even with regressions
 //! — CI wall-clock is noisy); `--strict` makes regressions fail the
 //! process. The parser is deliberately tiny: it reads exactly the schema
 //! `jsonout` emits, one result per line.
@@ -54,6 +58,11 @@ pub struct Row {
     /// Queries/second when the row is a throughput row (higher is
     /// better); `None` otherwise.
     pub qps: Option<f64>,
+    /// Run-to-run noise of the reading: IQR of the sample set divided by
+    /// its median (so 0.05 means the middle half of samples spans ±~5%).
+    /// `None` for rows emitted before the field existed or for
+    /// single-shot rows that have no sample set.
+    pub spread: Option<f64>,
 }
 
 /// Parses a `psi-bench/1` snapshot into [`Row`]s.
@@ -73,6 +82,7 @@ pub fn parse(json: &str) -> Vec<Row> {
             bench,
             ns_per_iter,
             qps: field_num(line, "\"qps\":"),
+            spread: field_num(line, "\"spread\":"),
         });
     }
     out
@@ -106,6 +116,11 @@ pub struct Delta {
     /// Whether a larger `after` is an improvement (QPS rows) rather
     /// than a slowdown (ns rows).
     pub higher_is_better: bool,
+    /// The larger of the two rows' measured spreads (IQR/median), 0.0
+    /// when neither side reported one. [`report`] widens this row's
+    /// regression bar to at least twice this value: a change smaller
+    /// than the reading's own run-to-run wobble is not evidence.
+    pub noise: f64,
 }
 
 impl Delta {
@@ -143,27 +158,38 @@ pub fn join(before: &[Row], after: &[Row]) -> Vec<Delta> {
         .iter()
         .filter_map(|b| {
             let a = after.iter().find(|r| r.bench == b.bench)?;
+            let noise = b.spread.unwrap_or(0.0).max(a.spread.unwrap_or(0.0));
             Some(match (b.qps, a.qps) {
                 (Some(bq), Some(aq)) => Delta {
                     bench: b.bench.clone(),
                     before: bq,
                     after: aq,
                     higher_is_better: true,
+                    noise,
                 },
                 _ => Delta {
                     bench: b.bench.clone(),
                     before: b.ns_per_iter,
                     after: a.ns_per_iter,
                     higher_is_better: false,
+                    noise,
                 },
             })
         })
         .collect()
 }
 
+/// The regression bar for one joined row: the larger of the caller's
+/// `threshold`, the row's own [`threshold_for`] bar (tail-latency rows
+/// are noisier than medians), and twice its measured [`Delta::noise`] —
+/// a snapshot whose middle half of samples spans ±20% cannot convict a
+/// 15% delta.
+pub fn bar_for(d: &Delta, threshold: f64) -> f64 {
+    threshold.max(threshold_for(&d.bench)).max(2.0 * d.noise)
+}
+
 /// Prints the comparison table; returns the regressed rows' names. Each
-/// row is held to the larger of `threshold` and its own
-/// [`threshold_for`] bar (tail-latency rows are noisier than medians).
+/// row is held to its [`bar_for`] bar.
 pub fn report(deltas: &[Delta], threshold: f64) -> Vec<String> {
     println!(
         "{:<42} {:>14} {:>14} {:>9}",
@@ -172,7 +198,7 @@ pub fn report(deltas: &[Delta], threshold: f64) -> Vec<String> {
     println!("{}", "-".repeat(82));
     let mut regressions = Vec::new();
     for d in deltas {
-        let flag = if d.regressed(threshold.max(threshold_for(&d.bench))) {
+        let flag = if d.regressed(bar_for(d, threshold)) {
             regressions.push(d.bench.clone());
             "  << REGRESSION"
         } else {
@@ -269,6 +295,7 @@ mod tests {
             bench: bench.to_string(),
             ns_per_iter: ns,
             qps: None,
+            spread: None,
         }
     }
 
@@ -277,6 +304,7 @@ mod tests {
             bench: bench.to_string(),
             ns_per_iter: 1e9 / qps,
             qps: Some(qps),
+            spread: None,
         }
     }
 
@@ -308,6 +336,17 @@ mod tests {
         let parsed = parse(&emitted);
         assert_eq!(parsed[0], row("a/b", 42.5));
         assert_eq!(parsed[1].qps, Some(250_000.0));
+        // Rows without a spread field (the whole SNAPSHOT above, and
+        // jsonout rows whose spread is 0) parse as spread: None.
+        assert!(parsed.iter().all(|r| r.spread.is_none()));
+        let with_spread = crate::jsonout::to_json(&[crate::jsonout::JsonResult {
+            bench: "decode/noisy".into(),
+            ns_per_iter: 100.0,
+            spread: 0.082,
+            ..Default::default()
+        }]);
+        let parsed = parse(&with_spread);
+        assert_eq!(parsed[0].spread, Some(0.082));
     }
 
     #[test]
@@ -338,6 +377,38 @@ mod tests {
         assert!(!deltas[0].regressed(REGRESSION_THRESHOLD));
         assert!(deltas[1].regressed(REGRESSION_THRESHOLD));
         assert!((deltas[1].change() - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_rows_widen_their_own_regression_bar() {
+        let noisy = |bench: &str, ns: f64, spread: f64| Row {
+            spread: Some(spread),
+            ..row(bench, ns)
+        };
+        // A +20% delta on a reading whose own spread is 12% (2× = 24%
+        // bar) is inside the noise; the same delta on a quiet reading
+        // flags. The noise is the max of the two sides, so a baseline
+        // measured on a quiet machine still gets slack when the new run
+        // was noisy.
+        let before = vec![row("a/quiet", 100.0), noisy("a/noisy", 100.0, 0.12)];
+        let after = vec![noisy("a/quiet", 120.0, 0.12), row("a/noisy", 120.0)];
+        let deltas = join(&before, &after);
+        assert_eq!(deltas[0].noise, 0.12);
+        assert_eq!(deltas[1].noise, 0.12);
+        assert_eq!(bar_for(&deltas[0], REGRESSION_THRESHOLD), 0.24);
+        assert!(!deltas[0].regressed(bar_for(&deltas[0], REGRESSION_THRESHOLD)));
+        assert!(!deltas[1].regressed(bar_for(&deltas[1], REGRESSION_THRESHOLD)));
+        let quiet = join(&[row("a", 100.0)], &[row("a", 120.0)]);
+        assert_eq!(quiet[0].noise, 0.0);
+        assert!(quiet[0].regressed(bar_for(&quiet[0], REGRESSION_THRESHOLD)));
+        // Noise never narrows a bar below the per-row threshold: a tail
+        // row with a tiny spread keeps its TAIL_THRESHOLD slack.
+        let tail = join(
+            &[noisy("serve/open_loop/q2000/p999", 100.0, 0.01)],
+            &[noisy("serve/open_loop/q2000/p999", 130.0, 0.01)],
+        );
+        assert_eq!(bar_for(&tail[0], REGRESSION_THRESHOLD), TAIL_THRESHOLD);
+        assert!(!tail[0].regressed(bar_for(&tail[0], REGRESSION_THRESHOLD)));
     }
 
     #[test]

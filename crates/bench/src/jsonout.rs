@@ -51,9 +51,25 @@ pub struct JsonResult {
     /// Real backend block fetches (0 when not meaningful) — the
     /// cold-cache rows, equal to the workload's distinct-block charge.
     pub real_reads: u64,
+    /// Relative sample spread of the timed rows: interquartile range of
+    /// the [`SAMPLES`] per-sample readings divided by their median (0
+    /// when the row was not `measure`d). `compare_bench` widens a row's
+    /// regression bar by this — a noisy measurement cannot prove a
+    /// regression smaller than its own scatter.
+    pub spread: f64,
 }
 
-fn measure<O, F: FnMut() -> O>(mut f: F) -> f64 {
+/// One timed reading: the median of the samples and their relative
+/// spread (see [`JsonResult::spread`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Measured {
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns: f64,
+    /// Interquartile range of the samples over their median.
+    pub spread: f64,
+}
+
+pub(crate) fn measure<O, F: FnMut() -> O>(mut f: F) -> Measured {
     let mut iters = 1u64;
     loop {
         let start = Instant::now();
@@ -82,17 +98,23 @@ fn measure<O, F: FnMut() -> O>(mut f: F) -> f64 {
         })
         .collect();
     ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-    ns[ns.len() / 2]
+    let median = ns[ns.len() / 2];
+    let iqr = ns[3 * ns.len() / 4] - ns[ns.len() / 4];
+    Measured {
+        ns: median,
+        spread: if median > 0.0 { iqr / median } else { 0.0 },
+    }
 }
 
 /// Runs the decode / merge / query microbenchmarks and returns the rows.
 pub fn run_microbenches() -> Vec<JsonResult> {
     let mut results = Vec::new();
-    let mut push = |bench: &str, ns: f64, elements: u64| {
-        println!("{bench:<40} {ns:>14.1} ns/iter");
+    let mut push = |bench: &str, m: Measured, elements: u64| {
+        println!("{bench:<40} {:>14.1} ns/iter", m.ns);
         results.push(JsonResult {
             bench: bench.to_string(),
-            ns_per_iter: ns,
+            ns_per_iter: m.ns,
+            spread: m.spread,
             elements,
             ..Default::default()
         });
@@ -380,15 +402,16 @@ pub fn run_microbenches() -> Vec<JsonResult> {
         let (lo, hi) = (32, 32 + width - 1);
         let mut q =
             |name: &str, idx: &dyn SecondaryIndex, foot: &(u64, u64, std::path::PathBuf)| {
-                let ns = measure(|| {
+                let m = measure(|| {
                     let io = IoSession::untracked();
                     idx.query(lo, hi, &io).cardinality()
                 });
                 let bench = format!("query/{name}_w{width}");
-                println!("{bench:<40} {ns:>14.1} ns/iter");
+                println!("{bench:<40} {:>14.1} ns/iter", m.ns);
                 results.push(JsonResult {
                     bench: format!("query/{name}_w{width}"),
-                    ns_per_iter: ns,
+                    ns_per_iter: m.ns,
+                    spread: m.spread,
                     space_bits: foot.0,
                     file_bytes: foot.1,
                     ..Default::default()
@@ -403,11 +426,12 @@ pub fn run_microbenches() -> Vec<JsonResult> {
     // --- store (E14): save/open/warm-pooled-query wall clock ---
     {
         use psi_store::{open, Backend, OpenOptions};
-        let mut push = |bench: &str, ns: f64, space_bits: u64, file_bytes: u64| {
-            println!("{bench:<40} {ns:>14.1} ns/iter");
+        let mut push = |bench: &str, m: Measured, space_bits: u64, file_bytes: u64| {
+            println!("{bench:<40} {:>14.1} ns/iter", m.ns);
             results.push(JsonResult {
                 bench: bench.to_string(),
-                ns_per_iter: ns,
+                ns_per_iter: m.ns,
+                spread: m.spread,
                 space_bits,
                 file_bytes,
                 ..Default::default()
@@ -563,7 +587,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             )
             .expect("create durable");
             let mut x = 0u32;
-            let ns_batch = measure(|| {
+            let m_batch = measure(|| {
                 for _ in 0..b {
                     x = x.wrapping_mul(2_654_435_761).wrapping_add(1);
                     d.apply(
@@ -577,11 +601,14 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                 d.commit().expect("commit")
             });
             let bench = format!("durability/group_commit_b{b}");
-            let ns = ns_batch / b as f64;
+            // Per-op cost; spread is scale-invariant so the batch's
+            // relative noise carries over unchanged.
+            let ns = m_batch.ns / b as f64;
             println!("{bench:<40} {ns:>14.1} ns/iter");
             results.push(JsonResult {
                 bench,
                 ns_per_iter: ns,
+                spread: m_batch.spread,
                 ..Default::default()
             });
         }
@@ -596,7 +623,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             psi_store::CheckpointFile::create(&farm_path, &farm, &[], 1).expect("farm create");
         let mut salt = 0u64;
         let mut inc_bytes = 0u64;
-        let ns_inc = measure(|| {
+        let m_inc = measure(|| {
             salt = salt.wrapping_add(0x9E37_79B9);
             crate::farm_rewrite(&mut farm, 3, salt);
             crate::farm_rewrite(&mut farm, 40, salt ^ 0x5555);
@@ -613,18 +640,19 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             report.bytes_written
         });
         println!(
-            "{:<40} {ns_inc:>14.1} ns/iter",
-            "durability/checkpoint_incremental_2of64"
+            "{:<40} {:>14.1} ns/iter",
+            "durability/checkpoint_incremental_2of64", m_inc.ns
         );
         results.push(JsonResult {
             bench: "durability/checkpoint_incremental_2of64".into(),
-            ns_per_iter: ns_inc,
+            ns_per_iter: m_inc.ns,
+            spread: m_inc.spread,
             file_bytes: inc_bytes,
             ..Default::default()
         });
         let full_path = root.join("farm_full.ck");
         let mut full_bytes = created.bytes_written;
-        let ns_full = measure(|| {
+        let m_full = measure(|| {
             let (_, report) = psi_store::CheckpointFile::create(&full_path, &farm, &[], 1)
                 .expect("farm full create");
             full_bytes = report.bytes_written;
@@ -635,12 +663,13 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             "sparse checkpoint must write a fraction of the full save"
         );
         println!(
-            "{:<40} {ns_full:>14.1} ns/iter",
-            "durability/checkpoint_full_save"
+            "{:<40} {:>14.1} ns/iter",
+            "durability/checkpoint_full_save", m_full.ns
         );
         results.push(JsonResult {
             bench: "durability/checkpoint_full_save".into(),
-            ns_per_iter: ns_full,
+            ns_per_iter: m_full.ns,
+            spread: m_full.spread,
             file_bytes: full_bytes,
             ..Default::default()
         });
@@ -665,7 +694,7 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             }
             d.commit().expect("commit");
             drop(d);
-            let ns = measure(|| {
+            let m = measure(|| {
                 let (rd, report) =
                     recover::<psi_core::FullyDynamicIndex>(&dir, DurableOptions::default())
                         .expect("recover");
@@ -674,10 +703,11 @@ pub fn run_microbenches() -> Vec<JsonResult> {
                 report.epoch
             });
             let bench = format!("durability/recover_tail_{tail}");
-            println!("{bench:<40} {ns:>14.1} ns/iter");
+            println!("{bench:<40} {:>14.1} ns/iter", m.ns);
             results.push(JsonResult {
                 bench,
-                ns_per_iter: ns,
+                ns_per_iter: m.ns,
+                spread: m.spread,
                 ..Default::default()
             });
         }
@@ -791,14 +821,18 @@ pub fn run_microbenches() -> Vec<JsonResult> {
             "corrupted column must degrade the plan"
         );
         let mut plan_row = |label: &str, t: &IndexedTable| {
-            let ns = measure(|| t.execute(&predicate).expect("execute").io.reads);
+            let m = measure(|| t.execute(&predicate).expect("execute").io.reads);
             let out = t.execute(&predicate).expect("execute");
             assert_eq!(out.rows.to_vec(), want, "{label} rows must stay exact");
             let bench = format!("read_faults/conjunctive_{label}");
-            println!("{bench:<40} {ns:>14.1} ns/iter ({} io reads)", out.io.reads);
+            println!(
+                "{bench:<40} {:>14.1} ns/iter ({} io reads)",
+                m.ns, out.io.reads
+            );
             results.push(JsonResult {
                 bench,
-                ns_per_iter: ns,
+                ns_per_iter: m.ns,
+                spread: m.spread,
                 ..Default::default()
             });
         };
@@ -822,6 +856,10 @@ pub fn run_microbenches() -> Vec<JsonResult> {
     // and tails, plus the WAL's group-commit histograms. The `obs/*`
     // latency-percentile rows are likewise held to the TAIL bar.
     results.extend(crate::e19());
+
+    // --- kernels (E20): the decode-chain and block-skip kernels vs
+    // their forced references, with the correctness gates inline.
+    results.extend(crate::e20());
 
     results
 }
@@ -865,6 +903,9 @@ pub fn to_json(results: &[JsonResult]) -> String {
         }
         if r.real_reads > 0 {
             extras.push_str(&format!(", \"real_reads\": {}", r.real_reads));
+        }
+        if r.spread > 0.0 {
+            extras.push_str(&format!(", \"spread\": {:.3}", r.spread));
         }
         s.push_str(&format!(
             "    {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}{}}}{}\n",

@@ -178,6 +178,134 @@ impl BitSink for BitBuf {
     }
 }
 
+/// A word-accumulating append cursor over a [`BitBuf`] — the bulk encode
+/// path.
+///
+/// [`BitBuf::push_bits`] pays a resize check, a word-index division and a
+/// two-word split on every call; a gamma encoder calling it per element
+/// spends more time in that bookkeeping than in the code arithmetic. The
+/// writer instead packs bits into a 64-bit register and touches the
+/// buffer's word vector once per *word*: `put_bits` is an or-shift into
+/// the register plus an occasional whole-word push. Dropping the writer
+/// (or calling [`Self::finish`]) flushes the partial register word, so
+/// the buffer is valid again afterwards; while the writer is live it
+/// holds the buffer mutably, so no reader can observe the detached tail.
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    buf: &'a mut BitBuf,
+    /// Pending bits, MSB-aligned: the top `fill` bits are valid, the rest
+    /// are zero. Invariant: `fill < 64` between calls.
+    acc: u64,
+    fill: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Opens a writer appending at the end of `buf`. A partial final word
+    /// is lifted into the accumulator so unaligned tails keep working.
+    pub fn new(buf: &'a mut BitBuf) -> Self {
+        let fill = (buf.bit_len % 64) as u32;
+        let acc = if fill == 0 {
+            0
+        } else {
+            buf.bit_len -= u64::from(fill);
+            buf.words.pop().expect("partial bits imply a final word")
+        };
+        BitWriter { buf, acc, fill }
+    }
+
+    /// Appends the low `k ≤ 64` bits of `value`.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, k: u32) {
+        debug_assert!(k <= 64);
+        if k == 0 {
+            return;
+        }
+        debug_assert!(k == 64 || value < (1u64 << k), "value wider than k bits");
+        let space = 64 - self.fill; // ≥ 1 by the fill invariant
+        if k < space {
+            self.acc |= value << (space - k);
+            self.fill += k;
+        } else {
+            // Fills the register exactly or spills: flush one word.
+            let word = self.acc | (value >> (k - space));
+            self.buf.words.push(word);
+            self.buf.bit_len += 64;
+            self.fill = k - space;
+            self.acc = if self.fill == 0 {
+                0
+            } else {
+                value << (64 - self.fill)
+            };
+        }
+    }
+
+    /// The logical bit length of the buffer, accumulator included.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.buf.bit_len + u64::from(self.fill)
+    }
+
+    /// Whether nothing has been written (buffer and accumulator empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes the partial word back into the buffer. Equivalent to
+    /// dropping the writer; provided for call sites that want the flush
+    /// point explicit.
+    pub fn finish(self) {}
+}
+
+impl Drop for BitWriter<'_> {
+    fn drop(&mut self) {
+        if self.fill > 0 {
+            self.buf.words.push(self.acc);
+            self.buf.bit_len += u64::from(self.fill);
+            self.fill = 0;
+        }
+    }
+}
+
+impl BitSink for BitWriter<'_> {
+    #[inline]
+    fn put_bits(&mut self, value: u64, k: u32) {
+        self.push_bits(value, k);
+    }
+
+    fn put_bits_bulk(&mut self, words: &[u64], bit_len: u64) {
+        if self.fill == 0 {
+            // Aligned: whole-word copy, then re-lift any partial tail so
+            // the accumulator invariant (buffer word-aligned) holds.
+            self.buf.extend_from_words(words, bit_len);
+            let tail = (self.buf.bit_len % 64) as u32;
+            if tail != 0 {
+                self.fill = tail;
+                self.buf.bit_len -= u64::from(tail);
+                self.acc = self
+                    .buf
+                    .words
+                    .pop()
+                    .expect("partial bits imply a final word");
+            }
+        } else {
+            let mut remaining = bit_len;
+            for &w in words {
+                let k = remaining.min(64) as u32;
+                if k == 0 {
+                    break;
+                }
+                self.push_bits(w >> (64 - k), k);
+                remaining -= u64::from(k);
+            }
+        }
+    }
+
+    #[inline]
+    fn bit_pos(&self) -> u64 {
+        self.len()
+    }
+}
+
 /// A reading cursor over a [`BitBuf`].
 #[derive(Debug, Clone)]
 pub struct BitBufReader<'a> {

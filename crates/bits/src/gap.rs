@@ -11,7 +11,7 @@
 use std::sync::OnceLock;
 
 use crate::skip::{SkipDirectory, SKIP_SAMPLE};
-use crate::{codes, BitBuf, BitBufReader, BitSink, BitSource};
+use crate::{codes, kernel, swar, BitBuf, BitBufReader, BitSink, BitSource, BitWriter};
 
 /// A compressed bitmap: gamma-coded gaps between consecutive 1-positions.
 ///
@@ -102,13 +102,20 @@ impl GapBitmap {
         let reserved = Self::reserve_bits(hint.min(universe), universe);
         let mut bits = BitBuf::with_capacity(reserved);
         let mut skip = SkipDirectory::new(SKIP_SAMPLE);
-        let mut enc = GapEncoder::new(&mut bits);
-        for p in iter {
-            assert!(p < universe, "position {p} outside universe {universe}");
-            enc.push(p);
-            skip.observe(enc.count() - 1, p, enc.bit_pos());
-        }
-        let count = enc.finish();
+        let count = {
+            // Word-accumulating writer: each gamma code is one register
+            // or-shift, with a word push every ~64 bits, instead of a
+            // bounds-checked two-word splice per element.
+            let mut w = BitWriter::new(&mut bits);
+            let mut enc = GapEncoder::new(&mut w);
+            for p in iter {
+                assert!(p < universe, "position {p} outside universe {universe}");
+                enc.push(p);
+                skip.observe(enc.count() - 1, p, enc.bit_pos());
+            }
+            enc.finish()
+        };
+        kernel::ENCODE_BULK.add(1);
         // The reservation bound is exact mathematics, not a guess: when
         // the hint matched the stream, encoding must have fit in place.
         debug_assert!(
@@ -146,6 +153,7 @@ impl GapBitmap {
         let mut skip = SkipDirectory::new(SKIP_SAMPLE);
         let mut index = 0u64;
         let mut prev: Option<u64> = None;
+        let mut sink = BitWriter::new(&mut bits);
         for (i, &word) in words.iter().enumerate() {
             let word_base = base + 64 * i as u64;
             // Saturated word continuing a run: 64 unit gaps, one append.
@@ -155,13 +163,21 @@ impl GapBitmap {
                     "position {} outside universe {universe}",
                     word_base + 63
                 );
-                bits.push_bits(u64::MAX, 64);
+                sink.push_bits(u64::MAX, 64);
                 // Runs cover every element index, so the sample due in
-                // this word (if any) is a fixed offset into it.
+                // this word (if any) is a fixed offset into it. A 64-bit
+                // word is exactly one occupancy bucket: elements before
+                // the sample (if any exist) belong to the previous
+                // entry's block, elements from the sample on are bit 0 of
+                // the new entry, so the summaries stay exactly equal to a
+                // per-element encode of the same set.
                 let next_sample = index.next_multiple_of(u64::from(SKIP_SAMPLE));
+                if next_sample > index {
+                    skip.cover(word_base);
+                }
                 if next_sample < index + 64 {
                     let d = next_sample - index;
-                    skip.observe(next_sample, word_base + d, bits.len() - 63 + d);
+                    skip.observe(next_sample, word_base + d, sink.len() - 63 + d);
                 }
                 prev = Some(word_base + 63);
                 index += 64;
@@ -172,15 +188,17 @@ impl GapBitmap {
                 let pos = word_base + u64::from(w.trailing_zeros());
                 assert!(pos < universe, "position {pos} outside universe {universe}");
                 match prev {
-                    None => codes::put_gamma(&mut bits, pos + 1),
-                    Some(p) => codes::put_gamma(&mut bits, pos - p),
+                    None => codes::put_gamma(&mut sink, pos + 1),
+                    Some(p) => codes::put_gamma(&mut sink, pos - p),
                 }
-                skip.observe(index, pos, bits.len());
+                skip.observe(index, pos, sink.len());
                 prev = Some(pos);
                 index += 1;
                 w &= w - 1;
             }
         }
+        sink.finish();
+        kernel::REENCODE_BITSET.add(1);
         debug_assert_eq!(index, count);
         debug_assert!(bits.len() <= reserved.max(64));
         let cell = OnceLock::new();
@@ -268,7 +286,19 @@ impl GapBitmap {
             let reference = b.build_skip();
             debug_assert!(
                 skip.len() <= reference.len()
-                    && skip.entries() == &reference.entries()[..skip.len()],
+                    && skip
+                        .entries()
+                        .iter()
+                        .zip(reference.entries())
+                        .all(|(s, r)| {
+                            // Position and offset must match exactly; the
+                            // occupancy word is either the exact summary or 0
+                            // ("no information" — how append paths persist
+                            // entries whose blocks were still growing).
+                            s.pos == r.pos
+                                && s.bit_off == r.bit_off
+                                && (s.occ == 0 || s.occ == r.occ)
+                        }),
                 "lifted skip directory disagrees with the stream"
             );
         }
@@ -370,80 +400,29 @@ impl GapBitmap {
     /// Decodes all positions into `out` (cleared first) — the batch
     /// endpoint for query pipelines that materialize results.
     ///
-    /// The loop keeps a two-word window of the code stream in registers,
-    /// so decoding one gamma code is a shift-or to form the window, a
-    /// `leading_zeros`, and one shift to extract — one memory load per
-    /// *word* of stream instead of per code, and none of the cursor or
-    /// iterator machinery. Codes longer than 64 bits (gaps ≥ 2³²) detour
-    /// through the cursor decoder and re-synchronize the window.
+    /// Runs the SWAR window kernel ([`crate::swar`]): every codeword
+    /// inside a register-resident 64-bit window is decoded with a shift,
+    /// a `leading_zeros` and a shift-extract — one memory load per *word*
+    /// of stream instead of per code, runs of unit gaps burst-emitted as
+    /// whole slices, and (with the `simd` feature on supporting CPUs) an
+    /// `lzcnt`/BMI-compiled clone of the same loop. Codes longer than 64
+    /// bits (gaps ≥ 2³²) take a word-scan fallback and re-synchronize the
+    /// window.
+    ///
+    /// An already-materialized skip directory additionally splits the
+    /// stream at a recorded resume point and decodes the two halves as
+    /// independent, interleaved chains — gamma codes chain serially, so
+    /// two dependency chains nearly double one core's decode throughput.
+    /// (A directory is never *built* for this: absent one, the decode is
+    /// single-chain.)
     pub fn decode_all(&self, out: &mut Vec<u64>) {
-        out.clear();
-        out.reserve(self.count as usize);
-        let words = self.bits.words();
-        let bit_len = self.bits.len();
-        // First position is gamma(p₀ + 1): seed the running sum with −1.
-        let mut prev = u64::MAX;
-        let mut pos = 0u64; // window base, in bits
-        while pos < bit_len {
-            // Load a 64-bit window at `pos`, then drain every codeword
-            // that lies entirely inside it — the drain loop is shift,
-            // count zeros, shift: no memory traffic and the shortest
-            // possible dependency chain between consecutive codes.
-            let w = (pos / 64) as usize;
-            let off = (pos % 64) as u32;
-            let lo = words.get(w + 1).copied().unwrap_or(0);
-            // `(lo >> 1) >> (63 − off)` is `lo >> (64 − off)` without the
-            // undefined 64-bit shift at off = 0.
-            let window = (words[w] << off) | ((lo >> 1) >> (63 - off));
-            let valid = (bit_len - pos).min(64) as u32;
-            let mut used = 0u32;
-            loop {
-                let rest = window << used;
-                let lz = rest.leading_zeros();
-                if lz == 0 {
-                    // A leading 1 is the code for gap 1, and a run of k
-                    // ones is k consecutive positions — the dense-bitmap
-                    // case (§1.2's "runs"), emitted as one burst with no
-                    // per-element decode at all.
-                    let ones = (!rest).leading_zeros().min(valid - used);
-                    let base = prev;
-                    out.extend((1..=u64::from(ones)).map(|d| base.wrapping_add(d)));
-                    prev = base.wrapping_add(u64::from(ones));
-                    used += ones;
-                    if used >= valid {
-                        break;
-                    }
-                    continue;
-                }
-                let len = 2 * lz + 1;
-                if used + len > valid {
-                    break;
-                }
-                // Top `lz` bits of `rest` are zero, so no mask is needed.
-                prev = prev.wrapping_add(rest >> (63 - 2 * lz));
-                out.push(prev);
-                used += len;
-                if used >= valid {
-                    break;
-                }
-            }
-            if used == 0 {
-                // Codeword longer than the window (gap ≥ 2³²): cursor
-                // decode, then resume word-at-a-time behind it.
-                let mut r = self.bits.reader_at(pos);
-                let n = r.get_unary();
-                prev = prev.wrapping_add((1u64 << n) | r.get_bits(n));
-                out.push(prev);
-                pos = r.bit_pos();
-            } else {
-                pos += u64::from(used);
-            }
-            assert!(
-                out.len() <= self.count as usize,
-                "gap stream holds more codes than its count"
-            );
-        }
-        debug_assert_eq!(out.len(), self.count as usize, "count vs stream mismatch");
+        swar::decode_gaps(
+            self.bits.words(),
+            self.bits.len(),
+            self.count,
+            self.skip.get(),
+            out,
+        );
     }
 
     /// Decodes all positions into a vector.
@@ -455,7 +434,13 @@ impl GapBitmap {
 
     /// Membership test: a directory probe plus at most `K − 1` decoded
     /// codes (`O(lg(z/K) + K)` instead of the pre-directory `O(z)` scan).
+    /// When the probed bucket's occupancy bit is clear the probe is
+    /// answered absent from the directory alone — zero codes decoded.
     pub fn contains(&self, pos: u64) -> bool {
+        if kernel::block_skip_enabled() && self.skip_dir().rules_out(pos) {
+            kernel::CONTAINS_BLOCK_SKIP.add(1);
+            return false;
+        }
         match self.skip_dir().seek(pos) {
             None => {
                 // Empty lifted directory (tiny slot): linear scan.
@@ -492,31 +477,36 @@ impl GapBitmap {
         let universe = self.universe;
         let mut bits = BitBuf::with_capacity(universe - self.count);
         let mut prev: Option<u64> = None;
-        // Emits the complement run [start, end): one gap code to enter the
-        // run, then end − start − 1 unit gaps ("1" bits), 64 at a time.
-        let emit_run = |bits: &mut BitBuf, prev: &mut Option<u64>, start: u64, end: u64| {
-            if start >= end {
-                return;
+        {
+            let mut sink = BitWriter::new(&mut bits);
+            // Emits the complement run [start, end): one gap code to enter
+            // the run, then end − start − 1 unit gaps ("1" bits), 64 at a
+            // time.
+            let emit_run =
+                |sink: &mut BitWriter<'_>, prev: &mut Option<u64>, start: u64, end: u64| {
+                    if start >= end {
+                        return;
+                    }
+                    match *prev {
+                        None => codes::put_gamma(sink, start + 1),
+                        Some(p) => codes::put_gamma(sink, start - p),
+                    }
+                    let mut ones = end - start - 1;
+                    while ones > 0 {
+                        let k = ones.min(64) as u32;
+                        let chunk = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+                        sink.push_bits(chunk, k);
+                        ones -= u64::from(k);
+                    }
+                    *prev = Some(end - 1);
+                };
+            let mut next_free = 0u64;
+            for p in self.iter() {
+                emit_run(&mut sink, &mut prev, next_free, p);
+                next_free = p + 1;
             }
-            match *prev {
-                None => codes::put_gamma(bits, start + 1),
-                Some(p) => codes::put_gamma(bits, start - p),
-            }
-            let mut ones = end - start - 1;
-            while ones > 0 {
-                let k = ones.min(64) as u32;
-                let chunk = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
-                bits.push_bits(chunk, k);
-                ones -= u64::from(k);
-            }
-            *prev = Some(end - 1);
-        };
-        let mut next_free = 0u64;
-        for p in self.iter() {
-            emit_run(&mut bits, &mut prev, next_free, p);
-            next_free = p + 1;
+            emit_run(&mut sink, &mut prev, next_free, universe);
         }
-        emit_run(&mut bits, &mut prev, next_free, universe);
         GapBitmap {
             universe,
             count: universe - self.count,
@@ -547,6 +537,29 @@ impl<'a> GapCursor<'a> {
     /// The element most recently returned, if any.
     pub fn current(&self) -> Option<u64> {
         self.current
+    }
+
+    /// Elements decoded so far — the index of the next element
+    /// [`Self::next`] would yield (so `current()` is element
+    /// `consumed() - 1`).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Re-seats the cursor *at* directory entry `j` (element index
+    /// `j · K`), so `current()` returns that sample and decoding resumes
+    /// behind it — the block-skipping jump: none of the skipped block's
+    /// codes are decoded. Must only move forward (`j · K ≥ consumed − 1`)
+    /// and `j` must be in range. Returns the sample's position.
+    pub fn seat_at(&mut self, j: usize) -> u64 {
+        let dir = self.bm.skip_dir();
+        let e = dir.entries()[j];
+        let k = u64::from(dir.k());
+        debug_assert!(j as u64 * k + 1 >= self.consumed, "cursor never rewinds");
+        self.src = self.bm.bits.reader_at(e.bit_off);
+        self.consumed = j as u64 * k + 1;
+        self.current = Some(e.pos);
+        e.pos
     }
 
     /// Advances to the next element.
@@ -691,6 +704,7 @@ pub struct GapDecoder<S: BitSource> {
 impl<S: BitSource> GapDecoder<S> {
     /// Decodes `count` positions from `src`.
     pub fn new(src: S, count: u64) -> Self {
+        crate::kernel::DECODE_SCALAR.add(1);
         GapDecoder {
             src,
             remaining: count,

@@ -20,10 +20,17 @@
 //!   "compute the compressed bitmap of their union by merging", §2.1),
 //!   including the density-driven planner ([`merge::plan`]) and its
 //!   bitset-accumulate path for dense covers;
-//! * [`skip`] — skip directories: sampled `(position, bit offset)`
-//!   entries that make gap streams seekable, powering galloping set
-//!   operations and directory-assisted decoder seeks;
+//! * [`skip`] — skip directories: sampled `(position, bit offset,
+//!   occupancy word)` entries that make gap streams seekable, powering
+//!   galloping set operations, occupancy block-skipping and
+//!   directory-assisted decoder seeks;
+//! * [`kernel`] — kernel-path counters and switches (which decode /
+//!   intersect implementation actually ran);
 //! * [`entropy`] — empirical 0th-order entropy of symbol strings.
+//!
+//! The `simd` cargo feature adds `lzcnt`/BMI-compiled clones of the
+//! batch-decode kernel, selected by runtime CPU detection; the stable
+//! SWAR code is always compiled and remains the fallback.
 
 #![warn(missing_docs)]
 
@@ -31,11 +38,13 @@ mod buf;
 pub mod codes;
 pub mod entropy;
 mod gap;
+pub mod kernel;
 pub mod merge;
 mod plain;
 pub mod skip;
+mod swar;
 
-pub use buf::{BitBuf, BitBufReader};
+pub use buf::{BitBuf, BitBufReader, BitWriter};
 pub use gap::{GapBitmap, GapCursor, GapDecoder, GapEncoder};
 pub use plain::{PlainBitmap, RankDirectory};
 pub use skip::{SkipDirectory, SkipEntry, SKIP_ENTRY_BITS, SKIP_SAMPLE};

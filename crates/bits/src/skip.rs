@@ -14,16 +14,22 @@
 
 /// Sampling interval: one directory entry per `SKIP_SAMPLE` elements.
 ///
-/// 64 keeps the directory at `z/64` entries (`≈ 80·z/64 = 1.25` bits per
-/// element persisted, `< 2` words per element in memory) while bounding
+/// 64 keeps the directory at `z/64` entries (`≈ 144·z/64 = 2.25` bits per
+/// element persisted, 3 words per element in memory) while bounding
 /// every directory-assisted operation's linear tail at 63 codes.
 pub const SKIP_SAMPLE: u32 = 64;
 
-/// Width of a persisted directory entry: 48-bit position + 32-bit offset.
+/// Width of a persisted directory entry: 48-bit position + 32-bit offset
+/// + 64-bit occupancy word.
 ///
-/// Matches the engine's 48-bit node-weight fields; slot code streams are
-/// far below `2³²` bits.
-pub const SKIP_ENTRY_BITS: u64 = 80;
+/// The position matches the engine's 48-bit node-weight fields; slot code
+/// streams are far below `2³²` bits.
+pub const SKIP_ENTRY_BITS: u64 = 144;
+
+/// Bit offset of the occupancy word within a persisted entry (past the
+/// position and offset fields) — append paths overwrite just this field
+/// to demote a stale exact summary to "no information".
+pub const SKIP_OCC_OFF: u64 = 80;
 
 /// One sample: the `(j·K)`-th decoded element (0-indexed) of a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,17 +39,32 @@ pub struct SkipEntry {
     /// Bit offset just past the element's codeword, relative to the
     /// stream start — decoding resumes here with `prev = pos`.
     pub bit_off: u64,
+    /// Occupancy summary of this entry's sample block, LSB-first over the
+    /// 64 universe-aligned 64-position buckets starting at the entry's
+    /// own bucket: bit `d` set ⟺ some element observed for this entry
+    /// lies in positions `[64·(pos/64 + d), 64·(pos/64 + d + 1))`. Block
+    /// elements more than 64 buckets past the sample are unsummarized
+    /// (they cannot clear lower bits, so the word stays sound). `0` means
+    /// *no information* — an exact summary always has bit 0 set (the
+    /// sampled element itself) — which is how append paths persist
+    /// entries whose blocks may still grow. Intersection and membership
+    /// kernels AND/test these words to rule out whole buckets without
+    /// decoding any codes.
+    pub occ: u64,
 }
 
 impl SkipEntry {
+    /// Exact occupancy seed for a freshly sampled element: its own bucket.
+    pub const OCC_SELF: u64 = 1;
+
     /// Writes the fixed-width persisted form (48-bit position, 32-bit
-    /// offset — matching the engine's 48-bit weight fields; slot streams
-    /// are far below 2³² bits).
+    /// offset, 64-bit occupancy word).
     pub fn write_to<S: crate::BitSink>(&self, sink: &mut S) {
         debug_assert!(self.pos < 1 << 48, "sample position exceeds 48 bits");
         debug_assert!(self.bit_off < 1 << 32, "sample offset exceeds 32 bits");
         sink.put_bits(self.pos, 48);
         sink.put_bits(self.bit_off, 32);
+        sink.put_bits(self.occ, 64);
     }
 
     /// Reads the persisted form.
@@ -51,7 +72,33 @@ impl SkipEntry {
         SkipEntry {
             pos: src.get_bits(48),
             bit_off: src.get_bits(32),
+            occ: src.get_bits(64),
         }
+    }
+
+    /// Folds a later element of this entry's block into the occupancy
+    /// word (no-op for elements past the 64-bucket window, which the
+    /// summary cannot describe).
+    #[inline]
+    pub fn cover(&mut self, pos: u64) {
+        let d = (pos >> 6) - (self.pos >> 6);
+        if d < 64 {
+            self.occ |= 1 << d;
+        }
+    }
+
+    /// Whether this entry's occupancy word proves `target` (which must
+    /// satisfy `self.pos ≤ target`) is absent from the elements this
+    /// entry summarizes. Callers must separately ensure every stream
+    /// element `≤ target` was observed by this entry (see
+    /// [`SkipDirectory::rules_out`]).
+    #[inline]
+    pub fn occ_rules_out(&self, target: u64) -> bool {
+        if self.occ == 0 {
+            return false; // conservative entry: no information
+        }
+        let d = (target >> 6) - (self.pos >> 6);
+        d < 64 && (self.occ >> d) & 1 == 0
     }
 }
 
@@ -156,19 +203,62 @@ impl SkipDirectory {
         &self.entries
     }
 
-    /// In-memory footprint in bits (two words per entry).
+    /// In-memory footprint in bits (three words per entry).
     pub fn size_bits(&self) -> u64 {
-        128 * self.entries.len() as u64
+        192 * self.entries.len() as u64
     }
 
     /// Feeds one decoded/encoded element; call in index order. Records a
-    /// sample when `index` is a multiple of `k`.
+    /// sample when `index` is a multiple of `k`, and folds every other
+    /// element into the latest sample's occupancy word, so directories
+    /// built by the encode and decode passes carry exact summaries.
     #[inline]
     pub fn observe(&mut self, index: u64, pos: u64, bit_off: u64) {
         if index.is_multiple_of(u64::from(self.k)) {
             debug_assert_eq!(index / u64::from(self.k), self.entries.len() as u64);
-            self.entries.push(SkipEntry { pos, bit_off });
+            self.entries.push(SkipEntry {
+                pos,
+                bit_off,
+                occ: SkipEntry::OCC_SELF,
+            });
+        } else if let Some(last) = self.entries.last_mut() {
+            last.cover(pos);
         }
+    }
+
+    /// Folds a position into the latest sample's occupancy word without
+    /// recording anything else — for bulk paths (whole-word run appends)
+    /// that bypass per-element [`Self::observe`] calls.
+    #[inline]
+    pub fn cover(&mut self, pos: u64) {
+        if let Some(last) = self.entries.last_mut() {
+            last.cover(pos);
+        }
+    }
+
+    /// Whether the directory *proves* `target` is not in the stream, by
+    /// the occupancy word of the sample block that would contain it — no
+    /// codes decoded. `false` means "unknown": the caller decodes as
+    /// usual.
+    ///
+    /// Sound for every construction path: a nonempty directory's first
+    /// entry is the stream's first element, so anything below it is
+    /// absent; an interior block is fully summarized by its entry (later
+    /// blocks start above `target`, earlier ones end below its bucket);
+    /// and the *last* entry is never consulted, because a truncated or
+    /// append-grown tail block may hold elements its persisted word never
+    /// observed.
+    pub fn rules_out(&self, target: u64) -> bool {
+        let j = self.entries.partition_point(|e| e.pos <= target);
+        if j == 0 {
+            // Entry 0 is element 0: a nonempty directory proves absence
+            // of every position below it.
+            return !self.entries.is_empty();
+        }
+        if j >= self.entries.len() {
+            return false; // tail block: may have grown past its summary
+        }
+        self.entries[j - 1].occ_rules_out(target)
     }
 
     /// The latest sample with `pos ≤ target`, as `(rank, entry)` where
@@ -210,42 +300,87 @@ mod tests {
             d.observe(i, 10 * i, 3 * i);
         }
         assert_eq!(d.len(), 3); // indices 0, 4, 8
+                                // Entry 1 samples pos 40 (bucket 0) and covers 50, 60 (bucket 0)
+                                // and 70 (bucket 1): occupancy 0b11.
         assert_eq!(
             d.entries()[1],
             SkipEntry {
                 pos: 40,
-                bit_off: 12
+                bit_off: 12,
+                occ: 0b11,
             }
         );
-        assert_eq!(d.size_bits(), 3 * 128);
+        assert_eq!(d.size_bits(), 3 * 192);
     }
 
     #[test]
     fn seek_finds_latest_entry_at_or_before() {
         let d = dir(4, &[(5, 3), (20, 19), (100, 44)]);
+        let e = |pos, bit_off| SkipEntry {
+            pos,
+            bit_off,
+            occ: SkipEntry::OCC_SELF,
+        };
         assert_eq!(d.seek(4), None);
-        assert_eq!(d.seek(5), Some((0, SkipEntry { pos: 5, bit_off: 3 })));
-        assert_eq!(d.seek(19), Some((0, SkipEntry { pos: 5, bit_off: 3 })));
-        assert_eq!(
-            d.seek(20),
-            Some((
-                4,
-                SkipEntry {
-                    pos: 20,
-                    bit_off: 19
-                }
-            ))
+        assert_eq!(d.seek(5), Some((0, e(5, 3))));
+        assert_eq!(d.seek(19), Some((0, e(5, 3))));
+        assert_eq!(d.seek(20), Some((4, e(20, 19))));
+        assert_eq!(d.seek(u64::MAX), Some((8, e(100, 44))));
+    }
+
+    #[test]
+    fn occupancy_rules_out_only_provable_absences() {
+        // Elements 0..32 step 10 over buckets 0..5, k = 8: entries at
+        // indices 0, 8, 16, 24 — positions 0, 80, 160, 240.
+        let mut d = SkipDirectory::new(8);
+        for i in 0..32u64 {
+            d.observe(i, 10 * i, i);
+        }
+        // Bucket 64..128 holds elements 70..120: block 0 covers 70 only
+        // (bucket 1, bit 1); probing 65 (same bucket, present elements
+        // 70) cannot be ruled out, but 130's bucket is summarized by
+        // entry at pos 80 whose block holds 90..150, bucket 2 = 128..191
+        // → bit set, not ruled out. A bucket with no elements at all:
+        // none here (10-stride fills every bucket), so check below the
+        // first element and a sparse stream instead.
+        assert!(!d.rules_out(65));
+        let mut sparse = SkipDirectory::new(4);
+        for (i, &p) in [5u64, 200, 210, 220, 1000, 2000, 3000, 4000, 9000]
+            .iter()
+            .enumerate()
+        {
+            sparse.observe(i as u64, p, i as u64);
+        }
+        // Entries at indices 0 (pos 5), 4 (pos 1000), 8 (pos 9000).
+        assert!(sparse.rules_out(3), "below the first element");
+        assert!(
+            sparse.rules_out(100),
+            "bucket 1 of block 0 is provably empty"
         );
-        assert_eq!(
-            d.seek(u64::MAX),
-            Some((
-                8,
-                SkipEntry {
-                    pos: 100,
-                    bit_off: 44
-                }
-            ))
+        assert!(!sparse.rules_out(201), "bucket of 200 has elements");
+        assert!(!sparse.rules_out(205), "present-bucket probes never skip");
+        assert!(
+            !sparse.rules_out(9500),
+            "tail block is never consulted (may be truncated)"
         );
+        // Conservative entries (occ = 0) rule nothing out.
+        let blind = SkipDirectory::from_entries(
+            4,
+            vec![
+                SkipEntry {
+                    pos: 5,
+                    bit_off: 0,
+                    occ: 0,
+                },
+                SkipEntry {
+                    pos: 1000,
+                    bit_off: 10,
+                    occ: 0,
+                },
+            ],
+        );
+        assert!(!blind.rules_out(100));
+        assert!(blind.rules_out(3), "first-element bound needs no occ");
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! SWAR multi-codeword gamma decoding.
+//!
+//! The batch decode kernel behind [`crate::GapBitmap::decode_all`]. The
+//! stream is processed through a 64-bit register window: one (pair of)
+//! word loads per window, then every gamma codeword that lies entirely
+//! inside the register is decoded with a shift, a `leading_zeros` and a
+//! shift-extract — no cursor, no per-code memory traffic, and runs of
+//! unit gaps (leading 1-bits) burst-emitted as whole slices. Codes wider
+//! than the window (gaps ≥ 2³², > 64 code bits) take a word-scan unary
+//! fallback and re-synchronize the window.
+//!
+//! Gamma codes chain serially — each codeword's start depends on the
+//! previous one's length — so a single decode loop is bound by its
+//! `leading_zeros` → shift dependency chain, not by issue width. When
+//! the bitmap carries a skip directory, its entries record exact
+//! `(element, bit offset)` resume points, which lets the decoder split
+//! the stream in two and run **two independent chains interleaved** in
+//! one loop: the out-of-order core overlaps them for close to twice the
+//! throughput on one thread.
+//!
+//! Two bodies of the same `#[inline(always)]` core are compiled: the
+//! stable SWAR path (baseline x86-64 lowers `leading_zeros` to
+//! `bsr`+`cmov`), and — behind the `simd` cargo feature — an
+//! `lzcnt`/BMI-enabled clone selected once per process by runtime CPU
+//! detection. Both are differentially tested against the bit-by-bit
+//! reference decoders in `tests/differential.rs`.
+
+use crate::kernel;
+use crate::skip::SkipDirectory;
+
+/// Streams shorter than this decode single-chain even when a directory
+/// is available: the dual-chain setup is not worth it under a few
+/// hundred codes.
+const DUAL_MIN_COUNT: u64 = 512;
+
+/// Streams at least this long split four ways instead of two — but only
+/// when the codes are wide (see [`QUAD_MIN_BITS_PER_CODE`]).
+const QUAD_MIN_COUNT: u64 = 8192;
+
+/// Four-way splitting needs wide codes to pay off: with few codes per
+/// 64-bit window the per-window overhead dominates and overlaps across
+/// chains, while for narrow codes the extra chain state costs more in
+/// register pressure than the added overlap returns.
+const QUAD_MIN_BITS_PER_CODE: u64 = 16;
+
+/// Streams whose mean code is at least this wide decode with the
+/// run-of-ones burst test compiled out of the fast drain: runs of unit
+/// gaps need ~1 bit/code to arise, so past a few bits/code the per-code
+/// test never fires and only costs issue slots.
+const BURST_MAX_BITS_PER_CODE: u64 = 6;
+
+/// Decodes `count` gamma gap codes (`bit_len` valid bits of `words`,
+/// MSB-first; first code is `gamma(p₀ + 1)`, the rest gaps) into `out`,
+/// which is cleared first. `dir`, when present, must be the stream's own
+/// skip directory; it enables the dual-chain split (only its exact
+/// `pos`/`bit_off` fields are used, never the occupancy words).
+///
+/// # Panics
+/// Panics if the stream holds more or fewer codes than `count`, or does
+/// not end exactly at `bit_len`.
+pub(crate) fn decode_gaps(
+    words: &[u64],
+    bit_len: u64,
+    count: u64,
+    dir: Option<&SkipDirectory>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    if count == 0 {
+        assert_eq!(bit_len, 0, "gap stream holds more codes than its count");
+        return;
+    }
+    out.reserve(count as usize);
+    let (plan, n) = dir.map_or(([(0usize, 0u64, 0u64); 3], 0), |d| {
+        split_points(d, bit_len, count)
+    });
+    let splits = &plan[..n];
+    // Unit-gap run bursts only pay when the mean code is short enough
+    // for runs to show up at all; wider streams compile the run test out
+    // of the hot drain (see `Chain::step` — a unit gap still decodes
+    // correctly through the plain gamma path, the burst is only ever an
+    // optimization).
+    let burst = bit_len / count < BURST_MAX_BITS_PER_CODE;
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if lzcnt_available() {
+        // SAFETY: `lzcnt`, `bmi1` and `bmi2` were runtime-detected above.
+        let pos = unsafe {
+            if burst {
+                decode_core_accel::<true>(words, bit_len, out, count as usize, splits)
+            } else {
+                decode_core_accel::<false>(words, bit_len, out, count as usize, splits)
+            }
+        };
+        kernel::DECODE_SIMD.add(1);
+        check_count(out, count, bit_len, pos);
+        return;
+    }
+    let pos = if burst {
+        decode_core::<true>(words, bit_len, out, count as usize, splits)
+    } else {
+        decode_core::<false>(words, bit_len, out, count as usize, splits)
+    };
+    kernel::DECODE_SWAR.add(1);
+    check_count(out, count, bit_len, pos);
+}
+
+/// Picks the directory entry nearest one bit-offset `target` of the
+/// stream (balancing decode work, not element counts), returning the
+/// resuming chain's `(element index, value, resume bit offset)`. `min_j`
+/// keeps successive split entries strictly increasing.
+fn split_at(
+    dir: &SkipDirectory,
+    bit_len: u64,
+    count: u64,
+    target: u64,
+    min_j: usize,
+) -> Option<(usize, (usize, u64, u64))> {
+    let entries = dir.entries();
+    let j = entries.partition_point(|e| e.bit_off < target);
+    // Entry 0 is the first element (offset past its code ≈ 0 bits in):
+    // splitting there degenerates the leading chain.
+    if j <= min_j || j >= entries.len() {
+        return None;
+    }
+    let e = &entries[j];
+    let idx = j as u64 * u64::from(dir.k());
+    if idx >= count || e.bit_off > bit_len {
+        // A directory that disagrees with the count is not split on; the
+        // count checks still police the result.
+        return None;
+    }
+    Some((j, (idx as usize, e.pos, e.bit_off)))
+}
+
+/// Plans the chain splits for one decode: three quarter-point splits
+/// (four chains) for long streams, one midpoint split (two chains) for
+/// medium ones, none for short ones — returned as a fixed array plus
+/// the number of valid entries.
+fn split_points(dir: &SkipDirectory, bit_len: u64, count: u64) -> ([(usize, u64, u64); 3], usize) {
+    let mut splits = [(0usize, 0u64, 0u64); 3];
+    if count < DUAL_MIN_COUNT {
+        return (splits, 0);
+    }
+    if count >= QUAD_MIN_COUNT && bit_len / count >= QUAD_MIN_BITS_PER_CODE {
+        let mut j = 0usize;
+        let mut n = 0usize;
+        for t in 1..4u64 {
+            match split_at(dir, bit_len, count, bit_len / 4 * t, j) {
+                Some((nj, s)) => {
+                    splits[n] = s;
+                    n += 1;
+                    j = nj;
+                }
+                None => break,
+            }
+        }
+        if n == 3 {
+            return (splits, 3);
+        }
+        // Couldn't cut clean quarters — fall through to one midpoint cut.
+    }
+    match split_at(dir, bit_len, count, bit_len / 2, 0) {
+        Some((_, s)) => {
+            splits[0] = s;
+            (splits, 1)
+        }
+        None => (splits, 0),
+    }
+}
+
+/// The post-decode count check shared by both dispatch arms: `pos` is
+/// where decoding stopped — short of `bit_len` only when an output
+/// bound was hit with stream left over.
+fn check_count(out: &[u64], count: u64, bit_len: u64, pos: u64) {
+    assert!(pos >= bit_len, "gap stream holds more codes than its count");
+    assert!(
+        out.len() as u64 == count,
+        "gap stream ended early: {} of {count} codes in {bit_len} bits",
+        out.len()
+    );
+}
+
+/// Whether the accelerated clone may run, detected once per process.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn lzcnt_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("lzcnt")
+            && std::arch::is_x86_feature_detected!("bmi1")
+            && std::arch::is_x86_feature_detected!("bmi2")
+    })
+}
+
+/// The lzcnt/BMI clone of [`decode_body`]. `leading_zeros` lowers to one
+/// `lzcnt`, variable shifts to `shlx`/`shrx` — same source, shorter
+/// dependency chain per codeword.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "lzcnt,bmi1,bmi2")]
+unsafe fn decode_core_accel<const BURST: bool>(
+    words: &[u64],
+    bit_len: u64,
+    out: &mut Vec<u64>,
+    cap: usize,
+    splits: &[(usize, u64, u64)],
+) -> u64 {
+    decode_body::<BURST>(words, bit_len, out, cap, splits)
+}
+
+/// The stable-Rust SWAR entry point.
+fn decode_core<const BURST: bool>(
+    words: &[u64],
+    bit_len: u64,
+    out: &mut Vec<u64>,
+    cap: usize,
+    splits: &[(usize, u64, u64)],
+) -> u64 {
+    decode_body::<BURST>(words, bit_len, out, cap, splits)
+}
+
+/// One decode chain: an independent cursor over a half-open bit range of
+/// the stream, emitting into its own half-open slot range of the output.
+struct Chain {
+    /// Next bit to decode.
+    pos: u64,
+    /// End of this chain's bit range.
+    end: u64,
+    /// Next output slot.
+    idx: usize,
+    /// End of this chain's slot range.
+    lim: usize,
+    /// Running position sum (`u64::MAX` seeds the first chain, since the
+    /// stream opens with `gamma(p₀ + 1)`).
+    prev: u64,
+}
+
+impl Chain {
+    #[inline(always)]
+    fn live(&self) -> bool {
+        self.pos < self.end && self.idx < self.lim
+    }
+
+    /// Decodes every codeword inside one 64-bit window at `self.pos`.
+    ///
+    /// # Safety
+    /// `base` must point at storage with at least `self.lim` writable
+    /// slots.
+    #[inline(always)]
+    unsafe fn step<const BURST: bool>(&mut self, words: &[u64], base: *mut u64) {
+        let pos = self.pos;
+        let end = self.end;
+        let lim = self.lim;
+        // Load a 64-bit window at `pos`, then drain every codeword that
+        // lies entirely inside it. The drain keeps the *residual* window
+        // as its loop state (`rest <<= len`), so the per-code dependency
+        // chain is one count-leading-zeros plus one shift.
+        let w = (pos >> 6) as usize;
+        let off = (pos & 63) as u32;
+        let lo = words.get(w + 1).copied().unwrap_or(0);
+        // `(lo >> 1) >> (63 − off)` is `lo >> (64 − off)` without the
+        // undefined 64-bit shift at off = 0.
+        let window = (words[w] << off) | ((lo >> 1) >> (63 - off));
+        let valid = (end - pos).min(64) as u32;
+        let mut rest = window;
+        let mut used = 0u32;
+        let mut idx = self.idx;
+        let mut prev = self.prev;
+        if valid == 64 && lim - idx >= 64 {
+            // Fast drain: a full window emits at most 64 elements (every
+            // code is ≥ 1 bit), so `lim - idx ≥ 64` clears every output
+            // bound up front and the per-code loop carries no capacity
+            // checks. The `used ≥ 64` test is only needed after a burst:
+            // on the gamma path a fully-consumed `rest` is all zero
+            // (`<<=` drained it), the next `lz` reads 64, and the length
+            // test breaks — one spare iteration instead of a per-code
+            // compare.
+            loop {
+                let lz = rest.leading_zeros();
+                // The run-of-ones burst is an optimization, never a
+                // requirement: with `BURST` off a unit gap decodes
+                // through the gamma path below (`lz = 0` → `len = 1`,
+                // mantissa the 1-bit itself), and the per-code test
+                // disappears from streams whose mean code is too wide
+                // for runs to matter.
+                if BURST && lz == 0 {
+                    // Shifted-in zeros cap the run at `64 - used` — no
+                    // clamp needed.
+                    let ones = (!rest).leading_zeros();
+                    for d in 0..u64::from(ones) {
+                        // SAFETY: `idx + ones ≤ idx + 64 ≤ lim`.
+                        unsafe { base.add(idx + d as usize).write(prev.wrapping_add(d + 1)) };
+                    }
+                    idx += ones as usize;
+                    prev = prev.wrapping_add(u64::from(ones));
+                    used += ones;
+                    if used >= 64 {
+                        break;
+                    }
+                    rest = window << used;
+                    continue;
+                }
+                let len = 2 * lz + 1;
+                if used + len > 64 {
+                    break;
+                }
+                prev = prev.wrapping_add(rest >> (63 - 2 * lz));
+                // SAFETY: `idx < idx₀ + 64 ≤ lim` — at most 64 emits per
+                // window.
+                unsafe { base.add(idx).write(prev) };
+                idx += 1;
+                used += len;
+                rest <<= len;
+            }
+        } else {
+            loop {
+                let lz = rest.leading_zeros();
+                if lz == 0 {
+                    // A leading 1 codes gap 1, and a run of k ones is k
+                    // consecutive positions — the dense-bitmap case, emitted
+                    // as one burst with no per-element decode at all.
+                    let ones = (!rest)
+                        .leading_zeros()
+                        .min(valid - used)
+                        .min((lim - idx) as u32);
+                    for d in 0..u64::from(ones) {
+                        // SAFETY: `idx + ones ≤ lim` by the clamp above.
+                        unsafe { base.add(idx + d as usize).write(prev.wrapping_add(d + 1)) };
+                    }
+                    idx += ones as usize;
+                    prev = prev.wrapping_add(u64::from(ones));
+                    used += ones;
+                    if used >= valid || idx >= lim {
+                        break;
+                    }
+                    rest = window << used;
+                    continue;
+                }
+                // A whole gamma code is 2·lz + 1 ≤ 63 bits when it fits the
+                // window (lz ≥ 32 forces the fallback below), so the shifts
+                // stay in range.
+                let len = 2 * lz + 1;
+                if used + len > valid {
+                    break;
+                }
+                // Top `lz` bits of `rest` are zero, so no mask is needed.
+                prev = prev.wrapping_add(rest >> (63 - 2 * lz));
+                // SAFETY: `idx < lim` is a loop invariant (checked on entry
+                // and after every emit).
+                unsafe { base.add(idx).write(prev) };
+                idx += 1;
+                used += len;
+                if used >= valid || idx >= lim {
+                    break;
+                }
+                rest <<= len;
+            }
+        }
+        if used == 0 {
+            if idx >= lim {
+                self.idx = idx;
+                self.prev = prev;
+                return;
+            }
+            // Codeword longer than the window (gap ≥ 2³²): word-scan the
+            // unary prefix, extract the mantissa, re-synchronize.
+            let n = unary_at(words, end, pos);
+            let tail = pos + u64::from(n) + 1;
+            prev = prev.wrapping_add((1u64 << n) | bits_at(words, tail, n));
+            // SAFETY: `idx < lim` checked just above.
+            unsafe { base.add(idx).write(prev) };
+            idx += 1;
+            self.pos = tail + u64::from(n);
+        } else {
+            self.pos = pos + u64::from(used);
+        }
+        self.idx = idx;
+        self.prev = prev;
+    }
+}
+
+/// Whether chain `c` finished exactly at a split boundary: it emitted
+/// its whole slot range, and the residue of its bit range is exactly the
+/// split element's own codeword (whose gamma length follows from the gap
+/// to the chain's last emitted value).
+#[inline(always)]
+fn boundary_ok(c: &Chain, split_pos: u64, split_off: u64) -> bool {
+    let gap = split_pos.wrapping_sub(c.prev);
+    c.idx == c.lim && gap != 0 && c.pos + u64::from(2 * (63 - gap.leading_zeros()) + 1) == split_off
+}
+
+/// Builds the chain that resumes at split `s` and runs to the next
+/// boundary `(end, lim)`.
+#[inline(always)]
+fn resume(s: (usize, u64, u64), end: u64, lim: usize) -> Chain {
+    Chain {
+        pos: s.2,
+        end,
+        idx: s.0 + 1,
+        lim,
+        prev: s.1,
+    }
+}
+
+/// The decode loop shared by both compilations. Emits through a raw
+/// pointer bounded by each chain's slot range (≤ the reserved capacity)
+/// — `Vec::push` would reload and store the length through memory on
+/// every element, which costs more than the decode itself. `splits`
+/// holds zero, one or three directory resume points, giving one, two or
+/// four interleaved chains. Returns the bit position where decoding
+/// stopped (short of `bit_len` only if an output bound was hit first,
+/// i.e. the stream holds more codes than its count).
+#[inline(always)]
+fn decode_body<const BURST: bool>(
+    words: &[u64],
+    bit_len: u64,
+    out: &mut Vec<u64>,
+    cap: usize,
+    splits: &[(usize, u64, u64)],
+) -> u64 {
+    debug_assert!(out.is_empty() && out.capacity() >= cap);
+    let base = out.as_mut_ptr();
+    let mut a = Chain {
+        pos: 0,
+        end: bit_len,
+        idx: 0,
+        lim: cap,
+        prev: u64::MAX,
+    };
+    let (pos, len) = match *splits {
+        // Each split element's value is recorded in the directory — it is
+        // written to its slot directly; the next chain resumes decoding
+        // just past its codeword. The interleaved hot loops run one
+        // window per chain per iteration with no dependency between
+        // them, so the out-of-order core overlaps the decode chains.
+        [s1, s2, s3] if s3.0 < cap => {
+            // SAFETY: `s1.0 < s2.0 < s3.0 < cap` (split indices are
+            // strictly increasing directory samples).
+            unsafe {
+                base.add(s1.0).write(s1.1);
+                base.add(s2.0).write(s2.1);
+                base.add(s3.0).write(s3.1);
+            }
+            a.end = s1.2;
+            a.lim = s1.0;
+            let mut b = resume(s1, s2.2, s2.0);
+            let mut c = resume(s2, s3.2, s3.0);
+            let mut d = resume(s3, bit_len, cap);
+            while a.live() && b.live() && c.live() && d.live() {
+                // SAFETY: each chain stays inside its own slot range.
+                unsafe {
+                    a.step::<BURST>(words, base);
+                    b.step::<BURST>(words, base);
+                    c.step::<BURST>(words, base);
+                    d.step::<BURST>(words, base);
+                }
+            }
+            // Tail drains: with quarter-point splits the chains finish
+            // near-together, so these are short.
+            for ch in [&mut a, &mut b, &mut c, &mut d] {
+                while ch.live() {
+                    // SAFETY: as above.
+                    unsafe { ch.step::<BURST>(words, base) };
+                }
+            }
+            // Validate every boundary front to back so a failure reports
+            // the first disagreeing chain's cursor (its slot prefix is
+            // the initialized one) and the count checks fire.
+            if !boundary_ok(&a, s1.1, s1.2) {
+                (a.pos.min(s1.2.saturating_sub(1)), a.idx)
+            } else if !boundary_ok(&b, s2.1, s2.2) {
+                (b.pos.min(s2.2.saturating_sub(1)), b.idx)
+            } else if !boundary_ok(&c, s3.1, s3.2) {
+                (c.pos.min(s3.2.saturating_sub(1)), c.idx)
+            } else {
+                (d.pos, d.idx)
+            }
+        }
+        [s1] if s1.0 < cap => {
+            // SAFETY: `s1.0 < cap`.
+            unsafe { base.add(s1.0).write(s1.1) };
+            a.end = s1.2;
+            a.lim = s1.0;
+            let mut b = resume(s1, bit_len, cap);
+            while a.live() && b.live() {
+                // SAFETY: each chain stays inside its own slot range.
+                unsafe {
+                    a.step::<BURST>(words, base);
+                    b.step::<BURST>(words, base);
+                }
+            }
+            while a.live() {
+                // SAFETY: as above.
+                unsafe { a.step::<BURST>(words, base) };
+            }
+            while b.live() {
+                // SAFETY: as above.
+                unsafe { b.step::<BURST>(words, base) };
+            }
+            if boundary_ok(&a, s1.1, s1.2) {
+                (b.pos, b.idx)
+            } else {
+                // Chain A's region disagrees with the directory: report
+                // its cursor so the count checks fire.
+                (a.pos.min(s1.2.saturating_sub(1)), a.idx)
+            }
+        }
+        _ => {
+            while a.live() {
+                // SAFETY: the single chain owns slots `0..cap`.
+                unsafe { a.step::<BURST>(words, base) };
+            }
+            (a.pos, a.idx)
+        }
+    };
+    // SAFETY: slots `0..len` were written by the chains above (`len`
+    // falls back to the first disagreeing chain's cursor on any early
+    // stop, so the exposed prefix is always initialized).
+    unsafe { out.set_len(len) };
+    pos
+}
+
+/// Zeros before the next 1-bit at `pos` (the unary prefix), scanning
+/// whole words.
+#[inline(always)]
+fn unary_at(words: &[u64], bit_len: u64, mut pos: u64) -> u32 {
+    let mut zeros = 0u32;
+    loop {
+        assert!(pos < bit_len, "unary code ran past end of stream");
+        let w = (pos >> 6) as usize;
+        let off = (pos & 63) as u32;
+        let chunk = words[w] << off;
+        let avail = (64 - off).min((bit_len - pos) as u32);
+        let lz = chunk.leading_zeros().min(avail);
+        if lz < avail {
+            return zeros + lz;
+        }
+        zeros += avail;
+        pos += u64::from(avail);
+    }
+}
+
+/// Reads `k ≤ 64` bits at `pos` (MSB-first, may straddle two words).
+#[inline(always)]
+fn bits_at(words: &[u64], pos: u64, k: u32) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let w = (pos >> 6) as usize;
+    let off = (pos & 63) as u32;
+    let avail = 64 - off;
+    if k <= avail {
+        (words[w] << off) >> (64 - k)
+    } else {
+        let hi = words[w] << off >> (64 - k);
+        let lo = words[w + 1] >> (64 - (k - avail));
+        hi | lo
+    }
+}

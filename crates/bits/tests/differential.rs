@@ -182,6 +182,64 @@ proptest! {
     }
 
     #[test]
+    fn chained_decode_equals_reference_with_directory(
+        small in proptest::collection::vec(1u64..300, 512..600),
+        huge in proptest::collection::vec((1u64 << 32)..(1u64 << 55), 2..5),
+        huge_at in 1usize..500,
+    ) {
+        // ≥ 512 elements with a materialized directory: decode_all splits
+        // at a recorded resume point and runs interleaved chains, whose
+        // windows land at arbitrary bit alignments. The huge gaps force
+        // >64-bit codewords (word-scan fallback) straddling word
+        // boundaries, placed anywhere relative to the split.
+        let mut positions = Vec::with_capacity(small.len() + huge.len());
+        let mut p = 0u64;
+        for (i, &g) in small.iter().enumerate() {
+            p += g;
+            positions.push(p);
+            if i == huge_at {
+                for &h in &huge {
+                    p += h;
+                    positions.push(p);
+                }
+            }
+        }
+        let b = GapBitmap::from_sorted(&positions, p + 1);
+        let _ = b.skip_dir(); // materialize → multi-chain decode
+        let mut reference = Vec::new();
+        {
+            let mut r = b.code_bits().reader();
+            let mut prev: Option<u64> = None;
+            for _ in 0..b.count() {
+                let code = codes::get_gamma_reference(&mut r);
+                let pos = match prev { None => code - 1, Some(q) => q + code };
+                prev = Some(pos);
+                reference.push(pos);
+            }
+        }
+        let mut batched = Vec::new();
+        b.decode_all(&mut batched);
+        prop_assert_eq!(&batched, &reference);
+        prop_assert_eq!(&batched, &positions);
+    }
+
+    #[test]
+    fn quad_chain_decode_equals_reference(
+        stride in 40_000u64..100_000,
+        jitter in 1u64..1000,
+        count in 8192u64..8600,
+    ) {
+        // Wide codes (≥ 16 bits each) over ≥ 8192 elements select the
+        // four-chain split; every boundary residue must validate.
+        let positions: Vec<u64> = (0..count).map(|i| i * stride + (i % jitter)).collect();
+        let b = GapBitmap::from_sorted(&positions, count * stride + jitter);
+        let _ = b.skip_dir();
+        let mut batched = Vec::new();
+        b.decode_all(&mut batched);
+        prop_assert_eq!(&batched, &positions);
+    }
+
+    #[test]
     fn word_copies_equal_bit_copies_at_all_alignments(
         bits in proptest::collection::vec(any::<bool>(), 1..300),
     ) {
@@ -243,4 +301,14 @@ proptest! {
         let dec2 = GapDecoder::new(stream.reader_at(b.size_bits()), b.count());
         prop_assert_eq!(dec2.collect::<Vec<_>>(), want);
     }
+}
+
+/// The widest codeword the decoder can meet: `gamma((1 << 62) + 3)` is
+/// 125 bits — two full words of unary prefix plus a straddling mantissa.
+#[test]
+fn maximum_width_gamma_codes_decode() {
+    let positions = [5u64, 5 + ((1u64 << 62) + 3), u64::MAX - 2];
+    let b = GapBitmap::from_sorted(&positions, u64::MAX);
+    assert_eq!(b.to_vec(), positions);
+    assert_eq!(b.iter().collect::<Vec<_>>(), positions);
 }

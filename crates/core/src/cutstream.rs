@@ -84,6 +84,13 @@ pub struct Slot {
     pub dir_entries: u64,
     /// Reserved directory entries (`≥ dir_entries`).
     pub dir_cap: u64,
+    /// Whether the last persisted directory entry still carries the
+    /// *exact* occupancy word written at build time. Appends extend the
+    /// stream past that entry's summarized window, so the first append
+    /// zeroes the tail entry's occupancy on disk ("no information") and
+    /// clears this flag — at most one extra positioned write over the
+    /// slot's whole append lifetime.
+    pub dir_tail_exact: bool,
     /// Tombstone flag.
     pub dead: bool,
 }
@@ -151,7 +158,10 @@ impl CutStream {
                 samples.push(SkipEntry {
                     pos: p,
                     bit_off: w.pos() - off,
+                    occ: SkipEntry::OCC_SELF,
                 });
+            } else if let Some(last) = samples.last_mut() {
+                last.cover(p);
             }
             first_pos.get_or_insert(p);
             last_pos = Some(p);
@@ -187,6 +197,7 @@ impl CutStream {
             dir_off,
             dir_entries,
             dir_cap,
+            dir_tail_exact: dir_entries > 0,
             dead: false,
         });
         self.slots.len() - 1
@@ -230,10 +241,24 @@ impl CutStream {
         slot.count += 1;
         slot.first_pos.get_or_insert(pos);
         slot.last_pos = Some(pos);
+        // The appended element may fall inside the window summarized by
+        // the build-time tail entry, so its exact occupancy word is no
+        // longer trustworthy: demote it to "no information" on disk once.
+        if slot.dir_tail_exact {
+            slot.dir_tail_exact = false;
+            let occ_at =
+                slot.dir_off + (slot.dir_entries - 1) * SKIP_ENTRY_BITS + skip::SKIP_OCC_OFF;
+            let mut dw = disk.writer_at(self.dir_ext, occ_at, io);
+            dw.overwrite_bits(0, 64);
+        }
         if sample_due && slot.dir_entries < slot.dir_cap {
             let entry = SkipEntry {
                 pos,
                 bit_off: slot.len,
+                // Later appends land in this entry's window without
+                // touching the directory, so it can never claim exact
+                // coverage.
+                occ: 0,
             };
             let at = slot.dir_off + slot.dir_entries * SKIP_ENTRY_BITS;
             slot.dir_entries += 1;
@@ -430,6 +455,7 @@ impl CutStream {
             out.put_u64(s.dir_off);
             out.put_u64(s.dir_entries);
             out.put_u64(s.dir_cap);
+            out.put_bool(s.dir_tail_exact);
             out.put_bool(s.dead);
         }
     }
@@ -445,9 +471,9 @@ impl CutStream {
         let dir_ext = psi_store::check_extent(disk, meta.get_u32()?, "cut directory")?;
         let dead_bits = meta.get_u64()?;
         let slack = Slack::from_persist_tag(meta.get_u8()?)?;
-        // Minimum encoded slot: 7 u64 fields + two absent options + the
-        // dead flag = 59 bytes (an empty slot omits first/last_pos).
-        let len = meta.get_len(59)?;
+        // Minimum encoded slot: 7 u64 fields + two absent options + two
+        // flags = 60 bytes (an empty slot omits first/last_pos).
+        let len = meta.get_len(60)?;
         let mut slots = Vec::with_capacity(len);
         for _ in 0..len {
             slots.push(Slot {
@@ -460,6 +486,7 @@ impl CutStream {
                 dir_off: meta.get_u64()?,
                 dir_entries: meta.get_u64()?,
                 dir_cap: meta.get_u64()?,
+                dir_tail_exact: meta.get_bool()?,
                 dead: meta.get_bool()?,
             });
         }

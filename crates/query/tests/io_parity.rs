@@ -209,6 +209,34 @@ fn skip_directory_probe_reads_are_charged() {
     assert_eq!(outcome.rows.to_vec(), predicate.naive_rows(&table));
 }
 
+/// The occupancy block-skip kernels are CPU-only: they consult occupancy
+/// words that already travel with the (charged) skip-directory lift, so
+/// toggling them must not change a single simulated I/O charge — or row
+/// — anywhere on the engine path, for any family or strategy.
+#[test]
+fn block_skip_toggle_never_changes_charged_io() {
+    let table = people_table(20_000, 7);
+    let predicate = Predicate::and([
+        Predicate::point("marital_status", 1),
+        Predicate::not(Predicate::point("sex", 1)),
+        Predicate::range("age", 30, 35),
+    ]);
+    for (name, build) in families() {
+        let indexed = IndexedTable::build(&table, |s, sigma| build(s, sigma));
+        psi_bits::kernel::set_block_skip(true);
+        let fast = indexed.execute(&predicate).unwrap();
+        psi_bits::kernel::set_block_skip(false);
+        let scalar = indexed.execute(&predicate).unwrap();
+        psi_bits::kernel::set_block_skip(true);
+        assert_eq!(
+            fast.io, scalar.io,
+            "{name}: block skipping must leave the simulated I/O bit-identical"
+        );
+        assert_eq!(fast.rows.to_vec(), scalar.rows.to_vec(), "{name} rows");
+        assert_eq!(fast.rows.to_vec(), predicate.naive_rows(&table), "{name}");
+    }
+}
+
 /// The planner's estimates agree with the executed cardinalities for
 /// hint-bearing indexes (exact counts), so ordering really is by true
 /// selectivity on the engine path.

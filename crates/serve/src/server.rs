@@ -329,6 +329,12 @@ impl Shared {
                 Value::Counter(cs.served),
             );
         }
+        // Which decode/intersect kernel paths actually ran: a live check
+        // that the dispatched fast paths (SWAR vs. CPU-accelerated,
+        // occupancy block-skip vs. gallop) are the ones serving queries.
+        for (name, value) in psi_bits::kernel::snapshot() {
+            snap.set(name, Value::Counter(value));
+        }
         for (attr, extents) in self.table.quarantine_snapshot() {
             snap.set(
                 &format!("quarantine/{attr}"),

@@ -124,6 +124,17 @@ fn stats_reply_matches_the_servers_own_counters_exactly() {
     assert!(over_wire
         .histogram("query/latency_ns")
         .is_some_and(|h| h.count >= 40));
+    // Every kernel-path counter ships in the reply, and at least one
+    // decode kernel actually ran while serving the 40 queries above.
+    let mut decodes = 0u64;
+    for (name, _) in psi_bits::kernel::snapshot() {
+        let v = over_wire.counter(name);
+        assert!(v.is_some(), "{name} missing from the STATS reply");
+        if name.starts_with("kernel/decode_") {
+            decodes += v.unwrap();
+        }
+    }
+    assert!(decodes > 0, "no decode kernel recorded any work");
     // The rendering mentions every section an operator would look for.
     let text = over_wire.render();
     for needle in ["serve/request_ns", "quarantine/b", "query/latency_ns"] {

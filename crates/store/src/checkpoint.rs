@@ -49,10 +49,12 @@ use crate::persist::{build_opened, sweep_stale_tmp, OpenOptions, Opened, Persist
 use crate::sum::fnv1a64;
 use crate::StoreError;
 
-/// Format version of checkpoint files (dual-slot superblock). Version 1
-/// is the save-the-world [`crate::format`] layout; the two are told
-/// apart by this field, so opening one as the other fails typed.
-pub const VERSION_CHECKPOINT: u32 = 2;
+/// Format version of checkpoint files (dual-slot superblock). Odd
+/// versions are the save-the-world [`crate::format`] layout; the two are
+/// told apart by this field, so opening one as the other fails typed.
+/// (4 carries the same metadata changes as format version 3: 144-bit
+/// skip-directory entries and the slot tail-exactness flag.)
+pub const VERSION_CHECKPOINT: u32 = 4;
 
 /// What one checkpoint (create or update) cost.
 #[derive(Debug, Clone, Copy)]

@@ -36,7 +36,11 @@ use crate::StoreError;
 /// File magic: the first 8 bytes of every store file.
 pub const MAGIC: [u8; 8] = *b"PSISTOR1";
 /// Format version written by this build.
-pub const VERSION: u32 = 1;
+/// (3 widened the persisted skip-directory entries to 144 bits —
+/// occupancy words — and added the tail-exactness flag to slot metadata;
+/// 2 is reserved for checkpoint files, see
+/// [`crate::checkpoint::VERSION_CHECKPOINT`].)
+pub const VERSION: u32 = 3;
 /// Size of superblock and metadata pages.
 pub const META_PAGE: usize = 4096;
 /// Payload bytes per metadata page (the rest is the checksum trailer).

@@ -44,6 +44,7 @@ pub use checkpoint::{
     VERSION_CHECKPOINT,
 };
 pub use error::StoreError;
+pub use format::VERSION;
 pub use persist::{
     check_extent, open, open_with_wrap, save, single_volume, sweep_stale_tmp, Backend, OpenOptions,
     Opened, PersistIndex, SaveReport, StoreWrap,

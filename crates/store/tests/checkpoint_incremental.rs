@@ -240,25 +240,32 @@ fn volume_shape_change_falls_back_to_full_rewrite() {
 
 #[test]
 fn version_mismatch_is_typed_both_ways() {
-    // A v1 save opened as a checkpoint reports its version, and a v2
-    // checkpoint opened through the v1 path reports version 2.
+    // A plain save opened as a checkpoint reports its version, and a
+    // checkpoint opened through the plain path reports the checkpoint
+    // version.
     let v1 = tmp("v1.psi");
     let probe = build_probe(2);
     psi_store::save(&probe, &v1).expect("save v1");
     assert!(matches!(
         checkpoint_epoch(&v1),
-        Err(StoreError::BadVersion { found: 1 })
+        Err(StoreError::BadVersion {
+            found: psi_store::VERSION
+        })
     ));
     assert!(matches!(
         open_checkpoint::<Probe>(&v1, &OpenOptions::default()),
-        Err(StoreError::BadVersion { found: 1 })
+        Err(StoreError::BadVersion {
+            found: psi_store::VERSION
+        })
     ));
 
     let v2 = tmp("v2.ck");
     CheckpointFile::create(&v2, &probe, &[], 1).expect("create");
     assert!(matches!(
         psi_store::open::<Probe>(&v2, &OpenOptions::default()),
-        Err(StoreError::BadVersion { found: 2 })
+        Err(StoreError::BadVersion {
+            found: psi_store::VERSION_CHECKPOINT
+        })
     ));
 }
 
